@@ -1,0 +1,73 @@
+"""ABL-3 — generated in-line code vs the interpretive evaluator.
+
+§II: "Although Schulz describes an interpretive approach that uses a
+single intermediate file, LINGUIST-86 generates in-line code to read
+and write APT nodes and to evaluate semantic functions."  The design
+choice to measure: how much does generating code (vs interpreting the
+plans) buy, given that evaluation is largely I/O?
+"""
+
+import time
+
+import pytest
+
+from repro.grammars import library_for, load_source
+from repro.grammars.scanners import pascal_scanner_spec
+from repro.workloads import generate_pascal_program
+
+
+@pytest.fixture(scope="module")
+def translators(linguist_pascal):
+    lib = library_for("pascal")
+    spec = pascal_scanner_spec()
+    return {
+        "generated": linguist_pascal.make_translator(spec, library=lib,
+                                                     backend="generated"),
+        "interp": linguist_pascal.make_translator(spec, library=lib,
+                                                  backend="interp"),
+    }
+
+
+def test_abl3_backends_agree(translators):
+    program = generate_pascal_program(n_statements=60, seed=29)
+    r1 = translators["generated"].translate(program)
+    r2 = translators["interp"].translate(program)
+    assert list(r1["CODE"]) == list(r2["CODE"])
+    assert list(r1["MSGS"]) == list(r2["MSGS"])
+
+
+def test_abl3_speed_comparison(translators, report):
+    program = generate_pascal_program(n_statements=200, seed=37)
+
+    def best_of(fn, n=3):
+        best = float("inf")
+        for _ in range(n):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    for t in translators.values():
+        t.translate(program)  # warm
+    gen_s = best_of(lambda: translators["generated"].translate(program))
+    int_s = best_of(lambda: translators["interp"].translate(program))
+    text = (
+        "ABL-3: generated in-line code vs interpretive evaluator "
+        "(200-statement Pascal program)\n"
+        f"  generated: {gen_s * 1000:8.1f} ms\n"
+        f"  interpretive: {int_s * 1000:6.1f} ms\n"
+        f"  interp/generated ratio: {int_s / gen_s:.2f}x"
+    )
+    report("abl3_interp", text)
+    # Generated code should not be slower by any meaningful margin.
+    assert gen_s < int_s * 1.5
+
+
+def test_abl3_generated_benchmark(benchmark, translators):
+    program = generate_pascal_program(n_statements=60, seed=41)
+    benchmark(lambda: translators["generated"].translate(program))
+
+
+def test_abl3_interp_benchmark(benchmark, translators):
+    program = generate_pascal_program(n_statements=60, seed=41)
+    benchmark(lambda: translators["interp"].translate(program))

@@ -1,0 +1,48 @@
+"""EXP-C1 — copy-rule prevalence.
+
+§III: "in many attribute grammars, between 40 and 60 percent of the
+semantic functions are copy-rules"; §IV reports "a little more than
+50%" for the self grammar and notes "the percentage of copy-rules is in
+line with what other researchers have reported [PJ2]".
+
+We measure every shipped grammar.  The realistic front-end grammars
+(pascal, linguist, calc) must land near the band; toy grammars may sit
+below it.
+"""
+
+from repro.ag import compute_statistics
+from repro.frontend import load_grammar
+from repro.grammars import GRAMMAR_NAMES, load_source
+from repro.passes.partition import assign_passes
+from repro.passes.schedule import Direction
+
+
+def test_c1_copy_rule_table(benchmark, report):
+    def collect():
+        rows = []
+        for name in GRAMMAR_NAMES:
+            ag = load_grammar(load_source(name))
+            assignment = assign_passes(ag, Direction.R2L)
+            stats = compute_statistics(ag, assignment.n_passes)
+            rows.append((name, stats))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = [
+        "EXP-C1: copy-rule prevalence (paper band: 40-60%)",
+        f"{'grammar':<10} {'functions':>10} {'copies':>8} {'implicit':>9} "
+        f"{'share':>8} {'passes':>7}",
+    ]
+    for name, s in rows:
+        lines.append(
+            f"{name:<10} {s.n_semantic_functions:>10} {s.n_copy_rules:>8} "
+            f"{s.n_implicit_copy_rules:>9} {s.copy_rule_percent:>7.1f}% "
+            f"{s.n_passes:>7}"
+        )
+    report("c1_copy_rules", "\n".join(lines))
+
+    by_name = {name: s for name, s in rows}
+    # The realistic grammars sit in or near the paper's band.
+    assert 35 <= by_name["pascal"].copy_rule_percent <= 65
+    assert 35 <= by_name["linguist"].copy_rule_percent <= 65
+    assert 40 <= by_name["calc"].copy_rule_percent <= 80

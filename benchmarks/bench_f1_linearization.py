@@ -1,0 +1,82 @@
+"""EXP-F1 — §II's linearization diagram and the reversal trait.
+
+The paper draws one tree and its two linearizations:
+
+    left-to-right prefix :  M F B A C E D G L H K I J
+    left-to-right postfix:  A C B D E F G H I J K L M
+
+and states the trait the whole paradigm rests on: "if the output file
+of a left-to-right pass is read backwards it can be the input file for
+a right-to-left pass".  We regenerate both series from the same tree
+and verify the reversal identity, here and at scale.
+"""
+
+import pytest
+
+from repro.apt.linear import TreeNode, iter_bottom_up, iter_prefix
+from repro.apt.node import APTNode
+from repro.passes.schedule import Direction
+
+PAPER_PREFIX = list("MFBACEDGLHKIJ")
+PAPER_POSTFIX = list("ACBDEFGHIJKLM")
+
+
+def paper_tree() -> TreeNode:
+    def leaf(name):
+        return TreeNode(APTNode(name))
+
+    def node(name, *children):
+        return TreeNode(APTNode(name, production=0), list(children))
+
+    return node(
+        "M",
+        node("F", node("B", leaf("A"), leaf("C")), node("E", leaf("D"))),
+        leaf("G"),
+        node("L", leaf("H"), node("K", leaf("I"), leaf("J"))),
+    )
+
+
+def big_tree(depth: int, fanout: int = 3) -> TreeNode:
+    counter = [0]
+
+    def build(d):
+        counter[0] += 1
+        node = APTNode(f"n{counter[0]}", production=0 if d else None)
+        if d == 0:
+            return TreeNode(node)
+        return TreeNode(node, [build(d - 1) for _ in range(fanout)])
+
+    return build(depth)
+
+
+def test_f1_paper_series(report):
+    tree = paper_tree()
+    prefix = [n.symbol for n in iter_prefix(tree, Direction.L2R)]
+    postfix = [n.symbol for n in iter_bottom_up(tree, Direction.L2R)]
+    lines = [
+        "EXP-F1: §II linearization diagram",
+        f"  L2R prefix  (paper): {' '.join(PAPER_PREFIX)}",
+        f"  L2R prefix  (ours) : {' '.join(prefix)}",
+        f"  L2R postfix (paper): {' '.join(PAPER_POSTFIX)}",
+        f"  L2R postfix (ours) : {' '.join(postfix)}",
+        "  reversal trait: reversed(L2R postfix) == R2L prefix: "
+        + str(list(reversed(postfix))
+              == [n.symbol for n in iter_prefix(tree, Direction.R2L)]),
+    ]
+    report("f1_linearization", "\n".join(lines))
+    assert prefix == PAPER_PREFIX
+    assert postfix == PAPER_POSTFIX
+
+
+@pytest.mark.parametrize("direction", [Direction.L2R, Direction.R2L])
+def test_f1_reversal_identity_at_scale(direction):
+    tree = big_tree(depth=6)
+    out = [n.symbol for n in iter_bottom_up(tree, direction)]
+    back_in = [n.symbol for n in iter_prefix(tree, direction.opposite)]
+    assert list(reversed(out)) == back_in
+
+
+def test_f1_linearization_benchmark(benchmark):
+    tree = big_tree(depth=7)
+    result = benchmark(lambda: sum(1 for _ in iter_bottom_up(tree)))
+    assert result == (3 ** 8 - 1) // 2

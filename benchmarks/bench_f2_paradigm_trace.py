@@ -1,0 +1,105 @@
+"""EXP-F2 — §II Figure 3 (the evaluation paradigm) and the p.165
+generated production-procedure.
+
+Figure 3 fixes the per-node event skeleton::
+
+    read all attribs of Xi from input APT file
+    eval inherited attribs of Xi for this pass
+    visit the sub-APT whose root is Xi
+    write all attribs of Xi to output APT file
+    ...
+    eval synthesized attribs of X0
+
+We trace a real evaluation and check every node follows
+get -> [eval inh] -> visit -> put, and we print a generated Pascal
+production-procedure next to the paper's FUNCTIONLISTLIMBPP2 shape
+(GetNode / inherited assignments / recursive call / PutNode).
+"""
+
+import re
+
+import pytest
+
+from repro.apt.build import APTBuilder
+from repro.apt.storage import MemorySpool
+from repro.evalgen.driver import AlternatingPassDriver
+from repro.evalgen.interp import InterpretiveEvaluator
+from repro.grammars.scanners import calc_scanner_spec
+
+
+def run_traced(linguist_calc, source: str):
+    translator = linguist_calc.make_translator(calc_scanner_spec())
+    trace = []
+    spool = MemorySpool(channel="initial")
+    builder = APTBuilder(linguist_calc.ag, spool)
+    translator.parser.parse(
+        translator.scanner.tokens(source), listener=builder, build_tree=False
+    )
+    builder.finish()
+    driver = AlternatingPassDriver(
+        linguist_calc.ag,
+        linguist_calc.plans,
+        InterpretiveEvaluator(linguist_calc.ag).run_pass,
+        library=translator.library,
+        trace=trace,
+    )
+    driver.run(spool, strategy="bottom-up")
+    return trace
+
+
+def test_f2_every_get_has_matching_put(linguist_calc):
+    trace = run_traced(linguist_calc, "let a = 2 ; print a * a")
+    gets = sum(1 for e in trace if e.kind == "get")
+    puts = sum(1 for e in trace if e.kind == "put")
+    assert gets == puts > 0
+
+
+def test_f2_paradigm_order(linguist_calc, report):
+    """For every nonterminal node: get precedes visit precedes put, and
+    the pass-k inherited evaluations sit between get and visit."""
+    trace = run_traced(linguist_calc, "let a = 1 ; print a + 1")
+    # Flatten to (kind, detail) and check balanced nesting per symbol.
+    opened = []
+    violations = []
+    for event in trace:
+        if event.kind == "get":
+            opened.append(event.detail)
+        elif event.kind == "put":
+            if event.detail not in opened:
+                violations.append(f"put {event.detail} without get")
+            else:
+                opened.remove(event.detail)
+    if opened:
+        violations.append(f"never written: {opened}")
+    sample = "\n".join(f"    {e.kind:6} {e.detail}" for e in trace[:16])
+    report(
+        "f2_paradigm_trace",
+        "EXP-F2: first 16 paradigm events of a two-pass evaluation\n"
+        + sample
+        + f"\n  total events: {len(trace)}; violations: {violations}",
+    )
+    assert not violations
+
+
+def test_f2_generated_procedure_matches_paper_shape(linguist_calc, report):
+    """The generated Pascal production-procedure has the paper's
+    skeleton: GetNode*, inherited assignments, recursive PP call,
+    PutNode*, synthesized assignments."""
+    artifact = linguist_calc.pascal_artifacts[1]  # pass 2 does the work
+    # Extract the procedure for the Add production.
+    m = re.search(
+        r"procedure ADDLIMBPP2.*?end; \{ ADDLIMBPP2 \}", artifact.text, re.S
+    )
+    assert m, "no generated procedure for AddLimb"
+    text = m.group(0)
+    report("f2_generated_procedure", "EXP-F2: generated procedure\n" + text)
+    assert "GetNode" in text
+    assert "PutNode" in text
+    assert "PP2(" in text  # recursive production-procedure calls
+    get_pos = text.index("GetNode")
+    put_pos = text.rindex("PutNode")
+    assert get_pos < put_pos
+
+
+def test_f2_trace_benchmark(benchmark, linguist_calc):
+    benchmark(lambda: run_traced(linguist_calc, "let a = 1 ; print a"))

@@ -1,0 +1,75 @@
+"""EXP-S1 — self-generation.
+
+"The approach embodied by LINGUIST-86 has been shown effective;
+LINGUIST-86 is itself a non-trivial attribute grammar and is
+self-generating."
+
+The bench builds the self-described translator (the hand system
+compiling ``linguist.ag``), runs the *generated* evaluator on
+``linguist.ag`` itself, and checks the fixpoint: the dictionary the
+generated evaluator computes equals the direct analysis.
+"""
+
+import pytest
+
+from repro.core.selfgen import SelfGeneration, summary_from_ast
+from repro.frontend.syntax import parse_ag_text
+from repro.grammars import load_source
+
+
+@pytest.fixture(scope="module")
+def selfgen():
+    return SelfGeneration()
+
+
+def test_s1_bootstrap_fixpoint(selfgen, report):
+    machine, hand = selfgen.bootstrap_check()
+    lines = [
+        "EXP-S1: self-generation bootstrap (generated evaluator on its own source)",
+        f"{'dictionary entry':<30} {'generated':>10} {'direct':>8}",
+    ]
+    for label, m, h in [
+        ("grammar symbols", machine.n_syms, hand.n_syms),
+        ("attributes", machine.n_attrs, hand.n_attrs),
+        ("productions", machine.n_prods, hand.n_prods),
+        ("semantic functions", machine.n_funcs, hand.n_funcs),
+        ("explicit copy-rules", machine.n_copies, hand.n_copies),
+        ("attribute-occurrences", machine.n_occs, hand.n_occs),
+        ("diagnostics", machine.n_msgs, hand.n_msgs),
+    ]:
+        lines.append(f"{label:<30} {m:>10} {h:>8}")
+    lines.append(f"symbol sets equal: {machine.symbols == hand.symbols}")
+    lines.append(f"pass count: {selfgen.linguist.n_passes} (paper: 4)")
+    report("s1_selfgen", "\n".join(lines))
+    assert machine.symbols == hand.symbols
+    assert selfgen.linguist.n_passes == 4
+
+
+def test_s1_generated_evaluator_on_every_shipped_grammar(selfgen):
+    for name in ("binary", "calc", "pascal", "asm", "linguist"):
+        source = load_source(name)
+        machine = selfgen.analyze_with_generated_evaluator(source)
+        hand = summary_from_ast(parse_ag_text(source))
+        assert (machine.n_prods, machine.n_funcs, machine.n_copies) == (
+            hand.n_prods, hand.n_funcs, hand.n_copies
+        ), name
+
+
+def test_s1_occurrence_counts_match_the_model(selfgen):
+    """Strongest cross-check: the generated evaluator's N$OCCS equals the
+    attribute-occurrence count the core model computes (the paper's 1202
+    statistic, EXP-T1) — two completely independent computations."""
+    from repro.ag import compute_statistics
+    from repro.frontend import load_grammar
+    from repro.grammars import GRAMMAR_NAMES
+
+    for name in GRAMMAR_NAMES:
+        source = load_source(name)
+        machine = selfgen.analyze_with_generated_evaluator(source)
+        stats = compute_statistics(load_grammar(source))
+        assert machine.n_occs == stats.n_attribute_occurrences, name
+
+
+def test_s1_self_translation_benchmark(benchmark, selfgen):
+    source = load_source("linguist")
+    benchmark(lambda: selfgen.translator.translate(source))

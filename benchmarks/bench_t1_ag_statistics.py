@@ -1,0 +1,69 @@
+"""EXP-T1 — §IV statistics of the system's own attribute grammar.
+
+Paper (for the original 1800-line grammar): 159 symbols, 318
+attributes, 72 productions, 1202 attribute-occurrences, 584 semantic
+functions, 302 copy-rules (~52 %) of which 276 implicit; evaluable in
+4 alternating passes.
+
+Reproduction target: the *shape* — tens of productions, symbols
+dominated by limbs+terminals, a large copy-rule share that is mostly
+implicit, and exactly 4 alternating passes.
+"""
+
+from repro.ag import compute_statistics
+from repro.grammars import load_source
+
+PAPER = {
+    "source lines": 1800,
+    "grammar symbols": 159,
+    "attributes": 318,
+    "productions": 72,
+    "attribute-occurrences": 1202,
+    "semantic functions": 584,
+    "copy-rules": 302,
+    "implicit copy-rules": 276,
+    "alternating passes": 4,
+}
+
+
+def _measured(linguist_self):
+    s = linguist_self.statistics
+    return {
+        "source lines": s.source_lines,
+        "grammar symbols": s.n_symbols,
+        "attributes": s.n_attributes,
+        "productions": s.n_productions,
+        "attribute-occurrences": s.n_attribute_occurrences,
+        "semantic functions": s.n_semantic_functions,
+        "copy-rules": s.n_copy_rules,
+        "implicit copy-rules": s.n_implicit_copy_rules,
+        "alternating passes": s.n_passes,
+    }
+
+
+def test_t1_statistics_table(benchmark, linguist_self, report):
+    stats = benchmark(lambda: compute_statistics(
+        linguist_self.ag, n_passes=linguist_self.n_passes
+    ))
+    measured = _measured(linguist_self)
+
+    lines = ["EXP-T1: statistics of the self-description attribute grammar",
+             f"{'quantity':<26} {'paper':>8} {'measured':>10}"]
+    for key, paper_value in PAPER.items():
+        lines.append(f"{key:<26} {paper_value:>8} {measured[key]:>10}")
+    copy_pct = 100.0 * measured["copy-rules"] / measured["semantic functions"]
+    lines.append(f"{'copy-rule percentage':<26} {'~52%':>8} {copy_pct:>9.1f}%")
+    report("t1_ag_statistics", "\n".join(lines))
+
+    # Shape assertions.
+    assert measured["alternating passes"] == 4          # exactly the paper's
+    assert measured["productions"] >= 60                # same order as 72
+    assert measured["implicit copy-rules"] >= measured["copy-rules"] * 0.5
+    assert stats.n_productions == measured["productions"]
+
+
+def test_t1_copy_share_is_mostly_implicit(linguist_self):
+    s = linguist_self.statistics
+    # Paper: 276 of 302 copy-rules implicit (91%); ours must also be a
+    # clear majority.
+    assert s.n_implicit_copy_rules / max(1, s.n_copy_rules) > 0.6

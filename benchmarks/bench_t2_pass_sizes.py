@@ -1,0 +1,52 @@
+"""EXP-T2 — §V evaluator code sizes per pass and the husk.
+
+Paper (8086 object bytes of the 4 generated passes):
+
+    pass 1 - 4292 bytes | pass 2 - 6538 | pass 3 - 5414 | pass 4 - 7215
+    husk   - 4065 bytes
+
+Claims to reproduce in shape: (a) the husk — "everything except the
+semantic functions" — is a significant fraction of each pass module and
+identical across passes; (b) passes differ in size because their
+semantic load differs.  We measure generated *Pascal source* bytes.
+"""
+
+from repro.evalgen.husk import measure_code_sizes
+
+PAPER_ROWS = [("pass 1", 4292), ("pass 2", 6538), ("pass 3", 5414),
+              ("pass 4", 7215), ("husk", 4065)]
+
+
+def test_t2_pass_sizes_table(benchmark, linguist_self, report):
+    sizes = benchmark(lambda: measure_code_sizes(
+        "linguist", linguist_self.pascal_artifacts, "pascal"
+    ))
+    lines = ["EXP-T2: generated evaluator sizes (self grammar)",
+             f"{'module':<10} {'paper (8086 B)':>15} {'measured (src B)':>18} "
+             f"{'semantic B':>11}"]
+    for (label, paper_bytes), p in zip(PAPER_ROWS[:-1], sizes.passes):
+        lines.append(
+            f"{label:<10} {paper_bytes:>15} {p.total_bytes:>18} {p.sem_bytes:>11}"
+        )
+    lines.append(f"{'husk':<10} {PAPER_ROWS[-1][1]:>15} {sizes.husk_bytes:>18}")
+    husk_share = sizes.husk_bytes / sizes.passes[0].total_bytes
+    lines.append(f"husk share of pass 1: {100 * husk_share:.0f}% "
+                 "(paper: ~95% of its smallest pass)")
+    report("t2_pass_sizes", "\n".join(lines))
+
+    assert len(sizes.passes) == 4
+    # The husk is the same for every pass and is a significant share.
+    for p in sizes.passes:
+        assert p.husk_bytes == sizes.husk_bytes
+        assert p.husk_bytes > 0.25 * p.total_bytes
+    # Passes differ in semantic load.
+    sems = [p.sem_bytes for p in sizes.passes]
+    assert max(sems) > min(sems)
+
+
+def test_t2_python_and_pascal_sizes_correlate(linguist_self):
+    pas = measure_code_sizes("linguist", linguist_self.pascal_artifacts, "pascal")
+    py = measure_code_sizes("linguist", linguist_self.python_artifacts, "python")
+    # Ranking of passes by semantic size should agree between renderings.
+    rank = lambda sizes: sorted(range(4), key=lambda i: sizes.passes[i].sem_bytes)
+    assert rank(pas) == rank(py)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  Every module both runs
+under ``pytest benchmarks/ --benchmark-only`` and writes its rendered
+table to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote
+paper-vs-measured numbers.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from repro.core import Linguist  # noqa: E402
+from repro.grammars import library_for, load_source  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """report(name, text): print a table and persist it."""
+
+    def _report(name: str, text: str) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def linguist_binary():
+    return Linguist(load_source("binary"))
+
+
+@pytest.fixture(scope="session")
+def linguist_calc():
+    return Linguist(load_source("calc"))
+
+
+@pytest.fixture(scope="session")
+def linguist_pascal():
+    return Linguist(load_source("pascal"))
+
+
+@pytest.fixture(scope="session")
+def linguist_self():
+    return Linguist(load_source("linguist"))
+
+
+@pytest.fixture(scope="session")
+def pascal_translator(linguist_pascal):
+    from repro.grammars.scanners import pascal_scanner_spec
+
+    return linguist_pascal.make_translator(
+        pascal_scanner_spec(), library=library_for("pascal")
+    )

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""An assembler with forward label references — three alternating passes.
+
+This example builds an attribute grammar with the *programmatic* API
+(:class:`repro.ag.GrammarBuilder`) instead of an ``.ag`` file, and shows
+why the alternating-pass paradigm exists: resolving forward references
+is inherently multi-pass.
+
+    start:  add 1
+            jmp end      ; forward reference!
+            add 2
+            jmp start    ; backward reference
+    end:    halt
+
+* pass 1 (right-to-left): instruction count, bottom-up;
+* pass 2 (left-to-right): addresses thread left to right, and the
+  label table (a partial function label -> address) accumulates;
+* pass 3 (right-to-left): the complete label table flows back *down*
+  the tree and every jump resolves.
+"""
+
+from repro.ag import GrammarBuilder
+from repro.evalgen.runtime import FunctionLibrary
+from repro.passes.report import render_pass_report
+
+# The core pipeline pieces, used directly (no .ag file this time).
+from repro.apt.build import APTBuilder
+from repro.apt.storage import MemorySpool
+from repro.evalgen.codegen_py import GeneratedEvaluator
+from repro.evalgen.deadness import analyze_deadness
+from repro.evalgen.driver import AlternatingPassDriver
+from repro.evalgen.plan import build_pass_plans
+from repro.evalgen.subsumption import SubsumptionConfig, choose_static_attributes
+from repro.lalr.parser import LALRParser
+from repro.lalr.tables import build_tables
+from repro.passes.partition import assign_passes
+from repro.passes.schedule import Direction
+from repro.regex.generator import ScannerSpec
+
+
+def build_grammar():
+    b = GrammarBuilder("assembler", start="program")
+    b.nonterminal("program", synthesized={"CODE": "list", "N": "int"})
+    b.nonterminal(
+        "line$list",
+        inherited={"ADDR": "int", "ENV": "pf"},
+        synthesized={"NEXT": "int", "LBLS": "pf", "CODE": "list", "N": "int"},
+    )
+    b.nonterminal(
+        "line",
+        inherited={"ADDR": "int", "ENV": "pf"},
+        synthesized={"LBLS": "pf", "CODE": "list"},
+    )
+    b.nonterminal(
+        "instr", inherited={"ENV": "pf"}, synthesized={"CODE": "list"}
+    )
+    b.terminal("LABEL", intrinsic={"TEXT": "string"})
+    b.terminal("ADD")
+    b.terminal("JMP")
+    b.terminal("HALT")
+    b.terminal("NUM", intrinsic={"LEXVAL": "int"})
+    b.terminal("ID", intrinsic={"TEXT": "string"})
+
+    b.production("program", ["line$list"], functions=[
+        ("line$list.ADDR", "0"),
+        # The whole point: ENV is the list's own synthesized label table.
+        ("line$list.ENV", "line$list.LBLS"),
+        ("program.CODE", "line$list.CODE"),
+        ("program.N", "line$list.N"),
+    ])
+    b.production("line$list", ["line$list", "line"], functions=[
+        ("line$list1.ADDR", "line$list0.ADDR"),
+        ("line.ADDR", "line$list1.NEXT"),
+        ("line$list0.NEXT", "line$list1.NEXT + 1"),
+        ("line$list0.LBLS", "JoinPF(line$list1.LBLS, line.LBLS)"),
+        ("line$list0.CODE", "append(line$list1.CODE, line.CODE)"),
+        ("line$list0.N", "line$list1.N + 1"),
+        # line.ENV and line$list1.ENV arrive as implicit copy-rules.
+    ])
+    b.production("line$list", ["line"], functions=[
+        ("line.ADDR", "line$list.ADDR"),
+        ("line$list.NEXT", "line$list.ADDR + 1"),
+        ("line$list.LBLS", "line.LBLS"),
+        ("line$list.CODE", "line.CODE"),
+        ("line$list.N", "1"),
+    ])
+    b.production("line", ["LABEL", "instr"], functions=[
+        ("line.LBLS", "consPF(LABEL.TEXT, line.ADDR, empty$pf())"),
+        ("line.CODE", "instr.CODE"),
+        # instr.ENV implicit
+    ])
+    b.production("line", ["instr"], functions=[
+        ("line.LBLS", "empty$pf()"),
+        ("line.CODE", "instr.CODE"),
+    ])
+    b.production("instr", ["ADD", "NUM"], functions=[
+        ("instr.CODE", "cons(Pair('ADD', NUM.LEXVAL), empty$list())"),
+    ])
+    b.production("instr", ["JMP", "ID"], functions=[
+        ("instr.CODE", "cons(Pair('JMP', EvalPF(instr.ENV, ID.TEXT)), empty$list())"),
+    ])
+    b.production("instr", ["HALT"], functions=[
+        ("instr.CODE", "cons(Pair('HALT', 0), empty$list())"),
+    ])
+    return b.finish()
+
+
+def scanner_spec() -> ScannerSpec:
+    spec = ScannerSpec()
+    spec.rule("WS", r"[ \t\r\n]+", skip=True)
+    spec.rule("COMMENT", r";[^\n]*", skip=True)
+    spec.rule("LABEL", r"[a-z][a-z0-9]*:", intern=True)
+    spec.rule("ID", r"[a-z][a-z0-9]*", intern=True)
+    spec.rule("NUM", r"\d+")
+    spec.keyword_kinds = {"ID"}
+    spec.keywords.update({"add": "ADD", "jmp": "JMP", "halt": "HALT"})
+    return spec
+
+
+PROGRAM = """\
+start:  add 1
+        jmp end      ; forward reference
+        add 2
+        jmp start    ; backward reference
+end:    halt
+"""
+
+
+def main() -> None:
+    ag = build_grammar()
+    assignment = assign_passes(ag, Direction.R2L)
+    print(render_pass_report(assignment))
+    print()
+
+    deadness = analyze_deadness(ag, assignment)
+    allocation = choose_static_attributes(ag, assignment, SubsumptionConfig())
+    plans = build_pass_plans(ag, assignment, deadness, allocation)
+    generated = GeneratedEvaluator(ag, plans)
+
+    # LABEL tokens include the trailing ':'; strip it via the intrinsic hook.
+    from repro.apt.build import default_intrinsics
+
+    def intrinsics(token, symbol, attr):
+        value = default_intrinsics(token, symbol, attr)
+        if symbol == "LABEL" and attr == "TEXT":
+            return value.rstrip(":")
+        return value
+
+    scanner = scanner_spec().generate()
+    parser = LALRParser(build_tables(ag.underlying_cfg()))
+    spool = MemorySpool(channel="initial")
+    builder = APTBuilder(ag, spool, intrinsic_fn=intrinsics)
+    parser.parse(scanner.tokens(PROGRAM), listener=builder, build_tree=False)
+    builder.finish()
+
+    driver = AlternatingPassDriver(
+        ag, plans, generated.executor, library=FunctionLibrary()
+    )
+    result = driver.run(spool, strategy="bottom-up")
+
+    print("source:")
+    for line in PROGRAM.splitlines():
+        print("   ", line)
+    print(f"\nassembled ({result['N']} instructions):")
+    for addr, (op, arg) in enumerate(result["CODE"]):
+        print(f"    {addr:3d}: {op} {arg}")
+
+    code = list(result["CODE"])
+    assert code[1] == ("JMP", 4), "forward reference must resolve to 'end'"
+    assert code[3] == ("JMP", 0), "backward reference must resolve to 'start'"
+    print("\nforward and backward references resolved correctly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "LINGUIST-86 reproduction: a translator-writing-system based on "
+        "attribute grammars with alternating-pass, file-resident evaluation "
+        "and static subsumption"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.grammars": ["*.ag", "*.pas"]},
+    python_requires=">=3.9",
+)

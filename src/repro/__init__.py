@@ -1,0 +1,53 @@
+"""LINGUIST-86, reproduced: a translator-writing system based on
+attribute grammars (Farrow, PLDI 1982).
+
+The one-stop public API::
+
+    from repro import Linguist, load_source
+    from repro.grammars.scanners import binary_scanner_spec
+
+    translator = Linguist(load_source("binary")).make_translator(
+        binary_scanner_spec()
+    )
+    translator.translate("101.01")["VAL"]   # 5.25
+
+Subpackages (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the overlay-structured pipeline and translators
+* :mod:`repro.frontend` — the ``.ag`` input language
+* :mod:`repro.ag` — the attribute-grammar model and analyses
+* :mod:`repro.passes` — alternating-pass evaluability
+* :mod:`repro.apt` — the file-resident attributed parse tree
+* :mod:`repro.evalgen` — optimizations, code generators, evaluators
+* :mod:`repro.regex` / :mod:`repro.lalr` — the scanner/parser substrates
+* :mod:`repro.grammars` — shipped grammars (incl. the self-description)
+"""
+
+from repro.ag import GrammarBuilder
+from repro.core import Linguist, Translator
+from repro.core.selfgen import SelfGeneration
+from repro.errors import ReproError
+from repro.evalgen.runtime import EvaluationResult, FunctionLibrary
+from repro.frontend import load_grammar
+from repro.grammars import GRAMMAR_NAMES, library_for, load_source
+from repro.passes import Direction
+from repro.regex.generator import ScannerSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Linguist",
+    "Translator",
+    "SelfGeneration",
+    "GrammarBuilder",
+    "load_grammar",
+    "load_source",
+    "library_for",
+    "GRAMMAR_NAMES",
+    "FunctionLibrary",
+    "EvaluationResult",
+    "ScannerSpec",
+    "Direction",
+    "ReproError",
+    "__version__",
+]

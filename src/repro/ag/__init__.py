@@ -1,0 +1,71 @@
+"""The attribute-grammar core model (§I, §IV of the paper).
+
+Symbols come in the paper's three kinds — terminal, nonterminal, and
+**limb** — and attributes in four: inherited, synthesized, **intrinsic**
+(set by the parser before any pass), and limb-**local** (names for
+common subexpressions).  Semantic functions are pure expressions over
+attribute occurrences, may define several occurrences at once, and use
+only the paper's operators (infix ``+ - AND OR = <> > <``, ``not``, and
+the ``if/then/elsif/else/endif`` value-producing construct).
+"""
+
+from repro.ag.model import (
+    Attribute,
+    AttributeGrammar,
+    AttributeOccurrence,
+    AttrKind,
+    Production,
+    SemanticFunction,
+    Symbol,
+    SymbolKind,
+    SymbolOccurrence,
+    LHS_POSITION,
+    LIMB_POSITION,
+)
+from repro.ag.expr import (
+    AttrRef,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    If,
+    Not,
+)
+from repro.ag.builder import GrammarBuilder
+from repro.ag.exprtext import parse_expression
+from repro.ag.validate import validate_grammar
+from repro.ag.copyrules import Binding, bindings_of, is_copy_rule
+from repro.ag.stats import GrammarStatistics, compute_statistics
+from repro.ag.dependencies import production_dependency_graph
+from repro.ag.circularity import check_noncircular
+
+__all__ = [
+    "Attribute",
+    "AttributeGrammar",
+    "AttributeOccurrence",
+    "AttrKind",
+    "Production",
+    "SemanticFunction",
+    "Symbol",
+    "SymbolKind",
+    "SymbolOccurrence",
+    "LHS_POSITION",
+    "LIMB_POSITION",
+    "AttrRef",
+    "BinOp",
+    "Call",
+    "Const",
+    "Expr",
+    "If",
+    "Not",
+    "GrammarBuilder",
+    "parse_expression",
+    "validate_grammar",
+    "Binding",
+    "bindings_of",
+    "is_copy_rule",
+    "GrammarStatistics",
+    "compute_statistics",
+    "production_dependency_graph",
+    "check_noncircular",
+]

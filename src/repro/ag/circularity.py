@@ -1,0 +1,114 @@
+"""Non-circularity test.
+
+Deciding circularity exactly is intrinsically exponential [JOR]; §I
+notes "several interesting and widely applicable sufficient conditions
+that can be checked in polynomial time".  We implement the classic one:
+the **absolutely-noncircular** test.  For each nonterminal ``X`` we
+compute one merged IO relation ``io(X) ⊆ inherited(X) × synthesized(X)``
+("some tree rooted at X can make this synthesized attribute depend on
+that inherited attribute"), by a fixpoint over productions; the grammar
+passes when every production's direct-dependency graph, augmented with
+``io`` edges at its right-hand-side occurrences, is acyclic.  Passing
+implies noncircular; failing means *possibly* circular (the report says
+so honestly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.ag.dependencies import (
+    OccKey,
+    has_cycle,
+    production_dependency_graph,
+    transitive_closure,
+)
+from repro.ag.model import (
+    AttrKind,
+    AttributeGrammar,
+    LHS_POSITION,
+    Production,
+)
+from repro.errors import CircularityError
+
+#: io relation element: (inherited attr name, synthesized attr name).
+IOPair = Tuple[str, str]
+
+
+@dataclass
+class CircularityReport:
+    ok: bool
+    io: Dict[str, Set[IOPair]] = field(default_factory=dict)
+    #: For each failing production: the cycle found.
+    cycles: List[Tuple[int, List[OccKey]]] = field(default_factory=list)
+
+    def render(self, ag: AttributeGrammar) -> str:
+        if self.ok:
+            return "grammar is absolutely noncircular"
+        lines = ["grammar FAILS the absolute-noncircularity test (possibly circular):"]
+        for prod_index, cycle in self.cycles:
+            prod = ag.productions[prod_index]
+            path = " -> ".join(f"{pos}:{name}" for pos, name in cycle)
+            lines.append(f"  production {prod_index} ({prod}): cycle {path}")
+        return "\n".join(lines)
+
+
+def _augmented_graph(
+    ag: AttributeGrammar,
+    prod: Production,
+    io: Dict[str, Set[IOPair]],
+) -> Dict[OccKey, Set[OccKey]]:
+    """Direct dependencies plus io-induced inh→syn edges at RHS occurrences."""
+    graph = production_dependency_graph(ag, prod)
+    for position in prod.rhs_positions():
+        sym_name = prod.rhs[position - 1]
+        for inh_name, syn_name in io.get(sym_name, ()):
+            src = (position, inh_name)
+            dst = (position, syn_name)
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+    return graph
+
+
+def compute_io_relations(ag: AttributeGrammar) -> Dict[str, Set[IOPair]]:
+    """Fixpoint of the merged IO relations over all productions."""
+    io: Dict[str, Set[IOPair]] = {s.name: set() for s in ag.nonterminals}
+    changed = True
+    while changed:
+        changed = False
+        for prod in ag.productions:
+            graph = _augmented_graph(ag, prod, io)
+            closure = transitive_closure(graph)
+            lhs_sym = ag.symbol(prod.lhs)
+            inh_names = [a.name for a in lhs_sym.inherited]
+            syn_names = {a.name for a in lhs_sym.synthesized}
+            target = io[prod.lhs]
+            for inh in inh_names:
+                reach = closure.get((LHS_POSITION, inh), set())
+                for pos, attr in reach:
+                    if pos == LHS_POSITION and attr in syn_names:
+                        pair = (inh, attr)
+                        if pair not in target:
+                            target.add(pair)
+                            changed = True
+    return io
+
+
+def check_noncircular(ag: AttributeGrammar, strict: bool = True) -> CircularityReport:
+    """Run the absolutely-noncircular test.
+
+    With ``strict``, a failure raises :class:`CircularityError`;
+    otherwise the report carries the offending cycles.
+    """
+    io = compute_io_relations(ag)
+    report = CircularityReport(ok=True, io=io)
+    for prod in ag.productions:
+        graph = _augmented_graph(ag, prod, io)
+        cycle = has_cycle(graph)
+        if cycle:
+            report.ok = False
+            report.cycles.append((prod.index, cycle))
+    if strict and not report.ok:
+        raise CircularityError(report.render(ag))
+    return report

@@ -1,0 +1,93 @@
+"""Per-target bindings and copy-rule classification.
+
+A *binding* pairs one target attribute-occurrence with the expression
+that computes it; a multi-target semantic function yields one binding
+per target (projecting a multi-valued ``if`` pairwise, per §IV).  A
+binding is a **copy-rule** when its expression is a bare attribute
+reference — the 40–60 % case the static-subsumption optimization
+exists to eliminate (§III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.ag.expr import AttrRef, Expr
+from repro.ag.model import (
+    AttributeGrammar,
+    AttributeOccurrence,
+    Production,
+    SemanticFunction,
+)
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One defining binding: ``target = expr`` within a production."""
+
+    production: int
+    function: SemanticFunction
+    target_index: int
+    target: AttributeOccurrence
+    expr: Expr
+
+    @property
+    def implicit(self) -> bool:
+        return self.function.implicit
+
+    def is_copy(self) -> bool:
+        return isinstance(self.expr, AttrRef) and self.expr.position is not None
+
+    def copy_source(self) -> Optional[AttrRef]:
+        """The source reference when this binding is a copy-rule."""
+        return self.expr if self.is_copy() else None
+
+    def is_same_name_copy(self) -> bool:
+        """Copy between two instances of attributes with the *same name* —
+        the subsumable shape under name-grouped static allocation."""
+        src = self.copy_source()
+        return src is not None and src.attr_name == self.target.attr_name
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+
+def bindings_of(func: SemanticFunction, production_index: int) -> List[Binding]:
+    """Expand a semantic function into per-target bindings."""
+    out: List[Binding] = []
+    multi = func.expr.arity() > 1
+    for i, target in enumerate(func.targets):
+        expr = func.expr.select(i) if multi else func.expr
+        out.append(Binding(production_index, func, i, target, expr))
+    return out
+
+
+def production_bindings(prod: Production) -> List[Binding]:
+    """Bindings of a production (cached: the validator fixes the function
+    list once, and analysis passes re-enumerate bindings constantly)."""
+    cached = prod.__dict__.get("_bindings_cache")
+    if cached is not None and cached[0] == len(prod.functions):
+        return cached[1]
+    out: List[Binding] = []
+    for func in prod.functions:
+        out.extend(bindings_of(func, prod.index))
+    prod.__dict__["_bindings_cache"] = (len(prod.functions), out)
+    return out
+
+
+def grammar_bindings(ag: AttributeGrammar) -> Iterator[Binding]:
+    for prod in ag.productions:
+        yield from production_bindings(prod)
+
+
+def is_copy_rule(func: SemanticFunction) -> bool:
+    """Function-level classification (the §IV statistic counts whole
+    semantic functions): every binding must be a bare attribute copy."""
+    if func.expr.arity() > 1:
+        return all(
+            isinstance(func.expr.select(i), AttrRef)
+            and func.expr.select(i).position is not None
+            for i in range(func.expr.arity())
+        )
+    return isinstance(func.expr, AttrRef) and func.expr.position is not None

@@ -1,0 +1,108 @@
+"""Attribute dependency graphs within productions.
+
+The direct dependency graph of a production has the production's
+attribute occurrences as nodes and an edge *argument → target* for each
+argument of each binding (the target "depends on" the argument, §I).
+Overlay 4 of LINGUIST-86 "analyzes the attribute dependencies that are
+in the dictionary"; these graphs are its input, shared by the
+circularity test and the alternating-pass partitioner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ag.copyrules import Binding, production_bindings
+from repro.ag.model import (
+    AttributeGrammar,
+    AttributeOccurrence,
+    Production,
+)
+
+#: A node key: (position, attribute name).  Stable and hashable.
+OccKey = Tuple[int, str]
+
+
+def occ_key(occ: AttributeOccurrence) -> OccKey:
+    return (occ.position, occ.attr_name)
+
+
+def binding_argument_keys(binding: Binding) -> List[OccKey]:
+    """Argument occurrences (position, attr) the binding's value needs.
+
+    Cached on the binding object itself — this is the hottest call in
+    the pass-assignment fixpoint.
+    """
+    cached = binding.__dict__.get("_arg_keys")
+    if cached is not None:
+        return cached
+    out = [
+        (ref.position, ref.attr_name)
+        for ref in binding.expr.refs()
+        if ref.position is not None
+    ]
+    object.__setattr__(binding, "_arg_keys", out)
+    return out
+
+
+def production_dependency_graph(
+    ag: AttributeGrammar, prod: Production
+) -> Dict[OccKey, Set[OccKey]]:
+    """Direct dependencies: ``graph[arg]`` is the set of targets that use
+    ``arg``.  Nodes include every attribute occurrence of the production
+    (also unused ones, so callers can enumerate)."""
+    graph: Dict[OccKey, Set[OccKey]] = {}
+    for occ in ag.attribute_occurrences(prod):
+        graph.setdefault(occ_key(occ), set())
+    for binding in production_bindings(prod):
+        tkey = occ_key(binding.target)
+        graph.setdefault(tkey, set())
+        for akey in binding_argument_keys(binding):
+            graph.setdefault(akey, set()).add(tkey)
+    return graph
+
+
+def has_cycle(graph: Dict[OccKey, Set[OccKey]]) -> List[OccKey]:
+    """Return a cycle (as a node list) if one exists, else []."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[OccKey, int] = {n: WHITE for n in graph}
+    stack: List[OccKey] = []
+
+    def visit(node: OccKey) -> List[OccKey]:
+        color[node] = GREY
+        stack.append(node)
+        for succ in graph.get(node, ()):
+            if color.get(succ, WHITE) == GREY:
+                i = stack.index(succ)
+                return stack[i:] + [succ]
+            if color.get(succ, WHITE) == WHITE:
+                found = visit(succ)
+                if found:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return []
+
+    for node in list(graph):
+        if color[node] == WHITE:
+            found = visit(node)
+            if found:
+                return found
+    return []
+
+
+def transitive_closure(graph: Dict[OccKey, Set[OccKey]]) -> Dict[OccKey, Set[OccKey]]:
+    """Reachability closure (simple worklist; production graphs are small)."""
+    closure: Dict[OccKey, Set[OccKey]] = {n: set(s) for n, s in graph.items()}
+    changed = True
+    while changed:
+        changed = False
+        for node, succs in closure.items():
+            new = set()
+            for s in succs:
+                new |= closure.get(s, set())
+            before = len(succs)
+            succs |= new
+            if len(succs) != before:
+                changed = True
+    return closure

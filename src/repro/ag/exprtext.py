@@ -1,0 +1,283 @@
+"""Hand-written recursive-descent parser for semantic-function expressions.
+
+This is the programmatic convenience used by :class:`GrammarBuilder`
+(grammars defined in Python).  Attribute grammars supplied as ``.ag``
+source files are parsed whole — expressions included — by the
+LALR-generated frontend in :mod:`repro.frontend`; both produce the same
+:mod:`repro.ag.expr` AST, and the frontend test suite cross-checks them.
+
+Grammar (paper §IV):  ``if`` never occurs inside an infix operand or a
+call argument; the layered precedence below enforces that structurally.
+
+    exprlist :=  expr (',' expr)*
+    expr     :=  ifexpr | simple
+    ifexpr   :=  'if' simple 'then' branch ('elsif' simple 'then' branch)*
+                 'else' branch 'endif'
+    branch   :=  expr (',' expr)*          -- elements may be ifexpr
+    simple   :=  disj
+    disj     :=  conj ('OR' conj)*
+    conj     :=  cmp ('AND' cmp)*
+    cmp      :=  add (('='|'<>'|'<'|'>'|'<='|'>=') add)?
+    add      :=  mul (('+'|'-') mul)*
+    mul      :=  unary (('*'|'DIV') unary)*
+    unary    :=  'NOT' unary | '-' unary | primary
+    primary  :=  number | string | 'true' | 'false'
+               | IDENT '(' (simple (',' simple)*)? ')'
+               | IDENT '.' IDENT | IDENT | '(' simple ')'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.ag.expr import AttrRef, BinOp, Call, Const, Expr, If, Not
+from repro.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<number>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z][A-Za-z0-9$_]*)
+  | (?P<op><>|<=|>=|[=<>+\-*(),.])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"if", "then", "elsif", "else", "endif", "and", "or", "not", "div", "true", "false"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"bad character {text[pos]!r} in expression {text!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        value = m.group()
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            tokens.append((value.lower(), value))
+        else:
+            tokens.append((kind, value))
+    tokens.append(("$end", ""))
+    return tokens
+
+
+class _ExprParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.tokens[self.pos][0]
+
+    def take(self) -> Tuple[str, str]:
+        tok = self.tokens[self.pos]
+        if tok[0] != "$end":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> str:
+        k, v = self.take()
+        if k != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {v or 'end of expression'!r} in {self.text!r}"
+            )
+        return v
+
+    def at_op(self, *ops: str) -> Optional[str]:
+        k, v = self.tokens[self.pos]
+        if k == "op" and v in ops:
+            return v
+        return None
+
+    # ------------------------------------------------------------------
+
+    def parse_exprlist(self) -> List[Expr]:
+        out = [self.parse_expr()]
+        while self.at_op(","):
+            self.take()
+            out.append(self.parse_expr())
+        return out
+
+    def parse_expr(self) -> Expr:
+        if self.peek() == "if":
+            return self.parse_if()
+        return self.parse_simple()
+
+    def parse_if(self) -> If:
+        self.expect("if")
+        cond = self.parse_simple()
+        self.expect("then")
+        then_branch = tuple(self.parse_branch())
+        if self.peek() == "elsif":
+            # Desugar: elsif chain becomes a nested If in the else slot.
+            self.take()
+            nested = self._continue_if()
+            return If(cond, then_branch, nested)
+        self.expect("else")
+        else_branch = tuple(self.parse_branch())
+        self.expect("endif")
+        if len(then_branch) != len(else_branch):
+            raise ParseError(
+                f"if-expression branches have different lengths "
+                f"({len(then_branch)} vs {len(else_branch)}) in {self.text!r}"
+            )
+        return If(cond, then_branch, else_branch)
+
+    def _continue_if(self) -> If:
+        """Parse the rest of an elsif chain (cond already pending)."""
+        cond = self.parse_simple()
+        self.expect("then")
+        then_branch = tuple(self.parse_branch())
+        if self.peek() == "elsif":
+            self.take()
+            nested = self._continue_if()
+            result = If(cond, then_branch, nested)
+        else:
+            self.expect("else")
+            else_branch = tuple(self.parse_branch())
+            self.expect("endif")
+            if len(then_branch) != len(else_branch):
+                raise ParseError(
+                    f"elsif branches have different lengths in {self.text!r}"
+                )
+            result = If(cond, then_branch, else_branch)
+        return result
+
+    def parse_branch(self) -> List[Expr]:
+        out = [self.parse_expr()]
+        while self.at_op(","):
+            self.take()
+            out.append(self.parse_expr())
+        return out
+
+    # -- the if-free layer ----------------------------------------------
+
+    def parse_simple(self) -> Expr:
+        if self.peek() == "if":
+            raise ParseError(
+                "control-flow construct may not occur inside an infix operand "
+                f"or function argument: {self.text!r}"
+            )
+        return self.parse_disj()
+
+    def parse_disj(self) -> Expr:
+        node = self.parse_conj()
+        while self.peek() == "or":
+            self.take()
+            node = BinOp("OR", node, self.parse_conj())
+        return node
+
+    def parse_conj(self) -> Expr:
+        node = self.parse_cmp()
+        while self.peek() == "and":
+            self.take()
+            node = BinOp("AND", node, self.parse_cmp())
+        return node
+
+    def parse_cmp(self) -> Expr:
+        node = self.parse_add()
+        op = self.at_op("=", "<>", "<", ">", "<=", ">=")
+        if op:
+            self.take()
+            node = BinOp(op, node, self.parse_add())
+        return node
+
+    def parse_add(self) -> Expr:
+        node = self.parse_mul()
+        while True:
+            op = self.at_op("+", "-")
+            if not op:
+                return node
+            self.take()
+            node = BinOp(op, node, self.parse_mul())
+
+    def parse_mul(self) -> Expr:
+        node = self.parse_unary()
+        while True:
+            if self.at_op("*"):
+                self.take()
+                node = BinOp("*", node, self.parse_unary())
+            elif self.peek() == "div":
+                self.take()
+                node = BinOp("DIV", node, self.parse_unary())
+            else:
+                return node
+
+    def parse_unary(self) -> Expr:
+        if self.peek() == "not":
+            self.take()
+            return Not(self.parse_unary())
+        if self.at_op("-"):
+            self.take()
+            return BinOp("-", Const(0), self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        kind, value = self.take()
+        if kind == "number":
+            return Const(int(value))
+        if kind == "string":
+            return Const(value[1:-1].replace("''", "'"))
+        if kind == "true":
+            return Const(True)
+        if kind == "false":
+            return Const(False)
+        if kind == "op" and value == "(":
+            node = self.parse_simple()
+            self.expect_close()
+            return node
+        if kind == "ident":
+            if self.at_op("("):
+                self.take()
+                args: List[Expr] = []
+                if not self.at_op(")"):
+                    args.append(self.parse_simple())
+                    while self.at_op(","):
+                        self.take()
+                        args.append(self.parse_simple())
+                self.expect_close()
+                return Call(value, tuple(args))
+            if self.at_op("."):
+                self.take()
+                attr = self.expect("ident")
+                return AttrRef(value, attr)
+            # Bare identifier: a limb attribute or an uninterpreted
+            # constant — validation decides which.
+            return AttrRef("", value)
+        raise ParseError(f"unexpected {value or 'end of expression'!r} in {self.text!r}")
+
+    def expect_close(self) -> None:
+        if not self.at_op(")"):
+            k, v = self.tokens[self.pos]
+            raise ParseError(f"expected ')' but found {v!r} in {self.text!r}")
+        self.take()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse ``text`` into a single (possibly multi-valued ``if``) expression."""
+    p = _ExprParser(text)
+    node = p.parse_expr()
+    if p.peek() != "$end":
+        k, v = p.tokens[p.pos]
+        raise ParseError(f"trailing {v!r} after expression in {text!r}")
+    return node
+
+
+def parse_expression_list(text: str) -> List[Expr]:
+    """Parse a comma-separated expression list (single-function RHS lists
+    are only legal via multi-valued ``if``; this helper serves tests)."""
+    p = _ExprParser(text)
+    out = p.parse_exprlist()
+    if p.peek() != "$end":
+        k, v = p.tokens[p.pos]
+        raise ParseError(f"trailing {v!r} after expression list in {text!r}")
+    return out

@@ -1,0 +1,382 @@
+"""Static validation of attribute grammars.
+
+Implements §I's well-formedness rules and §IV's pragmatics:
+
+* every semantic-function target must be a synthesized attribute of the
+  LHS, an inherited attribute of a RHS occurrence, or a limb attribute;
+* no attribute-occurrence may be defined twice; intrinsic attributes may
+  never be defined;
+* the start symbol has no inherited attributes; terminals have no
+  synthesized attributes (enforced at declaration) — and additionally
+  inherited attributes on terminals are rejected here, since a terminal
+  leaf is never visited;
+* **implicit copy-rules** are inserted for missing definitions, in the
+  paper's two flavors, before completeness is finally enforced;
+* every attribute reference must resolve; bare identifiers resolve to
+  limb attributes when possible and otherwise become uninterpreted
+  constants;
+* a multi-target function's expression must produce one common value or
+  exactly one value per target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ag.expr import AttrRef, BinOp, Call, Const, Expr, If, Not
+from repro.ag.model import (
+    AttrKind,
+    AttributeGrammar,
+    AttributeOccurrence,
+    LHS_POSITION,
+    LIMB_POSITION,
+    Production,
+    SemanticFunction,
+    SymbolKind,
+)
+from repro.errors import DiagnosticSink, SemanticError, SourceLocation, NOWHERE
+
+
+@dataclass
+class RawFunction:
+    """An unresolved semantic function: target specs + expression AST."""
+
+    targets: List[Tuple[str, str]]  # (occurrence name or "", attribute name)
+    expr: Expr
+    location: SourceLocation = NOWHERE
+
+
+def parse_target_spec(spec: str) -> Tuple[str, str]:
+    """Split ``"occ.ATTR"`` / bare ``"ATTR"`` into (occ_name, attr_name)."""
+    spec = spec.strip()
+    if "." in spec:
+        occ, attr = spec.rsplit(".", 1)
+        return occ.strip(), attr.strip()
+    return "", spec
+
+
+def validate_grammar(
+    ag: AttributeGrammar,
+    raw_functions: Dict[int, List[RawFunction]],
+    sink: DiagnosticSink,
+) -> None:
+    """Resolve ``raw_functions`` onto ``ag``'s productions, inserting
+    implicit copy-rules; report all static errors to ``sink``."""
+    _check_symbol_rules(ag, sink)
+    for prod in ag.productions:
+        _validate_production(ag, prod, raw_functions.get(prod.index, []), sink)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _check_symbol_rules(ag: AttributeGrammar, sink: DiagnosticSink) -> None:
+    if ag.start not in ag.symbols:
+        sink.error(f"start symbol {ag.start!r} is not declared")
+        return
+    start = ag.symbols[ag.start]
+    if start.kind is not SymbolKind.NONTERMINAL:
+        sink.error(f"start symbol {ag.start!r} must be a nonterminal")
+    for attr in start.inherited:
+        sink.error(f"start symbol has inherited attribute {attr.name!r} (forbidden)")
+    for sym in ag.terminals:
+        for attr in sym.inherited:
+            sink.error(
+                f"terminal {sym.name!r} has inherited attribute {attr.name!r}; "
+                "terminal leaves carry only intrinsic attributes"
+            )
+    defined_lhs: Set[str] = {p.lhs for p in ag.productions}
+    for sym in ag.nonterminals:
+        if sym.name not in defined_lhs:
+            sink.error(f"nonterminal {sym.name!r} has no productions")
+
+
+def _validate_production(
+    ag: AttributeGrammar,
+    prod: Production,
+    raw: List[RawFunction],
+    sink: DiagnosticSink,
+) -> None:
+    defined: Dict[Tuple[int, str], SemanticFunction] = {}
+
+    for rf in raw:
+        targets: List[AttributeOccurrence] = []
+        ok = True
+        for occ_name, attr_name in rf.targets:
+            target = _resolve_target(ag, prod, occ_name, attr_name, sink, rf.location)
+            if target is None:
+                ok = False
+                continue
+            targets.append(target)
+        expr = _resolve_expr(ag, prod, rf.expr, sink, rf.location)
+        if not ok or expr is None:
+            continue
+        if not _check_arity(targets, expr, sink, rf.location):
+            continue
+        func = SemanticFunction(targets, expr, implicit=False, location=rf.location)
+        for t in targets:
+            key = (t.position, t.attr_name)
+            if key in defined:
+                sink.error(
+                    f"attribute-occurrence {t} defined twice in production "
+                    f"{prod.index} ({prod})",
+                    rf.location,
+                )
+            else:
+                defined[key] = func
+        prod.functions.append(func)
+
+    _insert_implicit_copies(ag, prod, defined, sink)
+    _check_completeness(ag, prod, defined, sink)
+
+
+def _resolve_target(
+    ag: AttributeGrammar,
+    prod: Production,
+    occ_name: str,
+    attr_name: str,
+    sink: DiagnosticSink,
+    location: SourceLocation,
+) -> Optional[AttributeOccurrence]:
+    if not occ_name:
+        # Bare target: must be a limb attribute of this production.
+        if prod.limb:
+            limb_sym = ag.symbol(prod.limb)
+            if attr_name in limb_sym.attributes:
+                return AttributeOccurrence(
+                    prod.index, LIMB_POSITION, limb_sym.attributes[attr_name]
+                )
+        sink.error(
+            f"{attr_name!r} is not a limb attribute of production {prod.index} "
+            f"({prod}); a bare semantic-function target must name one",
+            location,
+        )
+        return None
+
+    occ = prod.occurrence_named(occ_name)
+    if occ is None:
+        sink.error(
+            f"no occurrence named {occ_name!r} in production {prod.index} ({prod})",
+            location,
+        )
+        return None
+    sym = ag.symbol(occ.symbol)
+    attr = sym.attributes.get(attr_name)
+    if attr is None:
+        sink.error(
+            f"symbol {sym.name!r} has no attribute {attr_name!r}", location
+        )
+        return None
+    target = AttributeOccurrence(prod.index, occ.position, attr)
+    # Target-legality: LHS synthesized / RHS inherited / limb local.
+    if attr.kind is AttrKind.INTRINSIC:
+        sink.error(
+            f"semantic function may not define intrinsic attribute {target}",
+            location,
+        )
+        return None
+    if occ.position == LHS_POSITION and attr.kind is not AttrKind.SYNTHESIZED:
+        sink.error(
+            f"{target}: only synthesized attributes of the left-hand side "
+            "may be defined here",
+            location,
+        )
+        return None
+    if occ.position >= 1 and attr.kind is not AttrKind.INHERITED:
+        sink.error(
+            f"{target}: only inherited attributes of right-hand-side "
+            "occurrences may be defined here",
+            location,
+        )
+        return None
+    if occ.position == LIMB_POSITION and attr.kind is not AttrKind.LOCAL:
+        sink.error(f"{target}: limb occurrences carry only local attributes", location)
+        return None
+    return target
+
+
+def _resolve_expr(
+    ag: AttributeGrammar,
+    prod: Production,
+    expr: Expr,
+    sink: DiagnosticSink,
+    location: SourceLocation,
+) -> Optional[Expr]:
+    """Rewrite ``expr`` with every :class:`AttrRef` resolved to a position
+    (or demoted to a symbolic constant).  Returns None on hard errors."""
+    failed = []
+
+    def resolve(node: Expr) -> Expr:
+        if isinstance(node, Const):
+            return node
+        if isinstance(node, AttrRef):
+            return resolve_ref(node)
+        if isinstance(node, Not):
+            return Not(resolve(node.body))
+        if isinstance(node, BinOp):
+            return BinOp(node.op, resolve(node.left), resolve(node.right))
+        if isinstance(node, Call):
+            return Call(node.func, tuple(resolve(a) for a in node.args))
+        if isinstance(node, If):
+            then_branch = tuple(resolve(e) for e in node.then_branch)
+            if isinstance(node.else_branch, If):
+                else_branch = resolve(node.else_branch)
+            else:
+                else_branch = tuple(resolve(e) for e in node.else_branch)
+            return If(resolve(node.cond), then_branch, else_branch)
+        raise TypeError(f"unknown expression node {node!r}")
+
+    def resolve_ref(ref: AttrRef) -> Expr:
+        if not ref.occ_name:
+            # Bare identifier: limb attribute if declared, else constant.
+            if prod.limb:
+                limb_sym = ag.symbol(prod.limb)
+                if ref.attr_name in limb_sym.attributes:
+                    return AttrRef(prod.limb, ref.attr_name, LIMB_POSITION)
+            return Const(ref.attr_name, is_symbolic=True)
+        occ = prod.occurrence_named(ref.occ_name)
+        if occ is None:
+            failed.append(ref)
+            sink.error(
+                f"no occurrence named {ref.occ_name!r} in production "
+                f"{prod.index} ({prod})",
+                location,
+            )
+            return ref
+        sym = ag.symbol(occ.symbol)
+        attr = sym.attributes.get(ref.attr_name)
+        if attr is None:
+            failed.append(ref)
+            sink.error(
+                f"symbol {sym.name!r} has no attribute {ref.attr_name!r}",
+                location,
+            )
+            return ref
+        return AttrRef(ref.occ_name, ref.attr_name, occ.position)
+
+    resolved = resolve(expr)
+    return None if failed else resolved
+
+
+def _check_arity(
+    targets: List[AttributeOccurrence],
+    expr: Expr,
+    sink: DiagnosticSink,
+    location: SourceLocation,
+) -> bool:
+    if expr.arity() == 1:
+        # One value shared by every target (§IV: "interpreted as the
+        # common value of all attribute-occurrences").
+        return True
+    if expr.arity() != len(targets):
+        sink.error(
+            f"semantic function defines {len(targets)} occurrence(s) but its "
+            f"if-expression produces {expr.arity()} value(s)",
+            location,
+        )
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Implicit copy-rules (§IV, two flavors).
+# ---------------------------------------------------------------------------
+
+
+def _insert_implicit_copies(
+    ag: AttributeGrammar,
+    prod: Production,
+    defined: Dict[Tuple[int, str], SemanticFunction],
+    sink: DiagnosticSink,
+) -> None:
+    lhs_sym = ag.symbol(prod.lhs)
+
+    # Flavor 1: R.A inherited of RHS symbol R undefined, and the LHS has
+    # an attribute of the same name A  =>  R.A = L.A.
+    for position in prod.rhs_positions():
+        rhs_sym = ag.symbol(prod.rhs[position - 1])
+        for attr in rhs_sym.inherited:
+            if (position, attr.name) in defined:
+                continue
+            lhs_attr = lhs_sym.attributes.get(attr.name)
+            if lhs_attr is None:
+                continue
+            target = AttributeOccurrence(prod.index, position, attr)
+            lhs_occ = prod.occurrence_at(LHS_POSITION)
+            source = AttrRef(lhs_occ.name, attr.name, LHS_POSITION)
+            func = SemanticFunction([target], source, implicit=True, location=prod.location)
+            prod.functions.append(func)
+            defined[(position, attr.name)] = func
+
+    # Flavor 2: L.B synthesized undefined, exactly one RHS symbol R has a
+    # synthesized attribute named B and R occurs exactly once  =>  L.B = R.B.
+    for attr in lhs_sym.synthesized:
+        if (LHS_POSITION, attr.name) in defined:
+            continue
+        candidates = []
+        for position in prod.rhs_positions():
+            rhs_sym = ag.symbol(prod.rhs[position - 1])
+            rattr = rhs_sym.attributes.get(attr.name)
+            if rattr is not None and rattr.kind is AttrKind.SYNTHESIZED:
+                candidates.append((position, rhs_sym.name))
+        if len(candidates) != 1:
+            continue
+        position, rname = candidates[0]
+        if prod.rhs.count(rname) != 1:
+            continue
+        target = AttributeOccurrence(prod.index, LHS_POSITION, attr)
+        occ = prod.occurrence_at(position)
+        source = AttrRef(occ.name, attr.name, position)
+        func = SemanticFunction([target], source, implicit=True, location=prod.location)
+        prod.functions.append(func)
+        defined[(LHS_POSITION, attr.name)] = func
+
+
+def _check_completeness(
+    ag: AttributeGrammar,
+    prod: Production,
+    defined: Dict[Tuple[int, str], SemanticFunction],
+    sink: DiagnosticSink,
+) -> None:
+    lhs_sym = ag.symbol(prod.lhs)
+    for attr in lhs_sym.synthesized:
+        if (LHS_POSITION, attr.name) not in defined:
+            sink.error(
+                f"production {prod.index} ({prod}) does not define synthesized "
+                f"attribute {prod.lhs}.{attr.name} and no implicit copy-rule applies",
+                prod.location,
+            )
+    for position in prod.rhs_positions():
+        rhs_sym = ag.symbol(prod.rhs[position - 1])
+        for attr in rhs_sym.inherited:
+            if (position, attr.name) not in defined:
+                sink.error(
+                    f"production {prod.index} ({prod}) does not define inherited "
+                    f"attribute {attr.name!r} of occurrence "
+                    f"{prod.occurrence_at(position).name!r} and no implicit "
+                    "copy-rule applies",
+                    prod.location,
+                )
+    # Limb attributes: referenced-but-undefined is an error.
+    if prod.limb:
+        limb_sym = ag.symbol(prod.limb)
+        referenced: Set[str] = set()
+        for func in prod.functions:
+            for ref in func.expr.refs():
+                if ref.position == LIMB_POSITION:
+                    referenced.add(ref.attr_name)
+        for attr in limb_sym.attributes.values():
+            have = (LIMB_POSITION, attr.name) in defined
+            if attr.name in referenced and not have:
+                sink.error(
+                    f"limb attribute {prod.limb}.{attr.name} is referenced but "
+                    f"never defined in production {prod.index}",
+                    prod.location,
+                )
+            elif not have and attr.name not in referenced:
+                sink.warning(
+                    f"limb attribute {prod.limb}.{attr.name} is never defined "
+                    f"(production {prod.index})",
+                    prod.location,
+                )

@@ -1,0 +1,36 @@
+"""The Attributed Parse Tree and its secondary-storage representation.
+
+§II: the APT is stored *linearized* in intermediate files; a pass reads
+nodes in prefix order and writes them in postfix order, and "if the
+output file of a left-to-right pass is read backwards it can be the
+input file for a right-to-left pass".  :mod:`repro.apt.storage`
+provides disk-backed and in-memory spool files readable in both
+directions (with I/O accounting); :mod:`repro.apt.linear` implements
+the linearization orders and the reversal invariant;
+:mod:`repro.apt.build` turns parser events into the initial APT file
+(bottom-up emission for a first right-to-left pass — the strategy
+LINGUIST-86 itself uses — or prefix emission for a first left-to-right
+pass).
+"""
+
+from repro.apt.node import APTNode, estimate_bytes
+from repro.apt.storage import DiskSpool, MemorySpool, Spool
+from repro.apt.linear import (
+    iter_bottom_up,
+    iter_prefix,
+    read_order_for_pass,
+)
+from repro.apt.build import APTBuilder, default_intrinsics
+
+__all__ = [
+    "APTNode",
+    "estimate_bytes",
+    "DiskSpool",
+    "MemorySpool",
+    "Spool",
+    "iter_bottom_up",
+    "iter_prefix",
+    "read_order_for_pass",
+    "APTBuilder",
+    "default_intrinsics",
+]

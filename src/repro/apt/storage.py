@@ -1,0 +1,193 @@
+"""Spool files: the APT intermediate files.
+
+A *spool* is written strictly sequentially (append) and then read
+sequentially either **forward or backward** — the whole §II evaluation
+paradigm rests on reading the previous pass's output file backwards.
+:class:`DiskSpool` keeps records on real secondary storage in a
+length-prefixed-both-ends format (the trailing length makes backward
+reads a pair of seeks, the way a tape or disk file would be read in
+reverse); :class:`MemorySpool` is the fast equivalent for tests.  Both
+charge every transfer to an :class:`~repro.util.iotrack.IOAccountant`.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import tempfile
+from typing import Any, Iterator, List, Optional
+
+from repro.errors import EvaluationError
+from repro.util.iotrack import IOAccountant
+
+_LEN = struct.Struct("<I")
+
+
+class Spool:
+    """Abstract spool of pickled records."""
+
+    def __init__(self, accountant: Optional[IOAccountant] = None, channel: str = ""):
+        self.accountant = accountant
+        self.channel = channel
+        self.n_records = 0
+        self.data_bytes = 0
+        self._finalized = False
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, record: Any) -> None:
+        if self._finalized:
+            raise EvaluationError(f"spool {self.channel!r} already finalized")
+        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write_blob(blob)
+        self.n_records += 1
+        self.data_bytes += len(blob)
+        if self.accountant is not None:
+            self.accountant.charge_write(len(blob), self.channel)
+
+    def finalize(self) -> None:
+        """End the writing phase; the spool becomes readable."""
+        self._finalized = True
+
+    # -- reading ----------------------------------------------------------
+
+    def read_forward(self) -> Iterator[Any]:
+        self._require_finalized()
+        for blob in self._iter_blobs_forward():
+            if self.accountant is not None:
+                self.accountant.charge_read(len(blob), self.channel)
+            yield pickle.loads(blob)
+
+    def read_backward(self) -> Iterator[Any]:
+        self._require_finalized()
+        for blob in self._iter_blobs_backward():
+            if self.accountant is not None:
+                self.accountant.charge_read(len(blob), self.channel)
+            yield pickle.loads(blob)
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise EvaluationError(
+                f"spool {self.channel!r} read before writing finished"
+            )
+
+    # -- to implement ------------------------------------------------------
+
+    def _write_blob(self, blob: bytes) -> None:
+        raise NotImplementedError
+
+    def _iter_blobs_forward(self) -> Iterator[bytes]:
+        raise NotImplementedError
+
+    def _iter_blobs_backward(self) -> Iterator[bytes]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "Spool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemorySpool(Spool):
+    """Spool held in memory (still serialized, still accounted)."""
+
+    def __init__(self, accountant: Optional[IOAccountant] = None, channel: str = ""):
+        super().__init__(accountant, channel)
+        self._blobs: List[bytes] = []
+
+    def _write_blob(self, blob: bytes) -> None:
+        self._blobs.append(blob)
+
+    def _iter_blobs_forward(self) -> Iterator[bytes]:
+        return iter(self._blobs)
+
+    def _iter_blobs_backward(self) -> Iterator[bytes]:
+        return iter(reversed(self._blobs))
+
+
+class DiskSpool(Spool):
+    """Spool on real secondary storage.
+
+    Record format: ``<u32 length> <blob> <u32 length>``.  The trailing
+    length lets a backward reader hop record to record with two seeks,
+    never loading more than one record into memory.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        accountant: Optional[IOAccountant] = None,
+        channel: str = "",
+    ):
+        super().__init__(accountant, channel)
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="apt_", suffix=".spool")
+            os.close(fd)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = path
+        self._writer: Optional[io.BufferedWriter] = open(path, "wb")
+
+    def _write_blob(self, blob: bytes) -> None:
+        if self._writer is None:
+            raise EvaluationError(f"spool {self.channel!r} is not open for writing")
+        self._writer.write(_LEN.pack(len(blob)))
+        self._writer.write(blob)
+        self._writer.write(_LEN.pack(len(blob)))
+
+    def finalize(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        super().finalize()
+
+    def _iter_blobs_forward(self) -> Iterator[bytes]:
+        with open(self.path, "rb") as f:
+            while True:
+                head = f.read(_LEN.size)
+                if not head:
+                    return
+                (length,) = _LEN.unpack(head)
+                blob = f.read(length)
+                if len(blob) != length:
+                    raise EvaluationError(f"truncated spool {self.channel!r}")
+                trailer = f.read(_LEN.size)
+                if len(trailer) != _LEN.size or _LEN.unpack(trailer)[0] != length:
+                    raise EvaluationError(
+                        f"truncated or corrupt spool {self.channel!r} "
+                        "(record trailer mismatch)"
+                    )
+                yield blob
+
+    def _iter_blobs_backward(self) -> Iterator[bytes]:
+        with open(self.path, "rb") as f:
+            f.seek(0, os.SEEK_END)
+            pos = f.tell()
+            while pos > 0:
+                f.seek(pos - _LEN.size)
+                (length,) = _LEN.unpack(f.read(_LEN.size))
+                start = pos - 2 * _LEN.size - length
+                if start < 0:
+                    raise EvaluationError(f"corrupt spool {self.channel!r}")
+                f.seek(start + _LEN.size)
+                blob = f.read(length)
+                yield blob
+                pos = start
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        if self._owns_file and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def file_bytes(self) -> int:
+        """Actual on-disk size, including record framing."""
+        return self.data_bytes + 2 * _LEN.size * self.n_records

@@ -1,0 +1,13 @@
+"""The hand-written comparator compiler.
+
+§V compares LINGUIST-86's throughput with "the host system's translator
+products" (hand-written compilers at 400–900 lines/min vs the generated
+system's 350–500).  :class:`repro.baseline.rdparser.HandPascalCompiler`
+is our stand-in: a one-pass recursive-descent compiler for the same
+Pascal subset ``pascal.ag`` describes, producing the same stack code
+and the same diagnostics.
+"""
+
+from repro.baseline.rdparser import HandPascalCompiler, CompileResult
+
+__all__ = ["HandPascalCompiler", "CompileResult"]

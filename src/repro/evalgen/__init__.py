@@ -1,0 +1,53 @@
+"""Evaluator generation: plans, optimizations, code generators, runtimes.
+
+The pipeline: a validated grammar plus a pass assignment feed
+:mod:`repro.evalgen.deadness` (Saarinen-style significant/temporary
+attribute analysis — §III's "not writing dead attribute-instances") and
+:mod:`repro.evalgen.subsumption` (the static-subsumption optimization);
+:mod:`repro.evalgen.plan` lowers each production-procedure of each pass
+into an action list with every attribute reference resolved to a node
+field, a local temporary, or a static global (with the save/restore
+discipline of the paper's ListProd example); the actions are then either
+executed directly by the Schulz-style interpreter
+(:mod:`repro.evalgen.interp`) or rendered as source text by
+:mod:`repro.evalgen.codegen_py` (executable Python) and
+:mod:`repro.evalgen.codegen_pascal` (Pascal, for the §V byte-size
+tables).  :mod:`repro.evalgen.oracle` is the in-memory demand-driven
+evaluator used as the differential-testing baseline.
+"""
+
+from repro.evalgen.runtime import EvaluatorRuntime, EvaluationResult
+from repro.evalgen.oracle import OracleEvaluator
+from repro.evalgen.deadness import DeadnessAnalysis, analyze_deadness
+from repro.evalgen.subsumption import (
+    StaticAllocation,
+    SubsumptionConfig,
+    choose_static_attributes,
+)
+from repro.evalgen.plan import EvaluationPlan, PassPlan, build_pass_plans
+from repro.evalgen.interp import InterpretiveEvaluator
+from repro.evalgen.codegen_py import PythonCodeGenerator, GeneratedEvaluator
+from repro.evalgen.codegen_pascal import PascalCodeGenerator
+from repro.evalgen.husk import CodeSizeReport, measure_code_sizes
+from repro.evalgen.driver import AlternatingPassDriver
+
+__all__ = [
+    "EvaluatorRuntime",
+    "EvaluationResult",
+    "OracleEvaluator",
+    "DeadnessAnalysis",
+    "analyze_deadness",
+    "StaticAllocation",
+    "SubsumptionConfig",
+    "choose_static_attributes",
+    "EvaluationPlan",
+    "PassPlan",
+    "build_pass_plans",
+    "InterpretiveEvaluator",
+    "PythonCodeGenerator",
+    "GeneratedEvaluator",
+    "PascalCodeGenerator",
+    "CodeSizeReport",
+    "measure_code_sizes",
+    "AlternatingPassDriver",
+]

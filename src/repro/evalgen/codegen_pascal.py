@@ -1,0 +1,260 @@
+"""Generation of Pascal evaluator source (the paper's target language).
+
+LINGUIST-86 "generates attribute evaluators written in high-level
+programming languages, including Pascal"; its §V size table measures
+8086 object bytes of those modules.  We render the same plans as
+Pascal source modules — one per pass, shaped exactly like the paper's
+``FUNCTIONLISTLIMBPP2`` example — and use source bytes (husk vs
+semantic, same categories as the Python generator) as the size proxy
+for EXP-T2/T5.  The text is not compiled; it exists to be measured and
+read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ag.expr import AttrRef, BinOp, Call, Const, Expr, If, Not
+from repro.ag.model import (
+    AttributeGrammar,
+    LHS_POSITION,
+    LIMB_POSITION,
+    Production,
+    SymbolKind,
+)
+from repro.errors import GenerationError
+from repro.evalgen.codegen_py import CodeArtifact, DECL, HUSK, NOTE, SEM, _Emitter
+from repro.evalgen.plan import ActionKind, EvaluationPlan, PassPlan, sanitize
+
+
+def _ident(name: str) -> str:
+    return sanitize(name).upper()
+
+
+def _var(prod: Production, position: int) -> str:
+    if position == LIMB_POSITION:
+        return _ident(prod.limb)
+    if position == LHS_POSITION:
+        return _ident(prod.occurrence_at(LHS_POSITION).name)
+    return _ident(prod.occurrence_at(position).name)
+
+
+class PascalCodeGenerator:
+    """Renders pass plans as Pascal source modules."""
+
+    def __init__(self, ag: AttributeGrammar):
+        self.ag = ag
+
+    # -- expressions -------------------------------------------------------
+
+    def compile_expr(
+        self, expr: Expr, refmap: Dict[Tuple[int, str], tuple], prod: Production
+    ) -> str:
+        if isinstance(expr, Const):
+            if expr.is_symbolic:
+                return _ident(str(expr.value))
+            if isinstance(expr.value, bool):
+                return "TRUE" if expr.value else "FALSE"
+            if isinstance(expr.value, str):
+                return "'" + expr.value.replace("'", "''") + "'"
+            return str(expr.value)
+        if isinstance(expr, AttrRef):
+            return self._source(refmap[(expr.position, expr.attr_name)], prod)
+        if isinstance(expr, Not):
+            return f"NOT {self.compile_expr(expr.body, refmap, prod)}"
+        if isinstance(expr, BinOp):
+            left = self.compile_expr(expr.left, refmap, prod)
+            right = self.compile_expr(expr.right, refmap, prod)
+            return f"({left} {expr.op} {right})"
+        if isinstance(expr, Call):
+            args = ", ".join(self.compile_expr(a, refmap, prod) for a in expr.args)
+            return f"{_ident(expr.func)}({args})"
+        if isinstance(expr, If):
+            raise GenerationError(
+                "Pascal has no if-expression; compile_expr must not see If "
+                "(handled by statement emission)"
+            )
+        raise GenerationError(f"unknown expression node {expr!r}")
+
+    def _source(self, source: tuple, prod: Production) -> str:
+        kind = source[0]
+        if kind == "field":
+            _, pos, attr = source
+            return f"{_var(prod, pos)}.{_ident(attr)}"
+        if kind == "temp":
+            return _ident(source[1]) + "_QZP"
+        if kind == "global":
+            return _ident(source[1])
+        raise GenerationError(f"unknown value source {source!r}")
+
+    def _emit_assign(
+        self,
+        em: _Emitter,
+        dest: str,
+        expr: Expr,
+        refmap: Dict[Tuple[int, str], tuple],
+        prod: Production,
+        indent: int,
+    ) -> None:
+        """Assignment with If lowered to IF/THEN/ELSE statements."""
+        if isinstance(expr, If):
+            cond = self.compile_expr(expr.cond, refmap, prod)
+            em.emit(f"IF {cond}", SEM, indent)
+            em.emit("THEN", SEM, indent)
+            self._emit_assign(em, dest, expr.then_branch[0], refmap, prod, indent + 1)
+            em.emit("ELSE", SEM, indent)
+            if isinstance(expr.else_branch, If):
+                self._emit_assign(em, dest, expr.else_branch, refmap, prod, indent + 1)
+            else:
+                self._emit_assign(
+                    em, dest, expr.else_branch[0], refmap, prod, indent + 1
+                )
+        else:
+            em.emit(f"{dest} := {self.compile_expr(expr, refmap, prod)};", SEM, indent)
+
+    # -- procedures ----------------------------------------------------------
+
+    def _emit_procedure(self, em: _Emitter, plan: EvaluationPlan) -> None:
+        prod = self.ag.productions[plan.production]
+        lhs = _var(prod, LHS_POSITION)
+        name = f"{_ident(prod.tag)}PP{plan.pass_k}"
+        em.emit(
+            f"procedure {name} (VAR {lhs} : {_ident(prod.lhs)}_node_type);", HUSK
+        )
+        em.emit(f"{{ {prod}  pass {plan.pass_k}, {plan.direction.value} }}", NOTE)
+        # VAR section: RHS nodes, limb node, temps, save slots.
+        declared = False
+        for position in prod.rhs_positions():
+            if not declared:
+                em.emit("VAR", HUSK, 0)
+                declared = True
+            em.emit(
+                f"{_var(prod, position)} : {_ident(prod.rhs[position - 1])}_node_type;",
+                DECL,
+                1,
+            )
+        if prod.limb:
+            if not declared:
+                em.emit("VAR", HUSK, 0)
+                declared = True
+            em.emit(f"{_ident(prod.limb)} : {_ident(prod.limb)}_node_type;", DECL, 1)
+        for temp in plan.temps:
+            if not declared:
+                em.emit("VAR", HUSK, 0)
+                declared = True
+            em.emit(f"{_ident(temp)}_QZP : attr_value;", DECL, 1)
+        for group in plan.saved_groups:
+            if not declared:
+                em.emit("VAR", HUSK, 0)
+                declared = True
+            em.emit(f"{_ident(group)}_ZQP : attr_value;", DECL, 1)
+        em.emit("begin", HUSK)
+
+        for action in plan.actions:
+            kind = action.kind
+            if kind is ActionKind.GET:
+                sym = self._symbol_at(prod, action.position)
+                em.emit(
+                    f"GetNode{_ident(sym)}({_var(prod, action.position)});", HUSK, 1
+                )
+            elif kind is ActionKind.PUT:
+                var = _var(prod, action.position)
+                for attr_name, source in action.fields:
+                    if source[0] != "field":
+                        em.emit(
+                            f"{var}.{_ident(attr_name)} := {self._source(source, prod)};",
+                            SEM,
+                            1,
+                        )
+                sym = self._symbol_at(prod, action.position)
+                em.emit(f"PutNode{_ident(sym)}({var});", HUSK, 1)
+            elif kind is ActionKind.VISIT:
+                sym = self._symbol_at(prod, action.position)
+                em.emit(
+                    f"{_ident(sym)}PP{plan.pass_k}({_var(prod, action.position)});",
+                    HUSK,
+                    1,
+                )
+            elif kind is ActionKind.COMPUTE:
+                binding = action.binding
+                if action.temp:
+                    dest = _ident(action.temp) + "_QZP"
+                else:
+                    target = binding.target
+                    dest = f"{_var(prod, target.position)}.{_ident(target.attr_name)}"
+                self._emit_assign(em, dest, binding.expr, action.refmap, prod, 1)
+            elif kind is ActionKind.SUBSUME:
+                em.emit(f"{{ {action.binding} }}", NOTE, 1)
+            elif kind is ActionKind.SNAPSHOT:
+                em.emit(
+                    f"{_ident(action.temp)}_QZP := {_ident(action.group)};", SEM, 1
+                )
+            elif kind is ActionKind.SETGLOBAL:
+                em.emit(
+                    f"{_ident(action.group)} := {self._source(action.source, prod)};",
+                    SEM,
+                    1,
+                )
+            elif kind is ActionKind.ENTRY_SAVE:
+                em.emit(
+                    f"{_ident(action.group)}_ZQP := {_ident(action.group)};", SEM, 1
+                )
+            elif kind is ActionKind.EXIT_RESTORE:
+                em.emit(
+                    f"{_ident(action.group)} := {_ident(action.group)}_ZQP;", SEM, 1
+                )
+        em.emit(f"end; {{ {name} }}", HUSK)
+        em.emit("", NOTE)
+
+    @staticmethod
+    def _symbol_at(prod: Production, position: int) -> str:
+        if position == LIMB_POSITION:
+            return prod.limb
+        if position == LHS_POSITION:
+            return prod.lhs
+        return prod.rhs[position - 1]
+
+    # -- pass module -----------------------------------------------------------
+
+    def generate_pass(self, plan: PassPlan) -> CodeArtifact:
+        em = _Emitter()
+        em.emit(
+            f"{{ Attribute-evaluation pass {plan.pass_k} ({plan.direction.value}) "
+            f"for grammar {self.ag.name}.  Generated. }}",
+            NOTE,
+        )
+        em.emit(f"module PASS{plan.pass_k};", HUSK)
+        if plan.groups:
+            em.emit("VAR  { statically allocated attributes }", NOTE)
+            for group in plan.groups:
+                em.emit(f"{_ident(group)} : attr_value;", DECL, 1)
+        em.emit("", NOTE)
+        # Dispatchers, shaped as per-symbol case statements.
+        for sym in self.ag.nonterminals:
+            em.emit(
+                f"procedure {_ident(sym.name)}PP{plan.pass_k} "
+                f"(VAR N : {_ident(sym.name)}_node_type);",
+                HUSK,
+            )
+            em.emit("begin", HUSK)
+            em.emit("case N.PRODUCTION of", HUSK, 1)
+            for prod in self.ag.productions_of(sym.name):
+                em.emit(
+                    f"{prod.index}: {_ident(prod.tag)}PP{plan.pass_k}(N);", HUSK, 2
+                )
+            em.emit("end", HUSK, 1)
+            em.emit("end;", HUSK)
+            em.emit("", NOTE)
+        for prod in self.ag.productions:
+            self._emit_procedure(em, plan.plans[prod.index])
+        em.emit(f"end. {{ PASS{plan.pass_k} }}", HUSK)
+        return CodeArtifact(
+            pass_k=plan.pass_k,
+            text=em.text(),
+            husk_bytes=em.bytes_of(HUSK),
+            sem_bytes=em.bytes_of(SEM),
+            n_subsumed=plan.n_subsumed,
+        )
+
+    def generate_all(self, pass_plans: List[PassPlan]) -> List[CodeArtifact]:
+        return [self.generate_pass(p) for p in pass_plans]

@@ -1,0 +1,106 @@
+"""Temporary vs significant attributes — §III's first optimization.
+
+"An obvious [optimization] is to reduce the amount of data transferred
+between the intermediate files and memory by not writing any instances
+of attributes that are defined during this pass but never referenced
+after this pass."  Saarinen's terminology: an attribute is
+*significant* if referenced in a later pass than the one defining it,
+else *temporary*.
+
+For every symbol and every pass boundary ``k`` we compute the record
+fields that must flow from pass ``k`` to pass ``k+1``: attributes with
+``pass ≤ k`` whose **last use** lies in a later pass.  The root's
+synthesized attributes are the translation result, so their last use is
+pinned past the final pass; intrinsic attributes originate at boundary
+0 (the parser-built file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.ag.copyrules import production_bindings
+from repro.ag.model import (
+    AttrKind,
+    AttributeGrammar,
+    LIMB_POSITION,
+    SymbolKind,
+)
+from repro.passes.partition import PassAssignment
+from repro.passes.schedule import AttrId, INTRINSIC_PASS
+
+
+@dataclass
+class DeadnessAnalysis:
+    grammar: AttributeGrammar
+    assignment: PassAssignment
+    #: Last pass in which each attribute is referenced (0 = never used).
+    last_use: Dict[AttrId, int]
+    #: Whether suppression of dead fields is enabled (ABL-1 toggle).
+    enabled: bool = True
+
+    def is_significant(self, attr_id: AttrId) -> bool:
+        """Referenced in a later pass than the one defining it?"""
+        defined = self.assignment.attr_pass.get(attr_id, 0)
+        return self.last_use.get(attr_id, 0) > defined
+
+    def fields_after_pass(self, symbol: str, pass_k: int) -> List[str]:
+        """Record fields for ``symbol`` flowing out of pass ``pass_k``
+        (boundary 0 = the parser-emitted initial file)."""
+        sym = self.grammar.symbol(symbol)
+        out: List[str] = []
+        for attr in sym.attributes.values():
+            attr_id = (symbol, attr.name)
+            defined = self.assignment.attr_pass.get(attr_id, 0)
+            if defined > pass_k:
+                continue  # not yet evaluated at this boundary
+            if not self.enabled:
+                out.append(attr.name)
+                continue
+            if self.last_use.get(attr_id, 0) > pass_k:
+                out.append(attr.name)
+        return out
+
+    def temporary_attributes(self) -> List[AttrId]:
+        return sorted(
+            a for a in self.assignment.attr_pass if not self.is_significant(a)
+        )
+
+    def significant_attributes(self) -> List[AttrId]:
+        return sorted(a for a in self.assignment.attr_pass if self.is_significant(a))
+
+
+def analyze_deadness(
+    ag: AttributeGrammar,
+    assignment: PassAssignment,
+    enabled: bool = True,
+) -> DeadnessAnalysis:
+    last_use: Dict[AttrId, int] = {}
+
+    def use(attr_id: AttrId, pass_k: int) -> None:
+        if last_use.get(attr_id, 0) < pass_k:
+            last_use[attr_id] = pass_k
+
+    for prod in ag.productions:
+        for binding in production_bindings(prod):
+            target_pass = assignment.pass_of(
+                binding.target.symbol, binding.target.attr_name
+            )
+            for ref in binding.expr.refs():
+                if ref.position is None:
+                    continue
+                if ref.position == LIMB_POSITION:
+                    ref_symbol = prod.limb
+                elif ref.position == 0:
+                    ref_symbol = prod.lhs
+                else:
+                    ref_symbol = prod.rhs[ref.position - 1]
+                use((ref_symbol, ref.attr_name), target_pass)
+
+    # The translation result: root synthesized attributes outlive pass n.
+    root = ag.symbol(ag.start)
+    for attr in root.synthesized:
+        use((ag.start, attr.name), assignment.n_passes + 1)
+
+    return DeadnessAnalysis(ag, assignment, last_use, enabled)

@@ -1,0 +1,152 @@
+"""The multi-pass evaluation driver.
+
+Chains the alternating passes: each pass reads the previous pass's
+output spool **backwards** (the §II reversal trick) — except the first
+pass under the prefix-emission strategy, which reads the parser's
+prefix file forwards — and writes its own postfix-order spool.  Two
+intermediate files are live per pass, exactly as in the paper.
+
+The driver also keeps the per-pass timings, I/O counters, and the
+memory gauge the benchmarks read (EXP-T3, EXP-M1).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.ag.model import AttributeGrammar
+from repro.apt.linear import TreeNode
+from repro.apt.node import APTNode
+from repro.apt.storage import MemorySpool, Spool
+from repro.errors import EvaluationError
+from repro.evalgen.plan import PassPlan
+from repro.evalgen.runtime import (
+    EvaluationResult,
+    EvaluatorRuntime,
+    FunctionLibrary,
+    TraceEvent,
+)
+from repro.passes.schedule import Direction
+from repro.util.iotrack import IOAccountant, MemoryGauge
+
+#: A pass executor: (plan, runtime) -> root node after the pass.
+PassExecutor = Callable[[PassPlan, EvaluatorRuntime], APTNode]
+
+#: Creates the intermediate spool for a pass.
+SpoolFactory = Callable[[str], Spool]
+
+
+class AlternatingPassDriver:
+    """Runs all passes of an evaluator over an initial APT spool."""
+
+    def __init__(
+        self,
+        ag: AttributeGrammar,
+        pass_plans: List[PassPlan],
+        executor: PassExecutor,
+        library: Optional[FunctionLibrary] = None,
+        spool_factory: Optional[SpoolFactory] = None,
+        accountant: Optional[IOAccountant] = None,
+        gauge: Optional[MemoryGauge] = None,
+        trace: Optional[List[TraceEvent]] = None,
+    ):
+        self.ag = ag
+        self.pass_plans = pass_plans
+        self.executor = executor
+        self.library = library or FunctionLibrary()
+        self.accountant = accountant if accountant is not None else IOAccountant()
+        self.gauge = gauge if gauge is not None else MemoryGauge()
+        self.trace = trace
+        self._spool_factory = spool_factory or (
+            lambda channel: MemorySpool(self.accountant, channel)
+        )
+        #: Seconds spent in each pass, filled by :meth:`run`.
+        self.pass_times: List[float] = []
+        self.final_spool: Optional[Spool] = None
+
+    def run(self, initial: Spool, strategy: str = "bottom-up") -> EvaluationResult:
+        """Evaluate: ``initial`` is the parser-emitted APT file.
+
+        ``strategy`` must match how the file was emitted: ``"bottom-up"``
+        (postfix; first pass right-to-left) or ``"prefix"`` (first pass
+        left-to-right).  §II: "Part of its input is an indication of
+        which strategy is to be used."
+        """
+        if not self.pass_plans:
+            raise EvaluationError("no passes to run (attribute-free grammar)")
+        first_dir = self.pass_plans[0].direction
+        if strategy == "bottom-up" and first_dir is not Direction.R2L:
+            raise EvaluationError(
+                "bottom-up initial files require a right-to-left first pass"
+            )
+        if strategy == "prefix" and first_dir is not Direction.L2R:
+            raise EvaluationError(
+                "prefix initial files require a left-to-right first pass"
+            )
+        self.pass_times = []
+        spool_in = initial
+        root: Optional[APTNode] = None
+        for plan in self.pass_plans:
+            if plan.pass_k == 1 and strategy == "prefix":
+                reader = spool_in.read_forward()
+            else:
+                reader = spool_in.read_backward()
+            spool_out = self._spool_factory(f"pass{plan.pass_k}.out")
+            runtime = EvaluatorRuntime(
+                reader, spool_out, self.library, self.gauge, self.trace
+            )
+            started = time.perf_counter()
+            from repro.util.recursion import deep_recursion
+
+            with deep_recursion():
+                root = self.executor(plan, runtime)
+            self.pass_times.append(time.perf_counter() - started)
+            if not runtime.at_end():
+                raise EvaluationError(
+                    f"pass {plan.pass_k} did not consume the whole APT file"
+                )
+            spool_out.finalize()
+            if spool_in is not initial:
+                spool_in.close()
+            spool_in = spool_out
+        self.final_spool = spool_in
+        assert root is not None
+        return EvaluationResult(root.attrs, n_passes=len(self.pass_plans))
+
+
+def reconstruct_tree(ag: AttributeGrammar, spool: Spool) -> TreeNode:
+    """Rebuild the attributed tree from a postfix-order output spool.
+
+    Used by tests to diff the file paradigm's full result against the
+    oracle's in-memory attribution.
+    """
+    stack: List[TreeNode] = []
+    pending_limb: Optional[APTNode] = None
+    for record in spool.read_forward():
+        symbol, production, attrs, is_limb = record
+        node = APTNode(symbol, production, dict(attrs), is_limb)
+        if is_limb:
+            pending_limb = node
+            continue
+        if production is None:
+            stack.append(TreeNode(node))
+            continue
+        prod = ag.productions[production]
+        n = len(prod.rhs)
+        children = stack[len(stack) - n :] if n else []
+        del stack[len(stack) - n :]
+        limb = None
+        if prod.limb:
+            if pending_limb is None or pending_limb.symbol != prod.limb:
+                raise EvaluationError(
+                    f"spool misses limb node for production {prod.index}"
+                )
+            limb = pending_limb
+        pending_limb = None
+        stack.append(TreeNode(node, children, limb))
+    if len(stack) != 1:
+        raise EvaluationError(
+            f"spool did not reconstruct to a single tree ({len(stack)} fragments)"
+        )
+    return stack[0]

@@ -1,0 +1,85 @@
+"""Shared expression interpreter over the semantic-function AST.
+
+Both the oracle evaluator and the Schulz-style interpretive pass
+evaluator execute expressions through :func:`eval_expr`; they differ
+only in how an attribute reference is looked up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.ag.expr import AttrRef, BinOp, Call, Const, Expr, If, Not
+from repro.errors import EvaluationError
+
+#: lookup(position, attr_name) -> value
+Lookup = Callable[[int, str], Any]
+#: call(function_name, *args) -> value
+Caller = Callable[..., Any]
+#: constant(name) -> value
+ConstFn = Callable[[str], Any]
+
+
+def eval_expr(expr: Expr, lookup: Lookup, call: Caller, constant: ConstFn) -> Any:
+    """Evaluate a (single-valued) expression."""
+    if isinstance(expr, Const):
+        if expr.is_symbolic:
+            return constant(expr.value)
+        return expr.value
+    if isinstance(expr, AttrRef):
+        if expr.position is None:
+            raise EvaluationError(f"unresolved attribute reference {expr}")
+        return lookup(expr.position, expr.attr_name)
+    if isinstance(expr, Not):
+        return not eval_expr(expr.body, lookup, call, constant)
+    if isinstance(expr, BinOp):
+        return _eval_binop(expr, lookup, call, constant)
+    if isinstance(expr, Call):
+        args = [eval_expr(a, lookup, call, constant) for a in expr.args]
+        return call(expr.func, *args)
+    if isinstance(expr, If):
+        if expr.arity() != 1:
+            raise EvaluationError(
+                "multi-valued if-expression must be projected per target "
+                "before evaluation"
+            )
+        if eval_expr(expr.cond, lookup, call, constant):
+            return eval_expr(expr.then_branch[0], lookup, call, constant)
+        if isinstance(expr.else_branch, If):
+            return eval_expr(expr.else_branch, lookup, call, constant)
+        return eval_expr(expr.else_branch[0], lookup, call, constant)
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def _eval_binop(expr: BinOp, lookup: Lookup, call: Caller, constant: ConstFn) -> Any:
+    op = expr.op
+    left = eval_expr(expr.left, lookup, call, constant)
+    # AND/OR short-circuit, like the target-language operators would.
+    if op == "AND":
+        return bool(left) and bool(eval_expr(expr.right, lookup, call, constant))
+    if op == "OR":
+        return bool(left) or bool(eval_expr(expr.right, lookup, call, constant))
+    right = eval_expr(expr.right, lookup, call, constant)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "DIV":
+        if isinstance(left, int) and isinstance(right, int):
+            return left // right
+        return left / right
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    if op == ">=":
+        return left >= right
+    raise EvaluationError(f"unknown operator {op!r}")

@@ -1,0 +1,126 @@
+"""The Schulz-style interpretive evaluator.
+
+§II: "Schulz describes an interpretive approach … LINGUIST-86 generates
+in-line code".  This module is the interpretive side of that contrast
+(ABL-3): it executes :class:`~repro.evalgen.plan.PassPlan` actions
+directly against the runtime, walking the same file-resident APT with
+the same paradigm, but paying dispatch on every action instead of
+running generated code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.ag.model import AttributeGrammar, LHS_POSITION, LIMB_POSITION
+from repro.apt.node import APTNode
+from repro.errors import EvaluationError
+from repro.evalgen.exprinterp import eval_expr
+from repro.evalgen.plan import ActionKind, EvaluationPlan, PassPlan, PlanAction
+from repro.evalgen.runtime import EvaluatorRuntime
+
+
+class InterpretiveEvaluator:
+    """Executes one pass plan over one runtime (one pass of the APT)."""
+
+    def __init__(self, ag: AttributeGrammar):
+        self.ag = ag
+
+    def run_pass(self, plan: PassPlan, runtime: EvaluatorRuntime) -> APTNode:
+        """Run the whole pass: read the root, visit, write the root.
+        Returns the root node (with this pass's exports filled in)."""
+        globals_: Dict[str, Any] = {g: None for g in plan.groups}
+        root = runtime.get_node(self.ag.start)
+        self._visit(root, plan, runtime, globals_)
+        for attr_name, group in plan.root_exports:
+            root.attrs[attr_name] = globals_[group]
+        runtime.put_node(root, fields=plan.root_fields)
+        return root
+
+    # ------------------------------------------------------------------
+
+    def _visit(
+        self,
+        node: APTNode,
+        plan: PassPlan,
+        runtime: EvaluatorRuntime,
+        globals_: Dict[str, Any],
+    ) -> None:
+        if node.production is None:
+            raise EvaluationError(
+                f"cannot visit terminal node {node.symbol!r}; the APT is out of phase"
+            )
+        prod = self.ag.productions[node.production]
+        eplan = plan.plans[prod.index]
+        runtime.note_visit(prod.tag)
+
+        nodes: Dict[int, APTNode] = {LHS_POSITION: node}
+        temps: Dict[str, Any] = {}
+        saves: Dict[str, Any] = {}
+
+        def symbol_at(position: int) -> str:
+            if position == LIMB_POSITION:
+                return prod.limb
+            if position == LHS_POSITION:
+                return prod.lhs
+            return prod.rhs[position - 1]
+
+        def source_value(source) -> Any:
+            kind = source[0]
+            if kind == "field":
+                _, pos, attr = source
+                try:
+                    return nodes[pos].attrs[attr]
+                except KeyError:
+                    raise EvaluationError(
+                        f"attribute {symbol_at(pos)}.{attr} not present on node "
+                        f"(production {prod.index}, pass {plan.pass_k})"
+                    ) from None
+            if kind == "temp":
+                return temps[source[1]]
+            if kind == "global":
+                return globals_[source[1]]
+            raise EvaluationError(f"unknown value source {source!r}")
+
+        for action in eplan.actions:
+            kind = action.kind
+            if kind is ActionKind.GET:
+                nodes[action.position] = runtime.get_node(symbol_at(action.position))
+            elif kind is ActionKind.PUT:
+                target = nodes[action.position]
+                names: List[str] = []
+                for attr_name, source in action.fields:
+                    names.append(attr_name)
+                    if source[0] != "field":
+                        target.attrs[attr_name] = source_value(source)
+                runtime.put_node(target, fields=names)
+            elif kind is ActionKind.VISIT:
+                self._visit(nodes[action.position], plan, runtime, globals_)
+            elif kind is ActionKind.COMPUTE:
+                binding = action.binding
+
+                def lookup(position: int, attr: str) -> Any:
+                    return source_value(action.refmap[(position, attr)])
+
+                value = eval_expr(
+                    binding.expr, lookup, runtime.call, runtime.constant
+                )
+                runtime.note_eval(str(binding.target))
+                if action.temp:
+                    temps[action.temp] = value
+                else:
+                    nodes[binding.target.position].attrs[
+                        binding.target.attr_name
+                    ] = value
+            elif kind is ActionKind.SUBSUME:
+                pass  # no code: the value is already in its global
+            elif kind is ActionKind.SNAPSHOT:
+                temps[action.temp] = globals_[action.group]
+            elif kind is ActionKind.SETGLOBAL:
+                globals_[action.group] = source_value(action.source)
+            elif kind is ActionKind.ENTRY_SAVE:
+                saves[action.group] = globals_[action.group]
+            elif kind is ActionKind.EXIT_RESTORE:
+                globals_[action.group] = saves[action.group]
+            else:  # pragma: no cover
+                raise EvaluationError(f"unknown plan action {kind}")

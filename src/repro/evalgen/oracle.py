@@ -1,0 +1,198 @@
+"""The in-memory demand-driven oracle evaluator.
+
+Attribute grammars are declarative: the attribute-instance values are
+fixed by the grammar and the tree, independent of evaluation order (§I).
+This evaluator computes them the most direct way — whole tree in
+memory, each instance computed on demand and memoized — and serves as
+the correctness baseline the alternating-pass evaluators are diffed
+against, and as the memory-consumption comparator of EXP-M1/ABL-4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ag.copyrules import Binding, production_bindings
+from repro.ag.model import (
+    AttrKind,
+    AttributeGrammar,
+    LHS_POSITION,
+    LIMB_POSITION,
+    SymbolKind,
+)
+from repro.apt.linear import TreeNode
+from repro.apt.node import estimate_bytes
+from repro.errors import EvaluationError
+from repro.evalgen.exprinterp import eval_expr
+from repro.evalgen.runtime import EvaluationResult, FunctionLibrary
+
+
+class _Instance:
+    """A tree node wrapped with parent context."""
+
+    __slots__ = ("tree", "parent", "position")
+
+    def __init__(self, tree: TreeNode, parent: Optional["_Instance"], position: int):
+        self.tree = tree
+        self.parent = parent
+        self.position = position  # position in the parent's production
+
+
+_IN_PROGRESS = object()
+
+
+class OracleEvaluator:
+    """Demand-driven evaluation over an in-memory APT."""
+
+    def __init__(self, ag: AttributeGrammar, library: Optional[FunctionLibrary] = None):
+        self.ag = ag
+        self.library = library or FunctionLibrary()
+        # (production index, position, attr name) -> Binding
+        self._bindings: Dict[Tuple[int, int, str], Binding] = {}
+        for prod in ag.productions:
+            for b in production_bindings(prod):
+                key = (prod.index, b.target.position, b.target.attr_name)
+                self._bindings[key] = b
+        self._memo: Dict[Tuple[int, str], Any] = {}
+        self.total_tree_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, root: TreeNode, attribute_all: bool = True) -> EvaluationResult:
+        """Evaluate the tree; return the root's attributes.
+
+        With ``attribute_all`` every attribute instance of every node is
+        computed and stored into the node's ``attrs`` (so the fully
+        attributed tree can be diffed against the file paradigm's
+        output); otherwise only what the root demands is computed.
+        """
+        from repro.util.recursion import deep_recursion
+
+        with deep_recursion():
+            return self._evaluate(root, attribute_all)
+
+    def _evaluate(self, root: TreeNode, attribute_all: bool) -> EvaluationResult:
+        self._memo.clear()
+        if root.node.symbol != self.ag.start:
+            raise EvaluationError(
+                f"oracle: tree root {root.node.symbol!r} is not the start "
+                f"symbol {self.ag.start!r}"
+            )
+        root_inst = _Instance(root, None, 0)
+        instances = self._collect(root_inst)
+        root_sym = self.ag.symbol(self.ag.start)
+        for attr in root_sym.synthesized:
+            root.node.attrs[attr.name] = self._value(root_inst, attr.name)
+        if attribute_all:
+            for inst in instances:
+                sym = self.ag.symbol(inst.tree.node.symbol)
+                if sym.kind is SymbolKind.TERMINAL:
+                    continue
+                for attr in sym.attributes.values():
+                    inst.tree.node.attrs[attr.name] = self._value(inst, attr.name)
+                prod = self._production_of(inst)
+                if prod is not None and prod.limb:
+                    limb_sym = self.ag.symbol(prod.limb)
+                    for attr in limb_sym.attributes.values():
+                        value = self._limb_value(inst, attr.name)
+                        if inst.tree.limb is not None:
+                            inst.tree.limb.attrs[attr.name] = value
+        self.total_tree_bytes = sum(
+            inst.tree.node.byte_size() for inst in instances
+        )
+        return EvaluationResult(root.node.attrs, n_passes=0)
+
+    # ------------------------------------------------------------------
+
+    def _collect(self, root: _Instance) -> List[_Instance]:
+        out: List[_Instance] = []
+        stack = [root]
+        while stack:
+            inst = stack.pop()
+            out.append(inst)
+            for i, child in enumerate(inst.tree.children):
+                stack.append(_Instance(child, inst, i + 1))
+        return out
+
+    def _production_of(self, inst: _Instance):
+        idx = inst.tree.node.production
+        return self.ag.productions[idx] if idx is not None else None
+
+    def _value(self, inst: _Instance, attr_name: str) -> Any:
+        sym = self.ag.symbol(inst.tree.node.symbol)
+        attr = sym.attributes.get(attr_name)
+        if attr is None:
+            raise EvaluationError(f"{sym.name!r} has no attribute {attr_name!r}")
+        if attr.kind is AttrKind.INTRINSIC:
+            try:
+                return inst.tree.node.attrs[attr_name]
+            except KeyError:
+                raise EvaluationError(
+                    f"intrinsic {sym.name}.{attr_name} was not set by the parser"
+                ) from None
+        key = (id(inst.tree), attr_name)
+        if key in self._memo:
+            value = self._memo[key]
+            if value is _IN_PROGRESS:
+                raise EvaluationError(
+                    f"circular attribute instance {sym.name}.{attr_name} at run time"
+                )
+            return value
+        self._memo[key] = _IN_PROGRESS
+        if attr.kind is AttrKind.SYNTHESIZED:
+            ctx = inst
+            prod = self._production_of(inst)
+            if prod is None:
+                raise EvaluationError(
+                    f"synthesized {sym.name}.{attr_name} demanded at a leaf"
+                )
+            binding = self._bindings.get((prod.index, LHS_POSITION, attr_name))
+        else:  # inherited
+            ctx = inst.parent
+            if ctx is None:
+                raise EvaluationError(
+                    f"inherited {sym.name}.{attr_name} demanded at the root"
+                )
+            prod = self._production_of(ctx)
+            binding = self._bindings.get((prod.index, inst.position, attr_name))
+        if binding is None:
+            raise EvaluationError(
+                f"no semantic function defines {sym.name}.{attr_name} "
+                f"in production {prod.index} ({prod})"
+            )
+        value = self._eval_binding(ctx, binding)
+        self._memo[key] = value
+        return value
+
+    def _limb_value(self, inst: _Instance, attr_name: str) -> Any:
+        prod = self._production_of(inst)
+        key = (id(inst.tree), f"$limb.{attr_name}")
+        if key in self._memo:
+            value = self._memo[key]
+            if value is _IN_PROGRESS:
+                raise EvaluationError(
+                    f"circular limb attribute {prod.limb}.{attr_name} at run time"
+                )
+            return value
+        self._memo[key] = _IN_PROGRESS
+        binding = self._bindings.get((prod.index, LIMB_POSITION, attr_name))
+        if binding is None:
+            raise EvaluationError(
+                f"limb attribute {prod.limb}.{attr_name} is never defined"
+            )
+        value = self._eval_binding(inst, binding)
+        self._memo[key] = value
+        return value
+
+    def _eval_binding(self, ctx: _Instance, binding: Binding) -> Any:
+        def lookup(position: int, attr_name: str) -> Any:
+            if position == LHS_POSITION:
+                return self._value(ctx, attr_name)
+            if position == LIMB_POSITION:
+                return self._limb_value(ctx, attr_name)
+            child = _Instance(ctx.tree.children[position - 1], ctx, position)
+            return self._value(child, attr_name)
+
+        return eval_expr(
+            binding.expr, lookup, self.library.call, self.library.constant
+        )

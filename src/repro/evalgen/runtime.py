@@ -1,0 +1,195 @@
+"""Runtime services shared by generated and interpretive evaluators.
+
+One :class:`EvaluatorRuntime` serves one pass: it hands out nodes from
+the input spool (``GetNode``), collects them into the output spool
+(``PutNode``), resolves uninterpreted functions and constants against
+the function library, and charges the memory gauge so the §Intro
+48K-budget claim is measurable.  An optional trace records the
+get/eval/visit/put event stream (EXP-F2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.apt.node import APTNode
+from repro.apt.storage import Spool
+from repro.errors import EvaluationError
+from repro.util.iotrack import MemoryGauge
+from repro.util.lists import STANDARD_FUNCTIONS
+
+
+class FunctionLibrary:
+    """Resolution of uninterpreted function and constant identifiers.
+
+    §IV: "any identifier that is not a grammar symbol, attribute, or
+    attribute type is treated as an uninterpreted constant or function.
+    All … interpretation … is done by the compiler for the target
+    programming language" — here, by this library at run time.
+    Unresolved constants evaluate to their own name, so purely
+    structural grammars run without any library at all.
+    """
+
+    def __init__(self, functions: Optional[Dict[str, Callable[..., Any]]] = None,
+                 constants: Optional[Dict[str, Any]] = None,
+                 use_standard: bool = True):
+        self.functions: Dict[str, Callable[..., Any]] = {}
+        if use_standard:
+            self.functions.update(STANDARD_FUNCTIONS)
+        if functions:
+            self.functions.update(functions)
+        self.constants: Dict[str, Any] = dict(constants or {})
+
+    def call(self, name: str, *args: Any) -> Any:
+        fn = self.functions.get(name)
+        if fn is None:
+            raise EvaluationError(
+                f"no definition for external function {name!r} "
+                f"(supply it in the function library)"
+            )
+        return fn(*args)
+
+    def constant(self, name: str) -> Any:
+        return self.constants.get(name, name)
+
+
+class TraceEvent:
+    """One paradigm event, for golden-trace tests and EXP-F2."""
+
+    __slots__ = ("kind", "detail")
+
+    def __init__(self, kind: str, detail: str):
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"{self.kind} {self.detail}"
+
+    def __eq__(self, other):
+        if isinstance(other, TraceEvent):
+            return (self.kind, self.detail) == (other.kind, other.detail)
+        if isinstance(other, tuple):
+            return (self.kind, self.detail) == other
+        return NotImplemented
+
+
+class EvaluatorRuntime:
+    """Per-pass runtime: node I/O, library access, gauges, tracing."""
+
+    def __init__(
+        self,
+        reader: Iterator[Any],
+        output: Spool,
+        library: Optional[FunctionLibrary] = None,
+        gauge: Optional[MemoryGauge] = None,
+        trace: Optional[List[TraceEvent]] = None,
+    ):
+        self._reader = reader
+        self._output = output
+        self.library = library or FunctionLibrary()
+        self.gauge = gauge
+        self.trace = trace
+
+    # -- node I/O -----------------------------------------------------------
+
+    def get_node(self, expected_symbol: str) -> APTNode:
+        """Read the next node record; it must be an ``expected_symbol``."""
+        try:
+            record = next(self._reader)
+        except StopIteration:
+            raise EvaluationError(
+                f"APT input exhausted while expecting a {expected_symbol!r} node"
+            ) from None
+        symbol, production, attrs, is_limb = record
+        if symbol != expected_symbol:
+            raise EvaluationError(
+                f"APT input out of phase: expected {expected_symbol!r}, "
+                f"read {symbol!r} — the evaluator and the parser disagree "
+                "about the phrase structure"
+            )
+        node = APTNode(symbol, production, dict(attrs), is_limb)
+        if self.gauge is not None:
+            # Residency is charged at the record size read from disk; the
+            # matching release uses the same figure (values computed into
+            # the node during the visit live on the stack as temporaries
+            # in the generated code's accounting).
+            size = node.byte_size()
+            node.__dict__["_resident_bytes"] = size
+            self.gauge.acquire(size)
+        if self.trace is not None:
+            self.trace.append(TraceEvent("get", symbol))
+        return node
+
+    def put_node(self, node: APTNode, fields: Optional[List[str]] = None) -> None:
+        """Write a node to the output file, keeping only ``fields`` (the
+        deadness analysis decides which instances are still alive)."""
+        if fields is None:
+            attrs = node.attrs
+        else:
+            attrs = {k: node.attrs[k] for k in fields if k in node.attrs}
+        self._output.append((node.symbol, node.production, attrs, node.is_limb))
+        if self.gauge is not None:
+            self.gauge.release(node.__dict__.get("_resident_bytes", 0))
+        if self.trace is not None:
+            self.trace.append(TraceEvent("put", node.symbol))
+
+    def at_end(self) -> bool:
+        """True when the input spool is exhausted."""
+        sentinel = object()
+        nxt = next(self._reader, sentinel)
+        if nxt is sentinel:
+            return True
+        # Put it back by chaining.
+        import itertools
+
+        self._reader = itertools.chain([nxt], self._reader)
+        return False
+
+    # -- semantic-function services ------------------------------------------
+
+    def call(self, name: str, *args: Any) -> Any:
+        result = self.library.call(name, *args)
+        return result
+
+    def constant(self, name: str) -> Any:
+        return self.library.constant(name)
+
+    @staticmethod
+    def div(a: Any, b: Any) -> Any:
+        """The DIV operator: integer division on ints, / otherwise."""
+        if isinstance(a, int) and isinstance(b, int):
+            return a // b
+        return a / b
+
+    def note_eval(self, detail: str) -> None:
+        if self.trace is not None:
+            self.trace.append(TraceEvent("eval", detail))
+
+    def note_visit(self, detail: str) -> None:
+        if self.trace is not None:
+            self.trace.append(TraceEvent("visit", detail))
+
+
+class EvaluationResult:
+    """Outcome of a full multi-pass evaluation: the root's attributes
+    (the translation result lives in the root's synthesized
+    attribute-instances, §I) plus bookkeeping."""
+
+    def __init__(self, root_attrs: Dict[str, Any], n_passes: int):
+        self.root_attrs = dict(root_attrs)
+        self.n_passes = n_passes
+
+    def __getitem__(self, attr: str) -> Any:
+        try:
+            return self.root_attrs[attr]
+        except KeyError:
+            raise EvaluationError(
+                f"root has no evaluated attribute {attr!r}; "
+                f"available: {sorted(self.root_attrs)}"
+            ) from None
+
+    def __contains__(self, attr: str) -> bool:
+        return attr in self.root_attrs
+
+    def __repr__(self) -> str:
+        return f"EvaluationResult({self.root_attrs!r}, passes={self.n_passes})"

@@ -1,0 +1,133 @@
+"""Semantic analysis of a parsed ``.ag`` file.
+
+Builds the dictionary of symbols, attributes, productions and semantic
+functions (the work of LINGUIST-86's overlays 2 and 3), resolving the
+paper's occurrence-name convention — trailing digits distinguish
+occurrences of one symbol (``function$list0``/``function$list1``) — and
+then runs the shared validator, which inserts the implicit copy-rules.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.ag.model import AttrKind, AttributeGrammar, SymbolKind
+from repro.ag.validate import RawFunction, validate_grammar
+from repro.errors import DiagnosticSink, SemanticError
+from repro.frontend.astnodes import AGFile
+from repro.frontend.syntax import parse_ag_text
+
+_KIND_MAP = {
+    "nonterminal": SymbolKind.NONTERMINAL,
+    "terminal": SymbolKind.TERMINAL,
+    "limb": SymbolKind.LIMB,
+}
+
+_ATTR_KIND_MAP = {
+    "inherited": AttrKind.INHERITED,
+    "synthesized": AttrKind.SYNTHESIZED,
+    "intrinsic": AttrKind.INTRINSIC,
+    "local": AttrKind.LOCAL,
+}
+
+_SUFFIX = re.compile(r"\d+$")
+
+
+def strip_occurrence_suffix(name: str, declared: Dict[str, object]) -> str:
+    """Resolve an occurrence spelling to its declared symbol.
+
+    Exact matches win (so symbols may legitimately end in a digit);
+    otherwise trailing digits are stripped, per the paper's
+    ``S0``/``S1`` convention.
+    """
+    if name in declared:
+        return name
+    base = _SUFFIX.sub("", name)
+    return base if base in declared else name
+
+
+def analyze(ag_file: AGFile, sink: Optional[DiagnosticSink] = None) -> AttributeGrammar:
+    """Build and validate the attribute grammar; raise on errors."""
+    own_sink = sink if sink is not None else DiagnosticSink()
+    ag = AttributeGrammar(ag_file.name, ag_file.start)
+    ag.source_lines = ag_file.source_lines
+
+    for decl in ag_file.symdecls:
+        kind = _KIND_MAP[decl.kind]
+        for name in decl.names:
+            try:
+                ag.add_symbol(name, kind)
+            except SemanticError as exc:
+                own_sink.error(str(exc), decl.location)
+
+    for decl in ag_file.attrdecls:
+        sym = ag.symbols.get(decl.symbol)
+        if sym is None:
+            own_sink.error(
+                f"attributes declared for unknown symbol {decl.symbol!r}",
+                decl.location,
+            )
+            continue
+        for kind_kw, attr_name, type_name in decl.specs:
+            try:
+                sym.add_attribute(attr_name, _ATTR_KIND_MAP[kind_kw], type_name)
+            except SemanticError as exc:
+                own_sink.error(str(exc), decl.location)
+
+    if own_sink.has_errors:
+        own_sink.raise_if_errors(SemanticError)
+
+    raw_functions: Dict[int, List[RawFunction]] = {}
+    for pd in ag_file.prods:
+        lhs = strip_occurrence_suffix(pd.lhs, ag.symbols)
+        rhs = [strip_occurrence_suffix(s, ag.symbols) for s in pd.rhs]
+        missing = [
+            s for s, base in zip([pd.lhs] + pd.rhs, [lhs] + rhs)
+            if base not in ag.symbols
+        ]
+        if missing:
+            own_sink.error(
+                "production uses undeclared symbol(s): " + ", ".join(missing),
+                pd.location,
+            )
+            continue
+        try:
+            prod = ag.add_production(lhs, rhs, pd.limb, pd.location)
+        except SemanticError as exc:
+            own_sink.error(str(exc), pd.location)
+            continue
+        # The spellings in the header must agree with the canonical
+        # occurrence names (LHS counts as occurrence 0).
+        written = [pd.lhs] + list(pd.rhs)
+        canonical = [occ.name for occ in prod.occurrences if occ.position >= 0]
+        canonical = [prod.occurrence_at(0).name] + [
+            prod.occurrence_at(i).name for i in prod.rhs_positions()
+        ]
+        for given, expect in zip(written, canonical):
+            if given != expect and strip_occurrence_suffix(given, ag.symbols) != given:
+                # A suffixed spelling must match the canonical numbering.
+                if given != expect:
+                    own_sink.error(
+                        f"occurrence {given!r} does not follow the numbering "
+                        f"convention; expected {expect!r} "
+                        f"(occurrences are numbered left to right, LHS first)",
+                        pd.location,
+                    )
+        raw_functions[prod.index] = [
+            RawFunction(list(fd.targets), fd.expr, fd.location) for fd in pd.funcs
+        ]
+
+    if own_sink.has_errors:
+        own_sink.raise_if_errors(SemanticError)
+
+    validate_grammar(ag, raw_functions, own_sink)
+    if sink is None:
+        own_sink.raise_if_errors(SemanticError)
+    return ag
+
+
+def load_grammar(text: str, filename: str = "<input>",
+                 sink: Optional[DiagnosticSink] = None) -> AttributeGrammar:
+    """Parse and analyze ``.ag`` source text in one step."""
+    return analyze(parse_ag_text(text, filename), sink)

@@ -1,0 +1,57 @@
+"""Parse-level AST of an ``.ag`` file (before semantic analysis)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.ag.expr import Expr
+from repro.errors import SourceLocation, NOWHERE
+
+
+@dataclass
+class FuncDecl:
+    """One semantic function as written: targets are (occ-name, attr-name)
+    pairs, occ-name empty for bare limb-attribute targets."""
+
+    targets: List[Tuple[str, str]]
+    expr: Expr
+    location: SourceLocation = NOWHERE
+
+
+@dataclass
+class ProdDecl:
+    """One production as written (occurrence names still suffixed)."""
+
+    lhs: str
+    rhs: List[str]
+    limb: str
+    funcs: List[FuncDecl]
+    location: SourceLocation = NOWHERE
+
+
+@dataclass
+class SymDecl:
+    kind: str  # "nonterminal" | "terminal" | "limb"
+    names: List[str]
+    location: SourceLocation = NOWHERE
+
+
+@dataclass
+class AttrDecl:
+    symbol: str
+    #: (kind keyword, attribute name, type name) triples.
+    specs: List[Tuple[str, str, str]]
+    location: SourceLocation = NOWHERE
+
+
+@dataclass
+class AGFile:
+    """A parsed ``.ag`` file."""
+
+    name: str
+    start: str
+    symdecls: List[SymDecl] = field(default_factory=list)
+    attrdecls: List[AttrDecl] = field(default_factory=list)
+    prods: List[ProdDecl] = field(default_factory=list)
+    source_lines: int = 0

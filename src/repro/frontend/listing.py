@@ -1,0 +1,67 @@
+"""Listing generation (LINGUIST-86's overlay 6).
+
+The listing interleaves the source with diagnostics, shows each
+production's semantic functions with "each implicit copy-rule …
+listed immediately after all of the explicit semantic functions"
+(§IV), and appends the grammar statistics and the evaluability report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ag.model import AttributeGrammar
+from repro.ag.stats import compute_statistics
+from repro.errors import DiagnosticSink
+from repro.passes.partition import PassAssignment
+from repro.passes.report import render_pass_report
+
+
+def render_listing(
+    source: str,
+    ag: AttributeGrammar,
+    sink: Optional[DiagnosticSink] = None,
+    assignment: Optional[PassAssignment] = None,
+) -> str:
+    lines: List[str] = []
+    lines.append(f"*** listing for attribute grammar {ag.name!r} ***")
+    lines.append("")
+
+    by_line = {}
+    if sink is not None:
+        for diag in sink.sorted_by_location():
+            by_line.setdefault(diag.location.line, []).append(diag)
+
+    for i, text in enumerate(source.splitlines(), start=1):
+        lines.append(f"{i:5d}  {text}")
+        for diag in by_line.get(i, []):
+            lines.append(f"       ^ {diag.severity.value}: {diag.message}")
+    for diag in by_line.get(0, []):
+        lines.append(f"       * {diag.severity.value}: {diag.message}")
+
+    lines.append("")
+    lines.append("*** productions with semantic functions ***")
+
+    def pass_note(func) -> str:
+        # The paper's listings annotate each function with "# pass N".
+        return f"   # pass {func.pass_number}" if func.pass_number else ""
+
+    for prod in ag.productions:
+        lines.append("")
+        lines.append(str(prod))
+        explicit = [f for f in prod.functions if not f.implicit]
+        implicit = [f for f in prod.functions if f.implicit]
+        for func in explicit:
+            lines.append(f"    {func}{pass_note(func)}")
+        for func in implicit:
+            lines.append(f"    {func}   # implicit copy-rule{pass_note(func)}")
+
+    lines.append("")
+    stats = compute_statistics(
+        ag, n_passes=assignment.n_passes if assignment else 0
+    )
+    lines.append(stats.render())
+    if assignment is not None:
+        lines.append("")
+        lines.append(render_pass_report(assignment))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,54 @@
+"""Shipped attribute grammars (``.ag`` sources) and their libraries.
+
+* ``binary.ag`` — Knuth's binary-number grammar (the field's canonical
+  first example; two alternating passes).
+* ``calc.ag`` — a desk-calculator language with let-bindings (an
+  environment threads left to right, so the R-to-L first pass forces a
+  second pass).
+* ``pascal.ag`` — the Pascal-subset front end (type checking, scope
+  analysis, stack-code synthesis): the paper's second workload.
+* ``asm.ag`` — an assembler with forward label references (three
+  alternating passes; also built programmatically in
+  ``examples/assembler.py``).
+* ``linguist.ag`` — the self-description: the LINGUIST input language
+  as an attribute grammar computing its own dictionary (§Intro:
+  "LINGUIST-86 is itself written as an 1800 line attribute grammar and
+  is self-generating").
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.evalgen.runtime import FunctionLibrary
+
+_HERE = os.path.dirname(__file__)
+
+GRAMMAR_NAMES = ["binary", "calc", "pascal", "asm", "linguist"]
+
+
+def source_path(name: str) -> str:
+    path = os.path.join(_HERE, f"{name}.ag")
+    if not os.path.exists(path):
+        raise KeyError(f"no shipped grammar {name!r}; have {GRAMMAR_NAMES}")
+    return path
+
+
+def load_source(name: str) -> str:
+    """The ``.ag`` source text of a shipped grammar."""
+    with open(source_path(name), "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def library_for(name: str) -> FunctionLibrary:
+    """The function library a shipped grammar's evaluators need."""
+    if name == "pascal":
+        from repro.grammars.pascal_lib import PASCAL_FUNCTIONS, PASCAL_CONSTANTS
+
+        return FunctionLibrary(PASCAL_FUNCTIONS, PASCAL_CONSTANTS)
+    if name == "linguist":
+        from repro.grammars.linguist_lib import LINGUIST_FUNCTIONS
+
+        return FunctionLibrary(LINGUIST_FUNCTIONS)
+    return FunctionLibrary()

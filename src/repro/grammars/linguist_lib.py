@@ -1,0 +1,56 @@
+"""External function library for ``linguist.ag`` (the self-description).
+
+These are the helpers the self-generated evaluator links against —
+the role the name-table and list-processing packages play in §V.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict
+
+from repro.util.lists import Sequence, SetList
+
+_SUFFIX = re.compile(r"\d+$")
+
+
+def strip_suffix(name: str) -> str:
+    """Occurrence spelling -> symbol name (``function$list1`` -> ``function$list``)."""
+    return _SUFFIX.sub("", name)
+
+
+def _make_syms(names: Any, kind: str) -> SetList:
+    out = SetList.empty()
+    for name in names or ():
+        out = out.add((name, kind))
+    return out
+
+
+def _has_symbol(syms: Any, spelling: str) -> bool:
+    """Is ``spelling`` (suffixes stripped) a declared symbol?"""
+    if syms is None:
+        return False
+    base = spelling if any(n == spelling for n, _ in syms) else strip_suffix(spelling)
+    return any(n == base for n, _ in syms)
+
+
+def _count_attrs(attrs_pf: Any, spelling: str) -> int:
+    """Declared attribute count of the symbol an occurrence names."""
+    from repro.util.lists import BOTTOM, PartialFunction
+
+    if not isinstance(attrs_pf, PartialFunction):
+        return 0
+    n = attrs_pf.lookup(spelling)
+    if n is BOTTOM:
+        n = attrs_pf.lookup(strip_suffix(spelling))
+    return 0 if n is BOTTOM else n
+
+
+LINGUIST_FUNCTIONS: Dict[str, Any] = {
+    "CountAttrs": _count_attrs,
+    "MakeSyms": _make_syms,
+    "HasSymbol": _has_symbol,
+    "StripSuffix": strip_suffix,
+    "Spec3": lambda a, b, c: (a, b, c),
+    "Report3": lambda a, b, c: (a, b, c),
+}

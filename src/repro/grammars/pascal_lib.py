@@ -1,0 +1,144 @@
+"""External function library for ``pascal.ag``.
+
+LINGUIST-86 leaves every non-grammar identifier uninterpreted (§IV);
+these are the definitions the generated Pascal-subset front end links
+against, analogous to the hand-written support packages of §V.
+Type names (``int$t`` …) stay uninterpreted constants — their value is
+their own spelling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.util.lists import BOTTOM, CatSeq, PartialFunction, Sequence, SetList
+
+INT_T = "int$t"
+BOOL_T = "bool$t"
+ERR_T = "err$t"
+
+
+def _seq(*items: Any) -> Sequence:
+    return Sequence.from_iterable(items)
+
+
+def _as_seq(x: Any) -> Any:
+    if isinstance(x, (Sequence, CatSeq)):
+        return x
+    return Sequence.from_iterable(x or ())
+
+
+def _is_bottom(x: Any) -> bool:
+    return x is BOTTOM
+
+
+def _bad_operand(t: Any, expected: str) -> bool:
+    """An operand is *bad* when it is neither the expected type nor the
+    error type (errors propagate silently to avoid message cascades)."""
+    return t not in (expected, ERR_T)
+
+
+def _bad_arith(a: Any, b: Any) -> bool:
+    return _bad_operand(a, INT_T) or _bad_operand(b, INT_T)
+
+
+def _arith_type(a: Any, b: Any) -> str:
+    return INT_T if (a == INT_T and b == INT_T) else ERR_T
+
+
+def _bad_bool(a: Any, b: Any) -> bool:
+    return _bad_operand(a, BOOL_T) or _bad_operand(b, BOOL_T)
+
+
+def _bool_type(a: Any, b: Any) -> str:
+    return BOOL_T if (a == BOOL_T and b == BOOL_T) else ERR_T
+
+
+def _bad_cmp(a: Any, b: Any) -> bool:
+    """Comparison operands must agree (errors tolerated)."""
+    return a != b and ERR_T not in (a, b)
+
+
+def _cmp_type(a: Any, b: Any) -> str:
+    return BOOL_T if (a == b and a != ERR_T) else ERR_T
+
+
+def _types_differ(a: Any, b: Any) -> bool:
+    return a != b and ERR_T not in (a, b) and not _is_bottom(a)
+
+
+def _join_pf(a: PartialFunction, b: PartialFunction) -> PartialFunction:
+    out = a if isinstance(a, PartialFunction) else PartialFunction.empty()
+    if isinstance(b, PartialFunction):
+        for k, v in b.items():
+            out = out.bind(k, v)
+    return out
+
+
+def _make_defs(names: Sequence, type_name: str) -> PartialFunction:
+    pf = PartialFunction.empty()
+    for name in _as_seq(names):
+        pf = pf.bind(name, type_name)
+    return pf
+
+
+def _dup_msgs(new_defs: PartialFunction, old_defs: PartialFunction, line: int) -> Sequence:
+    msgs = Sequence.empty()
+    for name, _ in new_defs.items():
+        if old_defs.is_bound(name):
+            msgs = msgs.cons((line, "variable declared twice", name))
+    return msgs.reverse()
+
+
+def _gen(op: str) -> Sequence:
+    return _seq(op)
+
+
+def _gen1(op: str, arg: Any) -> Sequence:
+    return _seq(f"{op} {arg}")
+
+
+def _gen_label(n: int) -> Sequence:
+    return _seq(f"L{n}:")
+
+
+def _gen_jump(op: str, n: int) -> Sequence:
+    return _seq(f"{op} L{n}")
+
+
+def _cat(*parts: Any) -> Sequence:
+    out = Sequence.empty()
+    for part in reversed(parts):
+        out = _as_seq(part).append(out)
+    return out
+
+
+PASCAL_FUNCTIONS: Dict[str, Any] = {
+    "IsBottom": _is_bottom,
+    "BadArith": _bad_arith,
+    "ArithType": _arith_type,
+    "BadBool": _bad_bool,
+    "BoolType": _bool_type,
+    "BadCmp": _bad_cmp,
+    "CmpType": _cmp_type,
+    "TypesDiffer": _types_differ,
+    "JoinPF": _join_pf,
+    "MakeDefs": _make_defs,
+    "DupMsgs": _dup_msgs,
+    "Gen": _gen,
+    "Gen1": _gen1,
+    "GenLabel": _gen_label,
+    "GenJump": _gen_jump,
+    "cat2": lambda a, b: _cat(a, b),
+    "cat3": lambda a, b, c: _cat(a, b, c),
+    "cat4": lambda a, b, c, d: _cat(a, b, c, d),
+    "cat5": lambda a, b, c, d, e: _cat(a, b, c, d, e),
+    "cat6": lambda a, b, c, d, e, f: _cat(a, b, c, d, e, f),
+    "cat7": lambda a, b, c, d, e, f, g: _cat(a, b, c, d, e, f, g),
+}
+
+PASCAL_CONSTANTS: Dict[str, Any] = {
+    "int$t": INT_T,
+    "bool$t": BOOL_T,
+    "err$t": ERR_T,
+}

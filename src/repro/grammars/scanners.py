@@ -1,0 +1,81 @@
+"""Scanner specs for the described languages of the shipped grammars.
+
+§V: the scanner generator is a separate program fed "a set of regular
+expressions"; these are those inputs, one per shipped grammar.
+"""
+
+from __future__ import annotations
+
+from repro.regex.generator import ScannerSpec
+
+
+def binary_scanner_spec() -> ScannerSpec:
+    spec = ScannerSpec()
+    spec.rule("WS", r"[ \t\r\n]+", skip=True)
+    spec.rule("ZERO", "0")
+    spec.rule("ONE", "1")
+    spec.rule("RADIX", r"\.")
+    return spec
+
+
+def calc_scanner_spec() -> ScannerSpec:
+    spec = ScannerSpec()
+    spec.rule("WS", r"[ \t\r\n]+", skip=True)
+    spec.rule("COMMENT", r"#[^\n]*", skip=True)
+    spec.rule("ID", r"[a-zA-Z][a-zA-Z0-9_]*", intern=True)
+    spec.rule("NUM", r"\d+")
+    spec.rule("ASSIGN", "=")
+    spec.rule("PLUS", r"\+")
+    spec.rule("MINUS", r"\-")
+    spec.rule("STAR", r"\*")
+    spec.rule("LPAR", r"\(")
+    spec.rule("RPAR", r"\)")
+    spec.rule("SEMI", ";")
+    spec.keyword_kinds = {"ID"}
+    spec.keywords["let"] = "LET"
+    spec.keywords["print"] = "PRINT"
+    return spec
+
+
+def pascal_scanner_spec() -> ScannerSpec:
+    spec = ScannerSpec()
+    spec.rule("WS", r"[ \t\r\n]+", skip=True)
+    spec.rule("COMMENT", r"\{[^}]*}", skip=True)
+    spec.rule("ID", r"[a-zA-Z][a-zA-Z0-9_]*", intern=True)
+    spec.rule("NUM", r"\d+")
+    spec.rule("ASSIGN", ":=")
+    spec.rule("NE", "<>")
+    spec.rule("LE", "<=")
+    spec.rule("GE", ">=")
+    spec.rule("LT", "<")
+    spec.rule("GT", ">")
+    spec.rule("EQ", "=")
+    spec.rule("PLUS", r"\+")
+    spec.rule("MINUS", r"\-")
+    spec.rule("STAR", r"\*")
+    spec.rule("LPAR", r"\(")
+    spec.rule("RPAR", r"\)")
+    spec.rule("SEMI", ";")
+    spec.rule("COLON", ":")
+    spec.rule("COMMA", ",")
+    spec.rule("PERIOD", r"\.")
+    spec.keyword_kinds = {"ID"}
+    for kw in (
+        "program", "var", "integer", "boolean", "begin", "end", "if",
+        "then", "else", "while", "do", "repeat", "until", "for", "to",
+        "writeln", "true", "false", "and", "or", "not", "div",
+    ):
+        spec.keywords[kw] = kw.upper()
+    return spec
+
+
+def asm_scanner_spec() -> ScannerSpec:
+    spec = ScannerSpec()
+    spec.rule("WS", r"[ \t\r\n]+", skip=True)
+    spec.rule("COMMENT", r";[^\n]*", skip=True)
+    spec.rule("LABEL", r"[a-z][a-z0-9]*:", intern=True)
+    spec.rule("ID", r"[a-z][a-z0-9]*", intern=True)
+    spec.rule("NUM", r"\d+")
+    spec.keyword_kinds = {"ID"}
+    spec.keywords.update({"add": "ADD", "jmp": "JMP", "halt": "HALT"})
+    return spec

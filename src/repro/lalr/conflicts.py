@@ -1,0 +1,24 @@
+"""Human-readable conflict reports for the LALR table builder."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lalr.lr0 import LR0Automaton
+
+
+def format_conflicts(tables, automaton: Optional[LR0Automaton] = None) -> str:
+    """Render every conflict in ``tables`` with its state's items."""
+    lines = []
+    seen_states = set()
+    for c in tables.conflicts:
+        lines.append(
+            f"{c.kind} conflict in state {c.state} on {c.terminal!r}: "
+            f"{c.existing} vs {c.incoming}"
+        )
+        for item in c.items:
+            lines.append(f"    via item: {item}")
+        if automaton is not None and c.state not in seen_states:
+            seen_states.add(c.state)
+            lines.append(automaton.render_state(c.state))
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Context-free grammar model with nullable / FIRST / FOLLOW analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GrammarError
+
+#: The end-of-input terminal (matches the scanner's EOF token kind).
+EOF_SYMBOL = "$eof"
+
+#: Name given to the augmented start symbol.
+AUGMENTED_START = "$accept"
+
+
+@dataclass(frozen=True)
+class Production:
+    """One production ``lhs -> rhs``; ``tag`` names it (the limb name)."""
+
+    index: int
+    lhs: str
+    rhs: Tuple[str, ...]
+    tag: str = ""
+
+    def __str__(self) -> str:
+        rhs = " ".join(self.rhs) if self.rhs else "ε"
+        label = f"  [{self.tag}]" if self.tag else ""
+        return f"{self.lhs} -> {rhs}{label}"
+
+    def __len__(self) -> int:
+        return len(self.rhs)
+
+
+class Grammar:
+    """A context-free grammar, augmented on construction.
+
+    Production 0 is always ``$accept -> start $eof``.  Terminals are the
+    symbols that never appear on a left-hand side unless explicitly
+    declared; declaring them up front catches misspelled nonterminals.
+    """
+
+    def __init__(
+        self,
+        start: str,
+        productions: Iterable[Tuple[str, Sequence[str], str]],
+        terminals: Optional[Iterable[str]] = None,
+    ):
+        plist = list(productions)
+        if not plist:
+            raise GrammarError("grammar has no productions")
+        self.start = start
+        self.productions: List[Production] = [
+            Production(0, AUGMENTED_START, (start, EOF_SYMBOL), "$accept")
+        ]
+        for lhs, rhs, tag in plist:
+            self.productions.append(
+                Production(len(self.productions), lhs, tuple(rhs), tag)
+            )
+
+        self.nonterminals: Set[str] = {p.lhs for p in self.productions}
+        mentioned: Set[str] = set()
+        for p in self.productions:
+            mentioned.update(p.rhs)
+        inferred_terminals = (mentioned - self.nonterminals) | {EOF_SYMBOL}
+        if terminals is not None:
+            declared = set(terminals) | {EOF_SYMBOL}
+            bad = inferred_terminals - declared
+            if bad:
+                raise GrammarError(
+                    "symbols used but neither defined nor declared terminal: "
+                    + ", ".join(sorted(bad))
+                )
+            extra_nt = declared & self.nonterminals
+            if extra_nt - {EOF_SYMBOL}:
+                raise GrammarError(
+                    "symbols declared terminal but defined by productions: "
+                    + ", ".join(sorted(extra_nt))
+                )
+            self.terminals = declared
+        else:
+            self.terminals = inferred_terminals
+
+        if start not in self.nonterminals:
+            raise GrammarError(f"start symbol {start!r} has no productions")
+
+        self._by_lhs: Dict[str, List[Production]] = {}
+        for p in self.productions:
+            self._by_lhs.setdefault(p.lhs, []).append(p)
+
+        self._check_reachability()
+        self.nullable: Set[str] = self._compute_nullable()
+        self.first: Dict[str, Set[str]] = self._compute_first()
+        self.follow: Dict[str, Set[str]] = self._compute_follow()
+
+    # ------------------------------------------------------------------
+
+    def productions_of(self, nonterminal: str) -> List[Production]:
+        return self._by_lhs.get(nonterminal, [])
+
+    def is_terminal(self, symbol: str) -> bool:
+        return symbol in self.terminals
+
+    def symbols(self) -> Set[str]:
+        return self.terminals | self.nonterminals
+
+    # ------------------------------------------------------------------
+
+    def _check_reachability(self) -> None:
+        reached = {AUGMENTED_START}
+        work = [AUGMENTED_START]
+        while work:
+            sym = work.pop()
+            for p in self.productions_of(sym):
+                for s in p.rhs:
+                    if s not in reached:
+                        reached.add(s)
+                        if s in self.nonterminals:
+                            work.append(s)
+        unreachable = self.nonterminals - reached
+        if unreachable:
+            raise GrammarError(
+                "unreachable nonterminals: " + ", ".join(sorted(unreachable))
+            )
+
+    def _compute_nullable(self) -> Set[str]:
+        nullable: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for p in self.productions:
+                if p.lhs in nullable:
+                    continue
+                if all(s in nullable for s in p.rhs):
+                    nullable.add(p.lhs)
+                    changed = True
+        return nullable
+
+    def _compute_first(self) -> Dict[str, Set[str]]:
+        first: Dict[str, Set[str]] = {t: {t} for t in self.terminals}
+        for nt in self.nonterminals:
+            first[nt] = set()
+        changed = True
+        while changed:
+            changed = False
+            for p in self.productions:
+                target = first[p.lhs]
+                before = len(target)
+                for s in p.rhs:
+                    target.update(first[s])
+                    if s not in self.nullable:
+                        break
+                if len(target) != before:
+                    changed = True
+        return first
+
+    def first_of_sequence(self, seq: Sequence[str], lookahead: Optional[Set[str]] = None) -> Set[str]:
+        """FIRST of ``seq`` followed (if all nullable) by ``lookahead``."""
+        out: Set[str] = set()
+        for s in seq:
+            out.update(self.first[s])
+            if s not in self.nullable:
+                return out
+        if lookahead:
+            out.update(lookahead)
+        return out
+
+    def sequence_nullable(self, seq: Sequence[str]) -> bool:
+        return all(s in self.nullable for s in seq)
+
+    def _compute_follow(self) -> Dict[str, Set[str]]:
+        follow: Dict[str, Set[str]] = {nt: set() for nt in self.nonterminals}
+        changed = True
+        while changed:
+            changed = False
+            for p in self.productions:
+                for i, s in enumerate(p.rhs):
+                    if s not in self.nonterminals:
+                        continue
+                    rest = p.rhs[i + 1 :]
+                    target = follow[s]
+                    before = len(target)
+                    target.update(self.first_of_sequence(rest))
+                    if self.sequence_nullable(rest):
+                        target.update(follow[p.lhs])
+                    if len(target) != before:
+                        changed = True
+        return follow
+
+    def __str__(self) -> str:
+        return "\n".join(str(p) for p in self.productions)

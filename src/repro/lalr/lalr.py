@@ -1,0 +1,130 @@
+"""LALR(1) lookahead computation.
+
+We use the classic spontaneous-generation / propagation algorithm
+(Aho–Sethi–Ullman §4.7.5): probe each kernel item with a dummy
+lookahead ``#`` through an LR(1) closure; lookaheads that emerge as
+concrete terminals are *spontaneous*, and wherever ``#`` itself emerges
+the lookahead *propagates* from the probed item.  Iterate propagation
+to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.lalr.grammar import EOF_SYMBOL, Grammar
+from repro.lalr.lr0 import Item, LR0Automaton
+
+#: The dummy probe lookahead.
+HASH = "#"
+
+
+def _lr1_closure(
+    grammar: Grammar, seed: List[Tuple[Item, str]]
+) -> Set[Tuple[Item, str]]:
+    """LR(1) closure of ``seed`` items with lookaheads (``#`` allowed)."""
+    out: Set[Tuple[Item, str]] = set(seed)
+    work = list(seed)
+    while work:
+        item, la = work.pop()
+        sym = item.next_symbol(grammar)
+        if not sym or sym not in grammar.nonterminals:
+            continue
+        p = grammar.productions[item.prod]
+        rest = p.rhs[item.dot + 1 :]
+        lookaheads = grammar.first_of_sequence(rest, {la})
+        for q in grammar.productions_of(sym):
+            for b in lookaheads:
+                entry = (Item(q.index, 0), b)
+                if entry not in out:
+                    out.add(entry)
+                    work.append(entry)
+    return out
+
+
+def compute_lalr_lookaheads(automaton: LR0Automaton) -> Dict[Tuple[int, Item], Set[str]]:
+    """Return LALR(1) lookahead sets for every (state, kernel item).
+
+    Keys cover exactly the kernel items of every state; the lookahead of
+    a non-kernel completed item is recovered by closing its state (see
+    :func:`expand_to_completed`).
+    """
+    g = automaton.grammar
+    lookaheads: Dict[Tuple[int, Item], Set[str]] = {}
+    propagate: Dict[Tuple[int, Item], Set[Tuple[int, Item]]] = {}
+
+    for state, kernel in enumerate(automaton.kernels):
+        for item in kernel:
+            lookaheads.setdefault((state, item), set())
+
+    # The start item sees end-of-input.  (Production 0 already embeds
+    # $eof in its RHS, but seeding is still harmless and keeps the
+    # accept action well-defined.)
+    lookaheads[(0, Item(0, 0))].add(EOF_SYMBOL)
+
+    # Determine spontaneous lookaheads and the propagation graph.
+    for state, kernel in enumerate(automaton.kernels):
+        for item in kernel:
+            probe = _lr1_closure(g, [(item, HASH)])
+            for closed_item, la in probe:
+                sym = closed_item.next_symbol(g)
+                if not sym:
+                    continue
+                target_state = automaton.goto.get((state, sym))
+                if target_state is None:
+                    continue
+                target_item = closed_item.advanced()
+                key = (target_state, target_item)
+                if la == HASH:
+                    propagate.setdefault((state, item), set()).add(key)
+                else:
+                    lookaheads.setdefault(key, set()).add(la)
+
+    # Propagate to fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for src, targets in propagate.items():
+            src_las = lookaheads.get(src, set())
+            if not src_las:
+                continue
+            for tgt in targets:
+                tgt_las = lookaheads.setdefault(tgt, set())
+                before = len(tgt_las)
+                tgt_las.update(src_las)
+                if len(tgt_las) != before:
+                    changed = True
+    return lookaheads
+
+
+def expand_to_completed(
+    automaton: LR0Automaton,
+    kernel_lookaheads: Dict[Tuple[int, Item], Set[str]],
+) -> Dict[Tuple[int, Item], Set[str]]:
+    """Lookahead sets for every *completed* item of every state.
+
+    A completed non-kernel item ``A -> ·`` (empty production) inherits
+    the lookaheads that reach it through the LR(1) closure of its
+    state's kernel items.
+    """
+    g = automaton.grammar
+    out: Dict[Tuple[int, Item], Set[str]] = {}
+    for state in range(automaton.n_states()):
+        completed = automaton.completed_items(state)
+        if not completed:
+            continue
+        kernel_completed = [i for i in completed if i in automaton.kernels[state]]
+        for item in kernel_completed:
+            out[(state, item)] = set(kernel_lookaheads.get((state, item), set()))
+        nonkernel = [i for i in completed if i not in automaton.kernels[state]]
+        if nonkernel:
+            seed: List[Tuple[Item, str]] = []
+            for kitem in automaton.kernels[state]:
+                for la in kernel_lookaheads.get((state, kitem), set()):
+                    seed.append((kitem, la))
+            closure = _lr1_closure(g, seed)
+            for item in nonkernel:
+                las = {la for it, la in closure if it == item and la != HASH}
+                out[(state, item)] = las
+    return out

@@ -1,0 +1,150 @@
+"""Table-driven shift-reduce parser.
+
+The parser interprets :class:`~repro.lalr.tables.ParseTables` over a
+token stream.  It reports events through a listener so the APT builder
+can emit tree nodes **in bottom-up order** — exactly the paper's first
+linearization strategy ("for the parser to emit tree nodes in bottom-up
+order … the first attribute evaluation pass is right-to-left").  A
+generic :class:`ParseTreeNode` builder is provided for tests and for
+the prefix-emission strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import ParseError
+from repro.lalr.grammar import EOF_SYMBOL, Grammar, Production
+from repro.lalr.tables import Action, ActionKind, ParseTables
+from repro.regex.scanner import Token
+
+
+@dataclass
+class ParseTreeNode:
+    """A generic concrete-syntax tree node."""
+
+    symbol: str
+    production: Optional[Production] = None  # None for terminal leaves
+    token: Optional[Token] = None
+    children: List["ParseTreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.production is None
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.is_leaf:
+            text = self.token.text if self.token else ""
+            return f"{pad}{self.symbol} {text!r}"
+        lines = [f"{pad}{self.symbol}  [{self.production.tag or self.production.index}]"]
+        lines.extend(child.pretty(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def leaves(self) -> Iterable["ParseTreeNode"]:
+        if self.is_leaf:
+            yield self
+            return
+        for child in self.children:
+            yield from child.leaves()
+
+
+class ParseListener:
+    """Receives shift/reduce events during parsing.
+
+    ``on_shift`` fires for every terminal consumed; ``on_reduce`` fires
+    for every production applied, in bottom-up order — together these
+    form the right-parse the first evaluation pass consumes.
+    """
+
+    def on_shift(self, token: Token) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_reduce(self, production: Production) -> None:  # pragma: no cover
+        pass
+
+
+class LALRParser:
+    """Interprets LALR parse tables over a scanner's token stream."""
+
+    def __init__(self, tables: ParseTables):
+        self.tables = tables
+        self.grammar: Grammar = tables.grammar
+
+    def parse(
+        self,
+        tokens: Iterable[Token],
+        listener: Optional[ParseListener] = None,
+        build_tree: bool = True,
+    ) -> Optional[ParseTreeNode]:
+        """Parse ``tokens``; return the tree root (or None if not built).
+
+        ``tokens`` must end with a token whose kind is ``$eof`` (the
+        scanner emits one).  Raises :class:`ParseError` on syntax errors
+        with the set of expected terminals.
+        """
+        state_stack: List[int] = [0]
+        node_stack: List[Optional[ParseTreeNode]] = []
+        stream = iter(tokens)
+        token = next(stream, None)
+        if token is None:
+            token = Token(EOF_SYMBOL, "", _loc())
+        while True:
+            state = state_stack[-1]
+            act = self.tables.action_for(state, token.kind)
+            if act is None:
+                expected = self.tables.expected_terminals(state)
+                raise ParseError(
+                    f"{token.location}: syntax error at {token.kind} "
+                    f"({token.text!r}); expected one of: {', '.join(expected)}"
+                )
+            if act.kind is ActionKind.SHIFT:
+                if listener is not None:
+                    listener.on_shift(token)
+                state_stack.append(act.target)
+                node_stack.append(
+                    ParseTreeNode(token.kind, token=token) if build_tree else None
+                )
+                token = next(stream, None)
+                if token is None:
+                    token = Token(EOF_SYMBOL, "", _loc())
+            elif act.kind is ActionKind.REDUCE:
+                prod = self.grammar.productions[act.target]
+                n = len(prod.rhs)
+                children = node_stack[len(node_stack) - n :] if n else []
+                del state_stack[len(state_stack) - n :]
+                del node_stack[len(node_stack) - n :]
+                if listener is not None:
+                    listener.on_reduce(prod)
+                goto = self.tables.goto_for(state_stack[-1], prod.lhs)
+                if goto is None:
+                    raise ParseError(
+                        f"internal: missing goto for {prod.lhs} in state {state_stack[-1]}"
+                    )
+                state_stack.append(goto)
+                node_stack.append(
+                    ParseTreeNode(prod.lhs, production=prod, children=list(children))
+                    if build_tree
+                    else None
+                )
+            else:  # ACCEPT
+                if listener is not None:
+                    listener.on_shift(token)  # the $eof leaf
+                if build_tree:
+                    root = ParseTreeNode(
+                        self.grammar.productions[0].lhs,
+                        production=self.grammar.productions[0],
+                        children=[
+                            node_stack[-1],
+                            ParseTreeNode(EOF_SYMBOL, token=token),
+                        ],
+                    )
+                    return root
+                return None
+
+
+def _loc():
+    from repro.errors import SourceLocation
+
+    return SourceLocation()

@@ -1,0 +1,147 @@
+"""ACTION/GOTO table construction with conflict detection."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConflictError
+from repro.lalr.grammar import EOF_SYMBOL, Grammar
+from repro.lalr.lalr import compute_lalr_lookaheads, expand_to_completed
+from repro.lalr.lr0 import Item, LR0Automaton
+
+
+class ActionKind(enum.Enum):
+    SHIFT = "shift"
+    REDUCE = "reduce"
+    ACCEPT = "accept"
+
+
+@dataclass(frozen=True)
+class Action:
+    kind: ActionKind
+    target: int = 0  # shift: next state; reduce: production index
+
+    def __str__(self) -> str:
+        if self.kind is ActionKind.SHIFT:
+            return f"s{self.target}"
+        if self.kind is ActionKind.REDUCE:
+            return f"r{self.target}"
+        return "acc"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    state: int
+    terminal: str
+    existing: Action
+    incoming: Action
+    items: Tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        kinds = {self.existing.kind, self.incoming.kind}
+        if kinds == {ActionKind.SHIFT, ActionKind.REDUCE}:
+            return "shift/reduce"
+        if kinds == {ActionKind.REDUCE}:
+            return "reduce/reduce"
+        return "other"
+
+
+@dataclass
+class ParseTables:
+    """The generated parse tables (what overlay 1 links in as data)."""
+
+    grammar: Grammar
+    action: Dict[Tuple[int, str], Action]
+    goto: Dict[Tuple[int, str], int]
+    n_states: int
+    conflicts: List[Conflict] = field(default_factory=list)
+
+    def action_for(self, state: int, terminal: str) -> Optional[Action]:
+        return self.action.get((state, terminal))
+
+    def goto_for(self, state: int, nonterminal: str) -> Optional[int]:
+        return self.goto.get((state, nonterminal))
+
+    def table_bytes(self) -> int:
+        """Approximate 8086-style footprint: 4 bytes per populated entry."""
+        return 4 * (len(self.action) + len(self.goto))
+
+    def expected_terminals(self, state: int) -> List[str]:
+        return sorted(t for (s, t) in self.action if s == state)
+
+
+def build_tables(grammar: Grammar, strict: bool = True) -> ParseTables:
+    """Build LALR(1) tables.
+
+    With ``strict`` (the default) any conflict raises
+    :class:`~repro.errors.ConflictError`; otherwise conflicts are
+    recorded on the result and resolved shift-over-reduce /
+    lowest-production-first, lex-style.
+    """
+    automaton = LR0Automaton(grammar)
+    kernel_las = compute_lalr_lookaheads(automaton)
+    completed_las = expand_to_completed(automaton, kernel_las)
+
+    action: Dict[Tuple[int, str], Action] = {}
+    goto: Dict[Tuple[int, str], int] = {}
+    conflicts: List[Conflict] = []
+
+    def put(state: int, terminal: str, act: Action, items: Tuple[str, ...]) -> None:
+        key = (state, terminal)
+        existing = action.get(key)
+        if existing is None:
+            action[key] = act
+            return
+        if existing == act:
+            return
+        conflicts.append(Conflict(state, terminal, existing, act, items))
+        # Resolution when tolerated: prefer shift, then lower production.
+        if existing.kind is ActionKind.SHIFT:
+            return
+        if act.kind is ActionKind.SHIFT:
+            action[key] = act
+            return
+        if act.target < existing.target:
+            action[key] = act
+
+    for state in range(automaton.n_states()):
+        items = automaton.states[state]
+        for item in items:
+            sym = item.next_symbol(grammar)
+            if sym:
+                nxt = automaton.goto[(state, sym)]
+                if grammar.is_terminal(sym):
+                    if item.prod == 0 and sym == EOF_SYMBOL:
+                        put(state, EOF_SYMBOL, Action(ActionKind.ACCEPT),
+                            (item.render(grammar),))
+                    else:
+                        put(state, sym, Action(ActionKind.SHIFT, nxt),
+                            (item.render(grammar),))
+                else:
+                    goto[(state, sym)] = nxt
+        for item in automaton.completed_items(state):
+            if item.prod == 0:
+                continue
+            las = completed_las.get((state, item), set())
+            for la in las:
+                put(state, la, Action(ActionKind.REDUCE, item.prod),
+                    (item.render(grammar),))
+
+    tables = ParseTables(
+        grammar=grammar,
+        action=action,
+        goto=goto,
+        n_states=automaton.n_states(),
+        conflicts=conflicts,
+    )
+    if strict and conflicts:
+        from repro.lalr.conflicts import format_conflicts
+
+        raise ConflictError(
+            f"grammar is not LALR(1): {len(conflicts)} conflict(s)\n"
+            + format_conflicts(tables, automaton)
+        )
+    return tables

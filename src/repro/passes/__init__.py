@@ -1,0 +1,36 @@
+"""Alternating-pass evaluability analysis (§II, §III).
+
+LINGUIST-86 "generates evaluators only for those attribute grammars
+that can be evaluated in alternating passes" [J] [JW] [PJ1].  Overlay 4
+"analyzes the attribute dependencies … to determine the alternating
+pass evaluability"; this package is that overlay.
+
+:mod:`repro.passes.schedule` simulates the Figure-3 read/visit/write
+skeleton of one production-procedure for one pass, greedily placing
+semantic-function evaluations as early as their dependencies allow —
+the paper's loosened ordering that evaluates "some attributes earlier
+than the ordered ASE of [JP1]".  :mod:`repro.passes.partition` iterates
+the simulation, deferring unschedulable attributes to later passes
+until a fixpoint, and rejects grammars that exceed the pass bound.
+"""
+
+from repro.passes.schedule import (
+    Direction,
+    ScheduleStep,
+    StepKind,
+    direction_of_pass,
+    schedule_production,
+)
+from repro.passes.partition import PassAssignment, assign_passes
+from repro.passes.report import render_pass_report
+
+__all__ = [
+    "Direction",
+    "ScheduleStep",
+    "StepKind",
+    "direction_of_pass",
+    "schedule_production",
+    "PassAssignment",
+    "assign_passes",
+    "render_pass_report",
+]

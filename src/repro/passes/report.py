@@ -1,0 +1,29 @@
+"""Human-readable evaluability reports (part of the listing output)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ag.model import AttributeGrammar
+from repro.passes.partition import PassAssignment
+from repro.passes.schedule import INTRINSIC_PASS
+
+
+def render_pass_report(assignment: PassAssignment) -> str:
+    """Render the pass assignment the way the listing overlay would."""
+    ag = assignment.grammar
+    lines = [
+        f"attribute grammar {ag.name!r}: evaluable in {assignment.n_passes} "
+        f"alternating pass(es), first pass {assignment.first_direction.value}",
+    ]
+    for k in range(1, assignment.n_passes + 1):
+        attrs = assignment.attributes_of_pass(k)
+        lines.append(f"  pass {k} ({assignment.direction(k).value}): {len(attrs)} attribute(s)")
+        for sym, attr in attrs:
+            lines.append(f"      {sym}.{attr}")
+    intrinsics = [a for a, p in assignment.attr_pass.items() if p == INTRINSIC_PASS]
+    if intrinsics:
+        lines.append(f"  intrinsic (set by the parser): {len(intrinsics)} attribute(s)")
+        for sym, attr in sorted(intrinsics):
+            lines.append(f"      {sym}.{attr}")
+    return "\n".join(lines)

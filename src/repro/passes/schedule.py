@@ -1,0 +1,217 @@
+"""Per-production, per-pass schedule simulation.
+
+Figure 3 fixes the event skeleton of a production-procedure::
+
+    read limb node
+    for each RHS node X_i (left-to-right or right-to-left):
+        read all attribs of X_i from the input APT file
+        [eval pending semantic functions]
+        visit the sub-APT rooted at X_i          (nonterminals only)
+        write all attribs of X_i to the output APT file
+    [eval pending semantic functions]
+    write limb node
+    return
+
+Semantic functions of the current pass are *drained* greedily at the
+bracketed points, as early as their arguments allow — the paper's §III
+loosening ("there is nothing to prevent us from evaluating a
+synthesized attribute-instance of the left-hand-side … before visiting
+some right-hand-side sub-APT").  Hard constraints remain: a pass-k
+inherited attribute of X_i must be evaluated after ``read X_i`` and
+before ``visit X_i``; pass-k synthesized attributes of X_i appear only
+after ``visit X_i``; attributes of a not-yet-read node are unavailable
+even if computed in an earlier pass, because the node record is still
+on disk.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ag.copyrules import Binding, production_bindings
+from repro.ag.dependencies import OccKey, binding_argument_keys
+from repro.ag.model import (
+    AttrKind,
+    AttributeGrammar,
+    LHS_POSITION,
+    LIMB_POSITION,
+    Production,
+    SymbolKind,
+)
+
+#: Pass number of intrinsic attributes: defined by the parser, before pass 1.
+INTRINSIC_PASS = 0
+
+#: Key identifying an attribute grammar-wide: (symbol name, attribute name).
+AttrId = Tuple[str, str]
+
+
+class Direction(enum.Enum):
+    L2R = "left-to-right"
+    R2L = "right-to-left"
+
+    @property
+    def opposite(self) -> "Direction":
+        return Direction.R2L if self is Direction.L2R else Direction.L2R
+
+
+def direction_of_pass(k: int, first: Direction) -> Direction:
+    """Direction of pass ``k`` (1-based) when pass 1 runs ``first``."""
+    return first if k % 2 == 1 else first.opposite
+
+
+class StepKind(enum.Enum):
+    READ = "get"      # GetNode<Symbol>
+    VISIT = "visit"   # call child production-procedure
+    WRITE = "put"     # PutNode<Symbol>
+    EVAL = "eval"     # evaluate one semantic-function binding
+
+
+@dataclass
+class ScheduleStep:
+    kind: StepKind
+    #: For READ/VISIT/WRITE: the occurrence position (LIMB_POSITION for limb).
+    position: int = 0
+    #: For EVAL: the binding evaluated.
+    binding: Optional[Binding] = None
+
+    def render(self, prod: Production) -> str:
+        if self.kind is StepKind.EVAL:
+            return f"eval {self.binding}"
+        if self.position == LIMB_POSITION:
+            name = prod.limb
+        else:
+            name = prod.occurrence_at(self.position).name
+        return f"{self.kind.value} {name}"
+
+
+@dataclass
+class ScheduleResult:
+    steps: List[ScheduleStep]
+    #: Bindings that could not be scheduled in this pass.
+    failed: List[Binding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+def schedule_production(
+    ag: AttributeGrammar,
+    prod: Production,
+    pass_k: int,
+    direction: Direction,
+    attr_pass: Dict[AttrId, int],
+) -> ScheduleResult:
+    """Simulate pass ``pass_k`` over ``prod``; place this pass's bindings.
+
+    ``attr_pass`` maps every attribute to its (candidate) pass number;
+    intrinsic attributes must map to :data:`INTRINSIC_PASS`.
+    """
+
+    def pass_of(symbol: str, attr: str) -> int:
+        return attr_pass[(symbol, attr)]
+
+    def key_symbol(position: int) -> str:
+        if position == LHS_POSITION:
+            return prod.lhs
+        if position == LIMB_POSITION:
+            return prod.limb
+        return prod.rhs[position - 1]
+
+    # Bindings whose target belongs to this pass, grouped for the checks.
+    pending: List[Binding] = []
+    for b in production_bindings(prod):
+        if pass_of(b.target.symbol, b.target.attr_name) == pass_k:
+            pending.append(b)
+
+    available: Set[OccKey] = set()
+    read_positions: Set[int] = set()
+
+    def node_read(position: int) -> None:
+        """Attributes that become readable once a node is in memory."""
+        read_positions.add(position)
+        sym = ag.symbol(key_symbol(position))
+        for attr in sym.attributes.values():
+            p = pass_of(sym.name, attr.name)
+            if p < pass_k:
+                available.add((position, attr.name))
+            elif p == pass_k and position == LHS_POSITION and attr.kind is AttrKind.INHERITED:
+                # Pass-k inherited attributes of the LHS were computed by
+                # the parent just before this visit.
+                available.add((position, attr.name))
+
+    def target_placeable(b: Binding) -> bool:
+        pos = b.target.position
+        if pos == LHS_POSITION or pos == LIMB_POSITION:
+            return True  # node in memory from the start
+        return pos in read_positions
+
+    def args_available(b: Binding) -> bool:
+        return all(k in available for k in binding_argument_keys(b))
+
+    steps: List[ScheduleStep] = []
+    failed: List[Binding] = []
+
+    def drain() -> None:
+        progress = True
+        while progress:
+            progress = False
+            for b in list(pending):
+                if target_placeable(b) and args_available(b):
+                    pending.remove(b)
+                    steps.append(ScheduleStep(StepKind.EVAL, binding=b))
+                    available.add((b.target.position, b.target.attr_name))
+                    progress = True
+
+    def force(bindings: Sequence[Binding]) -> None:
+        """Mark bindings failed but make their targets available so the
+        simulation can keep going and report every failure of this pass."""
+        for b in bindings:
+            pending.remove(b)
+            failed.append(b)
+            available.add((b.target.position, b.target.attr_name))
+
+    # --- the skeleton ----------------------------------------------------
+    node_read(LHS_POSITION)  # the LHS node arrives as the procedure argument
+    if prod.limb:
+        steps.append(ScheduleStep(StepKind.READ, LIMB_POSITION))
+        node_read(LIMB_POSITION)
+    drain()
+
+    positions = list(prod.rhs_positions())
+    if direction is Direction.R2L:
+        positions.reverse()
+
+    for position in positions:
+        sym = ag.symbol(prod.rhs[position - 1])
+        steps.append(ScheduleStep(StepKind.READ, position))
+        node_read(position)
+        drain()
+        if sym.kind is SymbolKind.NONTERMINAL:
+            # All pass-k inherited attributes of this child must be ready.
+            late = [
+                b
+                for b in pending
+                if b.target.position == position
+                and b.target.attribute.kind is AttrKind.INHERITED
+            ]
+            if late:
+                force(late)
+                drain()
+            steps.append(ScheduleStep(StepKind.VISIT, position))
+            # The child's visit computed its pass-k synthesized attributes.
+            for attr in sym.synthesized:
+                if pass_of(sym.name, attr.name) == pass_k:
+                    available.add((position, attr.name))
+            drain()
+        steps.append(ScheduleStep(StepKind.WRITE, position))
+
+    drain()
+    if pending:
+        force(list(pending))
+    if prod.limb:
+        steps.append(ScheduleStep(StepKind.WRITE, LIMB_POSITION))
+    return ScheduleResult(steps=steps, failed=failed)

@@ -1,0 +1,47 @@
+"""Scanner generator substrate.
+
+§V: "a program that generates a lexical scanner for a set of regular
+expressions".  This package is that program: a regular-expression parser
+(:mod:`repro.regex.parser`), Thompson NFA construction
+(:mod:`repro.regex.nfa`), subset construction + Hopcroft minimization
+(:mod:`repro.regex.dfa`), and a table-driven maximal-munch scanner
+interpreter (:mod:`repro.regex.scanner`).  The public entry point is
+:class:`repro.regex.generator.ScannerGenerator`.
+"""
+
+from repro.regex.ast import (
+    Alt,
+    CharSet,
+    Concat,
+    Empty,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+)
+from repro.regex.parser import parse_regex
+from repro.regex.nfa import NFA, build_nfa
+from repro.regex.dfa import DFA, determinize, minimize
+from repro.regex.scanner import Scanner, Token
+from repro.regex.generator import ScannerGenerator, ScannerSpec
+
+__all__ = [
+    "Alt",
+    "CharSet",
+    "Concat",
+    "Empty",
+    "Opt",
+    "Plus",
+    "Regex",
+    "Star",
+    "parse_regex",
+    "NFA",
+    "build_nfa",
+    "DFA",
+    "determinize",
+    "minimize",
+    "Scanner",
+    "Token",
+    "ScannerGenerator",
+    "ScannerSpec",
+]

@@ -1,0 +1,152 @@
+"""Subset construction and Hopcroft minimization for scanner DFAs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.regex.ast import ALPHABET_SIZE
+from repro.regex.nfa import NFA
+
+#: Transition-table entry meaning "no move" (dead).
+DEAD = -1
+
+
+@dataclass
+class DFA:
+    """A dense-table DFA over the scanner alphabet.
+
+    ``trans`` is a flat list of ``n_states * ALPHABET_SIZE`` entries;
+    ``accepts[s]`` is the winning ``(priority, tag)`` or ``None``.
+    """
+
+    n_states: int
+    start: int
+    trans: List[int]
+    accepts: List[Optional[Tuple[int, str]]]
+
+    def step(self, state: int, code: int) -> int:
+        return self.trans[state * ALPHABET_SIZE + code]
+
+    def accept_tag(self, state: int) -> Optional[str]:
+        acc = self.accepts[state]
+        return acc[1] if acc else None
+
+    def table_bytes(self) -> int:
+        """Size of the transition table at two bytes per entry, the way an
+        8086 table-driven scanner would store it."""
+        return len(self.trans) * 2
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset construction."""
+    start_set = nfa.eps_closure({nfa.start})
+    index: Dict[FrozenSet[int], int] = {start_set: 0}
+    order: List[FrozenSet[int]] = [start_set]
+    trans: List[int] = []
+    accepts: List[Optional[Tuple[int, str]]] = []
+    work = [start_set]
+    rows: List[List[int]] = []
+
+    # Precompute, per NFA state, its outgoing (codes, dst) pairs for speed.
+    while work:
+        current = work.pop(0)
+        row = [DEAD] * ALPHABET_SIZE
+        # Group target sets by code.
+        for code in range(ALPHABET_SIZE):
+            moved = nfa.move(current, code)
+            if not moved:
+                continue
+            closed = nfa.eps_closure(moved)
+            nxt = index.get(closed)
+            if nxt is None:
+                nxt = len(order)
+                index[closed] = nxt
+                order.append(closed)
+                work.append(closed)
+            row[code] = nxt
+        rows.append(row)
+
+    for subset in order:
+        accepts.append(nfa.best_accept(subset))
+    for row in rows:
+        trans.extend(row)
+    return DFA(n_states=len(order), start=0, trans=trans, accepts=accepts)
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Hopcroft-style partition refinement.
+
+    Accept states are initially partitioned by their ``(priority, tag)``
+    so minimization never merges states that accept different tokens.
+    """
+    # Initial partition: by accept signature.
+    sig_to_block: Dict[object, int] = {}
+    block_of = [0] * dfa.n_states
+    for s in range(dfa.n_states):
+        sig = dfa.accepts[s]
+        blk = sig_to_block.get(sig)
+        if blk is None:
+            blk = len(sig_to_block)
+            sig_to_block[sig] = blk
+        block_of[s] = blk
+    n_blocks = len(sig_to_block)
+
+    changed = True
+    while changed:
+        changed = False
+        # Refine: states in the same block must agree on the block of
+        # every successor.
+        signature: Dict[Tuple, int] = {}
+        new_block_of = [0] * dfa.n_states
+        for s in range(dfa.n_states):
+            row = dfa.trans[s * ALPHABET_SIZE : (s + 1) * ALPHABET_SIZE]
+            sig = (block_of[s],) + tuple(
+                block_of[t] if t != DEAD else DEAD for t in row
+            )
+            blk = signature.get(sig)
+            if blk is None:
+                blk = len(signature)
+                signature[sig] = blk
+            new_block_of[s] = blk
+        if len(signature) != n_blocks:
+            changed = True
+            n_blocks = len(signature)
+        block_of = new_block_of
+
+    # Build the quotient automaton.  Block ids are renumbered so the
+    # start state is 0 and ordering is stable (first-seen order by
+    # original state id).
+    remap: Dict[int, int] = {}
+    order: List[int] = []
+
+    def rep(blk: int) -> int:
+        nonlocal remap, order
+        new = remap.get(blk)
+        if new is None:
+            new = len(order)
+            remap[blk] = new
+            order.append(blk)
+        return new
+
+    # Ensure start block is numbered first.
+    rep(block_of[dfa.start])
+    reps: Dict[int, int] = {}
+    for s in range(dfa.n_states):
+        blk = block_of[s]
+        rep(blk)
+        if blk not in reps:
+            reps[blk] = s
+
+    n_new = len(order)
+    trans = [DEAD] * (n_new * ALPHABET_SIZE)
+    accepts: List[Optional[Tuple[int, str]]] = [None] * n_new
+    for blk, s in reps.items():
+        new_id = remap[blk]
+        accepts[new_id] = dfa.accepts[s]
+        base = s * ALPHABET_SIZE
+        new_base = new_id * ALPHABET_SIZE
+        for code in range(ALPHABET_SIZE):
+            t = dfa.trans[base + code]
+            trans[new_base + code] = remap[block_of[t]] if t != DEAD else DEAD
+    return DFA(n_states=n_new, start=0, trans=trans, accepts=accepts)

@@ -1,0 +1,135 @@
+"""Thompson construction: regex AST -> nondeterministic finite automaton."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.regex.ast import Alt, CharSet, Concat, Empty, Opt, Plus, Regex, Star
+
+
+@dataclass
+class NFA:
+    """An NFA with epsilon moves.
+
+    ``char_edges[s]`` is a list of ``(codes, target)`` pairs;
+    ``eps_edges[s]`` a list of targets.  ``accepts[s]`` carries the
+    ``(priority, tag)`` of the rule a state accepts for (lower priority
+    wins ties, matching rule-declaration order in the scanner spec).
+    """
+
+    start: int = 0
+    n_states: int = 0
+    char_edges: Dict[int, List[Tuple[FrozenSet[int], int]]] = field(default_factory=dict)
+    eps_edges: Dict[int, List[int]] = field(default_factory=dict)
+    accepts: Dict[int, Tuple[int, str]] = field(default_factory=dict)
+
+    def new_state(self) -> int:
+        s = self.n_states
+        self.n_states += 1
+        return s
+
+    def add_char_edge(self, src: int, codes: FrozenSet[int], dst: int) -> None:
+        self.char_edges.setdefault(src, []).append((codes, dst))
+
+    def add_eps_edge(self, src: int, dst: int) -> None:
+        self.eps_edges.setdefault(src, []).append(dst)
+
+    def eps_closure(self, states: Set[int]) -> FrozenSet[int]:
+        """All states reachable from ``states`` by epsilon moves."""
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            s = stack.pop()
+            for t in self.eps_edges.get(s, ()):
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return frozenset(seen)
+
+    def move(self, states: FrozenSet[int], code: int) -> Set[int]:
+        """States reachable from ``states`` on input ``code`` (no closure)."""
+        out: Set[int] = set()
+        for s in states:
+            for codes, dst in self.char_edges.get(s, ()):
+                if code in codes:
+                    out.add(dst)
+        return out
+
+    def best_accept(self, states: FrozenSet[int]) -> Optional[Tuple[int, str]]:
+        """The winning ``(priority, tag)`` among ``states``, if any."""
+        best: Optional[Tuple[int, str]] = None
+        for s in states:
+            acc = self.accepts.get(s)
+            if acc is not None and (best is None or acc[0] < best[0]):
+                best = acc
+        return best
+
+
+def _build(nfa: NFA, node: Regex) -> Tuple[int, int]:
+    """Add states for ``node``; return its (entry, exit) states."""
+    if isinstance(node, Empty):
+        s = nfa.new_state()
+        t = nfa.new_state()
+        nfa.add_eps_edge(s, t)
+        return s, t
+    if isinstance(node, CharSet):
+        s = nfa.new_state()
+        t = nfa.new_state()
+        nfa.add_char_edge(s, node.codes, t)
+        return s, t
+    if isinstance(node, Concat):
+        s1, t1 = _build(nfa, node.left)
+        s2, t2 = _build(nfa, node.right)
+        nfa.add_eps_edge(t1, s2)
+        return s1, t2
+    if isinstance(node, Alt):
+        s = nfa.new_state()
+        t = nfa.new_state()
+        s1, t1 = _build(nfa, node.left)
+        s2, t2 = _build(nfa, node.right)
+        nfa.add_eps_edge(s, s1)
+        nfa.add_eps_edge(s, s2)
+        nfa.add_eps_edge(t1, t)
+        nfa.add_eps_edge(t2, t)
+        return s, t
+    if isinstance(node, Star):
+        s = nfa.new_state()
+        t = nfa.new_state()
+        s1, t1 = _build(nfa, node.body)
+        nfa.add_eps_edge(s, s1)
+        nfa.add_eps_edge(s, t)
+        nfa.add_eps_edge(t1, s1)
+        nfa.add_eps_edge(t1, t)
+        return s, t
+    if isinstance(node, Plus):
+        s1, t1 = _build(nfa, node.body)
+        t = nfa.new_state()
+        nfa.add_eps_edge(t1, s1)
+        nfa.add_eps_edge(t1, t)
+        return s1, t
+    if isinstance(node, Opt):
+        s = nfa.new_state()
+        t = nfa.new_state()
+        s1, t1 = _build(nfa, node.body)
+        nfa.add_eps_edge(s, s1)
+        nfa.add_eps_edge(s, t)
+        nfa.add_eps_edge(t1, t)
+        return s, t
+    raise TypeError(f"unknown regex node {node!r}")
+
+
+def build_nfa(rules: List[Tuple[str, Regex]]) -> NFA:
+    """Build one NFA accepting the union of all ``(tag, regex)`` rules.
+
+    Rule priority is declaration order: when two rules match the same
+    longest lexeme the earlier rule wins (standard lex semantics).
+    """
+    nfa = NFA()
+    start = nfa.new_state()
+    nfa.start = start
+    for priority, (tag, node) in enumerate(rules):
+        s, t = _build(nfa, node)
+        nfa.add_eps_edge(start, s)
+        nfa.accepts[t] = (priority, tag)
+    return nfa

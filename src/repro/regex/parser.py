@@ -1,0 +1,200 @@
+"""Recursive-descent parser for the regular-expression notation.
+
+Supported syntax::
+
+    a            literal character
+    \\n \\t \\r \\\\  escapes (plus \\d \\w \\s \\S classes and punctuation escapes)
+    [a-z_$]      character class, ranges and singles; [^...] negates
+    .            any character except newline
+    r1r2         concatenation
+    r1|r2        alternation
+    r*  r+  r?   repetition
+    (r)          grouping
+
+This is the notation the scanner-generator input uses.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.errors import ScanError
+from repro.regex.ast import (
+    ALPHABET_SIZE,
+    Alt,
+    CharSet,
+    Concat,
+    Empty,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    char_code,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+}
+
+_DIGIT = frozenset(range(ord("0"), ord("9") + 1))
+_WORD = (
+    frozenset(range(ord("a"), ord("z") + 1))
+    | frozenset(range(ord("A"), ord("Z") + 1))
+    | _DIGIT
+    | frozenset({ord("_")})
+)
+_SPACE = frozenset(ord(c) for c in " \t\r\n\f\v")
+
+_CLASS_ESCAPES = {
+    "d": _DIGIT,
+    "w": _WORD,
+    "s": _SPACE,
+}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self) -> str:
+        ch = self.peek()
+        if not ch:
+            raise ScanError(f"unexpected end of regex: {self.text!r}")
+        self.pos += 1
+        return ch
+
+    def expect(self, ch: str) -> None:
+        got = self.take()
+        if got != ch:
+            raise ScanError(
+                f"expected {ch!r} at offset {self.pos - 1} of regex {self.text!r}, got {got!r}"
+            )
+
+    # regex := alt
+    # alt := concat ('|' concat)*
+    # concat := repeat*
+    # repeat := atom ('*'|'+'|'?')*
+    # atom := char | class | '(' alt ')' | '.'
+
+    def parse(self) -> Regex:
+        node = self.alt()
+        if self.pos != len(self.text):
+            raise ScanError(
+                f"trailing garbage at offset {self.pos} of regex {self.text!r}"
+            )
+        return node
+
+    def alt(self) -> Regex:
+        node = self.concat()
+        while self.peek() == "|":
+            self.take()
+            node = Alt(node, self.concat())
+        return node
+
+    def concat(self) -> Regex:
+        node: Regex = Empty()
+        first = True
+        while self.peek() and self.peek() not in "|)":
+            piece = self.repeat()
+            node = piece if first else Concat(node, piece)
+            first = False
+        return node
+
+    def repeat(self) -> Regex:
+        node = self.atom()
+        while self.peek() and self.peek() in "*+?":
+            op = self.take()
+            if op == "*":
+                node = Star(node)
+            elif op == "+":
+                node = Plus(node)
+            else:
+                node = Opt(node)
+        return node
+
+    def atom(self) -> Regex:
+        ch = self.take()
+        if ch == "(":
+            node = self.alt()
+            self.expect(")")
+            return node
+        if ch == "[":
+            return self.char_class()
+        if ch == ".":
+            return CharSet.any_char()
+        if ch == "\\":
+            return CharSet(self.escape())
+        if ch in "*+?|)":
+            raise ScanError(f"misplaced {ch!r} in regex {self.text!r}")
+        return CharSet(frozenset({char_code(ch)}))
+
+    def escape(self) -> FrozenSet[int]:
+        ch = self.take()
+        if ch in _CLASS_ESCAPES:
+            return _CLASS_ESCAPES[ch]
+        if ch == "S":
+            return frozenset(range(ALPHABET_SIZE)) - _SPACE
+        if ch == "D":
+            return frozenset(range(ALPHABET_SIZE)) - _DIGIT
+        if ch == "W":
+            return frozenset(range(ALPHABET_SIZE)) - _WORD
+        if ch in _ESCAPES:
+            return frozenset({ord(_ESCAPES[ch])})
+        # punctuation escape: \[ \] \( \) \\ \. \* \+ \? \| \- \$ ...
+        return frozenset({char_code(ch)})
+
+    def char_class(self) -> Regex:
+        negate = False
+        if self.peek() == "^":
+            self.take()
+            negate = True
+        codes: set = set()
+        if self.peek() == "]":  # ']' first is literal
+            self.take()
+            codes.add(ord("]"))
+        while True:
+            ch = self.take()
+            if ch == "]":
+                break
+            if ch == "\\":
+                esc = self.escape()
+                if len(esc) == 1 and self.peek() == "-" and self.text[self.pos + 1 : self.pos + 2] != "]":
+                    (lo,) = esc
+                    self.take()  # '-'
+                    hi_ch = self.take()
+                    if hi_ch == "\\":
+                        (hi,) = self.escape()
+                    else:
+                        hi = char_code(hi_ch)
+                    codes.update(range(lo, hi + 1))
+                else:
+                    codes.update(esc)
+                continue
+            if self.peek() == "-" and self.text[self.pos + 1 : self.pos + 2] not in ("]", ""):
+                self.take()  # '-'
+                hi_ch = self.take()
+                if hi_ch == "\\":
+                    (hi,) = self.escape()
+                else:
+                    hi = char_code(hi_ch)
+                codes.update(range(char_code(ch), hi + 1))
+            else:
+                codes.add(char_code(ch))
+        result = frozenset(codes)
+        if negate:
+            result = frozenset(range(ALPHABET_SIZE)) - result
+        return CharSet(result)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse regular-expression ``text`` into a :class:`Regex` AST."""
+    return _Parser(text).parse()

@@ -1,0 +1,123 @@
+"""Table-driven maximal-munch scanner interpreter.
+
+LINGUIST-86's overlay 1 contains "the automatically generated scanner
+tables and parser tables and their interpreters".  :class:`Scanner` is
+the scanner-table interpreter: it walks the minimized DFA to the longest
+match, applies keyword remapping, skips ignorable tokens, and tracks
+source coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Set
+
+from repro.errors import ScanError
+from repro.regex.ast import char_code
+from repro.regex.dfa import DEAD, DFA
+from repro.util.nametable import NameTable
+from repro.errors import SourceLocation
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: kind, text, source location, optional interned name."""
+
+    kind: str
+    text: str
+    location: SourceLocation
+    name_index: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.location.line}:{self.location.column})"
+
+
+#: Kind used for the synthetic end-of-input token.
+EOF = "$eof"
+
+
+class Scanner:
+    """Longest-match scanner over a DFA table.
+
+    Parameters
+    ----------
+    dfa:
+        the (minimized) DFA whose accept tags are token kinds.
+    skip:
+        token kinds to drop silently (whitespace, comments).
+    keywords:
+        map from exact lexeme to token kind; applied after a match of a
+        kind in ``keyword_kinds`` (usually just the identifier kind).
+    intern_kinds:
+        kinds whose lexemes are interned in the name table and carried
+        on the token as ``name_index`` — the paper's intrinsic
+        name-table-index attributes of terminal leaves.
+    """
+
+    def __init__(
+        self,
+        dfa: DFA,
+        skip: Optional[Set[str]] = None,
+        keywords: Optional[Dict[str, str]] = None,
+        keyword_kinds: Optional[Set[str]] = None,
+        intern_kinds: Optional[Set[str]] = None,
+        names: Optional[NameTable] = None,
+        filename: str = "<input>",
+    ):
+        self.dfa = dfa
+        self.skip = skip or set()
+        self.keywords = keywords or {}
+        self.keyword_kinds = keyword_kinds or {"IDENT"}
+        self.intern_kinds = intern_kinds or set()
+        self.names = names if names is not None else NameTable()
+        self.filename = filename
+
+    def tokens(self, text: str) -> Iterator[Token]:
+        """Yield tokens of ``text``, ending with one EOF token."""
+        pos = 0
+        line = 1
+        col = 1
+        n = len(text)
+        dfa = self.dfa
+        while pos < n:
+            state = dfa.start
+            last_accept: Optional[str] = None
+            last_end = pos
+            i = pos
+            while i < n:
+                state = dfa.step(state, char_code(text[i]))
+                if state == DEAD:
+                    break
+                i += 1
+                tag = dfa.accept_tag(state)
+                if tag is not None:
+                    last_accept = tag
+                    last_end = i
+            if last_accept is None:
+                raise ScanError(
+                    f"{self.filename}:{line}:{col}: illegal character {text[pos]!r}"
+                )
+            lexeme = text[pos:last_end]
+            loc = SourceLocation(line, col, self.filename)
+            # Advance source coordinates over the lexeme.
+            newlines = lexeme.count("\n")
+            if newlines:
+                line += newlines
+                col = len(lexeme) - lexeme.rfind("\n")
+            else:
+                col += len(lexeme)
+            pos = last_end
+            kind = last_accept
+            if kind in self.keyword_kinds and lexeme in self.keywords:
+                kind = self.keywords[lexeme]
+            if kind in self.skip:
+                continue
+            name_index = 0
+            if kind in self.intern_kinds:
+                name_index = self.names.intern(lexeme)
+            yield Token(kind, lexeme, loc, name_index)
+        yield Token(EOF, "", SourceLocation(line, col, self.filename))
+
+    def scan(self, text: str) -> List[Token]:
+        """Scan all of ``text`` into a token list (including EOF)."""
+        return list(self.tokens(text))

@@ -1,0 +1,126 @@
+"""A stack-machine interpreter for the code the Pascal front ends emit.
+
+Both the generated attribute-grammar front end (``pascal.ag``) and the
+hand-written comparator compiler synthesize the same simple stack code
+(``LOADC``/``LOAD``/``STORE``, arithmetic and comparison operators,
+``JMP``/``JMPF`` with labels, ``WRITE``, ``HALT``).  This module runs
+it, which closes the loop: an end-to-end compiler whose *execution*
+behavior can be tested, not just its text output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+from repro.errors import EvaluationError
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one run: the WRITE outputs and the final store."""
+
+    output: List[int] = field(default_factory=list)
+    memory: Dict[str, int] = field(default_factory=dict)
+    steps: int = 0
+
+
+class StackMachine:
+    """Executes a label-resolved instruction list.
+
+    ``fuel`` bounds the step count so buggy (or adversarial) code with
+    infinite loops terminates with a diagnostic instead of hanging.
+    """
+
+    BINOPS = {
+        "ADD": lambda a, b: a + b,
+        "SUB": lambda a, b: a - b,
+        "MUL": lambda a, b: a * b,
+        "DIV": lambda a, b: _int_div(a, b),
+        "CMPEQ": lambda a, b: int(a == b),
+        "CMPNE": lambda a, b: int(a != b),
+        "CMPLT": lambda a, b: int(a < b),
+        "CMPGT": lambda a, b: int(a > b),
+        "CMPLE": lambda a, b: int(a <= b),
+        "CMPGE": lambda a, b: int(a >= b),
+        "AND": lambda a, b: int(bool(a) and bool(b)),
+        "OR": lambda a, b: int(bool(a) or bool(b)),
+    }
+
+    def __init__(self, code: Iterable[str], fuel: int = 1_000_000):
+        self.code: List[str] = list(code)
+        self.fuel = fuel
+        self.labels: Dict[str, int] = {}
+        for i, instr in enumerate(self.code):
+            if instr.endswith(":"):
+                label = instr[:-1]
+                if label in self.labels:
+                    raise EvaluationError(f"duplicate label {label!r}")
+                self.labels[label] = i
+
+    def run(self, initial: Dict[str, int] = None) -> ExecutionResult:
+        result = ExecutionResult(memory=dict(initial or {}))
+        stack: List[int] = []
+        pc = 0
+        n = len(self.code)
+        while pc < n:
+            result.steps += 1
+            if result.steps > self.fuel:
+                raise EvaluationError(
+                    f"stack machine out of fuel after {self.fuel} steps "
+                    "(infinite loop?)"
+                )
+            instr = self.code[pc]
+            pc += 1
+            if instr.endswith(":"):
+                continue
+            op, _, arg = instr.partition(" ")
+            if op == "LOADC":
+                stack.append(int(arg))
+            elif op == "LOAD":
+                stack.append(result.memory.get(arg, 0))
+            elif op == "STORE":
+                result.memory[arg] = self._pop(stack, instr)
+            elif op in self.BINOPS:
+                right = self._pop(stack, instr)
+                left = self._pop(stack, instr)
+                stack.append(self.BINOPS[op](left, right))
+            elif op == "NOTOP":
+                stack.append(int(not self._pop(stack, instr)))
+            elif op == "JMP":
+                pc = self._target(arg)
+            elif op == "JMPF":
+                if not self._pop(stack, instr):
+                    pc = self._target(arg)
+            elif op == "WRITE":
+                result.output.append(self._pop(stack, instr))
+            elif op == "HALT":
+                break
+            else:
+                raise EvaluationError(f"unknown instruction {instr!r}")
+        return result
+
+    @staticmethod
+    def _pop(stack: List[int], instr: str) -> int:
+        if not stack:
+            raise EvaluationError(f"stack underflow at {instr!r}")
+        return stack.pop()
+
+    def _target(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise EvaluationError(f"jump to undefined label {label!r}") from None
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise EvaluationError("division by zero")
+    # Pascal's div truncates toward zero.
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def execute(code: Iterable[str], fuel: int = 1_000_000) -> ExecutionResult:
+    """Convenience: run ``code`` on a fresh machine."""
+    return StackMachine(code, fuel=fuel).run()

@@ -1,0 +1,31 @@
+"""Support substrates: list processing, name table, I/O accounting.
+
+These are the packages §V of the paper lists alongside LINGUIST-86
+proper: "a package that implements a name-table for identifiers, and a
+package that supports list-processing".  Semantic functions in shipped
+attribute grammars resolve their uninterpreted function symbols against
+:mod:`repro.util.lists`.
+"""
+
+from repro.util.lists import (
+    NIL,
+    ConsList,
+    PartialFunction,
+    Sequence,
+    SetList,
+    STANDARD_FUNCTIONS,
+)
+from repro.util.nametable import NameTable
+from repro.util.iotrack import IOAccountant, MemoryGauge
+
+__all__ = [
+    "NIL",
+    "ConsList",
+    "PartialFunction",
+    "Sequence",
+    "SetList",
+    "STANDARD_FUNCTIONS",
+    "NameTable",
+    "IOAccountant",
+    "MemoryGauge",
+]

@@ -1,0 +1,566 @@
+"""The list-processing package: immutable cons lists, sets, sequences,
+partial functions.
+
+The paper's §Intro inventories LINGUIST-86's 48K of dynamic memory and
+includes "the linked lists that represent sets, sequences, and partial
+functions".  Semantic functions are *pure*, so every structure here is
+immutable and structurally shared — `cons` is O(1) and never mutates.
+
+The :data:`STANDARD_FUNCTIONS` table at the bottom exports the
+uninterpreted function symbols used by the shipped attribute grammars
+(``union$setof``, ``consPF``, ``IsIn`` …).  LINGUIST-86 itself leaves
+such identifiers to the target-language compiler; our generated Python
+evaluators resolve them against a function library, and this module is
+the library the self-description grammar uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+
+class ConsList:
+    """An immutable singly linked list.
+
+    ``ConsList(head, tail)`` is a cell; :data:`NIL` is the empty list.
+    Structural equality and hashing are by contents, so cons lists can
+    themselves be attribute values, set members, and dict keys.
+    """
+
+    __slots__ = ("head", "tail", "_length", "_hash")
+
+    def __init__(self, head: Any = None, tail: Optional["ConsList"] = None):
+        if tail is None and head is None:
+            # The NIL cell: length 0, no head.
+            self.head = None
+            self.tail = self
+            self._length = 0
+        else:
+            if tail is None:
+                tail = NIL
+            if not isinstance(tail, ConsList):
+                raise TypeError(f"tail must be a ConsList, got {type(tail).__name__}")
+            self.head = head
+            self.tail = tail
+            self._length = tail._length + 1
+        self._hash: Optional[int] = None
+
+    @property
+    def is_nil(self) -> bool:
+        return self._length == 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        cell = self
+        while cell._length:
+            yield cell.head
+            cell = cell.tail
+
+    def __contains__(self, item: Any) -> bool:
+        return any(x == item for x in self)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, ConsList):
+            return NotImplemented
+        if self._length != other._length:
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            # One hash domain for every sequence representation (plain
+            # cons lists, Sequence, CatSeq ropes) so equal sequences
+            # hash equally; SetList overrides with set semantics.
+            self._hash = hash(("seq",) + tuple(self))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}[{', '.join(repr(x) for x in self)}]"
+
+    def cons(self, item: Any) -> "ConsList":
+        """Return a new list with ``item`` prepended."""
+        return type(self)(item, self)
+
+    def reverse(self) -> "ConsList":
+        return self._build(list(self)[::-1], self._empty())
+
+    def append(self, other) -> "SeqLike":
+        """Return ``self ++ other``.
+
+        Small left sides rebuild the spine eagerly; large ones return a
+        :class:`CatSeq` rope so repeated accumulation (code lists built
+        statement by statement) stays linear instead of quadratic.
+        """
+        if self._length > _ROPE_THRESHOLD:
+            return CatSeq(self, other)
+        if isinstance(other, CatSeq):
+            return CatSeq(self, other) if self._length else other
+        return self._build(list(self), other)
+
+    def to_pylist(self) -> list:
+        return list(self)
+
+    @classmethod
+    def from_iterable(cls, items) -> "ConsList":
+        return cls._build(list(items), cls._empty_for(cls))
+
+    @classmethod
+    def _build(cls, items: list, tail: "ConsList") -> "ConsList":
+        """Cons ``items`` onto ``tail`` without per-cell validation — the
+        spine-rebuild fast path the evaluators hammer."""
+        length = tail._length
+        for item in reversed(items):
+            cell = cls.__new__(cls)
+            cell.head = item
+            cell.tail = tail
+            length += 1
+            cell._length = length
+            cell._hash = None
+            tail = cell
+        return tail
+
+    def _empty(self) -> "ConsList":
+        return self._empty_for(type(self))
+
+    def __reduce__(self):
+        # Serialize as a flat Python list: pickling a deep cons spine
+        # recursively would overflow the interpreter stack, and APT
+        # attribute values routinely hold thousand-element lists.
+        return (type(self).from_iterable, (self.to_pylist(),))
+
+    @staticmethod
+    def _empty_for(cls: type) -> "ConsList":
+        if cls is ConsList:
+            return NIL
+        return cls.__new_empty__()
+
+
+#: The empty list, shared by every plain ConsList.
+NIL = ConsList()
+
+#: Left sides longer than this turn ``append`` into an O(1) rope node.
+_ROPE_THRESHOLD = 32
+
+
+class CatSeq:
+    """A concatenation rope over sequences.
+
+    ``CatSeq(left, right)`` represents ``left ++ right`` without copying
+    either side — the structure the original's list package would have
+    needed to keep code-list accumulation linear.  Iteration is
+    non-recursive (an explicit stack), so arbitrarily deep ropes neither
+    overflow nor degrade.  Equality and hashing are by element sequence,
+    interchangeable with :class:`ConsList`; pickling flattens to a plain
+    :class:`Sequence`.
+    """
+
+    __slots__ = ("left", "right", "_length", "_hash")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+        self._length = len(left) + len(right)
+        self._hash = None
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        stack = [self.right, self.left]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, CatSeq):
+                stack.append(node.right)
+                stack.append(node.left)
+            else:
+                yield from node
+
+    def __contains__(self, item: Any) -> bool:
+        return any(x == item for x in self)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, (CatSeq, ConsList)):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(("seq",) + tuple(self))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"CatSeq[{', '.join(repr(x) for x in self)}]"
+
+    @property
+    def is_nil(self) -> bool:
+        return self._length == 0
+
+    @property
+    def head(self) -> Any:
+        for item in self:
+            return item
+        raise IndexError("head of an empty sequence")
+
+    @property
+    def tail(self) -> "SeqLike":
+        items = self.to_pylist()
+        if not items:
+            raise IndexError("tail of an empty sequence")
+        return Sequence.from_iterable(items[1:])
+
+    def cons(self, item: Any) -> "CatSeq":
+        return CatSeq(Sequence.from_iterable([item]), self)
+
+    def append(self, other) -> "CatSeq":
+        return CatSeq(self, other)
+
+    def reverse(self) -> "ConsList":
+        return Sequence.from_iterable(self.to_pylist()[::-1])
+
+    def to_pylist(self) -> list:
+        return list(self)
+
+    def __reduce__(self):
+        return (Sequence.from_iterable, (self.to_pylist(),))
+
+
+#: Anything usable where the paper's list package expects a sequence.
+SeqLike = object  # documentation alias: ConsList | CatSeq
+
+
+class Sequence(ConsList):
+    """A cons list used as an ordered sequence (order is significant)."""
+
+    __slots__ = ()
+
+    _EMPTY: Optional["Sequence"] = None
+
+    @classmethod
+    def __new_empty__(cls) -> "Sequence":
+        if cls._EMPTY is None:
+            empty = cls.__new__(cls)
+            ConsList.__init__(empty)
+            cls._EMPTY = empty
+        return cls._EMPTY
+
+    @classmethod
+    def empty(cls) -> "Sequence":
+        return cls.__new_empty__()
+
+
+class SetList(ConsList):
+    """A cons list maintained with set semantics: insertion is idempotent.
+
+    Equality is order-insensitive, matching the mathematical set the list
+    represents — the paper's evaluator passes symbol/function *sets*
+    around the APT (e.g. ``FUNCTS``, ``USED$AOS``).
+    """
+
+    __slots__ = ()
+
+    _EMPTY: Optional["SetList"] = None
+
+    @classmethod
+    def __new_empty__(cls) -> "SetList":
+        if cls._EMPTY is None:
+            empty = cls.__new__(cls)
+            ConsList.__init__(empty)
+            cls._EMPTY = empty
+        return cls._EMPTY
+
+    @classmethod
+    def empty(cls) -> "SetList":
+        return cls.__new_empty__()
+
+    def add(self, item: Any) -> "SetList":
+        """Return the set with ``item`` included (no-op if present)."""
+        if item in self:
+            return self
+        return SetList(item, self)
+
+    def union(self, other: "SetList") -> "SetList":
+        out = self
+        for item in other:
+            out = out.add(item)
+        return out
+
+    def intersection(self, other: "SetList") -> "SetList":
+        out = SetList.empty()
+        for item in self:
+            if item in other:
+                out = out.add(item)
+        return out
+
+    def difference(self, other: "SetList") -> "SetList":
+        out = SetList.empty()
+        for item in self:
+            if item not in other:
+                out = out.add(item)
+        return out
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, SetList):
+            return NotImplemented
+        if len(self) != len(other):
+            mine = {self._key(x) for x in self}
+            theirs = {self._key(x) for x in other}
+            return mine == theirs
+        mine = {self._key(x) for x in self}
+        theirs = {self._key(x) for x in other}
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._key(x) for x in self))
+
+    @staticmethod
+    def _key(item: Any) -> Any:
+        try:
+            hash(item)
+            return item
+        except TypeError:
+            return repr(item)
+
+
+class PartialFunction:
+    """An immutable finite map represented as an association list.
+
+    ``consPF(key, value, pf)`` shadows any earlier binding of ``key``;
+    ``EvalPF(pf, key)`` returns :data:`BOTTOM` when unbound, mirroring
+    the ``EvalPF(...) <> bottom`` test in the paper's Figure 5.
+    """
+
+    __slots__ = ("_cell",)
+
+    def __init__(self, cell: ConsList = NIL):
+        self._cell = cell
+
+    @classmethod
+    def empty(cls) -> "PartialFunction":
+        return cls(NIL)
+
+    def bind(self, key: Any, value: Any) -> "PartialFunction":
+        return PartialFunction(self._cell.cons((key, value)))
+
+    def lookup(self, key: Any) -> Any:
+        for k, v in self._cell:
+            if k == key:
+                return v
+        return BOTTOM
+
+    def is_bound(self, key: Any) -> bool:
+        return self.lookup(key) is not BOTTOM
+
+    def domain(self) -> SetList:
+        seen = SetList.empty()
+        for k, _ in self._cell:
+            seen = seen.add(k)
+        return seen
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate visible (unshadowed) bindings, newest first."""
+        seen = set()
+        for k, v in self._cell:
+            key = SetList._key(k)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield (k, v)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, PartialFunction):
+            return NotImplemented
+        return dict(
+            (SetList._key(k), v) for k, v in self.items()
+        ) == dict((SetList._key(k), v) for k, v in other.items())
+
+    def __hash__(self) -> int:
+        return hash(frozenset((SetList._key(k), SetList._key(v)) for k, v in self.items()))
+
+    def __repr__(self) -> str:
+        binds = ", ".join(f"{k!r}->{v!r}" for k, v in self.items())
+        return f"PartialFunction{{{binds}}}"
+
+    def __reduce__(self):
+        return (_rebuild_pf, (self._cell.to_pylist(),))
+
+
+def _rebuild_pf(pairs):
+    """Pickle helper: rebuild a PartialFunction from its binding list."""
+    return PartialFunction(NIL.__class__.from_iterable(pairs))
+
+
+class _Bottom:
+    """The undefined value of a partial function (singleton)."""
+
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "bottom"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+BOTTOM = _Bottom()
+
+
+# ---------------------------------------------------------------------------
+# The standard function library for shipped attribute grammars.
+# ---------------------------------------------------------------------------
+
+def _union_setof(item: Any, s: SetList) -> SetList:
+    """``UnionSetof(x, S)`` = ``S ∪ {x}`` (paper's ``union$setof``)."""
+    if not isinstance(s, SetList):
+        s = SetList.from_iterable(s or ())
+    return s.add(item)
+
+
+def _union(a: SetList, b: SetList) -> SetList:
+    if not isinstance(a, SetList):
+        a = SetList.from_iterable(a or ())
+    if not isinstance(b, SetList):
+        b = SetList.from_iterable(b or ())
+    return a.union(b)
+
+
+def _is_in(item: Any, s: Any) -> bool:
+    if s is None:
+        return False
+    return item in s
+
+
+def _cons(item: Any, seq: Any) -> Any:
+    if not isinstance(seq, (ConsList, CatSeq)):
+        seq = Sequence.from_iterable(seq or ())
+    return seq.cons(item)
+
+
+def _cons2(a: Any, b: Any, seq: Sequence) -> Sequence:
+    return _cons((a, b), seq)
+
+
+def _cons3(a: Any, b: Any, c: Any, seq: Sequence) -> Sequence:
+    return _cons((a, b, c), seq)
+
+
+def _join_pf(a: PartialFunction, b: PartialFunction) -> PartialFunction:
+    """``JoinPF(a, b)``: all bindings of ``a`` overridden by ``b``'s."""
+    out = a if isinstance(a, PartialFunction) else PartialFunction.empty()
+    if isinstance(b, PartialFunction):
+        for k, v in b.items():
+            out = out.bind(k, v)
+    return out
+
+
+def _cons_pf(key: Any, value: Any, pf: PartialFunction) -> PartialFunction:
+    if pf is None:
+        pf = PartialFunction.empty()
+    return pf.bind(key, value)
+
+
+def _eval_pf(pf: PartialFunction, key: Any) -> Any:
+    if pf is None:
+        return BOTTOM
+    return pf.lookup(key)
+
+
+def _incr_if_zero(flag: Any, value: Any) -> Any:
+    """Knuth-style helper used by the paper's Figure 1 example."""
+    return value + 1 if not flag else value
+
+
+def _incr_if_true(flag: Any, value: Any) -> Any:
+    return value + 1 if flag else value
+
+
+def _merge_msgs(a: Any, b: Any) -> Any:
+    if not isinstance(a, (ConsList, CatSeq)):
+        a = Sequence.from_iterable(a or ())
+    if not isinstance(b, (ConsList, CatSeq)):
+        b = Sequence.from_iterable(b or ())
+    if not a:
+        return b
+    if not b:
+        return a
+    return a.append(b)
+
+
+def _cons_msg(line: Any, msg: Any, name: Any, rest: Any) -> Any:
+    """``cons$msg(line, err, name, msgs)``: prepend unless ``err`` is no-msg."""
+    if not isinstance(rest, (ConsList, CatSeq)):
+        rest = Sequence.from_iterable(rest or ())
+    if msg in (None, "", "no$msg"):
+        return rest
+    if name == "null$name":
+        name = None
+    return rest.cons((line, msg, name))
+
+
+STANDARD_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    # Set operations
+    "union$setof": _union_setof,
+    "UnionSetof": _union_setof,
+    "union": _union,
+    "Union": _union,
+    "intersect": lambda a, b: a.intersection(b),
+    "difference": lambda a, b: a.difference(b),
+    "IsIn": _is_in,
+    "Isln": _is_in,  # the OCR'd paper spells it both ways
+    "empty$set": lambda: SetList.empty(),
+    "SizeOf": lambda s: len(s) if s is not None else 0,
+    # Sequence operations
+    "cons": _cons,
+    "cons2": _cons2,
+    "cons3": _cons3,
+    "append": _merge_msgs,
+    "empty$list": lambda: Sequence.empty(),
+    "null$list": lambda: Sequence.empty(),
+    "Head": lambda s: s.head,
+    "Tail": lambda s: s.tail,
+    "Length": lambda s: len(s) if s is not None else 0,
+    # Partial functions
+    "consPF": _cons_pf,
+    "EvalPF": _eval_pf,
+    "JoinPF": lambda a, b: _join_pf(a, b),
+    "empty$pf": lambda: PartialFunction.empty(),
+    "DomainOf": lambda pf: pf.domain(),
+    # Message plumbing (the linguist.ag error channel)
+    "cons$msg": _cons_msg,
+    "merge$msgs": _merge_msgs,
+    "null$msg$list": lambda: Sequence.empty(),
+    # Arithmetic / misc helpers from the paper's running examples
+    "IncrIfZero": _incr_if_zero,
+    "IncrIfTrue": _incr_if_true,
+    "IncrIf": _incr_if_true,
+    "Add": lambda a, b: a + b,
+    "Sub": lambda a, b: a - b,
+    "Mul": lambda a, b: a * b,
+    "Div": lambda a, b: a // b if isinstance(a, int) and isinstance(b, int) else a / b,
+    "Max": lambda a, b: a if a >= b else b,
+    "Min": lambda a, b: a if a <= b else b,
+    "Neg": lambda a: -a,
+    "Pow2": lambda s: 2.0 ** s,
+    "Not": lambda a: not a,
+    "Pair": lambda a, b: (a, b),
+    "First": lambda p: p[0],
+    "Second": lambda p: p[1],
+    "Identity": lambda a: a,
+}

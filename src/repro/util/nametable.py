@@ -1,0 +1,58 @@
+"""The name-table package: interned identifier storage.
+
+LINGUIST-86's overlay 1 "builds the table of all identifiers
+encountered"; intrinsic attributes of terminal leaves then carry
+*name-table indexes* rather than strings, so APT records stay small and
+identifier equality is integer equality.  This table is that package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+
+class NameTable:
+    """Bidirectional string <-> index intern table.
+
+    Indexes are dense and start at 1; index 0 is reserved for the
+    "no name" sentinel (the paper's ``null$name``).
+    """
+
+    NO_NAME = 0
+
+    def __init__(self) -> None:
+        self._names: List[str] = ["<no-name>"]
+        self._index: Dict[str, int] = {}
+
+    def intern(self, text: str) -> int:
+        """Return the index for ``text``, adding it if new."""
+        idx = self._index.get(text)
+        if idx is None:
+            idx = len(self._names)
+            self._names.append(text)
+            self._index[text] = idx
+        return idx
+
+    def lookup(self, text: str) -> int:
+        """Return the index for ``text`` or :data:`NO_NAME` if absent."""
+        return self._index.get(text, self.NO_NAME)
+
+    def spelling(self, index: int) -> str:
+        """Return the source text for a name-table index."""
+        if not 0 <= index < len(self._names):
+            raise KeyError(f"no name-table entry {index}")
+        return self._names[index]
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._index
+
+    def __len__(self) -> int:
+        """Number of interned names (excluding the sentinel)."""
+        return len(self._names) - 1
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names[1:])
+
+    def byte_size(self) -> int:
+        """Approximate storage footprint, for the §Intro memory inventory."""
+        return sum(len(n.encode("utf-8")) + 8 for n in self._names[1:])

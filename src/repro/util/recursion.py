@@ -1,0 +1,27 @@
+"""Deep-recursion guard.
+
+The evaluators recurse once per APT level (the paper's production-
+procedures do exactly the same on the 8086 stack), and the oracle's
+demand chains can be several frames per level.  CPython's default
+1000-frame limit is far too small for even medium inputs, so evaluation
+entry points raise it temporarily.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+
+#: Frame budget for evaluation: supports APTs a few thousand levels deep.
+DEEP_LIMIT = 50_000
+
+
+@contextmanager
+def deep_recursion(limit: int = DEEP_LIMIT):
+    old = sys.getrecursionlimit()
+    if limit > old:
+        sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)

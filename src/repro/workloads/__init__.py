@@ -1,0 +1,15 @@
+"""Workload generators for the throughput and scaling benchmarks."""
+
+from repro.workloads.generators import (
+    generate_pascal_program,
+    generate_calc_program,
+    generate_binary_numeral,
+    generate_ag_source,
+)
+
+__all__ = [
+    "generate_pascal_program",
+    "generate_calc_program",
+    "generate_binary_numeral",
+    "generate_ag_source",
+]

@@ -1,0 +1,156 @@
+"""Synthetic program generators.
+
+The paper measures throughput in source lines per minute over real
+inputs (the 1800-line self grammar, the Pascal grammar).  These
+generators produce arbitrarily large, deterministic, *valid* inputs in
+each shipped language so EXP-T4 and the scaling ablations can sweep
+input size.  Determinism matters: benchmarks must be reproducible, so
+the "randomness" is a fixed linear-congruential sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class _LCG:
+    """Deterministic pseudo-random stream (no global random state)."""
+
+    def __init__(self, seed: int = 0x2A):
+        self.state = seed & 0x7FFFFFFF or 1
+
+    def next(self, bound: int) -> int:
+        self.state = (1103515245 * self.state + 12345) & 0x7FFFFFFF
+        return self.state % bound
+
+
+def generate_pascal_program(n_statements: int = 100, seed: int = 42) -> str:
+    """A valid Pascal-subset program with ~``n_statements`` statements."""
+    rng = _LCG(seed)
+    names = [f"v{i}" for i in range(8)]
+    flags = [f"b{i}" for i in range(3)]
+    lines: List[str] = [
+        "program generated;",
+        "var " + ", ".join(names) + " : integer;",
+        "    " + ", ".join(flags) + " : boolean;",
+        "begin",
+    ]
+    body: List[str] = []
+
+    def expr(depth: int = 0) -> str:
+        choice = rng.next(5 if depth < 2 else 3)
+        if choice == 0:
+            return str(rng.next(100))
+        if choice == 1:
+            return names[rng.next(len(names))]
+        if choice == 2:
+            return f"{names[rng.next(len(names))]} + {rng.next(10)}"
+        if choice == 3:
+            return f"({expr(depth + 1)}) * {names[rng.next(len(names))]}"
+        return f"{expr(depth + 1)} - {expr(depth + 1)}"
+
+    def cond() -> str:
+        kind = rng.next(3)
+        if kind == 0:
+            return f"{names[rng.next(len(names))]} > {rng.next(50)}"
+        if kind == 1:
+            return f"{flags[rng.next(len(flags))]}"
+        return f"({names[rng.next(len(names))]} < {rng.next(20)}) and {flags[rng.next(len(flags))]}"
+
+    for i in range(n_statements):
+        kind = rng.next(8)
+        if kind in (0, 1, 2):
+            body.append(f"  {names[rng.next(len(names))]} := {expr()}")
+        elif kind == 3:
+            body.append(f"  {flags[rng.next(len(flags))]} := {cond()}")
+        elif kind == 4:
+            body.append(
+                f"  if {cond()} then {names[rng.next(len(names))]} := {expr()}"
+                f" else writeln({names[rng.next(len(names))]})"
+            )
+        elif kind == 5:
+            body.append(
+                f"  for {names[rng.next(len(names))]} := 1 to {1 + rng.next(6)} "
+                f"do {names[rng.next(len(names))]} := {expr()}"
+            )
+        elif kind == 6:
+            v = names[rng.next(len(names))]
+            body.append(
+                f"  repeat {v} := {v} - 1 until {v} < {rng.next(5)}"
+            )
+        else:
+            body.append(
+                f"  while {flags[rng.next(len(flags))]} do "
+                f"{flags[rng.next(len(flags))]} := false"
+            )
+    lines.append(";\n".join(body))
+    lines.append("end.")
+    return "\n".join(lines)
+
+
+def generate_calc_program(n_statements: int = 100, seed: int = 7) -> str:
+    """A valid desk-calculator program: lets and prints."""
+    rng = _LCG(seed)
+    lines: List[str] = ["let x0 = 1"]
+    defined = ["x0"]
+    for i in range(1, n_statements):
+        if rng.next(3) == 0:
+            lines.append(f"print {defined[rng.next(len(defined))]} + {rng.next(9)}")
+        else:
+            name = f"x{len(defined)}"
+            a = defined[rng.next(len(defined))]
+            b = defined[rng.next(len(defined))]
+            op = ["+", "-", "*"][rng.next(3)]
+            lines.append(f"let {name} = {a} {op} {b}")
+            defined.append(name)
+    return " ;\n".join(lines)
+
+
+def generate_binary_numeral(n_bits: int = 64, seed: int = 3) -> str:
+    """A binary numeral ``<int-part>.<frac-part>`` with ~n_bits digits."""
+    rng = _LCG(seed)
+    head = max(1, n_bits // 2)
+    tail = max(1, n_bits - head)
+    int_part = "".join("01"[rng.next(2)] for _ in range(head))
+    frac_part = "".join("01"[rng.next(2)] for _ in range(tail))
+    return f"{int_part}.{frac_part}"
+
+
+def generate_ag_source(n_productions: int = 40, seed: int = 11) -> str:
+    """A valid ``.ag`` source with ``n_productions`` chain/list
+    productions — workload for the Linguist pipeline itself (the paper's
+    lines-per-minute measurements process attribute grammars)."""
+    rng = _LCG(seed)
+    n_nts = max(2, n_productions // 2)
+    nts = [f"n{i}" for i in range(n_nts)]
+    lines: List[str] = ["grammar generated : root ."]
+    lines.append("symbols")
+    lines.append("  nonterminal root, " + ", ".join(nts) + " ;")
+    lines.append("  terminal T ;")
+    lines.append("attributes")
+    lines.append("  root : synthesized V int ;")
+    for nt in nts:
+        lines.append(f"  {nt} : inherited D int, synthesized V int ;")
+    lines.append("  T : intrinsic W int ;")
+    lines.append("productions")
+    lines.append(f"root = {nts[0]} .")
+    lines.append(f"  {nts[0]}.D = 0 ;")
+    # A chain from the start to every other nonterminal, then leaves.
+    made = 1
+    for i, nt in enumerate(nts):
+        if made >= n_productions:
+            break
+        if i + 1 < n_nts:
+            nxt = nts[i + 1]
+            lines.append(f"{nt} = {nxt} T .")
+            lines.append(f"  {nxt}.D = {nt}.D + {rng.next(5)} ,")
+            lines.append(f"  {nt}.V = {nxt}.V + T.W ;")
+            made += 1
+    for i, nt in enumerate(nts):
+        if made >= n_productions and i > 0:
+            break
+        lines.append(f"{nt} = T .")
+        lines.append(f"  {nt}.V = {nt}.D + T.W ;")
+        made += 1
+    lines.append("end")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Shared harness wiring the full pipeline for tests and benchmarks."""
+
+from typing import List, Optional
+
+from repro.ag.model import AttributeGrammar
+from repro.apt.build import APTBuilder
+from repro.apt.storage import MemorySpool
+from repro.errors import SourceLocation
+from repro.evalgen.codegen_py import GeneratedEvaluator
+from repro.evalgen.deadness import analyze_deadness
+from repro.evalgen.driver import AlternatingPassDriver, reconstruct_tree
+from repro.evalgen.interp import InterpretiveEvaluator
+from repro.evalgen.oracle import OracleEvaluator
+from repro.evalgen.plan import build_pass_plans
+from repro.evalgen.runtime import FunctionLibrary
+from repro.evalgen.subsumption import SubsumptionConfig, choose_static_attributes
+from repro.lalr.grammar import EOF_SYMBOL
+from repro.lalr.parser import LALRParser
+from repro.lalr.tables import build_tables
+from repro.passes.partition import assign_passes
+from repro.passes.schedule import Direction
+from repro.regex.scanner import Token
+
+
+def tokens_of(kinds_and_texts) -> List[Token]:
+    """Build a token list from ["KIND", ("KIND", "text"), ...] + EOF."""
+    out = []
+    for i, item in enumerate(kinds_and_texts):
+        if isinstance(item, tuple):
+            kind, text = item
+        else:
+            kind, text = item, item.lower()
+        out.append(Token(kind, text, SourceLocation(1, i + 1)))
+    out.append(Token(EOF_SYMBOL, "", SourceLocation(1, len(out) + 1)))
+    return out
+
+
+class Pipeline:
+    """One grammar, fully analyzed and ready to evaluate inputs."""
+
+    def __init__(
+        self,
+        ag: AttributeGrammar,
+        first_direction: Direction = Direction.R2L,
+        subsumption: bool = True,
+        deadness: bool = True,
+        grouping: str = "name",
+        refine: bool = True,
+        library: Optional[FunctionLibrary] = None,
+    ):
+        self.ag = ag
+        self.library = library or FunctionLibrary()
+        self.assignment = assign_passes(ag, first_direction)
+        self.deadness = analyze_deadness(ag, self.assignment, enabled=deadness)
+        self.allocation = choose_static_attributes(
+            ag,
+            self.assignment,
+            SubsumptionConfig(enabled=subsumption, grouping=grouping),
+        )
+        if subsumption and refine:
+            from repro.evalgen.subsumption import refine_allocation
+
+            refine_allocation(ag, self.assignment, self.allocation, self.deadness)
+        self.plans = build_pass_plans(
+            ag, self.assignment, self.deadness, self.allocation
+        )
+        self.tables = build_tables(ag.underlying_cfg())
+        self.parser = LALRParser(self.tables)
+        self._generated: Optional[GeneratedEvaluator] = None
+
+    # ------------------------------------------------------------------
+
+    def build_apt(self, tokens, build_tree: bool = True):
+        """Parse tokens into (initial spool, tree-or-None)."""
+        spool = MemorySpool(channel="initial")
+        builder = APTBuilder(self.ag, spool, build_tree=build_tree)
+        self.parser.parse(tokens, listener=builder, build_tree=False)
+        builder.finish()
+        return spool, builder.root
+
+    def driver(self, backend: str = "interp") -> AlternatingPassDriver:
+        if backend == "interp":
+            executor = InterpretiveEvaluator(self.ag).run_pass
+        elif backend == "generated":
+            if self._generated is None:
+                self._generated = GeneratedEvaluator(self.ag, self.plans)
+            executor = self._generated.executor
+        else:
+            raise ValueError(backend)
+        return AlternatingPassDriver(
+            self.ag, self.plans, executor, library=self.library
+        )
+
+    def evaluate(self, tokens, backend: str = "interp"):
+        spool, _ = self.build_apt(tokens, build_tree=False)
+        strategy = (
+            "bottom-up"
+            if self.assignment.first_direction is Direction.R2L
+            else "prefix"
+        )
+        if strategy == "prefix":
+            # Prefix emission needs the tree.
+            spool2 = MemorySpool(channel="initial")
+            spool_raw, root = self.build_apt(tokens, build_tree=True)
+            builder_spool = spool2
+            from repro.apt.linear import iter_prefix
+
+            for node in iter_prefix(root):
+                builder_spool.append(
+                    (node.symbol, node.production, node.attrs, node.is_limb)
+                )
+            builder_spool.finalize()
+            spool = builder_spool
+        driver = self.driver(backend)
+        result = driver.run(spool, strategy=strategy)
+        return result, driver
+
+    def oracle(self, tokens):
+        _, root = self.build_apt(tokens, build_tree=True)
+        oracle = OracleEvaluator(self.ag, self.library)
+        result = oracle.evaluate(root)
+        return result, root

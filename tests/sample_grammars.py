@@ -1,0 +1,185 @@
+"""Shared sample attribute grammars used across the test suite."""
+
+from repro.ag import GrammarBuilder
+
+
+def synthesized_only():
+    """Pure bottom-up counting: evaluable in one pass, either direction."""
+    b = GrammarBuilder("synth_only", start="root")
+    b.nonterminal("root", synthesized={"N": "int"})
+    b.nonterminal("tree", synthesized={"N": "int"})
+    b.terminal("LEAF")
+    b.terminal("LPAR")
+    b.terminal("RPAR")
+    b.production("root", ["tree"])
+    b.production("tree", ["LPAR", "tree", "tree", "RPAR"], functions=[
+        ("tree0.N", "tree1.N + tree2.N"),
+    ])
+    b.production("tree", ["LEAF"], functions=[("tree.N", "1")])
+    return b.finish()
+
+
+def left_flow():
+    """Inherited flows to the right sibling from the left sibling's
+    synthesized value: one L-to-R pass, but two passes starting R-to-L."""
+    b = GrammarBuilder("left_flow", start="root")
+    b.nonterminal("root", synthesized={"OUT": "int"})
+    b.nonterminal("item", inherited={"ACC": "int"}, synthesized={"TOT": "int"})
+    b.terminal("X", intrinsic={"W": "int"})
+    b.production("root", ["item", "item"], functions=[
+        ("item0.ACC", "0"),
+        ("item1.ACC", "item0.TOT"),
+        ("root.OUT", "item1.TOT"),
+    ])
+    b.production("item", ["X"], functions=[("item.TOT", "item.ACC + X.W")])
+    return b.finish()
+
+
+def right_flow():
+    """Mirror image: information flows right-to-left."""
+    b = GrammarBuilder("right_flow", start="root")
+    b.nonterminal("root", synthesized={"OUT": "int"})
+    b.nonterminal("item", inherited={"ACC": "int"}, synthesized={"TOT": "int"})
+    b.terminal("X", intrinsic={"W": "int"})
+    b.production("root", ["item", "item"], functions=[
+        ("item1.ACC", "0"),
+        ("item0.ACC", "item1.TOT"),
+        ("root.OUT", "item0.TOT"),
+    ])
+    b.production("item", ["X"], functions=[("item.TOT", "item.ACC + X.W")])
+    return b.finish()
+
+
+def knuth_binary():
+    """Knuth's binary-number grammar (with a fraction part): the fraction
+    SCALE needs the fraction's own LEN, so two alternating passes."""
+    b = GrammarBuilder("knuth_binary", start="number")
+    b.nonterminal("number", synthesized={"VAL": "real"})
+    b.nonterminal(
+        "bits",
+        inherited={"SCALE": "int"},
+        synthesized={"VAL": "real", "LEN": "int"},
+    )
+    b.nonterminal("bit", inherited={"SCALE": "int"}, synthesized={"VAL": "real"})
+    b.terminal("ZERO")
+    b.terminal("ONE")
+    b.terminal("DOT")
+    b.production("number", ["bits", "DOT", "bits"], functions=[
+        ("bits0.SCALE", "0"),
+        ("bits1.SCALE", "0 - bits1.LEN"),
+        ("number.VAL", "bits0.VAL + bits1.VAL"),
+    ])
+    b.production("bits", ["bits", "bit"], functions=[
+        ("bit.SCALE", "bits0.SCALE"),
+        ("bits1.SCALE", "bits0.SCALE + 1"),
+        ("bits0.VAL", "bits1.VAL + bit.VAL"),
+        ("bits0.LEN", "bits1.LEN + 1"),
+    ])
+    b.production("bits", ["bit"], functions=[
+        # bit.SCALE = bits.SCALE comes in as an implicit copy-rule.
+        ("bits.VAL", "bit.VAL"),
+        ("bits.LEN", "1"),
+    ])
+    b.production("bit", ["ZERO"], functions=[("bit.VAL", "0")])
+    b.production("bit", ["ONE"], functions=[("bit.VAL", "Pow2(bit.SCALE)")])
+    return b.finish()
+
+
+def zigzag_unbounded():
+    """Cross flows over the same attributes in both directions: the pass
+    number needed grows with tree depth, so NOT alternating-pass evaluable."""
+    b = GrammarBuilder("zigzag", start="root")
+    b.nonterminal("root", synthesized={"OUT": "int"})
+    b.nonterminal("X", inherited={"I": "int"}, synthesized={"S": "int"})
+    b.terminal("A", intrinsic={"W": "int"})
+    b.production("root", ["X"], functions=[
+        ("X.I", "0"),
+        ("root.OUT", "X.S"),
+    ])
+    # Left-to-right flow production...
+    b.production("X", ["X", "X", "A"], functions=[
+        ("X1.I", "X0.I"),
+        ("X2.I", "X1.S"),
+        ("X0.S", "X2.S"),
+    ])
+    # ...and a right-to-left flow production over the same attributes.
+    b.production("X", ["A", "X", "X"], functions=[
+        ("X2.I", "X0.I"),
+        ("X1.I", "X2.S"),
+        ("X0.S", "X1.S"),
+    ])
+    b.production("X", ["A"], functions=[("X.S", "X.I + A.W")])
+    return b.finish()
+
+
+def context_heavy():
+    """Nested blocks with an environment copied down unchanged and output
+    copied up — the copy-chain shape static subsumption exists for."""
+    b = GrammarBuilder("context_heavy", start="root")
+    b.nonterminal("root", synthesized={"OUT": "list"})
+    b.nonterminal("block", inherited={"ENV": "pf"}, synthesized={"OUT": "list"})
+    b.nonterminal("stmt$list", inherited={"ENV": "pf"}, synthesized={"OUT": "list"})
+    b.nonterminal("stmt", inherited={"ENV": "pf"}, synthesized={"OUT": "list"})
+    b.terminal("BEGIN")
+    b.terminal("END")
+    b.terminal("SEMI")
+    b.terminal("PRINT")
+    b.terminal("NAME", intrinsic={"TEXT": "string"})
+    b.production("root", ["block"], functions=[
+        ("block.ENV", "consPF('x', 1, consPF('y', 2, empty$pf()))"),
+    ])  # root.OUT = block.OUT is implicit
+    b.production("block", ["BEGIN", "stmt$list", "END"])  # both copies implicit
+    b.production("stmt$list", ["stmt$list", "SEMI", "stmt"], functions=[
+        ("stmt$list0.OUT", "append(stmt$list1.OUT, stmt.OUT)"),
+    ])  # ENV copies implicit
+    b.production("stmt$list", ["stmt"])  # ENV and OUT copies implicit
+    b.production("stmt", ["PRINT", "NAME"], functions=[
+        ("stmt.OUT", "cons(EvalPF(stmt.ENV, NAME.TEXT), empty$list())"),
+    ])
+    b.production("stmt", ["BEGIN", "stmt$list", "END"])  # nested block; implicit
+    return b.finish()
+
+
+def with_limb():
+    """A production using a limb attribute as a common subexpression."""
+    b = GrammarBuilder("with_limb", start="root")
+    b.nonterminal("root", synthesized={"OUT": "int"})
+    b.nonterminal("pair", synthesized={"BIG": "int", "SMALL": "int"})
+    b.terminal("N", intrinsic={"V": "int"})
+    b.limb("PairLimb", local={"DIFF": "int"})
+    b.production("root", ["pair"], functions=[
+        ("root.OUT", "pair.BIG - pair.SMALL"),
+    ])
+    b.production("pair", ["N", "N"], limb="PairLimb", functions=[
+        ("DIFF", "N0.V - N1.V"),
+        (["pair.BIG", "pair.SMALL"],
+         "if DIFF > 0 then N0.V, N1.V else N1.V, N0.V endif"),
+    ])
+    return b.finish()
+
+
+def env_fanout():
+    """A wide context-distribution grammar: ENV is set once at the root
+    and copied down three fanout levels (nine copy sites) — the shape
+    where static subsumption pays most clearly."""
+    b = GrammarBuilder("env_fanout", start="root")
+    b.nonterminal("root", synthesized={"OUT": "int"})
+    for nt in ("a", "b", "c", "d"):
+        b.nonterminal(nt, inherited={"ENV": "pf"}, synthesized={"OUT": "int"})
+    b.terminal("T", intrinsic={"KEY": "string"})
+    b.production("root", ["a"], functions=[
+        ("a.ENV", "consPF('x', 1, consPF('y', 2, empty$pf()))"),
+    ])
+    b.production("a", ["b", "b", "b"], functions=[
+        ("a.OUT", "b0.OUT + b1.OUT + b2.OUT"),
+    ])
+    b.production("b", ["c", "c", "c"], functions=[
+        ("b.OUT", "c0.OUT + c1.OUT + c2.OUT"),
+    ])
+    b.production("c", ["d", "d", "d"], functions=[
+        ("c.OUT", "d0.OUT + d1.OUT + d2.OUT"),
+    ])
+    b.production("d", ["T"], functions=[
+        ("d.OUT", "EvalPF(d.ENV, T.KEY)"),
+    ])
+    return b.finish()

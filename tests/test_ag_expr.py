@@ -1,0 +1,186 @@
+"""Unit tests for the expression AST and the mini expression parser."""
+
+import pytest
+
+from repro.ag.expr import (
+    AttrRef,
+    BinOp,
+    Call,
+    Const,
+    If,
+    Not,
+    expression_size,
+)
+from repro.ag.exprtext import parse_expression, parse_expression_list
+from repro.errors import ParseError
+
+
+class TestParsing:
+    def test_number(self):
+        assert parse_expression("42") == Const(42)
+
+    def test_booleans(self):
+        assert parse_expression("true") == Const(True)
+        assert parse_expression("false") == Const(False)
+
+    def test_string(self):
+        assert parse_expression("'hello'") == Const("hello")
+        assert parse_expression("'it''s'") == Const("it's")
+
+    def test_attr_ref(self):
+        e = parse_expression("function$list1.FUNCTS")
+        assert e == AttrRef("function$list1", "FUNCTS")
+
+    def test_bare_identifier_is_unresolved_ref(self):
+        e = parse_expression("no$msg")
+        assert e == AttrRef("", "no$msg")
+
+    def test_call(self):
+        e = parse_expression("union$setof(function.OBJ, S.FUNCTS)")
+        assert isinstance(e, Call)
+        assert e.func == "union$setof"
+        assert len(e.args) == 2
+
+    def test_nullary_call(self):
+        e = parse_expression("empty$set()")
+        assert e == Call("empty$set", ())
+
+    def test_infix_precedence(self):
+        e = parse_expression("a.X + b.Y * 2 = 10 or c.Z")
+        assert isinstance(e, BinOp) and e.op == "OR"
+        left = e.left
+        assert isinstance(left, BinOp) and left.op == "="
+
+    def test_not(self):
+        e = parse_expression("not function.EVAL")
+        assert e == Not(AttrRef("function", "EVAL"))
+
+    def test_unary_minus(self):
+        e = parse_expression("-x.A")
+        assert e == BinOp("-", Const(0), AttrRef("x", "A"))
+
+    def test_comparison_ops(self):
+        for op in ("=", "<>", "<", ">", "<=", ">="):
+            e = parse_expression(f"a.X {op} 1")
+            assert isinstance(e, BinOp) and e.op == op
+
+    def test_if_expression(self):
+        e = parse_expression("if a.X = 0 then 1 else 2 endif")
+        assert isinstance(e, If)
+        assert e.arity() == 1
+        assert e.then_branch == (Const(1),)
+        assert e.else_branch == (Const(2),)
+
+    def test_elsif_desugars_to_nested_if(self):
+        e = parse_expression(
+            "if a.X = 0 then 1 elsif a.X = 1 then 2 else 3 endif"
+        )
+        assert isinstance(e, If)
+        assert isinstance(e.else_branch, If)
+        assert e.else_branch.then_branch == (Const(2),)
+
+    def test_multi_valued_if(self):
+        e = parse_expression("if c.B then 1, 2 else 3, 4 endif")
+        assert e.arity() == 2
+        first = e.select(0)
+        assert first.then_branch == (Const(1),)
+        assert first.else_branch == (Const(3),)
+        second = e.select(1)
+        assert second.then_branch == (Const(2),)
+
+    def test_multi_valued_elsif_select(self):
+        e = parse_expression(
+            "if c.B then 1, 2 elsif c.D then 3, 4 else 5, 6 endif"
+        )
+        assert e.arity() == 2
+        sel = e.select(1)
+        assert sel.then_branch == (Const(2),)
+        assert isinstance(sel.else_branch, If)
+        assert sel.else_branch.then_branch == (Const(4),)
+
+    def test_branch_arity_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("if c.B then 1, 2 else 3 endif")
+
+    def test_nested_if_in_branch(self):
+        e = parse_expression(
+            "if a.X then if a.Y then 1 else 2 endif else 3 endif"
+        )
+        assert isinstance(e.then_branch[0], If)
+
+    def test_if_forbidden_in_operand(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + if a.X then 1 else 2 endif")
+
+    def test_if_forbidden_in_call_argument(self):
+        with pytest.raises(ParseError):
+            parse_expression("f(if a.X then 1 else 2 endif)")
+
+    def test_parenthesized(self):
+        e = parse_expression("(a.X + 1) * 2")
+        assert isinstance(e, BinOp) and e.op == "*"
+
+    def test_div_keyword(self):
+        e = parse_expression("a.X div 2")
+        assert isinstance(e, BinOp) and e.op == "DIV"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 2")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a.X @ 1")
+
+    def test_expression_list(self):
+        out = parse_expression_list("1, a.X, f(2)")
+        assert len(out) == 3
+
+    def test_comments_skipped(self):
+        e = parse_expression("1 + 2 # pass 2")
+        assert isinstance(e, BinOp)
+
+
+class TestExprProperties:
+    def test_refs_iteration_order(self):
+        e = parse_expression("f(a.X, b.Y) + c.Z")
+        refs = [str(r) for r in e.refs()]
+        assert refs == ["a.X", "b.Y", "c.Z"]
+
+    def test_refs_in_if(self):
+        e = parse_expression("if a.C then b.T else c.E endif")
+        refs = {str(r) for r in e.refs()}
+        assert refs == {"a.C", "b.T", "c.E"}
+
+    def test_contains_if(self):
+        assert parse_expression("if a.X then 1 else 2 endif").contains_if()
+        assert not parse_expression("a.X + 1").contains_if()
+
+    def test_expression_size_monotone(self):
+        small = parse_expression("a.X")
+        large = parse_expression("if c.B then f(a.X + 1, 2) else g(3) endif")
+        assert expression_size(small) == 1
+        assert expression_size(large) > expression_size(small)
+
+    def test_select_out_of_range(self):
+        e = parse_expression("if c.B then 1, 2 else 3, 4 endif")
+        with pytest.raises(IndexError):
+            e.select(5)
+        with pytest.raises(IndexError):
+            parse_expression("1").select(1)
+
+    def test_bad_operator_rejected_in_ast(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_str_round_trippable_through_parser(self):
+        texts = [
+            "a.X + 1",
+            "if a.C then f(b.T) else 0 endif",
+            "not (a.X = 2)",
+            "union$setof(f.OBJ, g.SET)",
+        ]
+        for text in texts:
+            e1 = parse_expression(text)
+            e2 = parse_expression(str(e1))
+            assert e1 == e2

@@ -1,0 +1,138 @@
+"""Unit tests for the attribute-grammar core model (S6)."""
+
+import pytest
+
+from repro.ag import (
+    AttrKind,
+    AttributeGrammar,
+    GrammarBuilder,
+    LHS_POSITION,
+    LIMB_POSITION,
+    SymbolKind,
+)
+from repro.errors import SemanticError
+
+
+class TestSymbols:
+    def test_symbol_kinds(self):
+        ag = AttributeGrammar("t", "S")
+        s = ag.add_symbol("S", SymbolKind.NONTERMINAL)
+        t = ag.add_symbol("T", SymbolKind.TERMINAL)
+        l = ag.add_symbol("L", SymbolKind.LIMB)
+        assert [x.name for x in ag.nonterminals] == ["S"]
+        assert [x.name for x in ag.terminals] == ["T"]
+        assert [x.name for x in ag.limbs] == ["L"]
+
+    def test_duplicate_symbol_rejected(self):
+        ag = AttributeGrammar("t", "S")
+        ag.add_symbol("S", SymbolKind.NONTERMINAL)
+        with pytest.raises(SemanticError):
+            ag.add_symbol("S", SymbolKind.TERMINAL)
+
+    def test_terminal_cannot_have_synthesized(self):
+        ag = AttributeGrammar("t", "S")
+        t = ag.add_symbol("T", SymbolKind.TERMINAL)
+        with pytest.raises(SemanticError):
+            t.add_attribute("VAL", AttrKind.SYNTHESIZED)
+
+    def test_terminal_intrinsic_allowed(self):
+        ag = AttributeGrammar("t", "S")
+        t = ag.add_symbol("T", SymbolKind.TERMINAL)
+        attr = t.add_attribute("NAME", AttrKind.INTRINSIC, "NameIndex")
+        assert attr.kind is AttrKind.INTRINSIC
+        assert t.intrinsic == [attr]
+
+    def test_limb_only_local_attributes(self):
+        ag = AttributeGrammar("t", "S")
+        l = ag.add_symbol("L", SymbolKind.LIMB)
+        with pytest.raises(SemanticError):
+            l.add_attribute("A", AttrKind.SYNTHESIZED)
+        l.add_attribute("A", AttrKind.LOCAL)
+
+    def test_nonterminal_cannot_have_local(self):
+        ag = AttributeGrammar("t", "S")
+        s = ag.add_symbol("S", SymbolKind.NONTERMINAL)
+        with pytest.raises(SemanticError):
+            s.add_attribute("A", AttrKind.LOCAL)
+
+    def test_duplicate_attribute_rejected(self):
+        ag = AttributeGrammar("t", "S")
+        s = ag.add_symbol("S", SymbolKind.NONTERMINAL)
+        s.add_attribute("A", AttrKind.SYNTHESIZED)
+        with pytest.raises(SemanticError):
+            s.add_attribute("A", AttrKind.INHERITED)
+
+
+class TestOccurrenceNaming:
+    """§I: 'S0 and S1 denote separate occurrences of the same symbol'."""
+
+    def make(self):
+        ag = AttributeGrammar("t", "S")
+        ag.add_symbol("S", SymbolKind.NONTERMINAL)
+        ag.add_symbol("V", SymbolKind.TERMINAL)
+        ag.add_symbol("Lb", SymbolKind.LIMB)
+        return ag
+
+    def test_suffixes_when_repeated(self):
+        ag = self.make()
+        prod = ag.add_production("S", ["V", "S"], limb="Lb")
+        names = [o.name for o in prod.occurrences]
+        # LHS counts as occurrence 0 of S.
+        assert names == ["S0", "V", "S1", "Lb"]
+
+    def test_bare_when_unique(self):
+        ag = self.make()
+        prod = ag.add_production("S", ["V"])
+        assert [o.name for o in prod.occurrences] == ["S", "V"]
+
+    def test_positions(self):
+        ag = self.make()
+        prod = ag.add_production("S", ["V", "S"], limb="Lb")
+        assert prod.occurrence_named("S0").position == LHS_POSITION
+        assert prod.occurrence_named("S1").position == 2
+        assert prod.occurrence_named("Lb").position == LIMB_POSITION
+
+    def test_triple_occurrence(self):
+        ag = self.make()
+        prod = ag.add_production("S", ["S", "S"])
+        assert [o.name for o in prod.occurrences] == ["S0", "S1", "S2"]
+
+    def test_limb_cannot_appear_in_rhs(self):
+        ag = self.make()
+        with pytest.raises(SemanticError):
+            ag.add_production("S", ["Lb"])
+
+    def test_lhs_must_be_nonterminal(self):
+        ag = self.make()
+        with pytest.raises(SemanticError):
+            ag.add_production("V", ["S"])
+
+    def test_limb_unique_per_production(self):
+        ag = self.make()
+        ag.add_production("S", ["V"], limb="Lb")
+        with pytest.raises(SemanticError):
+            ag.add_production("S", ["V", "S"], limb="Lb")
+
+    def test_attribute_occurrence_count(self):
+        ag = self.make()
+        ag.symbol("S").add_attribute("A", AttrKind.SYNTHESIZED)
+        ag.symbol("S").add_attribute("B", AttrKind.INHERITED)
+        ag.symbol("V").add_attribute("N", AttrKind.INTRINSIC)
+        prod = ag.add_production("S", ["V", "S"], limb="Lb")
+        occurrences = ag.attribute_occurrences(prod)
+        # S0: A,B ; V: N ; S1: A,B  => 5
+        assert len(occurrences) == 5
+
+
+class TestUnderlyingCFG:
+    def test_cfg_extraction(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", synthesized={"N": "int"})
+        b.terminal("A", intrinsic={"X": "int"})
+        b.production("S", ["A"], functions=[("S.N", "A.X + 1")])
+        ag = b.finish()
+        cfg = ag.underlying_cfg()
+        assert cfg.start == "S"
+        assert "A" in cfg.terminals
+        # augmented production + 1 real production
+        assert len(cfg.productions) == 2

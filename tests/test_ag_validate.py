@@ -1,0 +1,406 @@
+"""Unit tests for validation, implicit copy-rules, statistics, circularity (S7)."""
+
+import pytest
+
+from repro.ag import (
+    AttrRef,
+    GrammarBuilder,
+    check_noncircular,
+    compute_statistics,
+    LHS_POSITION,
+)
+from repro.ag.copyrules import grammar_bindings, is_copy_rule, production_bindings
+from repro.errors import CircularityError, SemanticError
+
+
+def simple_builder():
+    b = GrammarBuilder("t", start="S")
+    b.nonterminal("S", synthesized={"VAL": "int"}, inherited={})
+    b.nonterminal("E", synthesized={"VAL": "int"}, inherited={"ENV": "EnvT"})
+    b.terminal("NUM", intrinsic={"LEX": "int"})
+    b.terminal("PLUS")
+    return b
+
+
+class TestValidation:
+    def test_valid_grammar_passes(self):
+        b = simple_builder()
+        b.production("S", ["E"], functions=[
+            ("S.VAL", "E.VAL"),
+            ("E.ENV", "empty$pf()"),
+        ])
+        b.production("E", ["E", "PLUS", "E"], functions=[
+            ("E0.VAL", "E1.VAL + E2.VAL"),
+            ("E1.ENV", "E0.ENV"),
+            ("E2.ENV", "E0.ENV"),
+        ])
+        b.production("E", ["NUM"], functions=[("E.VAL", "NUM.LEX")])
+        ag = b.finish()
+        assert len(ag.productions) == 3
+
+    def test_missing_synthesized_rejected(self):
+        b = GrammarBuilder("t", start="S")
+        # S.RESULT shares no name with any E attribute, so no implicit
+        # copy-rule can repair the omission.
+        b.nonterminal("S", synthesized={"RESULT": "int"})
+        b.nonterminal("E", inherited={"ENV": "EnvT"}, synthesized={"VAL": "int"})
+        b.terminal("NUM", intrinsic={"LEX": "int"})
+        b.production("S", ["E"], functions=[("E.ENV", "empty$pf()")])
+        b.production("E", ["NUM"], functions=[("E.VAL", "NUM.LEX")])
+        with pytest.raises(SemanticError) as exc:
+            b.finish()
+        assert "RESULT" in str(exc.value)
+
+    def test_missing_inherited_rejected_when_no_implicit(self):
+        b = simple_builder()
+        # S has no ENV attribute, so no implicit copy for E.ENV exists.
+        b.production("S", ["E"], functions=[("S.VAL", "E.VAL")])
+        b.production("E", ["NUM"], functions=[("E.VAL", "NUM.LEX")])
+        with pytest.raises(SemanticError):
+            b.finish()
+
+    def test_double_definition_rejected(self):
+        b = simple_builder()
+        b.production("S", ["E"], functions=[
+            ("S.VAL", "E.VAL"),
+            ("S.VAL", "0"),
+            ("E.ENV", "empty$pf()"),
+        ])
+        b.production("E", ["NUM"], functions=[("E.VAL", "NUM.LEX")])
+        with pytest.raises(SemanticError) as exc:
+            b.finish()
+        assert "twice" in str(exc.value)
+
+    def test_defining_intrinsic_rejected(self):
+        b = simple_builder()
+        b.production("S", ["E"], functions=[
+            ("S.VAL", "E.VAL"), ("E.ENV", "empty$pf()"),
+        ])
+        b.production("E", ["NUM"], functions=[
+            ("E.VAL", "NUM.LEX"),
+            ("NUM.LEX", "0"),
+        ])
+        with pytest.raises(SemanticError) as exc:
+            b.finish()
+        assert "intrinsic" in str(exc.value)
+
+    def test_defining_lhs_inherited_rejected(self):
+        b = simple_builder()
+        b.production("S", ["E"], functions=[
+            ("S.VAL", "E.VAL"), ("E.ENV", "empty$pf()"),
+        ])
+        b.production("E", ["NUM"], functions=[
+            ("E.VAL", "NUM.LEX"),
+            ("E.ENV", "empty$pf()"),  # E is the LHS here: illegal target
+        ])
+        with pytest.raises(SemanticError):
+            b.finish()
+
+    def test_defining_rhs_synthesized_rejected(self):
+        b = simple_builder()
+        b.production("S", ["E"], functions=[
+            ("S.VAL", "0"),
+            ("E.ENV", "empty$pf()"),
+            ("E.VAL", "1"),  # synthesized attr of a RHS occurrence: illegal
+        ])
+        b.production("E", ["NUM"], functions=[("E.VAL", "NUM.LEX")])
+        with pytest.raises(SemanticError):
+            b.finish()
+
+    def test_unknown_occurrence_in_expr_rejected(self):
+        b = simple_builder()
+        b.production("S", ["E"], functions=[
+            ("S.VAL", "Q.VAL"),
+            ("E.ENV", "empty$pf()"),
+        ])
+        b.production("E", ["NUM"], functions=[("E.VAL", "NUM.LEX")])
+        with pytest.raises(SemanticError) as exc:
+            b.finish()
+        assert "Q" in str(exc.value)
+
+    def test_unknown_attribute_in_expr_rejected(self):
+        b = simple_builder()
+        b.production("S", ["E"], functions=[
+            ("S.VAL", "E.NOPE"),
+            ("E.ENV", "empty$pf()"),
+        ])
+        b.production("E", ["NUM"], functions=[("E.VAL", "NUM.LEX")])
+        with pytest.raises(SemanticError):
+            b.finish()
+
+    def test_start_symbol_inherited_rejected(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", inherited={"X": "int"}, synthesized={"V": "int"})
+        b.terminal("A")
+        b.production("S", ["A"], functions=[("S.V", "0")])
+        with pytest.raises(SemanticError) as exc:
+            b.finish()
+        assert "start" in str(exc.value)
+
+    def test_nonterminal_without_productions_rejected(self):
+        b = simple_builder()
+        b.production("S", ["E"], functions=[
+            ("S.VAL", "E.VAL"), ("E.ENV", "empty$pf()"),
+        ])
+        # no production for E
+        with pytest.raises(SemanticError) as exc:
+            b.finish()
+        assert "no productions" in str(exc.value)
+
+    def test_bare_symbolic_constant_resolves(self):
+        b = simple_builder()
+        b.production("S", ["E"], functions=[
+            ("S.VAL", "no$msg"),
+            ("E.ENV", "empty$pf()"),
+        ])
+        b.production("E", ["NUM"], functions=[("E.VAL", "NUM.LEX")])
+        ag = b.finish()
+        func = [f for f in ag.productions[0].functions if not f.implicit][0]
+        from repro.ag.expr import Const
+
+        assert func.expr == Const("no$msg", is_symbolic=True)
+
+    def test_multi_target_arity_mismatch_rejected(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", synthesized={"A": "int", "B": "int"})
+        b.terminal("T")
+        b.production("S", ["T"], functions=[
+            (["S.A", "S.B"], "if 1 = 1 then 1, 2, 3 else 4, 5, 6 endif"),
+        ])
+        with pytest.raises(SemanticError):
+            b.finish()
+
+    def test_multi_target_shared_value(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", synthesized={"A": "int", "B": "int"})
+        b.terminal("T")
+        b.production("S", ["T"], functions=[
+            (["S.A", "S.B"], "7"),
+        ])
+        ag = b.finish()
+        bindings = production_bindings(ag.productions[0])
+        assert len(bindings) == 2
+        assert {str(b.target.attribute) for b in bindings} == {"S.A", "S.B"}
+
+
+class TestLimbAttributes:
+    def make(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", synthesized={"V": "int"})
+        b.terminal("T", intrinsic={"N": "int"})
+        b.limb("SLimb", local={"TMP": "int"})
+        return b
+
+    def test_limb_attr_as_common_subexpression(self):
+        b = self.make()
+        b.production("S", ["T"], limb="SLimb", functions=[
+            ("TMP", "T.N + 1"),
+            ("S.V", "TMP * TMP"),
+        ])
+        ag = b.finish()
+        funcs = ag.productions[0].functions
+        assert len(funcs) == 2
+
+    def test_referenced_undefined_limb_attr_rejected(self):
+        b = self.make()
+        b.production("S", ["T"], limb="SLimb", functions=[
+            ("S.V", "TMP + 1"),
+        ])
+        with pytest.raises(SemanticError) as exc:
+            b.finish()
+        assert "TMP" in str(exc.value)
+
+    def test_unused_limb_attr_warns_not_errors(self):
+        from repro.errors import DiagnosticSink, Severity
+
+        b = self.make()
+        b.production("S", ["T"], limb="SLimb", functions=[
+            ("S.V", "T.N"),
+        ])
+        sink = DiagnosticSink()
+        ag = b.finish(sink)
+        warnings = [d for d in sink if d.severity is Severity.WARNING]
+        assert any("TMP" in d.message for d in warnings)
+
+    def test_bare_target_without_limb_rejected(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", synthesized={"V": "int"})
+        b.terminal("T")
+        b.production("S", ["T"], functions=[
+            ("TMP", "1"),
+            ("S.V", "2"),
+        ])
+        with pytest.raises(SemanticError):
+            b.finish()
+
+
+class TestImplicitCopyRules:
+    """§IV's two flavors of implicit copy-rule insertion."""
+
+    def test_flavor1_inherited_copied_down(self):
+        b = GrammarBuilder("t", start="R")
+        b.nonterminal("R", synthesized={"OUT": "int"})
+        b.nonterminal("S", inherited={"ENV": "E"}, synthesized={"OUT": "int"})
+        b.terminal("T")
+        # R has no ENV, so R's production must define S.ENV explicitly...
+        b.production("R", ["S"], functions=[("S.ENV", "empty$pf()")])
+        # ...but S's own recursion gets ENV implicitly: S1.ENV = S0.ENV.
+        b.production("S", ["T", "S"], functions=[
+            ("S0.OUT", "S1.OUT + 1"),
+        ])
+        b.production("S", ["T"], functions=[("S.OUT", "0")])
+        ag = b.finish()
+        rec = ag.productions[1]
+        implicit = [f for f in rec.functions if f.implicit]
+        assert len(implicit) == 1
+        (f,) = implicit
+        assert str(f.targets[0]) == "S[rhs2].ENV"
+        assert f.expr == AttrRef("S0", "ENV", LHS_POSITION)
+
+    def test_flavor1_requires_same_name_on_lhs(self):
+        b = GrammarBuilder("t", start="R")
+        b.nonterminal("R", synthesized={"OUT": "int"})
+        b.nonterminal("S", inherited={"CTX": "E"}, synthesized={"OUT": "int"})
+        b.terminal("T")
+        b.production("R", ["S"], functions=[("S.CTX", "empty$pf()")])
+        b.production("S", ["T"], functions=[("S.OUT", "0")])
+        ag = b.finish()  # fine: CTX explicitly defined at root, leaf has none
+
+    def test_flavor2_synthesized_copied_up(self):
+        b = GrammarBuilder("t", start="R")
+        b.nonterminal("R", synthesized={"OUT": "int"})
+        b.nonterminal("S", synthesized={"OUT": "int"})
+        b.terminal("T")
+        b.production("R", ["S"])  # R.OUT = S.OUT inserted implicitly
+        b.production("S", ["T"], functions=[("S.OUT", "1")])
+        ag = b.finish()
+        implicit = [f for f in ag.productions[0].functions if f.implicit]
+        assert len(implicit) == 1
+        assert implicit[0].expr == AttrRef("S", "OUT", 1)
+
+    def test_flavor2_not_inserted_when_two_candidates(self):
+        b = GrammarBuilder("t", start="R")
+        b.nonterminal("R", synthesized={"OUT": "int"})
+        b.nonterminal("S", synthesized={"OUT": "int"})
+        b.terminal("T")
+        # two occurrences of S: ambiguous, no implicit copy, so error.
+        b.production("R", ["S", "S"])
+        b.production("S", ["T"], functions=[("S.OUT", "1")])
+        with pytest.raises(SemanticError):
+            b.finish()
+
+    def test_flavor2_not_inserted_across_different_symbols(self):
+        b = GrammarBuilder("t", start="R")
+        b.nonterminal("R", synthesized={"OUT": "int"})
+        b.nonterminal("S", synthesized={"OUT": "int"})
+        b.nonterminal("U", synthesized={"OUT": "int"})
+        b.terminal("T")
+        b.production("R", ["S", "U"])  # two distinct symbols with OUT: ambiguous
+        b.production("S", ["T"], functions=[("S.OUT", "1")])
+        b.production("U", ["T"], functions=[("U.OUT", "2")])
+        with pytest.raises(SemanticError):
+            b.finish()
+
+    def test_list_production_both_flavors(self):
+        """The paper's canonical list shape: context flows down, result up."""
+        b = GrammarBuilder("t", start="R")
+        b.nonterminal("R", synthesized={"N": "int"})
+        b.nonterminal("L", inherited={"D": "int"}, synthesized={"N": "int"})
+        b.terminal("X")
+        b.production("R", ["L"], functions=[("L.D", "1")])
+        b.production("L", ["L", "X"])  # L1.D = L0.D and L0.N = L1.N implicit
+        b.production("L", ["X"], functions=[("L.N", "L.D")])
+        ag = b.finish()
+        implicit = [f for f in ag.productions[1].functions if f.implicit]
+        assert len(implicit) == 2
+
+
+class TestCopyRuleClassification:
+    def test_copy_rule_detected(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", synthesized={"V": "int"})
+        b.nonterminal("E", synthesized={"V": "int"})
+        b.terminal("N", intrinsic={"L": "int"})
+        b.production("S", ["E"], functions=[("S.V", "E.V")])
+        b.production("E", ["N"], functions=[("E.V", "N.L + 0")])
+        ag = b.finish()
+        funcs0 = ag.productions[0].functions
+        funcs1 = ag.productions[1].functions
+        assert is_copy_rule(funcs0[0])
+        assert not is_copy_rule(funcs1[0])
+
+    def test_same_name_copy(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", synthesized={"V": "int"})
+        b.nonterminal("E", synthesized={"V": "int", "W": "int"})
+        b.terminal("N")
+        b.production("S", ["E"], functions=[("S.V", "E.W")])
+        b.production("E", ["N"], functions=[("E.V", "1"), ("E.W", "2")])
+        ag = b.finish()
+        bindings = production_bindings(ag.productions[0])
+        copies = [x for x in bindings if x.is_copy()]
+        assert len(copies) == 1
+        assert not copies[0].is_same_name_copy()  # V = W: different names
+
+    def test_statistics(self):
+        b = GrammarBuilder("stats", start="R")
+        b.nonterminal("R", synthesized={"N": "int"})
+        b.nonterminal("L", inherited={"D": "int"}, synthesized={"N": "int"})
+        b.terminal("X", intrinsic={"I": "int"})
+        b.production("R", ["L"], functions=[("L.D", "1")])
+        b.production("L", ["L", "X"])
+        b.production("L", ["X"], functions=[("L.N", "L.D + X.I")])
+        ag = b.finish()
+        ag.source_lines = 11
+        stats = compute_statistics(ag, n_passes=2)
+        assert stats.n_productions == 3
+        assert stats.n_symbols == 3
+        assert stats.n_attributes == 4
+        # 2 explicit + 3 implicit (R.N = L.N, L1.D = L0.D, L0.N = L1.N)
+        assert stats.n_semantic_functions == 5
+        assert stats.n_copy_rules == 3
+        assert stats.n_implicit_copy_rules == 3
+        assert stats.n_passes == 2
+        assert 0 < stats.copy_rule_percent < 100
+        assert "productions" in stats.render()
+
+
+class TestCircularity:
+    def test_noncircular_grammar_passes(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", synthesized={"V": "int"})
+        b.nonterminal("E", inherited={"D": "int"}, synthesized={"V": "int"})
+        b.terminal("N")
+        b.production("S", ["E"], functions=[("E.D", "0"), ("S.V", "E.V")])
+        b.production("E", ["N"], functions=[("E.V", "E.D + 1")])
+        ag = b.finish()
+        report = check_noncircular(ag)
+        assert report.ok
+        assert ("D", "V") in report.io["E"]
+
+    def test_circular_grammar_detected(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", synthesized={"V": "int"})
+        b.nonterminal("X", inherited={"I": "int"}, synthesized={"O": "int"})
+        b.terminal("N")
+        # X.I = X.O at the use site; X.O = X.I inside: a true cycle.
+        b.production("S", ["X"], functions=[("X.I", "X.O"), ("S.V", "X.O")])
+        b.production("X", ["N"], functions=[("X.O", "X.I")])
+        b_ag = b.finish()
+        with pytest.raises(CircularityError):
+            check_noncircular(b_ag)
+        report = check_noncircular(b_ag, strict=False)
+        assert not report.ok
+        assert report.cycles
+        assert "circular" in report.render(b_ag)
+
+    def test_io_relation_empty_for_independent_attrs(self):
+        b = GrammarBuilder("t", start="S")
+        b.nonterminal("S", synthesized={"V": "int"})
+        b.nonterminal("E", inherited={"D": "int"}, synthesized={"V": "int"})
+        b.terminal("N", intrinsic={"L": "int"})
+        b.production("S", ["E"], functions=[("E.D", "0"), ("S.V", "E.V")])
+        b.production("E", ["N"], functions=[("E.V", "N.L")])  # V independent of D
+        ag = b.finish()
+        report = check_noncircular(ag)
+        assert report.io["E"] == set()

@@ -1,0 +1,210 @@
+"""Unit tests for APT nodes, spool storage, and linearization (S9)."""
+
+import os
+
+import pytest
+
+from repro.apt import (
+    APTNode,
+    DiskSpool,
+    MemorySpool,
+    estimate_bytes,
+    iter_bottom_up,
+    iter_prefix,
+)
+from repro.apt.linear import TreeNode
+from repro.errors import EvaluationError
+from repro.passes.schedule import Direction
+from repro.util.iotrack import IOAccountant
+from repro.util.lists import SetList, PartialFunction
+
+
+class TestNode:
+    def test_byte_size_grows_with_attrs(self):
+        a = APTNode("S")
+        b = APTNode("S", attrs={"X": 1, "Y": "hello world"})
+        assert b.byte_size() > a.byte_size()
+
+    def test_estimate_bytes_kinds(self):
+        assert estimate_bytes(None) == 2
+        assert estimate_bytes(1) == 2
+        assert estimate_bytes(1.5) == 4
+        assert estimate_bytes("abcd") == 4
+        assert estimate_bytes((1, 2)) > 4
+        assert estimate_bytes(SetList.from_iterable([1, 2, 3])) > 6
+
+    def test_copy_is_independent(self):
+        a = APTNode("S", attrs={"X": 1})
+        b = a.copy()
+        b.attrs["X"] = 2
+        assert a.attrs["X"] == 1
+
+    def test_str(self):
+        n = APTNode("S", production=3, attrs={"X": 1})
+        assert "S" in str(n) and "p3" in str(n)
+
+
+def spool_cases(tmp_path):
+    acct = IOAccountant()
+    yield MemorySpool(acct, "mem"), acct
+    acct2 = IOAccountant()
+    yield DiskSpool(str(tmp_path / "t.spool"), acct2, "disk"), acct2
+
+
+class TestSpools:
+    @pytest.mark.parametrize("kind", ["memory", "disk"])
+    def test_round_trip_forward(self, kind, tmp_path):
+        spool = (
+            MemorySpool() if kind == "memory" else DiskSpool(str(tmp_path / "a.spool"))
+        )
+        records = [("S", 1, {"X": i}, False) for i in range(20)]
+        for r in records:
+            spool.append(r)
+        spool.finalize()
+        assert list(spool.read_forward()) == records
+        spool.close()
+
+    @pytest.mark.parametrize("kind", ["memory", "disk"])
+    def test_round_trip_backward(self, kind, tmp_path):
+        spool = (
+            MemorySpool() if kind == "memory" else DiskSpool(str(tmp_path / "b.spool"))
+        )
+        records = [("S", None, {"X": i}, False) for i in range(7)]
+        for r in records:
+            spool.append(r)
+        spool.finalize()
+        assert list(spool.read_backward()) == list(reversed(records))
+        spool.close()
+
+    def test_read_before_finalize_rejected(self):
+        spool = MemorySpool()
+        spool.append(("S", None, {}, False))
+        with pytest.raises(EvaluationError):
+            list(spool.read_forward())
+
+    def test_append_after_finalize_rejected(self):
+        spool = MemorySpool()
+        spool.finalize()
+        with pytest.raises(EvaluationError):
+            spool.append(("S", None, {}, False))
+
+    def test_io_accounting(self):
+        acct = IOAccountant()
+        spool = MemorySpool(acct, "ch")
+        for i in range(5):
+            spool.append(("S", None, {"X": i}, False))
+        spool.finalize()
+        list(spool.read_forward())
+        assert acct.records_written == 5
+        assert acct.records_read == 5
+        assert acct.bytes_written == acct.bytes_read > 0
+        assert acct.by_channel["ch"].records_read == 5
+
+    def test_disk_spool_multiple_reads(self, tmp_path):
+        spool = DiskSpool(str(tmp_path / "c.spool"))
+        for i in range(3):
+            spool.append(i)
+        spool.finalize()
+        assert list(spool.read_forward()) == [0, 1, 2]
+        assert list(spool.read_backward()) == [2, 1, 0]
+        assert list(spool.read_forward()) == [0, 1, 2]
+        spool.close()
+
+    def test_disk_spool_temp_file_cleanup(self):
+        spool = DiskSpool()
+        path = spool.path
+        spool.append(1)
+        spool.finalize()
+        assert os.path.exists(path)
+        spool.close()
+        assert not os.path.exists(path)
+
+    def test_disk_file_bytes(self, tmp_path):
+        spool = DiskSpool(str(tmp_path / "d.spool"))
+        spool.append(("record",))
+        spool.finalize()
+        assert spool.file_bytes() == os.path.getsize(spool.path)
+        spool.close()
+
+    def test_complex_attribute_values_survive(self, tmp_path):
+        spool = DiskSpool(str(tmp_path / "e.spool"))
+        s = SetList.from_iterable([1, 2, 3])
+        pf = PartialFunction.empty().bind("k", (1, "v"))
+        spool.append(("S", 0, {"SET": s, "PF": pf}, False))
+        spool.finalize()
+        ((sym, prod, attrs, limb),) = list(spool.read_forward())
+        assert attrs["SET"] == s
+        assert attrs["PF"] == pf
+        spool.close()
+
+    def test_deep_list_pickles_without_recursion_error(self, tmp_path):
+        from repro.util.lists import Sequence
+
+        deep = Sequence.from_iterable(range(5000))
+        spool = DiskSpool(str(tmp_path / "f.spool"))
+        spool.append(("S", 0, {"L": deep}, False))
+        spool.finalize()
+        ((_, _, attrs, _),) = list(spool.read_forward())
+        assert len(attrs["L"]) == 5000
+        assert list(attrs["L"])[:3] == [0, 1, 2]
+        spool.close()
+
+
+def paper_tree():
+    """The §II diagram tree:
+
+    M( F( B(A, C), E(D) ), G, L( H, K(I, J) ) ) — letters are node names;
+    all nodes share one symbol since only the order matters here.
+    """
+
+    def leaf(name):
+        return TreeNode(APTNode(name))
+
+    def interior(name, *children):
+        return TreeNode(APTNode(name, production=0), list(children))
+
+    b = interior("B", leaf("A"), leaf("C"))
+    e = interior("E", leaf("D"))
+    f = interior("F", b, e)
+    k = interior("K", leaf("I"), leaf("J"))
+    l = interior("L", leaf("H"), k)
+    return interior("M", f, leaf("G"), l)
+
+
+class TestLinearization:
+    def test_paper_postfix_l2r(self):
+        order = [n.symbol for n in iter_bottom_up(paper_tree(), Direction.L2R)]
+        assert order == list("ACBDEFGHIJKLM")
+
+    def test_paper_prefix_l2r(self):
+        order = [n.symbol for n in iter_prefix(paper_tree(), Direction.L2R)]
+        assert order == list("MFBACEDGLHKIJ")
+
+    def test_reversal_invariant(self):
+        """§II: the output of an L2R pass read backwards IS the input of
+        an R2L pass — and vice versa."""
+        tree = paper_tree()
+        l2r_out = [n.symbol for n in iter_bottom_up(tree, Direction.L2R)] + ["M"][0:0]
+        l2r_out = [n.symbol for n in iter_bottom_up(tree, Direction.L2R)]
+        # The driver writes the root last:
+        full_l2r = l2r_out  # iter_bottom_up already ends with the root
+        r2l_in = [n.symbol for n in iter_prefix(tree, Direction.R2L)]
+        assert list(reversed(full_l2r)) == r2l_in
+
+    def test_reversal_invariant_other_direction(self):
+        tree = paper_tree()
+        r2l_out = [n.symbol for n in iter_bottom_up(tree, Direction.R2L)]
+        l2r_in = [n.symbol for n in iter_prefix(tree, Direction.L2R)]
+        assert list(reversed(r2l_out)) == l2r_in
+
+    def test_limb_nodes_positioning(self):
+        limb = APTNode("Limb", production=0, is_limb=True)
+        child = TreeNode(APTNode("C"))
+        root = TreeNode(APTNode("R", production=0), [child], limb)
+        postfix = [n.symbol for n in iter_bottom_up(root, Direction.L2R)]
+        prefix = [n.symbol for n in iter_prefix(root, Direction.L2R)]
+        assert postfix == ["C", "Limb", "R"]
+        assert prefix == ["R", "Limb", "C"]
+        # Reversal with limbs still holds.
+        r2l_in = [n.symbol for n in iter_prefix(root, Direction.R2L)]
+        assert list(reversed(postfix)) == r2l_in

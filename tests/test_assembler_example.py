@@ -1,0 +1,139 @@
+"""The assembler example as a test: forward references across 3 passes."""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.passes.partition import assign_passes
+from repro.passes.schedule import Direction
+
+
+def _load_example():
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "examples", "assembler.py"
+    )
+    spec = importlib.util.spec_from_file_location("assembler_example", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def asm():
+    return _load_example()
+
+
+@pytest.fixture(scope="module")
+def assembled(asm):
+    """A reusable assemble() helper built from the example's pieces."""
+    from repro.apt.build import APTBuilder, default_intrinsics
+    from repro.apt.storage import MemorySpool
+    from repro.evalgen.codegen_py import GeneratedEvaluator
+    from repro.evalgen.deadness import analyze_deadness
+    from repro.evalgen.driver import AlternatingPassDriver
+    from repro.evalgen.plan import build_pass_plans
+    from repro.evalgen.runtime import FunctionLibrary
+    from repro.evalgen.subsumption import SubsumptionConfig, choose_static_attributes
+    from repro.lalr.parser import LALRParser
+    from repro.lalr.tables import build_tables
+
+    ag = asm.build_grammar()
+    assignment = assign_passes(ag, Direction.R2L)
+    deadness = analyze_deadness(ag, assignment)
+    allocation = choose_static_attributes(ag, assignment, SubsumptionConfig())
+    plans = build_pass_plans(ag, assignment, deadness, allocation)
+    generated = GeneratedEvaluator(ag, plans)
+    scanner = asm.scanner_spec().generate()
+    parser = LALRParser(build_tables(ag.underlying_cfg()))
+
+    def intrinsics(token, symbol, attr):
+        value = default_intrinsics(token, symbol, attr)
+        if symbol == "LABEL" and attr == "TEXT":
+            return value.rstrip(":")
+        return value
+
+    def assemble(source: str):
+        spool = MemorySpool(channel="initial")
+        builder = APTBuilder(ag, spool, intrinsic_fn=intrinsics)
+        parser.parse(scanner.tokens(source), listener=builder, build_tree=False)
+        builder.finish()
+        driver = AlternatingPassDriver(
+            ag, plans, generated.executor, library=FunctionLibrary()
+        )
+        return driver.run(spool, strategy="bottom-up")
+
+    return ag, assignment, assemble
+
+
+class TestAssembler:
+    def test_three_alternating_passes(self, assembled):
+        _, assignment, _ = assembled
+        assert assignment.n_passes == 3
+        assert assignment.pass_of("line$list", "LBLS") == 2
+        assert assignment.pass_of("instr", "ENV") == 3
+
+    def test_forward_and_backward_references(self, assembled):
+        _, _, assemble = assembled
+        result = assemble(asm_source := (
+            "start: add 1\n jmp end\n add 2\n jmp start\nend: halt\n"
+        ))
+        code = list(result["CODE"])
+        assert code == [
+            ("ADD", 1), ("JMP", 4), ("ADD", 2), ("JMP", 0), ("HALT", 0),
+        ]
+        assert result["N"] == 5
+
+    def test_single_instruction(self, assembled):
+        _, _, assemble = assembled
+        result = assemble("halt")
+        assert list(result["CODE"]) == [("HALT", 0)]
+
+    def test_chained_labels(self, assembled):
+        _, _, assemble = assembled
+        result = assemble("a: jmp b\nb: jmp c\nc: halt\n")
+        assert list(result["CODE"]) == [("JMP", 1), ("JMP", 2), ("HALT", 0)]
+
+    def test_example_main_runs(self, asm, capsys):
+        asm.main()
+        out = capsys.readouterr().out
+        assert "resolved correctly" in out
+
+
+class TestShippedAsmGrammar:
+    """asm.ag (frontend path) must agree with the builder-made grammar."""
+
+    def test_frontend_and_builder_grammars_agree(self, asm):
+        from repro.ag import compute_statistics
+        from repro.frontend import load_grammar
+        from repro.grammars import load_source
+
+        via_frontend = load_grammar(load_source("asm"))
+        via_builder = asm.build_grammar()
+        a = compute_statistics(via_frontend)
+        b = compute_statistics(via_builder)
+        assert a.n_productions == b.n_productions
+        assert a.n_semantic_functions == b.n_semantic_functions
+        assert a.n_copy_rules == b.n_copy_rules
+        # Same phrase structure, same pass structure.
+        fa = assign_passes(via_frontend, Direction.R2L)
+        fb = assign_passes(via_builder, Direction.R2L)
+        assert fa.n_passes == fb.n_passes == 3
+        assert fa.attr_pass == fb.attr_pass
+
+    def test_shipped_asm_translates(self):
+        from repro.apt.build import default_intrinsics
+        from repro.core import Linguist
+        from repro.grammars import load_source
+        from repro.grammars.scanners import asm_scanner_spec
+
+        def intrinsics(token, symbol, attr):
+            v = default_intrinsics(token, symbol, attr)
+            if symbol == "LABEL" and attr == "TEXT":
+                return v.rstrip(":")
+            return v
+
+        lg = Linguist(load_source("asm"))
+        t = lg.make_translator(asm_scanner_spec(), intrinsic_fn=intrinsics)
+        r = t.translate("a: add 7\n jmp a\n halt")
+        assert list(r["CODE"]) == [("ADD", 7), ("JMP", 0), ("HALT", 0)]

@@ -1,0 +1,154 @@
+"""Tests for the hand-written comparator compiler (S19) and the workload
+generators (S18) — including the AG-vs-baseline equivalence check."""
+
+import pytest
+
+from repro.baseline import HandPascalCompiler
+from repro.core import Linguist
+from repro.grammars import load_source, library_for
+from repro.grammars.scanners import (
+    binary_scanner_spec,
+    calc_scanner_spec,
+    pascal_scanner_spec,
+)
+from repro.workloads import (
+    generate_binary_numeral,
+    generate_calc_program,
+    generate_pascal_program,
+    generate_ag_source,
+)
+
+
+@pytest.fixture(scope="module")
+def pascal_translator():
+    lg = Linguist(load_source("pascal"))
+    return lg.make_translator(pascal_scanner_spec(), library=library_for("pascal"))
+
+
+@pytest.fixture(scope="module")
+def hand_compiler():
+    return HandPascalCompiler()
+
+
+GOOD = """
+program p;
+var i, total : integer; run : boolean;
+begin
+  i := 10;
+  total := 0;
+  run := true;
+  while run do
+  begin
+    total := total + i * i;
+    i := i - 1;
+    run := i > 0
+  end;
+  if total > 100 then writeln(total) else writeln(0)
+end.
+"""
+
+BAD = """
+program p;
+var a : integer; a : boolean; f : boolean;
+begin
+  a := 1 + true;
+  missing := 2;
+  if a + 1 then writeln(1) else writeln(2);
+  while 3 do f := not 5
+end.
+"""
+
+
+class TestHandCompiler:
+    def test_clean_program_compiles(self, hand_compiler):
+        result = hand_compiler.compile(GOOD)
+        assert result.ok
+        assert result.code[-1] == "HALT"
+
+    def test_error_program_messages(self, hand_compiler):
+        result = hand_compiler.compile(BAD)
+        texts = [m[1] for m in result.msgs]
+        assert "variable declared twice" in texts
+        assert "undeclared variable" in texts
+        assert "integer operands required" in texts
+        assert "boolean condition required" in texts
+        assert "boolean operand required" in texts
+
+    def test_syntax_error_raises(self, hand_compiler):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            hand_compiler.compile("program ; begin end.")
+
+
+class TestEquivalence:
+    """The generated AG front end and the hand compiler must agree —
+    same code, same messages — on every input."""
+
+    def assert_same(self, translator, hand, source):
+        ag_result = translator.translate(source)
+        hand_result = hand.compile(source)
+        assert list(ag_result["CODE"]) == hand_result.code
+        ag_msgs = sorted((m[0], m[1]) for m in ag_result["MSGS"])
+        hand_msgs = sorted((m[0], m[1]) for m in hand_result.msgs)
+        assert ag_msgs == hand_msgs
+
+    def test_good_program(self, pascal_translator, hand_compiler):
+        self.assert_same(pascal_translator, hand_compiler, GOOD)
+
+    def test_bad_program_messages_agree(self, pascal_translator, hand_compiler):
+        ag_result = pascal_translator.translate(BAD)
+        hand_result = hand_compiler.compile(BAD)
+        assert sorted(m[1] for m in ag_result["MSGS"]) == sorted(
+            m[1] for m in hand_result.msgs
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_generated_workloads_agree(self, pascal_translator, hand_compiler, seed):
+        source = generate_pascal_program(n_statements=30, seed=seed)
+        self.assert_same(pascal_translator, hand_compiler, source)
+
+
+class TestWorkloadGenerators:
+    def test_pascal_workload_is_valid(self, pascal_translator):
+        source = generate_pascal_program(n_statements=50, seed=9)
+        result = pascal_translator.translate(source)
+        assert list(result["MSGS"]) == []
+
+    def test_pascal_workload_deterministic(self):
+        assert generate_pascal_program(20, seed=5) == generate_pascal_program(20, seed=5)
+        assert generate_pascal_program(20, seed=5) != generate_pascal_program(20, seed=6)
+
+    def test_calc_workload_is_valid(self):
+        lg = Linguist(load_source("calc"))
+        t = lg.make_translator(calc_scanner_spec())
+        source = generate_calc_program(n_statements=40, seed=2)
+        result = t.translate(source)
+        assert "OUT" in result
+
+    def test_binary_workload_is_valid(self):
+        lg = Linguist(load_source("binary"))
+        t = lg.make_translator(binary_scanner_spec())
+        numeral = generate_binary_numeral(n_bits=48, seed=4)
+        assert "." in numeral
+        result = t.translate(numeral)
+        assert result["VAL"] >= 0
+
+    def test_ag_workload_is_valid(self):
+        from repro.frontend import load_grammar
+        from repro.passes import assign_passes, Direction
+
+        source = generate_ag_source(n_productions=20, seed=8)
+        ag = load_grammar(source)
+        assignment = assign_passes(ag, Direction.R2L)
+        assert assignment.n_passes >= 1
+
+    def test_ag_workload_scales(self):
+        small = generate_ag_source(n_productions=10)
+        large = generate_ag_source(n_productions=60)
+        assert len(large.splitlines()) > len(small.splitlines())
+
+    def test_workload_sizes_scale(self):
+        small = generate_pascal_program(10)
+        large = generate_pascal_program(200)
+        assert len(large.splitlines()) > 5 * len(small.splitlines())

@@ -1,0 +1,278 @@
+"""Integration tests for the Linguist driver, translators, self-generation."""
+
+import pytest
+
+from repro.core import Linguist
+from repro.core.selfgen import SelfGeneration, summary_from_ast
+from repro.errors import EvaluationError, PassError, SemanticError
+from repro.frontend.syntax import parse_ag_text
+from repro.grammars import load_source, library_for
+from repro.grammars.scanners import (
+    binary_scanner_spec,
+    calc_scanner_spec,
+    pascal_scanner_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def binary_linguist():
+    return Linguist(load_source("binary"))
+
+
+@pytest.fixture(scope="module")
+def pascal_linguist():
+    return Linguist(load_source("pascal"))
+
+
+@pytest.fixture(scope="module")
+def selfgen():
+    return SelfGeneration()
+
+
+class TestLinguistPipeline:
+    def test_overlay_timing_recorded(self, binary_linguist):
+        names = [n for n, _ in binary_linguist.overlay_times.entries]
+        assert "parser overlay" in names
+        assert "evaluability test overlay" in names
+        assert "evaluator generation overlay" in names
+        assert binary_linguist.overlay_times.total > 0
+        assert "TOTAL" in binary_linguist.overlay_times.render()
+
+    def test_listing_produced(self, binary_linguist):
+        assert "binary" in binary_linguist.listing
+        assert "alternating pass" in binary_linguist.listing
+
+    def test_statistics(self, binary_linguist):
+        stats = binary_linguist.statistics
+        assert stats.n_productions == 5
+        assert stats.n_passes == 2
+
+    def test_code_sizes_both_languages(self, binary_linguist):
+        pas = binary_linguist.code_sizes("pascal")
+        py = binary_linguist.code_sizes("python")
+        assert len(pas.passes) == 2
+        assert pas.husk_bytes > 0
+        assert py.total_bytes > 0
+
+    def test_pascal_source_looks_like_the_paper(self, binary_linguist):
+        src = binary_linguist.pascal_artifacts[0].text
+        assert "procedure" in src
+        assert "GetNode" in src
+        assert "PutNode" in src
+        assert "PP1" in src
+
+    def test_semantic_error_reported(self):
+        bad = load_source("binary").replace("bits0.SCALE = 0 ,", "")
+        with pytest.raises(SemanticError):
+            Linguist(bad)
+
+    def test_circular_grammar_rejected(self):
+        src = """
+grammar circ : s .
+symbols
+  nonterminal s, x ;
+  terminal T ;
+attributes
+  s : synthesized V int ;
+  x : inherited I int, synthesized O int ;
+productions
+s = x .
+  x.I = x.O , s.V = x.O ;
+x = T .
+  x.O = x.I ;
+end
+"""
+        from repro.errors import CircularityError
+
+        with pytest.raises(CircularityError):
+            Linguist(src)
+
+
+class TestTranslators:
+    def test_binary_translator(self, binary_linguist):
+        t = binary_linguist.make_translator(binary_scanner_spec())
+        assert t.translate("110.101")["VAL"] == pytest.approx(6.625)
+
+    def test_calc_translator_interp_backend(self):
+        lg = Linguist(load_source("calc"))
+        t = lg.make_translator(calc_scanner_spec(), backend="interp")
+        r = t.translate("let a = 2 ; let b = a * a ; print b + 1")
+        assert list(r["OUT"]) == [5]
+
+    def test_pascal_translator_clean_program(self, pascal_linguist):
+        t = pascal_linguist.make_translator(
+            pascal_scanner_spec(), library=library_for("pascal")
+        )
+        r = t.translate(
+            "program p; var a : integer; begin a := 1; writeln(a + 2) end."
+        )
+        assert list(r["MSGS"]) == []
+        code = list(r["CODE"])
+        assert code[-1] == "HALT"
+        assert "WRITE" in code
+
+    def test_pascal_translator_error_program(self, pascal_linguist):
+        t = pascal_linguist.make_translator(
+            pascal_scanner_spec(), library=library_for("pascal")
+        )
+        r = t.translate(
+            "program p; var a : integer; b : boolean;"
+            " begin a := b; c := 1; if a then writeln(1) else writeln(2) end."
+        )
+        msgs = [m[1] for m in r["MSGS"]]
+        assert "type mismatch in assignment" in msgs
+        assert "undeclared variable" in msgs
+        assert "boolean condition required" in msgs
+
+    def test_pascal_if_while_labels_unique(self, pascal_linguist):
+        t = pascal_linguist.make_translator(
+            pascal_scanner_spec(), library=library_for("pascal")
+        )
+        r = t.translate(
+            "program p; var a : boolean; begin "
+            "if a then writeln(1) else writeln(2); "
+            "while a do if a then writeln(3) else writeln(4) end."
+        )
+        code = list(r["CODE"])
+        labels = [ins for ins in code if ins.endswith(":")]
+        assert len(labels) == len(set(labels))
+
+    def test_translator_without_scanner_needs_tokens(self, binary_linguist):
+        t = binary_linguist.make_translator()
+        with pytest.raises(EvaluationError):
+            t.translate("1.0")
+
+    def test_translate_tokens_directly(self, binary_linguist):
+        from tests.evalharness import tokens_of
+
+        t = binary_linguist.make_translator()
+        toks = tokens_of([("ONE", "1"), ("RADIX", "."), ("ONE", "1")])
+        assert t.translate_tokens(toks)["VAL"] == pytest.approx(1.5)
+
+    def test_io_accounting_available(self, binary_linguist):
+        t = binary_linguist.make_translator(binary_scanner_spec())
+        t.translate("101.1")
+        driver = t.last_driver
+        assert driver.accountant.records_read > 0
+        assert driver.pass_times and len(driver.pass_times) == 2
+
+
+class TestSelfGeneration:
+    def test_bootstrap_fixpoint(self, selfgen):
+        machine, hand = selfgen.bootstrap_check()
+        assert machine.n_prods == hand.n_prods > 50
+        assert machine.symbols == hand.symbols
+
+    def test_four_passes_like_the_paper(self, selfgen):
+        assert selfgen.linguist.n_passes == 4
+
+    def test_generated_evaluator_on_other_grammars(self, selfgen):
+        for name in ("binary", "calc", "pascal"):
+            machine, hand = selfgen.bootstrap_check(load_source(name))
+            assert machine.n_prods == hand.n_prods
+
+    def test_cross_check_attribute(self, selfgen):
+        assert selfgen.check_consistency_attr()
+
+    def test_detects_undeclared_symbols(self, selfgen):
+        src = load_source("binary").replace(
+            "nonterminal number, bits, bit ;", "nonterminal number, bits ;"
+        )
+        machine = selfgen.analyze_with_generated_evaluator(src)
+        hand = summary_from_ast(parse_ag_text(src))
+        assert machine.n_msgs == hand.n_msgs > 0
+
+    def test_message_numbering_is_source_ordered(self, selfgen):
+        """MSG$NO threads left to right; TOTAL$MSGS flows back down."""
+        src = load_source("binary").replace("bits0 = bits1 bit", "bits0 = bits1 bitx")
+        result = selfgen.translator.translate(src)
+        msgs = list(result["MSGS"])
+        assert any("undeclared" in m[1] for m in msgs)
+
+    def test_statistics_match_t1_shape(self, selfgen):
+        """EXP-T1: the self grammar's own statistics have the paper's
+        proportions (4 passes; a large implicit-copy share)."""
+        stats = selfgen.linguist.statistics
+        assert stats.n_passes == 4
+        assert stats.n_productions >= 70
+        assert stats.n_implicit_copy_rules > stats.n_copy_rules / 2
+
+
+class TestStrategies:
+    def test_prefix_strategy_translator(self):
+        """first_direction=L2R uses the prefix-emission strategy (§II's
+        second option: 'like a recursive descent parser')."""
+        from repro.passes.schedule import Direction
+
+        lg = Linguist(load_source("calc"), first_direction=Direction.L2R)
+        assert lg.assignment.direction(1) is Direction.L2R
+        t = lg.make_translator(calc_scanner_spec())
+        r = t.translate("let a = 3 ; print a * a")
+        assert list(r["OUT"]) == [9]
+
+    def test_prefix_and_bottom_up_agree(self):
+        from repro.passes.schedule import Direction
+
+        program = "let a = 2 ; let b = a + 5 ; print b * a ; print b - a"
+        l2r = Linguist(load_source("calc"), first_direction=Direction.L2R)
+        r2l = Linguist(load_source("calc"), first_direction=Direction.R2L)
+        out_l2r = l2r.make_translator(calc_scanner_spec()).translate(program)
+        out_r2l = r2l.make_translator(calc_scanner_spec()).translate(program)
+        assert list(out_l2r["OUT"]) == list(out_r2l["OUT"]) == [14, 5]
+
+    def test_auto_direction(self):
+        lg = Linguist(load_source("binary"), first_direction="auto")
+        assert lg.n_passes == 2
+        t = lg.make_translator(binary_scanner_spec())
+        assert t.translate("1.1")["VAL"] == 1.5
+
+    def test_pass_counts_differ_by_direction(self):
+        """calc is L-attributed: 1 pass starting L2R, 2 starting R2L —
+        auto must pick the cheaper one."""
+        from repro.passes.schedule import Direction
+
+        r2l = Linguist(load_source("calc"), first_direction=Direction.R2L)
+        auto = Linguist(load_source("calc"), first_direction="auto")
+        assert auto.n_passes <= r2l.n_passes
+
+
+class TestOccurrenceBootstrap:
+    def test_generated_occurrence_count_matches_model(self, selfgen):
+        from repro.ag import compute_statistics
+        from repro.frontend import load_grammar
+
+        src = load_source("pascal")
+        machine = selfgen.analyze_with_generated_evaluator(src)
+        stats = compute_statistics(load_grammar(src))
+        assert machine.n_occs == stats.n_attribute_occurrences > 300
+
+
+class TestDegenerateGrammars:
+    def test_attribute_free_grammar_rejected_at_translate(self):
+        """A grammar with no attributes has zero passes; translating
+        through it reports the condition instead of silently no-oping."""
+        src = """
+grammar bare : s .
+symbols
+  nonterminal s ;
+  terminal T ;
+attributes
+productions
+s = T .
+  ;
+end
+"""
+        lg = Linguist(src)
+        assert lg.n_passes == 0
+        t = lg.make_translator()
+        from tests.evalharness import tokens_of
+
+        with pytest.raises(EvaluationError) as exc:
+            t.translate_tokens(tokens_of(["T"]))
+        assert "no passes" in str(exc.value)
+
+
+class TestLinguistArgs:
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Linguist(load_source("binary"), first_direction="sideways")

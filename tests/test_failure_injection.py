@@ -1,0 +1,140 @@
+"""Failure-injection tests: corrupted files, malformed streams, misuse."""
+
+import os
+import struct
+
+import pytest
+
+from repro.apt.storage import DiskSpool, MemorySpool
+from repro.errors import EvaluationError
+
+
+class TestCorruptSpools:
+    def make_spool(self, tmp_path, n=5):
+        spool = DiskSpool(str(tmp_path / "t.spool"))
+        for i in range(n):
+            spool.append(("S", None, {"X": i}, False))
+        spool.finalize()
+        return spool
+
+    def test_truncated_tail_detected_forward(self, tmp_path):
+        spool = self.make_spool(tmp_path)
+        size = os.path.getsize(spool.path)
+        with open(spool.path, "r+b") as f:
+            f.truncate(size - 3)
+        with pytest.raises(EvaluationError) as exc:
+            list(spool.read_forward())
+        assert "truncated" in str(exc.value) or "corrupt" in str(exc.value)
+
+    def test_corrupt_length_detected_backward(self, tmp_path):
+        spool = self.make_spool(tmp_path)
+        with open(spool.path, "r+b") as f:
+            f.seek(-4, os.SEEK_END)
+            f.write(struct.pack("<I", 10_000_000))  # absurd trailing length
+        with pytest.raises(EvaluationError):
+            list(spool.read_backward())
+
+    def test_evaluator_detects_truncated_apt(self):
+        """An APT file missing records makes the evaluator fail loudly,
+        not return partial results."""
+        from tests.evalharness import Pipeline, tokens_of
+        from tests.sample_grammars import knuth_binary
+
+        pipe = Pipeline(knuth_binary())
+        mapping = {"0": "ZERO", "1": "ONE", ".": "DOT"}
+        toks = tokens_of([(mapping[c], c) for c in "10.1"])
+        spool, _ = pipe.build_apt(toks, build_tree=False)
+        # Drop the last record (the root!) from a copy of the spool.
+        broken = MemorySpool(channel="broken")
+        records = list(spool.read_forward())
+        for record in records[:-1]:
+            broken.append(record)
+        broken.finalize()
+        driver = pipe.driver()
+        with pytest.raises(EvaluationError):
+            driver.run(broken, strategy="bottom-up")
+
+    def test_evaluator_detects_surplus_records(self):
+        from tests.evalharness import Pipeline, tokens_of
+        from tests.sample_grammars import knuth_binary
+
+        pipe = Pipeline(knuth_binary())
+        mapping = {"0": "ZERO", "1": "ONE", ".": "DOT"}
+        toks = tokens_of([(mapping[c], c) for c in "1.1"])
+        spool, _ = pipe.build_apt(toks, build_tree=False)
+        padded = MemorySpool(channel="padded")
+        # The first pass reads BACKWARD, so prepend garbage: it is then
+        # left unconsumed at the end of the pass.
+        padded.append(("ZERO", None, {}, False))
+        for record in spool.read_forward():
+            padded.append(record)
+        padded.finalize()
+        driver = pipe.driver()
+        with pytest.raises(EvaluationError) as exc:
+            driver.run(padded, strategy="bottom-up")
+        assert "did not consume" in str(exc.value)
+
+    def test_record_symbol_swap_detected(self):
+        """Swapping two node records breaks the phrase-structure sync."""
+        from tests.evalharness import Pipeline, tokens_of
+        from tests.sample_grammars import knuth_binary
+
+        pipe = Pipeline(knuth_binary())
+        mapping = {"0": "ZERO", "1": "ONE", ".": "DOT"}
+        toks = tokens_of([(mapping[c], c) for c in "10.1"])
+        spool, _ = pipe.build_apt(toks, build_tree=False)
+        records = list(spool.read_forward())
+        records[0], records[1] = records[1], records[0]
+        swapped = MemorySpool(channel="swapped")
+        for record in records:
+            swapped.append(record)
+        swapped.finalize()
+        driver = pipe.driver()
+        with pytest.raises(EvaluationError):
+            driver.run(swapped, strategy="bottom-up")
+
+
+class TestShippedScanners:
+    """Every shipped scanner spec tokenizes a representative input."""
+
+    def test_binary_scanner(self):
+        from repro.grammars.scanners import binary_scanner_spec
+
+        sc = binary_scanner_spec().generate()
+        kinds = [t.kind for t in sc.scan("10.01")][:-1]
+        assert kinds == ["ONE", "ZERO", "RADIX", "ZERO", "ONE"]
+
+    def test_calc_scanner(self):
+        from repro.grammars.scanners import calc_scanner_spec
+
+        sc = calc_scanner_spec().generate()
+        kinds = [t.kind for t in sc.scan("let x = 3 ; print x")][:-1]
+        assert kinds == ["LET", "ID", "ASSIGN", "NUM", "SEMI", "PRINT", "ID"]
+
+    def test_pascal_scanner_assign_vs_colon(self):
+        from repro.grammars.scanners import pascal_scanner_spec
+
+        sc = pascal_scanner_spec().generate()
+        kinds = [t.kind for t in sc.scan("x := 1; y : integer")][:-1]
+        assert kinds == ["ID", "ASSIGN", "NUM", "SEMI", "ID", "COLON", "INTEGER"]
+
+    def test_pascal_scanner_comments(self):
+        from repro.grammars.scanners import pascal_scanner_spec
+
+        sc = pascal_scanner_spec().generate()
+        kinds = [t.kind for t in sc.scan("a { a comment } b")][:-1]
+        assert kinds == ["ID", "ID"]
+
+    def test_pascal_loop_keywords(self):
+        from repro.grammars.scanners import pascal_scanner_spec
+
+        sc = pascal_scanner_spec().generate()
+        kinds = [t.kind for t in sc.scan("repeat until for to")][:-1]
+        assert kinds == ["REPEAT", "UNTIL", "FOR", "TO"]
+
+    def test_asm_scanner_label_vs_ident(self):
+        from repro.grammars.scanners import asm_scanner_spec
+
+        sc = asm_scanner_spec().generate()
+        kinds = [t.kind for t in sc.scan("loop: jmp loop ; away")][:-1]
+        assert kinds == ["LABEL", "JMP", "ID"]

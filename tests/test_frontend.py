@@ -1,0 +1,365 @@
+"""Unit tests for the .ag input-language frontend (S15)."""
+
+import pytest
+
+from repro.ag.expr import AttrRef, Call, Const, If
+from repro.ag.model import AttrKind, SymbolKind
+from repro.errors import ParseError, ScanError, SemanticError
+from repro.frontend import (
+    input_language_grammar,
+    load_grammar,
+    make_scanner,
+    parse_ag_text,
+    render_listing,
+)
+from repro.frontend.analyze import strip_occurrence_suffix
+from repro.lalr.tables import build_tables
+
+MINIMAL = """
+grammar tiny : s .
+symbols
+  nonterminal s ;
+  terminal T ;
+attributes
+  s : synthesized V int ;
+productions
+s = T .
+  s.V = 1 ;
+end
+"""
+
+
+class TestLexer:
+    def test_tokens_of_header(self):
+        sc = make_scanner()
+        kinds = [t.kind for t in sc.scan("grammar x : y .")]
+        assert kinds == ["GRAMMAR", "IDENT", "COLON", "IDENT", "DOT", "$eof"]
+
+    def test_dollar_identifiers(self):
+        sc = make_scanner()
+        toks = sc.scan("function$list0")
+        assert toks[0].kind == "IDENT"
+        assert toks[0].text == "function$list0"
+
+    def test_comments_skipped(self):
+        sc = make_scanner()
+        kinds = [t.kind for t in sc.scan("x # pass 2 comment\ny")]
+        assert kinds == ["IDENT", "IDENT", "$eof"]
+
+    def test_arrow_vs_minus(self):
+        sc = make_scanner()
+        kinds = [t.kind for t in sc.scan("a -> b - c")]
+        assert kinds == ["IDENT", "ARROW", "IDENT", "MINUS", "IDENT", "$eof"]
+
+    def test_string_with_escaped_quote(self):
+        sc = make_scanner()
+        toks = sc.scan("'it''s'")
+        assert toks[0].kind == "STRING"
+        assert toks[0].text == "'it''s'"
+
+    def test_keywords_case_sensitive(self):
+        sc = make_scanner()
+        assert sc.scan("if")[0].kind == "IF"
+        assert sc.scan("IF")[0].kind == "IDENT"
+
+    def test_relational_operators(self):
+        sc = make_scanner()
+        kinds = [t.kind for t in sc.scan("<> <= >= < > =")][:-1]
+        assert kinds == ["NE", "LE", "GE", "LT", "GT", "EQ"]
+
+
+class TestInputLanguageGrammar:
+    def test_is_lalr1(self):
+        tables = build_tables(input_language_grammar())
+        assert not tables.conflicts
+
+    def test_parse_minimal(self):
+        f = parse_ag_text(MINIMAL)
+        assert f.name == "tiny"
+        assert f.start == "s"
+        assert len(f.prods) == 1
+        assert f.prods[0].funcs[0].targets == [("s", "V")]
+
+    def test_production_with_limb(self):
+        src = MINIMAL.replace("s = T .", "s = T -> SLimb .").replace(
+            "terminal T ;", "terminal T ;\n  limb SLimb ;"
+        )
+        f = parse_ag_text(src)
+        assert f.prods[0].limb == "SLimb"
+
+    def test_empty_rhs_production(self):
+        src = """
+grammar g : s .
+symbols
+  nonterminal s, t ;
+  terminal A ;
+attributes
+  s : synthesized V int ;
+  t : synthesized W int ;
+productions
+s = t A .
+  s.V = t.W ;
+t = .
+  t.W = 0 ;
+end
+"""
+        f = parse_ag_text(src)
+        assert f.prods[1].rhs == []
+
+    def test_multi_target_function(self):
+        src = """
+grammar g : s .
+symbols
+  nonterminal s ;
+  terminal T ;
+attributes
+  s : synthesized A int, synthesized B int ;
+productions
+s = T .
+  s.A, s.B = if 1 = 1 then 1, 2 else 3, 4 endif ;
+end
+"""
+        f = parse_ag_text(src)
+        func = f.prods[0].funcs[0]
+        assert len(func.targets) == 2
+        assert isinstance(func.expr, If)
+        assert func.expr.arity() == 2
+
+    def test_bare_limb_target(self):
+        src = """
+grammar g : s .
+symbols
+  nonterminal s ;
+  terminal T ;
+  limb L ;
+attributes
+  s : synthesized V int ;
+  L : local TMP int ;
+productions
+s = T -> L .
+  TMP = 2 ,
+  s.V = TMP * TMP ;
+end
+"""
+        f = parse_ag_text(src)
+        assert f.prods[0].funcs[0].targets == [("", "TMP")]
+
+    def test_elsif_chain(self):
+        src = MINIMAL.replace(
+            "s.V = 1 ;",
+            "s.V = if 1 = 2 then 1 elsif 1 = 3 then 2 else 3 endif ;",
+        )
+        f = parse_ag_text(src)
+        expr = f.prods[0].funcs[0].expr
+        assert isinstance(expr, If)
+        assert isinstance(expr.else_branch, If)
+
+    def test_expression_priorities(self):
+        src = MINIMAL.replace("s.V = 1 ;", "s.V = 1 + 2 * 3 ;")
+        f = parse_ag_text(src)
+        expr = f.prods[0].funcs[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_call_and_string_args(self):
+        src = MINIMAL.replace("s.V = 1 ;", "s.V = f('hello', g(), 2) ;")
+        f = parse_ag_text(src)
+        expr = f.prods[0].funcs[0].expr
+        assert isinstance(expr, Call)
+        assert expr.args[0] == Const("hello")
+        assert expr.args[1] == Call("g", ())
+
+    def test_branch_arity_mismatch_rejected(self):
+        src = MINIMAL.replace(
+            "s.V = 1 ;", "s.V = if 1 = 1 then 1, 2 else 3 endif ;"
+        )
+        with pytest.raises(ParseError):
+            parse_ag_text(src)
+
+    def test_syntax_error_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_ag_text("grammar x y .")
+        assert "COLON" in str(exc.value)
+
+    def test_source_lines_counted(self):
+        f = parse_ag_text(MINIMAL)
+        assert f.source_lines == MINIMAL.count("\n")
+
+
+class TestAnalyze:
+    def test_minimal_grammar(self):
+        ag = load_grammar(MINIMAL)
+        assert ag.name == "tiny"
+        assert ag.symbol("s").kind is SymbolKind.NONTERMINAL
+        assert ag.symbol("T").kind is SymbolKind.TERMINAL
+
+    def test_occurrence_suffix_resolution(self):
+        assert strip_occurrence_suffix("bits1", {"bits": 1}) == "bits"
+        assert strip_occurrence_suffix("bits", {"bits": 1}) == "bits"
+        # exact match wins over stripping
+        assert strip_occurrence_suffix("x2", {"x2": 1, "x": 1}) == "x2"
+
+    def test_undeclared_symbol_in_production(self):
+        src = MINIMAL.replace("s = T .", "s = T U .")
+        with pytest.raises(SemanticError) as exc:
+            load_grammar(src)
+        assert "U" in str(exc.value)
+
+    def test_wrong_occurrence_numbering_rejected(self):
+        src = """
+grammar g : s .
+symbols
+  nonterminal s ;
+  terminal T ;
+attributes
+  s : synthesized V int ;
+productions
+s0 = s2 T .
+  s0.V = s2.V + 1 ;
+s = T .
+  s.V = 0 ;
+end
+"""
+        with pytest.raises(SemanticError) as exc:
+            load_grammar(src)
+        assert "numbering" in str(exc.value)
+
+    def test_attributes_for_unknown_symbol(self):
+        src = MINIMAL.replace("s : synthesized V int ;",
+                              "s : synthesized V int ;\n  zz : synthesized Q int ;")
+        with pytest.raises(SemanticError) as exc:
+            load_grammar(src)
+        assert "zz" in str(exc.value)
+
+    def test_attr_kind_mapping(self):
+        src = """
+grammar g : s .
+symbols
+  nonterminal s, u ;
+  terminal T ;
+  limb L ;
+attributes
+  s : synthesized V int ;
+  u : inherited I int, synthesized O int ;
+  T : intrinsic X int ;
+  L : local W int ;
+productions
+s = u -> L .
+  u.I = 1 , W = 2 , s.V = u.O + W ;
+u = T .
+  u.O = u.I + T.X ;
+end
+"""
+        ag = load_grammar(src)
+        assert ag.symbol("u").attributes["I"].kind is AttrKind.INHERITED
+        assert ag.symbol("T").attributes["X"].kind is AttrKind.INTRINSIC
+        assert ag.symbol("L").attributes["W"].kind is AttrKind.LOCAL
+
+    def test_duplicate_symbol_rejected(self):
+        src = MINIMAL.replace("nonterminal s ;", "nonterminal s, s ;")
+        with pytest.raises(SemanticError):
+            load_grammar(src)
+
+    def test_implicit_copy_inserted_from_source(self):
+        src = """
+grammar g : r .
+symbols
+  nonterminal r, l ;
+  terminal X ;
+attributes
+  r : synthesized N int ;
+  l : inherited D int, synthesized N int ;
+productions
+r = l .
+  l.D = 1 ;
+l0 = l1 X .
+  ;
+l = X .
+  l.N = l.D ;
+end
+"""
+        ag = load_grammar(src)
+        rec = ag.productions[1]
+        implicit = [f for f in rec.functions if f.implicit]
+        assert len(implicit) == 2  # l1.D = l0.D and l0.N = l1.N
+
+
+class TestListing:
+    def test_listing_contains_source_and_stats(self):
+        from repro.errors import DiagnosticSink
+        from repro.passes import assign_passes, Direction
+
+        sink = DiagnosticSink()
+        ag = load_grammar(MINIMAL, sink=sink)
+        assignment = assign_passes(ag, Direction.R2L)
+        text = render_listing(MINIMAL, ag, sink, assignment)
+        assert "grammar tiny" in text
+        assert "statistics" in text
+        assert "alternating pass" in text
+
+    def test_listing_marks_implicit_copies(self):
+        from repro.errors import DiagnosticSink
+        src = """
+grammar g : r .
+symbols
+  nonterminal r, l ;
+  terminal X ;
+attributes
+  r : synthesized N int ;
+  l : synthesized N int ;
+productions
+r = l .
+  ;
+l = X .
+  l.N = 1 ;
+end
+"""
+        sink = DiagnosticSink()
+        ag = load_grammar(src, sink=sink)
+        text = render_listing(src, ag, sink)
+        assert "# implicit copy-rule" in text
+
+
+class TestShippedGrammars:
+    @pytest.mark.parametrize("name,expect_passes", [
+        ("binary", 2), ("calc", 2), ("pascal", 2), ("asm", 3), ("linguist", 4),
+    ])
+    def test_loads_and_partitions(self, name, expect_passes):
+        from repro.grammars import load_source
+        from repro.passes import assign_passes, Direction
+
+        ag = load_grammar(load_source(name))
+        assignment = assign_passes(ag, Direction.R2L)
+        assert assignment.n_passes == expect_passes
+
+    def test_copy_rule_percentages_in_paper_band(self):
+        """EXP-C1 shape: 40-60 % of semantic functions are copy-rules in
+        realistic grammars (pascal and linguist are the realistic ones)."""
+        from repro.ag import compute_statistics
+        from repro.grammars import load_source
+
+        pascal = compute_statistics(load_grammar(load_source("pascal")))
+        assert 35 <= pascal.copy_rule_percent <= 65
+
+    def test_unknown_grammar_name(self):
+        from repro.grammars import load_source
+
+        with pytest.raises(KeyError):
+            load_source("nope")
+
+
+class TestListingPassAnnotations:
+    def test_pass_numbers_annotated_like_the_paper(self):
+        """The paper's listing marks each semantic function '# pass N'."""
+        from repro.core import Linguist
+        from repro.grammars import load_source
+
+        lg = Linguist(load_source("binary"))
+        assert "# pass 1" in lg.listing
+        assert "# pass 2" in lg.listing
+        # LEN is a pass-1 function; VAL computations are pass 2.
+        for line in lg.listing.splitlines():
+            if "bits[lhs].LEN" in line:
+                assert "# pass 1" in line
+            if "number[lhs].VAL" in line:
+                assert "# pass 2" in line

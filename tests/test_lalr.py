@@ -1,0 +1,207 @@
+"""Unit tests for the LALR parse-table builder and parser (S5)."""
+
+import pytest
+
+from repro.errors import ConflictError, GrammarError, ParseError
+from repro.lalr import (
+    EOF_SYMBOL,
+    Grammar,
+    LALRParser,
+    LR0Automaton,
+    build_tables,
+)
+from repro.lalr.parser import ParseListener
+from repro.errors import SourceLocation
+from repro.regex.scanner import Token
+
+
+def toks(kinds):
+    out = [Token(k, k.lower(), SourceLocation(1, i + 1)) for i, k in enumerate(kinds)]
+    out.append(Token(EOF_SYMBOL, "", SourceLocation(1, len(kinds) + 1)))
+    return out
+
+
+@pytest.fixture
+def expr_grammar():
+    # The classic LALR-but-not-SLR grammar of expressions with assignment.
+    return Grammar(
+        "E",
+        [
+            ("E", ["E", "PLUS", "T"], "Add"),
+            ("E", ["T"], "Promote"),
+            ("T", ["T", "STAR", "F"], "Mul"),
+            ("T", ["F"], "PromoteF"),
+            ("F", ["LPAREN", "E", "RPAREN"], "Paren"),
+            ("F", ["ID"], "Var"),
+        ],
+    )
+
+
+class TestGrammar:
+    def test_terminals_inferred(self, expr_grammar):
+        assert "PLUS" in expr_grammar.terminals
+        assert "E" in expr_grammar.nonterminals
+        assert EOF_SYMBOL in expr_grammar.terminals
+
+    def test_augmented_production(self, expr_grammar):
+        p0 = expr_grammar.productions[0]
+        assert p0.lhs == "$accept"
+        assert p0.rhs == ("E", EOF_SYMBOL)
+
+    def test_nullable(self):
+        g = Grammar("S", [("S", ["A", "B"], "s"), ("A", [], "a"), ("B", ["b"], "b")])
+        assert "A" in g.nullable
+        assert "B" not in g.nullable
+        assert "S" not in g.nullable
+
+    def test_first_sets(self, expr_grammar):
+        assert expr_grammar.first["E"] == {"LPAREN", "ID"}
+        assert expr_grammar.first["F"] == {"LPAREN", "ID"}
+
+    def test_follow_sets(self, expr_grammar):
+        assert "PLUS" in expr_grammar.follow["E"]
+        assert "RPAREN" in expr_grammar.follow["E"]
+        assert "STAR" in expr_grammar.follow["T"]
+
+    def test_first_through_nullable(self):
+        g = Grammar("S", [("S", ["A", "b"], "s"), ("A", ["a"], "a1"), ("A", [], "a2")])
+        assert g.first["S"] == {"a", "b"}
+
+    def test_empty_grammar_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", [])
+
+    def test_undeclared_symbol_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", [("S", ["x"], "s")], terminals=["y"])
+
+    def test_unreachable_nonterminal_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", [("S", ["a"], "s"), ("Z", ["b"], "z")])
+
+    def test_start_without_production_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("Q", [("S", ["a"], "s"), ("Q", ["S"], "q")][:1])
+
+
+class TestLR0:
+    def test_state_count_reasonable(self, expr_grammar):
+        auto = LR0Automaton(expr_grammar)
+        # The textbook expression grammar has 12 LR(0) states plus the
+        # extra states our explicit $eof shifting introduces.
+        assert 10 <= auto.n_states() <= 15
+
+    def test_closure_contains_expansions(self, expr_grammar):
+        auto = LR0Automaton(expr_grammar)
+        start = auto.states[0]
+        lhss = {expr_grammar.productions[i.prod].lhs for i in start}
+        assert {"$accept", "E", "T", "F"} <= lhss
+
+    def test_goto_deterministic(self, expr_grammar):
+        auto = LR0Automaton(expr_grammar)
+        assert (0, "E") in auto.goto
+        assert (0, "ID") in auto.goto
+
+
+class TestTables:
+    def test_builds_without_conflicts(self, expr_grammar):
+        tables = build_tables(expr_grammar)
+        assert not tables.conflicts
+        assert tables.n_states >= 10
+
+    def test_ambiguous_grammar_conflicts(self):
+        g = Grammar("E", [("E", ["E", "PLUS", "E"], "Add"), ("E", ["ID"], "Var")])
+        with pytest.raises(ConflictError):
+            build_tables(g)
+        tables = build_tables(g, strict=False)
+        assert tables.conflicts
+        assert tables.conflicts[0].kind == "shift/reduce"
+
+    def test_lalr_but_not_slr_grammar(self):
+        # S -> L = R | R ; L -> * R | id ; R -> L   (Dragon book 4.20)
+        g = Grammar(
+            "S",
+            [
+                ("S", ["L", "EQ", "R"], "Assign"),
+                ("S", ["R"], "Rvalue"),
+                ("L", ["STAR", "R"], "Deref"),
+                ("L", ["ID"], "Var"),
+                ("R", ["L"], "Lvalue"),
+            ],
+        )
+        tables = build_tables(g)  # SLR would conflict on EQ; LALR must not.
+        assert not tables.conflicts
+
+    def test_table_bytes_positive(self, expr_grammar):
+        assert build_tables(expr_grammar).table_bytes() > 0
+
+
+class _Recorder(ParseListener):
+    def __init__(self):
+        self.events = []
+
+    def on_shift(self, token):
+        self.events.append(("shift", token.kind))
+
+    def on_reduce(self, production):
+        self.events.append(("reduce", production.tag))
+
+
+class TestParser:
+    def test_parse_tree_shape(self, expr_grammar):
+        parser = LALRParser(build_tables(expr_grammar))
+        tree = parser.parse(toks(["ID", "PLUS", "ID", "STAR", "ID"]))
+        # Root is $accept; child 0 is the expression.
+        expr = tree.children[0]
+        assert expr.symbol == "E"
+        assert expr.production.tag == "Add"
+        right = expr.children[2]
+        assert right.production.tag == "Mul"
+
+    def test_bottom_up_event_order(self, expr_grammar):
+        parser = LALRParser(build_tables(expr_grammar))
+        rec = _Recorder()
+        parser.parse(toks(["ID", "PLUS", "ID"]), listener=rec, build_tree=False)
+        reduces = [tag for kind, tag in rec.events if kind == "reduce"]
+        assert reduces == ["Var", "PromoteF", "Promote", "Var", "PromoteF", "Add"]
+
+    def test_shift_events_in_source_order(self, expr_grammar):
+        parser = LALRParser(build_tables(expr_grammar))
+        rec = _Recorder()
+        parser.parse(toks(["LPAREN", "ID", "RPAREN"]), listener=rec, build_tree=False)
+        shifts = [k for kind, k in rec.events if kind == "shift"]
+        assert shifts == ["LPAREN", "ID", "RPAREN", EOF_SYMBOL]
+
+    def test_syntax_error_reports_expected(self, expr_grammar):
+        parser = LALRParser(build_tables(expr_grammar))
+        with pytest.raises(ParseError) as exc:
+            parser.parse(toks(["ID", "PLUS", "PLUS"]))
+        assert "expected" in str(exc.value)
+        assert "ID" in str(exc.value)
+
+    def test_nested_parens(self, expr_grammar):
+        parser = LALRParser(build_tables(expr_grammar))
+        tree = parser.parse(
+            toks(["LPAREN", "LPAREN", "ID", "RPAREN", "RPAREN"])
+        )
+        assert tree is not None
+
+    def test_empty_production_parse(self):
+        g = Grammar(
+            "list",
+            [
+                ("list", [], "Nil"),
+                ("list", ["list", "ITEM"], "Snoc"),
+            ],
+        )
+        parser = LALRParser(build_tables(g))
+        rec = _Recorder()
+        parser.parse(toks(["ITEM", "ITEM"]), listener=rec, build_tree=False)
+        reduces = [t for k, t in rec.events if k == "reduce"]
+        assert reduces == ["Nil", "Snoc", "Snoc"]
+
+    def test_leaves_in_order(self, expr_grammar):
+        parser = LALRParser(build_tables(expr_grammar))
+        tree = parser.parse(toks(["ID", "STAR", "ID"]))
+        leaf_kinds = [leaf.symbol for leaf in tree.leaves()]
+        assert leaf_kinds == ["ID", "STAR", "ID", EOF_SYMBOL]

@@ -1,0 +1,199 @@
+"""Unit tests for diagnostics, accounting, overlays, and small helpers."""
+
+import pytest
+
+from repro.errors import (
+    Diagnostic,
+    DiagnosticSink,
+    NOWHERE,
+    ReproError,
+    SemanticError,
+    Severity,
+    SourceLocation,
+)
+from repro.util.iotrack import ChannelStats, IOAccountant, MemoryGauge
+from repro.util.recursion import DEEP_LIMIT, deep_recursion
+
+
+class TestDiagnostics:
+    def test_severity_ordering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+
+    def test_location_rendering(self):
+        loc = SourceLocation(3, 7, "g.ag")
+        assert str(loc) == "g.ag:3:7"
+        assert str(NOWHERE) == "<input>"
+
+    def test_sink_counts_and_iteration(self):
+        sink = DiagnosticSink()
+        sink.note("n")
+        sink.warning("w")
+        sink.error("e1")
+        sink.error("e2")
+        assert len(sink) == 4
+        assert sink.error_count == 2
+        assert sink.has_errors
+        kinds = [d.severity for d in sink]
+        assert kinds == [Severity.NOTE, Severity.WARNING, Severity.ERROR,
+                         Severity.ERROR]
+
+    def test_sorted_by_location(self):
+        sink = DiagnosticSink()
+        sink.error("late", SourceLocation(9, 1))
+        sink.error("early", SourceLocation(2, 5))
+        msgs = [d.message for d in sink.sorted_by_location()]
+        assert msgs == ["early", "late"]
+
+    def test_raise_if_errors(self):
+        sink = DiagnosticSink()
+        sink.warning("just a warning")
+        sink.raise_if_errors()  # no-op
+        sink.error("boom", SourceLocation(4, 2, "f.ag"))
+        with pytest.raises(SemanticError) as exc:
+            sink.raise_if_errors()
+        assert "boom" in str(exc.value)
+        assert "f.ag:4:2" in str(exc.value)
+        assert exc.value.diagnostics[0].message == "boom"
+
+    def test_diagnostic_str(self):
+        d = Diagnostic(Severity.WARNING, "careful", SourceLocation(1, 1))
+        assert "warning: careful" in str(d)
+
+    def test_custom_exception_type(self):
+        from repro.errors import PassError
+
+        sink = DiagnosticSink()
+        sink.error("x")
+        with pytest.raises(PassError):
+            sink.raise_if_errors(PassError)
+
+
+class TestIOAccounting:
+    def test_totals(self):
+        acct = IOAccountant()
+        acct.charge_write(100, "a")
+        acct.charge_write(50, "b")
+        acct.charge_read(100, "a")
+        assert acct.total_bytes == 250
+        assert acct.total_records == 3
+        assert acct.by_channel["a"].bytes_written == 100
+        assert acct.by_channel["a"].bytes_read == 100
+        assert acct.by_channel["b"].records_written == 1
+
+    def test_snapshot(self):
+        acct = IOAccountant()
+        acct.charge_read(7)
+        snap = acct.snapshot()
+        assert snap["bytes_read"] == 7
+        assert snap["records_read"] == 1
+
+    def test_unchannelled_traffic(self):
+        acct = IOAccountant()
+        acct.charge_write(10)
+        assert acct.bytes_written == 10
+        assert acct.by_channel == {}
+
+    def test_memory_gauge_peaks(self):
+        g = MemoryGauge()
+        g.acquire(100)
+        g.acquire(50)
+        assert g.current_bytes == 150
+        assert g.peak_bytes == 150
+        assert g.peak_nodes == 2
+        g.release(50)
+        g.acquire(20)
+        assert g.peak_bytes == 150  # peak unchanged
+        assert g.current_bytes == 120
+        g.reset()
+        assert g.peak_bytes == g.current_bytes == 0
+
+
+class TestRecursionGuard:
+    def test_raises_limit_temporarily(self):
+        import sys
+
+        before = sys.getrecursionlimit()
+        with deep_recursion():
+            assert sys.getrecursionlimit() >= DEEP_LIMIT
+        assert sys.getrecursionlimit() == before
+
+    def test_never_lowers_limit(self):
+        import sys
+
+        before = sys.getrecursionlimit()
+        with deep_recursion(limit=10):
+            assert sys.getrecursionlimit() == before
+
+
+class TestOverlays:
+    def test_clock_records_in_order(self):
+        from repro.core.overlays import OverlayClock
+
+        clock = OverlayClock()
+        assert clock.run("first", lambda: 41) == 41
+        assert clock.run("second", lambda: 42) == 42
+        names = [n for n, _ in clock.timing.entries]
+        assert names == ["first", "second"]
+        assert clock.timing.total >= 0
+        rendered = clock.timing.render()
+        assert "first" in rendered and "TOTAL" in rendered
+
+
+class TestDependencies:
+    def test_has_cycle_detects(self):
+        from repro.ag.dependencies import has_cycle
+
+        acyclic = {(0, "a"): {(0, "b")}, (0, "b"): set()}
+        assert has_cycle(acyclic) == []
+        cyclic = {(0, "a"): {(0, "b")}, (0, "b"): {(0, "a")}}
+        cycle = has_cycle(cyclic)
+        assert cycle
+        assert cycle[0] == cycle[-1]
+
+    def test_transitive_closure(self):
+        from repro.ag.dependencies import transitive_closure
+
+        graph = {(0, "a"): {(0, "b")}, (0, "b"): {(0, "c")}, (0, "c"): set()}
+        closure = transitive_closure(graph)
+        assert (0, "c") in closure[(0, "a")]
+
+
+class TestLALRConflictFormatting:
+    def test_format_includes_state_items(self):
+        from repro.lalr import Grammar, build_tables
+        from repro.lalr.conflicts import format_conflicts
+        from repro.lalr.lr0 import LR0Automaton
+
+        g = Grammar("E", [("E", ["E", "PLUS", "E"], "Add"), ("E", ["ID"], "Var")])
+        tables = build_tables(g, strict=False)
+        auto = LR0Automaton(g)
+        text = format_conflicts(tables, auto)
+        assert "shift/reduce" in text
+        assert "state" in text
+        assert "·" in text  # the dotted item rendering
+
+
+class TestBindingCache:
+    def test_cache_invalidates_when_functions_added(self):
+        """The validator appends implicit copies after explicit functions;
+        the binding cache must not serve a stale list."""
+        from repro.ag.copyrules import production_bindings
+        from repro.ag.model import AttributeGrammar, AttrKind, SymbolKind
+        from repro.ag.validate import RawFunction, validate_grammar
+        from repro.ag.exprtext import parse_expression
+        from repro.errors import DiagnosticSink
+
+        ag = AttributeGrammar("t", "s")
+        s = ag.add_symbol("s", SymbolKind.NONTERMINAL)
+        s.add_attribute("V", AttrKind.SYNTHESIZED)
+        u = ag.add_symbol("u", SymbolKind.NONTERMINAL)
+        u.add_attribute("V", AttrKind.SYNTHESIZED)
+        ag.add_symbol("T", SymbolKind.TERMINAL)
+        p0 = ag.add_production("s", ["u"])
+        p1 = ag.add_production("u", ["T"])
+        assert production_bindings(p0) == []  # cached empty
+        validate_grammar(ag, {
+            p1.index: [RawFunction([("u", "V")], parse_expression("1"))],
+        }, DiagnosticSink())
+        # p0 got an implicit s.V = u.V; the cache must reflect it.
+        assert len(production_bindings(p0)) == 1

@@ -1,0 +1,139 @@
+"""Parametric stress tests for the alternating-pass partitioner.
+
+``flow_chain(directions)`` builds a grammar with one attribute per
+element of ``directions``: attribute ``F{i}`` flows between the two
+children of the root in the given direction and depends on ``F{i-1}``.
+The minimal alternating-pass count is predictable from the direction
+sequence — pass numbers only advance when the required direction
+changes — so the partitioner can be checked against a closed form, and
+the generated evaluator against a direct computation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ag import GrammarBuilder
+from repro.passes import Direction, assign_passes
+
+from tests.evalharness import Pipeline, tokens_of
+
+L, R = Direction.L2R, Direction.R2L
+
+
+def flow_chain(directions):
+    """root = item item; F1..Fn flow between the items as directed.
+
+    ``F{i}`` of the *receiving* item is its sibling's ``G{i}``
+    (synthesized), where ``G{i} = F{i-1}-of-self + 1`` (``G1`` starts
+    from the leaf's intrinsic W).  Direction L2R: the right item
+    receives from the left; R2L: mirror image.
+    """
+    n = len(directions)
+    b = GrammarBuilder("flow_chain", start="root")
+    b.nonterminal("root", synthesized={"OUT": "int"})
+    inh = {f"F{i}": "int" for i in range(1, n + 1)}
+    syn = {f"G{i}": "int" for i in range(1, n + 1)}
+    b.nonterminal("item", inherited=inh, synthesized=syn)
+    b.terminal("X", intrinsic={"W": "int"})
+    funcs = []
+    for i, direction in enumerate(directions, start=1):
+        src, dst = ("item0", "item1") if direction is L else ("item1", "item0")
+        funcs.append((f"{dst}.F{i}", f"{src}.G{i}"))
+        funcs.append((f"{src}.F{i}", "0"))
+    final_holder = "item1" if directions[-1] is L else "item0"
+    funcs.append(("root.OUT", f"{final_holder}.G{n}"))
+    b.production("root", ["item", "item"], functions=funcs)
+    leaf_funcs = [("item.G1", "item.F1 + X.W")] if n >= 1 else []
+    for i in range(2, n + 1):
+        leaf_funcs.append((f"item.G{i}", f"item.F{i} + item.G{i-1}"))
+    b.production("item", ["X"], functions=leaf_funcs)
+    return b.finish()
+
+
+def predicted_passes(directions, first=R):
+    """Closed form: G{i} must be computed in a pass running in
+    ``directions[i-1]``; pass numbers are nondecreasing along the chain
+    and advance to the next pass of the right parity on each change."""
+    current = 0  # pass number of the previous link (0 = before pass 1)
+    for d in directions:
+        candidate = max(current, 1)
+        # Advance until the candidate pass runs in direction d.
+        def dir_of(k):
+            return first if k % 2 == 1 else first.opposite
+
+        if current == 0:
+            candidate = 1 if dir_of(1) is d else 2
+        else:
+            candidate = current if dir_of(current) is d else current + 1
+        current = candidate
+    return current
+
+
+def expected_value(directions, w_left, w_right):
+    """Direct simulation of the chained flows."""
+    vals = {"L": {"F": {}, "G": {}}, "R": {"F": {}, "G": {}}}
+    w = {"L": w_left, "R": w_right}
+    for i, d in enumerate(directions, start=1):
+        src, dst = ("L", "R") if d is L else ("R", "L")
+        # F{i} at src is 0; at dst it's src's G{i}.
+        for side in ("L", "R"):
+            prev_g = vals[side]["G"].get(i - 1, None)
+            base = w[side] if i == 1 else prev_g
+            f_val = 0 if side == src else None  # filled after G known
+            vals[side]["F"][i] = f_val
+        # G{i}(side) = F{i}(side) + (W if i==1 else G{i-1}(side))
+        # Compute src first (its F is 0), then dst.
+        def g_of(side, f_val):
+            base = w[side] if i == 1 else vals[side]["G"][i - 1]
+            return f_val + base
+
+        g_src = g_of(src, 0)
+        vals[src]["G"][i] = g_src
+        vals[dst]["F"][i] = g_src
+        vals[dst]["G"][i] = g_of(dst, g_src)
+    final = "R" if directions[-1] is L else "L"
+    return vals[final]["G"][len(directions)]
+
+
+DIRECTION_SEQS = [
+    [R], [L],
+    [R, L], [L, R], [R, R], [L, L],
+    [R, L, R], [L, R, L], [R, R, L],
+    [L, R, L, R], [R, L, R, L],
+]
+
+
+class TestFlowChainFamily:
+    @pytest.mark.parametrize("directions", DIRECTION_SEQS,
+                             ids=lambda ds: "".join(d.name[0] for d in ds))
+    def test_pass_count_matches_closed_form(self, directions):
+        ag = flow_chain(directions)
+        assignment = assign_passes(ag, R)
+        assert assignment.n_passes == predicted_passes(directions, first=R)
+
+    @pytest.mark.parametrize("directions", DIRECTION_SEQS[:8],
+                             ids=lambda ds: "".join(d.name[0] for d in ds))
+    def test_evaluation_matches_direct_simulation(self, directions):
+        pipe = Pipeline(flow_chain(directions))
+        toks = tokens_of([("X", "5"), ("X", "11")])
+        result, _ = pipe.evaluate(toks, backend="generated")
+        assert result["OUT"] == expected_value(directions, 5, 11)
+
+    @given(st.lists(st.sampled_from([L, R]), min_size=1, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_pass_count_and_value(self, directions):
+        ag = flow_chain(directions)
+        assignment = assign_passes(ag, R)
+        assert assignment.n_passes == predicted_passes(directions, first=R)
+        pipe = Pipeline(ag)
+        toks = tokens_of([("X", "3"), ("X", "7")])
+        result, _ = pipe.evaluate(toks, backend="interp")
+        assert result["OUT"] == expected_value(directions, 3, 7)
+
+    def test_oracle_agrees_on_deep_chain(self):
+        directions = [R, L, R, L, R, L]
+        pipe = Pipeline(flow_chain(directions))
+        toks = tokens_of([("X", "2"), ("X", "9")])
+        result, _ = pipe.evaluate(toks, backend="generated")
+        oracle_result, _ = pipe.oracle(toks)
+        assert result["OUT"] == oracle_result["OUT"]

@@ -1,0 +1,219 @@
+"""Unit tests for the alternating-pass evaluability analysis (S8)."""
+
+import pytest
+
+from repro.errors import PassError
+from repro.passes import (
+    Direction,
+    StepKind,
+    assign_passes,
+    direction_of_pass,
+    render_pass_report,
+)
+from repro.passes.partition import choose_first_direction
+from repro.passes.schedule import INTRINSIC_PASS, schedule_production
+
+from tests.sample_grammars import (
+    knuth_binary,
+    left_flow,
+    right_flow,
+    synthesized_only,
+    with_limb,
+    zigzag_unbounded,
+)
+
+
+class TestDirections:
+    def test_alternation_from_r2l(self):
+        assert direction_of_pass(1, Direction.R2L) is Direction.R2L
+        assert direction_of_pass(2, Direction.R2L) is Direction.L2R
+        assert direction_of_pass(3, Direction.R2L) is Direction.R2L
+
+    def test_alternation_from_l2r(self):
+        assert direction_of_pass(1, Direction.L2R) is Direction.L2R
+        assert direction_of_pass(2, Direction.L2R) is Direction.R2L
+
+    def test_opposite(self):
+        assert Direction.L2R.opposite is Direction.R2L
+        assert Direction.R2L.opposite is Direction.L2R
+
+
+class TestPassCounts:
+    def test_synthesized_only_one_pass_both_directions(self):
+        ag = synthesized_only()
+        assert assign_passes(ag, Direction.R2L).n_passes == 1
+        assert assign_passes(ag, Direction.L2R).n_passes == 1
+
+    def test_left_flow_depends_on_direction(self):
+        ag = left_flow()
+        assert assign_passes(ag, Direction.L2R).n_passes == 1
+        # Starting right-to-left, ACC of the right item needs TOT of the
+        # left item, which is only available in the second (L2R) pass.
+        assert assign_passes(ag, Direction.R2L).n_passes == 2
+
+    def test_right_flow_mirror(self):
+        ag = right_flow()
+        assert assign_passes(ag, Direction.R2L).n_passes == 1
+        assert assign_passes(ag, Direction.L2R).n_passes == 2
+
+    def test_knuth_binary_two_passes(self):
+        ag = knuth_binary()
+        assignment = assign_passes(ag, Direction.R2L)
+        assert assignment.n_passes == 2
+        # LEN is computable in pass 1; SCALE and VAL must wait.
+        assert assignment.pass_of("bits", "LEN") == 1
+        assert assignment.pass_of("bits", "SCALE") == 2
+        assert assignment.pass_of("bits", "VAL") == 2
+        assert assignment.pass_of("bit", "SCALE") == 2
+
+    def test_zigzag_rejected(self):
+        ag = zigzag_unbounded()
+        with pytest.raises(PassError) as exc:
+            assign_passes(ag, Direction.R2L, max_passes=8)
+        assert "not evaluable" in str(exc.value)
+        with pytest.raises(PassError):
+            assign_passes(ag, Direction.L2R, max_passes=8)
+
+    def test_choose_first_direction_picks_cheaper(self):
+        assignment = choose_first_direction(left_flow())
+        assert assignment.first_direction is Direction.L2R
+        assert assignment.n_passes == 1
+        assignment = choose_first_direction(right_flow())
+        assert assignment.first_direction is Direction.R2L
+
+    def test_choose_first_direction_rejects_zigzag(self):
+        with pytest.raises(PassError):
+            choose_first_direction(zigzag_unbounded(), max_passes=6)
+
+    def test_intrinsic_attrs_in_pass_zero(self):
+        ag = left_flow()
+        assignment = assign_passes(ag, Direction.L2R)
+        assert assignment.attr_pass[("X", "W")] == INTRINSIC_PASS
+
+    def test_function_pass_numbers_stamped(self):
+        ag = knuth_binary()
+        assign_passes(ag, Direction.R2L)
+        leaf_bits = ag.productions[2]
+        passes = sorted({f.pass_number for f in leaf_bits.functions})
+        assert passes == [1, 2]  # LEN in pass 1, VAL/SCALE copies in pass 2
+
+    def test_limb_attribute_gets_pass(self):
+        ag = with_limb()
+        assignment = assign_passes(ag, Direction.R2L)
+        assert assignment.pass_of("PairLimb", "DIFF") == 1
+        assert assignment.n_passes == 1
+
+
+class TestSchedules:
+    def test_skeleton_order_l2r(self):
+        ag = left_flow()
+        assignment = assign_passes(ag, Direction.L2R)
+        prod = ag.productions[0]  # root = item item
+        steps = assignment.schedule(prod, 1).steps
+        ops = [(s.kind, s.position) for s in steps if s.kind is not StepKind.EVAL]
+        assert ops == [
+            (StepKind.READ, 1),
+            (StepKind.VISIT, 1),
+            (StepKind.WRITE, 1),
+            (StepKind.READ, 2),
+            (StepKind.VISIT, 2),
+            (StepKind.WRITE, 2),
+        ]
+
+    def test_skeleton_order_r2l(self):
+        ag = right_flow()
+        assignment = assign_passes(ag, Direction.R2L)
+        prod = ag.productions[0]
+        steps = assignment.schedule(prod, 1).steps
+        reads = [s.position for s in steps if s.kind is StepKind.READ]
+        assert reads == [2, 1]
+
+    def test_inherited_eval_precedes_visit(self):
+        ag = left_flow()
+        assignment = assign_passes(ag, Direction.L2R)
+        prod = ag.productions[0]
+        steps = assignment.schedule(prod, 1).steps
+        visit1 = next(i for i, s in enumerate(steps)
+                      if s.kind is StepKind.VISIT and s.position == 1)
+        acc_evals = [
+            i for i, s in enumerate(steps)
+            if s.kind is StepKind.EVAL
+            and s.binding.target.position == 1
+            and s.binding.target.attr_name == "ACC"
+        ]
+        assert acc_evals and all(i < visit1 for i in acc_evals)
+
+    def test_terminals_read_and_written_not_visited(self):
+        ag = knuth_binary()
+        assignment = assign_passes(ag, Direction.R2L)
+        prod = ag.productions[0]  # number = bits DOT bits
+        steps = assignment.schedule(prod, 1).steps
+        dot_ops = [s.kind for s in steps if s.position == 2 and s.kind is not StepKind.EVAL]
+        assert dot_ops == [StepKind.READ, StepKind.WRITE]
+
+    def test_limb_read_first_written_last(self):
+        from repro.ag.model import LIMB_POSITION
+
+        ag = with_limb()
+        assignment = assign_passes(ag, Direction.R2L)
+        prod = ag.productions[1]
+        steps = assignment.schedule(prod, 1).steps
+        assert steps[0].kind is StepKind.READ
+        assert steps[0].position == LIMB_POSITION
+        assert steps[-1].kind is StepKind.WRITE
+        assert steps[-1].position == LIMB_POSITION
+
+    def test_early_synthesized_eval(self):
+        """The §III loosening: an LHS synthesized attribute whose arguments
+        are ready before the last child visit is evaluated early."""
+        from repro.ag import GrammarBuilder
+
+        b = GrammarBuilder("early", start="root")
+        b.nonterminal("root", synthesized={"OUT": "int"})
+        b.nonterminal("u", synthesized={"V": "int"})
+        b.terminal("T", intrinsic={"W": "int"})
+        b.production("root", ["T", "u"], functions=[
+            ("root.OUT", "T.W"),  # ready right after reading T
+        ])
+        b.production("u", ["T"], functions=[("u.V", "T.W")])
+        ag = b.finish()
+        assignment = assign_passes(ag, Direction.L2R)
+        steps = assignment.schedule(ag.productions[0], 1).steps
+        eval_i = next(i for i, s in enumerate(steps) if s.kind is StepKind.EVAL)
+        visit_u = next(i for i, s in enumerate(steps) if s.kind is StepKind.VISIT)
+        assert eval_i < visit_u
+
+    def test_schedule_renders(self):
+        ag = with_limb()
+        assignment = assign_passes(ag, Direction.R2L)
+        prod = ag.productions[1]
+        text = "\n".join(s.render(prod) for s in assignment.schedule(prod, 1).steps)
+        assert "get PairLimb" in text
+        assert "eval" in text
+
+    def test_report_renders(self):
+        ag = knuth_binary()
+        assignment = assign_passes(ag, Direction.R2L)
+        text = render_pass_report(assignment)
+        assert "2 alternating pass(es)" in text
+        assert "bits.LEN" in text
+        assert "intrinsic" not in text or "parser" in text
+
+
+class TestScheduleFailureReporting:
+    def test_failed_bindings_identified(self):
+        ag = left_flow()
+        # Force a wrong assignment: everything in pass 1, direction R2L.
+        attr_pass = {
+            ("root", "OUT"): 1,
+            ("item", "ACC"): 1,
+            ("item", "TOT"): 1,
+            ("X", "W"): INTRINSIC_PASS,
+        }
+        result = schedule_production(
+            ag, ag.productions[0], 1, Direction.R2L, attr_pass
+        )
+        assert not result.ok
+        failed_targets = {str(b.target) for b in result.failed}
+        # item1.ACC needs item0.TOT: impossible right-to-left in pass 1.
+        assert any("ACC" in t for t in failed_targets)

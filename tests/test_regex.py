@@ -1,0 +1,194 @@
+"""Unit tests for the scanner-generator substrate (S4)."""
+
+import pytest
+
+from repro.errors import ScanError
+from repro.regex import parse_regex, build_nfa, determinize, minimize
+from repro.regex.ast import CharSet, char_code, OTHER
+from repro.regex.dfa import DEAD
+from repro.regex.generator import ScannerSpec
+
+
+def matches(pattern: str, text: str) -> bool:
+    """Does ``pattern`` match ``text`` exactly?"""
+    nfa = build_nfa([("tok", parse_regex(pattern))])
+    dfa = minimize(determinize(nfa))
+    state = dfa.start
+    for ch in text:
+        state = dfa.step(state, char_code(ch))
+        if state == DEAD:
+            return False
+    return dfa.accept_tag(state) == "tok"
+
+
+class TestRegexMatching:
+    @pytest.mark.parametrize(
+        "pattern,text,expect",
+        [
+            ("abc", "abc", True),
+            ("abc", "ab", False),
+            ("abc", "abcd", False),
+            ("a|b", "a", True),
+            ("a|b", "b", True),
+            ("a|b", "c", False),
+            ("a*", "", True),
+            ("a*", "aaaa", True),
+            ("a+", "", False),
+            ("a+", "aaa", True),
+            ("a?", "", True),
+            ("a?", "a", True),
+            ("a?", "aa", False),
+            ("(ab)+", "ababab", True),
+            ("(ab)+", "aba", False),
+            ("[a-c]", "b", True),
+            ("[a-c]", "d", False),
+            ("[^a-c]", "d", True),
+            ("[^a-c]", "b", False),
+            (r"\d+", "123", True),
+            (r"\d+", "12a", False),
+            (r"\w+", "abc_123", True),
+            (r"[a-zA-Z][a-zA-Z0-9$]*", "attrib$list0", True),
+            (r"[a-zA-Z][a-zA-Z0-9$]*", "0bad", False),
+            (".", "x", True),
+            (".", "\n", False),
+            (r"\n", "\n", True),
+            (r"a(b|c)*d", "abcbcd", True),
+            (r"a(b|c)*d", "ad", True),
+            (r"a(b|c)*d", "abc", False),
+            ("[]]", "]", True),
+            (r"\-", "-", True),
+            ("x|", "", True),  # empty right alternative
+            ("x|", "x", True),
+        ],
+    )
+    def test_match(self, pattern, text, expect):
+        assert matches(pattern, text) is expect
+
+    def test_non_ascii_maps_to_other_bucket(self):
+        assert char_code("é") == OTHER
+        assert char_code("a") == ord("a")
+
+    def test_negated_class_includes_other(self):
+        assert matches("[^a]", "é")
+
+    def test_parse_errors(self):
+        with pytest.raises(ScanError):
+            parse_regex("(ab")
+        with pytest.raises(ScanError):
+            parse_regex("*a")
+        with pytest.raises(ScanError):
+            parse_regex("a)")
+
+
+class TestMinimization:
+    def test_minimize_reduces_states(self):
+        # (a|b)*abb — the classic example; minimization must shrink it.
+        nfa = build_nfa([("t", parse_regex("(a|b)*abb"))])
+        big = determinize(nfa)
+        small = minimize(big)
+        assert small.n_states <= big.n_states
+        assert small.n_states == 4  # the textbook minimal DFA size
+
+    def test_minimized_equivalent(self):
+        pattern = "(a|b)*abb"
+        nfa = build_nfa([("t", parse_regex(pattern))])
+        big = determinize(nfa)
+        small = minimize(big)
+        import itertools
+
+        for n in range(0, 6):
+            for combo in itertools.product("ab", repeat=n):
+                text = "".join(combo)
+                s1, s2 = big.start, small.start
+                ok1 = ok2 = True
+                for ch in text:
+                    if s1 != DEAD:
+                        s1 = big.step(s1, char_code(ch))
+                    if s2 != DEAD:
+                        s2 = small.step(s2, char_code(ch))
+                ok1 = s1 != DEAD and big.accept_tag(s1) is not None
+                ok2 = s2 != DEAD and small.accept_tag(s2) is not None
+                assert ok1 == ok2, text
+
+    def test_distinct_tokens_not_merged(self):
+        spec = ScannerSpec()
+        spec.rule("A", "a")
+        spec.rule("B", "b")
+        sc = spec.generate()
+        kinds = [t.kind for t in sc.scan("ab")]
+        assert kinds == ["A", "B", "$eof"]
+
+
+class TestScanner:
+    def make_scanner(self):
+        spec = ScannerSpec()
+        spec.rule("WS", r"[ \t\n]+", skip=True)
+        spec.rule("IDENT", r"[a-zA-Z][a-zA-Z0-9$]*", intern=True)
+        spec.rule("NUMBER", r"\d+")
+        spec.rule("ARROW", r"->")
+        spec.rule("MINUS", r"\-")
+        spec.rule("DOT", r"\.")
+        spec.keyword("if", "IF")
+        return spec.generate()
+
+    def test_maximal_munch(self):
+        sc = self.make_scanner()
+        kinds = [t.kind for t in sc.scan("a->b")]
+        assert kinds == ["IDENT", "ARROW", "IDENT", "$eof"]
+
+    def test_minus_vs_arrow(self):
+        sc = self.make_scanner()
+        kinds = [t.kind for t in sc.scan("a - b")]
+        assert kinds == ["IDENT", "MINUS", "IDENT", "$eof"]
+
+    def test_keywords_win_over_identifiers(self):
+        sc = self.make_scanner()
+        toks = sc.scan("if iffy")
+        assert toks[0].kind == "IF"
+        assert toks[1].kind == "IDENT"
+
+    def test_interning(self):
+        sc = self.make_scanner()
+        toks = sc.scan("alpha beta alpha")
+        assert toks[0].name_index == toks[2].name_index != 0
+        assert sc.names.spelling(toks[0].name_index) == "alpha"
+        # numbers are not interned
+        assert sc.scan("42")[0].name_index == 0
+
+    def test_locations(self):
+        sc = self.make_scanner()
+        toks = sc.scan("a\n  b")
+        assert (toks[0].location.line, toks[0].location.column) == (1, 1)
+        assert (toks[1].location.line, toks[1].location.column) == (2, 3)
+
+    def test_illegal_character(self):
+        sc = self.make_scanner()
+        with pytest.raises(ScanError):
+            sc.scan("a @ b")
+
+    def test_priority_order_breaks_ties(self):
+        spec = ScannerSpec()
+        spec.rule("AB", "ab")
+        spec.rule("A", "a|ab")
+        sc = spec.generate()
+        assert sc.scan("ab")[0].kind == "AB"
+
+    def test_longest_match_beats_priority(self):
+        spec = ScannerSpec()
+        spec.rule("A", "a")
+        spec.rule("AAB", "aab")
+        sc = spec.generate()
+        kinds = [t.kind for t in sc.scan("aab")]
+        assert kinds == ["AAB", "$eof"]
+
+    def test_render_tables_is_importable_python(self):
+        from repro.regex.generator import ScannerGenerator
+
+        spec = ScannerSpec()
+        spec.rule("A", "a+")
+        gen = ScannerGenerator(spec)
+        src = gen.render_tables("demo")
+        ns = {}
+        exec(src, ns)
+        assert ns["N_STATES"] >= 1
+        assert len(ns["TRANS"]) == ns["N_STATES"] * ns["ALPHABET_SIZE"]

@@ -1,0 +1,235 @@
+"""Tests for the stack machine, including end-to-end compile-and-run."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.stackvm import StackMachine, execute
+from repro.workloads import generate_pascal_program
+
+
+class TestStackMachine:
+    def test_arithmetic(self):
+        r = execute(["LOADC 6", "LOADC 7", "MUL", "WRITE", "HALT"])
+        assert r.output == [42]
+
+    def test_store_and_load(self):
+        r = execute(["LOADC 5", "STORE x", "LOAD x", "LOAD x", "ADD", "WRITE"])
+        assert r.output == [10]
+        assert r.memory["x"] == 5
+
+    def test_uninitialized_reads_zero(self):
+        r = execute(["LOAD ghost", "WRITE"])
+        assert r.output == [0]
+
+    @pytest.mark.parametrize("op,a,b,expect", [
+        ("ADD", 2, 3, 5), ("SUB", 2, 3, -1), ("MUL", 4, 3, 12),
+        ("DIV", 7, 2, 3), ("DIV", -7, 2, -3),
+        ("CMPEQ", 2, 2, 1), ("CMPNE", 2, 2, 0),
+        ("CMPLT", 1, 2, 1), ("CMPGT", 1, 2, 0),
+        ("CMPLE", 2, 2, 1), ("CMPGE", 1, 2, 0),
+        ("AND", 1, 0, 0), ("OR", 1, 0, 1),
+    ])
+    def test_binops(self, op, a, b, expect):
+        r = execute([f"LOADC {a}", f"LOADC {b}", op, "WRITE"])
+        assert r.output == [expect]
+
+    def test_notop(self):
+        assert execute(["LOADC 0", "NOTOP", "WRITE"]).output == [1]
+        assert execute(["LOADC 3", "NOTOP", "WRITE"]).output == [0]
+
+    def test_jumps_and_labels(self):
+        code = [
+            "LOADC 0", "STORE i",
+            "L1:",
+            "LOAD i", "LOADC 3", "CMPLT",
+            "JMPF L2",
+            "LOAD i", "WRITE",
+            "LOAD i", "LOADC 1", "ADD", "STORE i",
+            "JMP L1",
+            "L2:",
+            "HALT",
+        ]
+        assert execute(code).output == [0, 1, 2]
+
+    def test_halt_stops_early(self):
+        r = execute(["LOADC 1", "WRITE", "HALT", "LOADC 2", "WRITE"])
+        assert r.output == [1]
+
+    def test_fuel_exhaustion(self):
+        with pytest.raises(EvaluationError) as exc:
+            execute(["L1:", "JMP L1"], fuel=100)
+        assert "fuel" in str(exc.value)
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            execute(["LOADC 1", "LOADC 0", "DIV"])
+
+    def test_stack_underflow(self):
+        with pytest.raises(EvaluationError):
+            execute(["ADD"])
+
+    def test_undefined_label(self):
+        with pytest.raises(EvaluationError):
+            execute(["JMP L9"])
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(EvaluationError):
+            StackMachine(["L1:", "L1:"])
+
+    def test_unknown_instruction(self):
+        with pytest.raises(EvaluationError):
+            execute(["FROB"])
+
+
+class TestCompileAndRun:
+    """End to end: Pascal source -> (AG front end | hand compiler) ->
+    stack code -> execution, with identical observable behavior."""
+
+    @pytest.fixture(scope="class")
+    def translator(self):
+        from repro.core import Linguist
+        from repro.grammars import library_for, load_source
+        from repro.grammars.scanners import pascal_scanner_spec
+
+        lg = Linguist(load_source("pascal"))
+        return lg.make_translator(
+            pascal_scanner_spec(), library=library_for("pascal")
+        )
+
+    def run_both(self, translator, source):
+        from repro.baseline import HandPascalCompiler
+
+        ag_code = list(translator.translate(source)["CODE"])
+        hand_code = HandPascalCompiler().compile(source).code
+        return execute(ag_code).output, execute(hand_code).output
+
+    def test_sum_of_squares(self, translator):
+        source = """
+program p;
+var i, total : integer; run : boolean;
+begin
+  i := 5; total := 0; run := true;
+  while run do
+  begin
+    total := total + i * i;
+    i := i - 1;
+    run := i > 0
+  end;
+  writeln(total)
+end.
+"""
+        ag_out, hand_out = self.run_both(translator, source)
+        assert ag_out == hand_out == [55]  # 25+16+9+4+1
+
+    def test_branching(self, translator):
+        source = """
+program p;
+var a : integer;
+begin
+  a := 7;
+  if a > 10 then writeln(1) else writeln(2);
+  if (a > 3) and (a < 10) then writeln(3) else writeln(4)
+end.
+"""
+        ag_out, hand_out = self.run_both(translator, source)
+        assert ag_out == hand_out == [2, 3]
+
+    def test_div_semantics(self, translator):
+        source = """
+program p;
+var a : integer;
+begin
+  a := 17;
+  writeln(a div 5)
+end.
+"""
+        ag_out, hand_out = self.run_both(translator, source)
+        assert ag_out == hand_out == [3]
+
+    @pytest.mark.parametrize("seed", [2, 11, 47])
+    def test_generated_workloads_execute_identically(self, translator, seed):
+        source = generate_pascal_program(n_statements=25, seed=seed)
+        ag_out, hand_out = self.run_both(translator, source)
+        assert ag_out == hand_out
+
+
+class TestLoopConstructs:
+    """repeat/until and for loops, across both compilers and the VM."""
+
+    @pytest.fixture(scope="class")
+    def translator(self):
+        from repro.core import Linguist
+        from repro.grammars import library_for, load_source
+        from repro.grammars.scanners import pascal_scanner_spec
+
+        lg = Linguist(load_source("pascal"))
+        return lg.make_translator(
+            pascal_scanner_spec(), library=library_for("pascal")
+        )
+
+    def run_both(self, translator, source):
+        from repro.baseline import HandPascalCompiler
+
+        ag_code = list(translator.translate(source)["CODE"])
+        hand_code = HandPascalCompiler().compile(source).code
+        assert ag_code == hand_code
+        return execute(ag_code).output
+
+    def test_for_loop_sum(self, translator):
+        out = self.run_both(translator, """
+program p; var i, s : integer;
+begin s := 0; for i := 1 to 10 do s := s + i; writeln(s) end.
+""")
+        assert out == [55]
+
+    def test_for_loop_empty_range(self, translator):
+        out = self.run_both(translator, """
+program p; var i : integer;
+begin for i := 5 to 1 do writeln(i); writeln(99) end.
+""")
+        assert out == [99]
+
+    def test_repeat_executes_at_least_once(self, translator):
+        out = self.run_both(translator, """
+program p; var x : integer;
+begin x := 100; repeat writeln(x); x := x - 1 until x < 99 end.
+""")
+        assert out == [100, 99]
+
+    def test_nested_for_and_repeat(self, translator):
+        out = self.run_both(translator, """
+program p; var i, j, n : integer;
+begin
+  n := 0;
+  for i := 1 to 3 do
+    for j := 1 to i do
+      n := n + 1;
+  writeln(n)
+end.
+""")
+        assert out == [6]
+
+    def test_for_type_errors(self, translator):
+        r = translator.translate("""
+program p; var f : boolean;
+begin for f := 1 to 3 do writeln(1); for g := 1 to true do writeln(2) end.
+""")
+        msgs = sorted(m[1] for m in r["MSGS"])
+        assert "integer loop variable required" in msgs
+        assert "undeclared variable" in msgs
+        assert "integer bounds required" in msgs
+
+    def test_repeat_condition_type_error(self, translator):
+        r = translator.translate("""
+program p; var x : integer;
+begin repeat x := 1 until x + 1 end.
+""")
+        assert [m[1] for m in r["MSGS"]] == ["boolean condition required"]
+
+    def test_generated_workloads_with_loops(self, translator):
+        from repro.workloads import generate_pascal_program
+
+        for seed in (3, 13, 29):
+            source = generate_pascal_program(n_statements=30, seed=seed)
+            out = self.run_both(translator, out_source := source)
+            assert isinstance(out, list)

@@ -1,0 +1,295 @@
+"""Unit tests for the list-processing package (S1)."""
+
+import pytest
+
+from repro.util.lists import (
+    BOTTOM,
+    NIL,
+    ConsList,
+    PartialFunction,
+    Sequence,
+    SetList,
+    STANDARD_FUNCTIONS,
+)
+
+
+class TestConsList:
+    def test_nil_is_empty(self):
+        assert len(NIL) == 0
+        assert not NIL
+        assert NIL.is_nil
+        assert list(NIL) == []
+
+    def test_cons_prepends(self):
+        lst = NIL.cons(3).cons(2).cons(1)
+        assert list(lst) == [1, 2, 3]
+        assert len(lst) == 3
+
+    def test_cons_is_persistent(self):
+        base = NIL.cons(2)
+        a = base.cons(1)
+        b = base.cons(9)
+        assert list(base) == [2]
+        assert list(a) == [1, 2]
+        assert list(b) == [9, 2]
+
+    def test_structural_equality_and_hash(self):
+        a = ConsList.from_iterable([1, 2, 3])
+        b = NIL.cons(3).cons(2).cons(1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_different_lengths(self):
+        assert ConsList.from_iterable([1]) != ConsList.from_iterable([1, 2])
+
+    def test_contains(self):
+        lst = ConsList.from_iterable("abc")
+        assert "b" in lst
+        assert "z" not in lst
+
+    def test_reverse(self):
+        lst = ConsList.from_iterable([1, 2, 3])
+        assert list(lst.reverse()) == [3, 2, 1]
+
+    def test_append(self):
+        a = ConsList.from_iterable([1, 2])
+        b = ConsList.from_iterable([3, 4])
+        assert list(a.append(b)) == [1, 2, 3, 4]
+
+    def test_from_iterable_empty(self):
+        assert ConsList.from_iterable([]) == NIL
+
+    def test_bad_tail_type_rejected(self):
+        with pytest.raises(TypeError):
+            ConsList(1, [2, 3])
+
+    def test_cons_none_value(self):
+        lst = NIL.cons(None)
+        assert len(lst) == 1
+        assert list(lst) == [None]
+
+
+class TestSetList:
+    def test_add_is_idempotent(self):
+        s = SetList.empty().add(1).add(2).add(1)
+        assert len(s) == 2
+
+    def test_union(self):
+        a = SetList.from_iterable([1, 2])
+        b = SetList.from_iterable([2, 3])
+        assert a.union(b) == SetList.from_iterable([1, 2, 3])
+
+    def test_order_insensitive_equality(self):
+        a = SetList.empty().add(1).add(2)
+        b = SetList.empty().add(2).add(1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_intersection_and_difference(self):
+        a = SetList.from_iterable([1, 2, 3])
+        b = SetList.from_iterable([2, 3, 4])
+        assert a.intersection(b) == SetList.from_iterable([2, 3])
+        assert a.difference(b) == SetList.from_iterable([1])
+
+    def test_empty_is_singleton(self):
+        assert SetList.empty() is SetList.empty()
+
+
+class TestPartialFunction:
+    def test_lookup_unbound_is_bottom(self):
+        pf = PartialFunction.empty()
+        assert pf.lookup("x") is BOTTOM
+        assert not pf.is_bound("x")
+
+    def test_bind_and_lookup(self):
+        pf = PartialFunction.empty().bind("x", 1).bind("y", 2)
+        assert pf.lookup("x") == 1
+        assert pf.lookup("y") == 2
+
+    def test_rebind_shadows(self):
+        pf = PartialFunction.empty().bind("x", 1).bind("x", 2)
+        assert pf.lookup("x") == 2
+        assert len(pf) == 1
+
+    def test_domain(self):
+        pf = PartialFunction.empty().bind("x", 1).bind("y", 2)
+        assert pf.domain() == SetList.from_iterable(["x", "y"])
+
+    def test_equality_ignores_shadowed(self):
+        a = PartialFunction.empty().bind("x", 1).bind("x", 2)
+        b = PartialFunction.empty().bind("x", 2)
+        assert a == b
+
+    def test_bottom_is_falsy(self):
+        assert not BOTTOM
+
+
+class TestStandardFunctions:
+    def test_union_setof(self):
+        f = STANDARD_FUNCTIONS["union$setof"]
+        s = f(1, SetList.empty())
+        assert list(s) == [1]
+        assert f(1, s) == s
+
+    def test_is_in(self):
+        f = STANDARD_FUNCTIONS["IsIn"]
+        assert f(1, SetList.from_iterable([1, 2]))
+        assert not f(9, SetList.from_iterable([1, 2]))
+        assert not f(1, None)
+
+    def test_cons_pf_and_eval_pf(self):
+        pf = STANDARD_FUNCTIONS["consPF"]("k", "v", None)
+        assert STANDARD_FUNCTIONS["EvalPF"](pf, "k") == "v"
+        assert STANDARD_FUNCTIONS["EvalPF"](pf, "missing") is BOTTOM
+
+    def test_incr_if_zero(self):
+        f = STANDARD_FUNCTIONS["IncrIfZero"]
+        assert f(0, 5) == 6
+        assert f(1, 5) == 5
+
+    def test_cons_msg_drops_no_msg(self):
+        f = STANDARD_FUNCTIONS["cons$msg"]
+        empty = STANDARD_FUNCTIONS["null$msg$list"]()
+        assert f(1, "no$msg", None, empty) == empty
+        out = f(3, "boom", "f", empty)
+        assert list(out) == [(3, "boom", "f")]
+
+    def test_merge_msgs(self):
+        f = STANDARD_FUNCTIONS["merge$msgs"]
+        a = Sequence.from_iterable([1, 2])
+        b = Sequence.from_iterable([3])
+        assert list(f(a, b)) == [1, 2, 3]
+
+    def test_cons2_cons3(self):
+        s = STANDARD_FUNCTIONS["cons2"]("a", "b", Sequence.empty())
+        assert list(s) == [("a", "b")]
+        s3 = STANDARD_FUNCTIONS["cons3"]("a", "b", "c", Sequence.empty())
+        assert list(s3) == [("a", "b", "c")]
+
+
+class TestNameTableIntegration:
+    def test_intern_round_trip(self):
+        from repro.util.nametable import NameTable
+
+        nt = NameTable()
+        i = nt.intern("alpha")
+        j = nt.intern("beta")
+        assert i != j
+        assert nt.intern("alpha") == i
+        assert nt.spelling(i) == "alpha"
+        assert len(nt) == 2
+        assert "alpha" in nt
+        assert nt.lookup("missing") == NameTable.NO_NAME
+
+    def test_spelling_out_of_range(self):
+        from repro.util.nametable import NameTable
+
+        nt = NameTable()
+        import pytest
+
+        with pytest.raises(KeyError):
+            nt.spelling(99)
+
+    def test_byte_size_counts_entries(self):
+        from repro.util.nametable import NameTable
+
+        nt = NameTable()
+        assert nt.byte_size() == 0
+        nt.intern("abcd")
+        assert nt.byte_size() == 12
+
+
+class TestCatSeq:
+    """The concatenation rope behind large appends."""
+
+    def make_big(self, n=100):
+        from repro.util.lists import Sequence
+
+        return Sequence.from_iterable(range(n))
+
+    def test_large_append_returns_rope(self):
+        from repro.util.lists import CatSeq, Sequence
+
+        big = self.make_big()
+        out = big.append(Sequence.from_iterable([1000]))
+        assert isinstance(out, CatSeq)
+        assert list(out) == list(range(100)) + [1000]
+
+    def test_small_append_stays_eager(self):
+        from repro.util.lists import CatSeq, Sequence
+
+        small = Sequence.from_iterable([1, 2])
+        out = small.append(Sequence.from_iterable([3]))
+        assert not isinstance(out, CatSeq)
+        assert list(out) == [1, 2, 3]
+
+    def test_rope_equality_with_cons_list(self):
+        from repro.util.lists import Sequence
+
+        big = self.make_big()
+        rope = big.append(Sequence.from_iterable([7]))
+        flat = Sequence.from_iterable(list(range(100)) + [7])
+        assert rope == flat
+        assert flat == rope
+        assert hash(rope) == hash(flat)
+
+    def test_rope_head_tail_cons(self):
+        from repro.util.lists import Sequence
+
+        rope = self.make_big(50).append(Sequence.from_iterable([99]))
+        assert rope.head == 0
+        assert rope.tail.head == 1
+        assert rope.cons(-1).head == -1
+        assert len(rope.cons(-1)) == 52
+
+    def test_deep_rope_iteration_is_iterative(self):
+        """10k chained appends must not hit the recursion limit."""
+        from repro.util.lists import Sequence
+
+        acc = Sequence.from_iterable(range(40))
+        unit = Sequence.from_iterable([1])
+        for _ in range(10_000):
+            acc = acc.append(unit)
+        assert len(acc) == 40 + 10_000
+        assert sum(1 for _ in acc) == len(acc)
+
+    def test_accumulation_is_linear_not_quadratic(self):
+        """The whole point: n appends of constant pieces is ~O(n).
+
+        Timing-free check: quadratic accumulation copies O(n^2) cells in
+        total; the rope must allocate only O(n) nodes.  We count cells
+        by construction instead of racing the clock.
+        """
+        from repro.util.lists import CatSeq, Sequence
+
+        unit = Sequence.from_iterable([1, 2, 3])
+        acc = unit
+        for _ in range(2000):
+            acc = acc.append(unit)
+        assert len(acc) == 3 * 2001
+        # The rope's left spine depth equals the append count — verify
+        # iteration handles it and no flattening happened along the way.
+        depth = 0
+        node = acc
+        while isinstance(node, CatSeq):
+            depth += 1
+            node = node.left
+        assert depth >= 1980  # first few appends are eager (below the rope threshold)
+        assert sum(1 for _ in acc) == len(acc)
+
+    def test_rope_pickles_flat(self):
+        import pickle
+        from repro.util.lists import CatSeq, Sequence
+
+        rope = self.make_big().append(Sequence.from_iterable([5]))
+        back = pickle.loads(pickle.dumps(rope))
+        assert not isinstance(back, CatSeq)
+        assert back == rope
+
+    def test_merge_msgs_handles_ropes(self):
+        from repro.util.lists import Sequence, STANDARD_FUNCTIONS
+
+        merge = STANDARD_FUNCTIONS["merge$msgs"]
+        rope = self.make_big().append(Sequence.from_iterable(["x"]))
+        merged = merge(rope, Sequence.from_iterable(["y"]))
+        assert list(merged)[-2:] == ["x", "y"]

@@ -1,0 +1,369 @@
+#!/usr/bin/env python
+"""Regenerate ``src/repro/grammars/linguist.ag`` — the self-description.
+
+The underlying CFG of linguist.ag must mirror
+``repro.frontend.syntax._PRODUCTIONS`` exactly (it describes the same
+input language the hand-written frontend parses).  This script derives
+the productions section from that table and attaches the semantic
+functions; the semantic content lives in the tables below.
+
+Run:  python tools/gen_linguist_ag.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.frontend.syntax import _PRODUCTIONS  # noqa: E402
+
+TERMINALS = [
+    "GRAMMAR", "SYMBOLS", "ATTRIBUTES", "PRODUCTIONS", "END",
+    "NONTERMINAL", "TERMINAL", "LIMB",
+    "INHERITED", "SYNTHESIZED", "INTRINSIC", "LOCAL",
+    "IF", "THEN", "ELSIF", "ELSE", "ENDIF",
+    "AND", "OR", "NOT", "DIV", "TRUE", "FALSE",
+    "IDENT", "NUMBER", "STRING",
+    "ARROW", "NE", "LE", "GE", "LT", "GT", "EQ",
+    "PLUS", "MINUS", "STAR", "LPAREN", "RPAREN",
+    "COMMA", "SEMI", "COLON", "DOT",
+]
+
+NONTERMINALS = sorted({lhs for _, lhs, _ in _PRODUCTIONS})
+
+ATTR_DECLS = """\
+  file      : synthesized N$SYMS int, synthesized N$ATTRS int,
+              synthesized N$PRODS int, synthesized N$FUNCS int,
+              synthesized N$COPIES int, synthesized N$CHECK int,
+              synthesized MSGS list, synthesized SYMS set,
+              synthesized N$OCCS int ;
+  symdecls  : synthesized SYMS set ;
+  symdecl   : synthesized SYMS set ;
+  symkind   : synthesized KIND$NAME typ ;
+  identlist : synthesized NAMES list ;
+  attrdecls : inherited SYMS set, synthesized N$ATTRS int,
+              synthesized ATTRS$PF pf, synthesized MSGS list ;
+  attrdecl  : inherited SYMS set, synthesized N$ATTRS int,
+              synthesized ATTRS$PF pf, synthesized MSGS list ;
+  attrspecs : synthesized SPECS list ;
+  attrspec  : synthesized SPEC typ ;
+  akind     : synthesized KIND$NAME typ ;
+  prodlist  : inherited SYMS set, inherited ATTRS$PF pf,
+              inherited MSG$NO int,
+              inherited TOTAL$MSGS int, inherited REPORTS$IN list,
+              synthesized N$PRODS int, synthesized N$FUNCS int,
+              synthesized N$COPIES int, synthesized MSGS list,
+              synthesized MSG$NO$OUT int, synthesized REPORT$LIST list,
+              synthesized N$CHECK int, synthesized N$OCCS int ;
+  production : inherited SYMS set, inherited ATTRS$PF pf,
+              inherited MSG$NO int,
+              inherited TOTAL$MSGS int, inherited REPORTS$IN list,
+              synthesized N$FUNCS int, synthesized N$COPIES int,
+              synthesized MSGS list, synthesized MSG$NO$OUT int,
+              synthesized REPORT typ, synthesized N$CHECK int,
+              synthesized N$OCCS int ;
+  header    : inherited SYMS set, inherited ATTRS$PF pf,
+              synthesized LHS$NAME string, synthesized LIMB$NAME string,
+              synthesized MSGS list, synthesized N$OCCS int ;
+  symseq    : inherited SYMS set, inherited ATTRS$PF pf,
+              synthesized N int, synthesized MSGS list,
+              synthesized N$OCCS int ;
+  funclist  : synthesized N$FUNCS int, synthesized N$COPIES int ;
+  semfn     : synthesized IS$COPY bool ;
+  exprtop   : synthesized IS$REF bool ;
+  simple    : synthesized IS$REF bool ;
+  disj      : synthesized IS$REF bool ;
+  conj      : synthesized IS$REF bool ;
+  cmp       : synthesized IS$REF bool ;
+  add       : synthesized IS$REF bool ;
+  mul       : synthesized IS$REF bool ;
+  unary     : synthesized IS$REF bool ;
+  primary   : synthesized IS$REF bool ;
+  IDENT     : intrinsic TEXT string, intrinsic LINE int ;
+  FileLb    : local ERR list ;
+  AttrDeclLb : local ERR list ;
+  HeaderLb  : local ERR list ;
+  HeaderLimbLb : local ERR list, local ERR2 list ;
+  HeaderEmptyLb : local ERR list ;
+  HeaderEmptyLimbLb : local ERR list, local ERR2 list ;
+  SymSeqManyLb : local ERR list ;
+  SymSeqOneLb : local ERR list ;
+"""
+
+#: tag -> (limb name, [semantic function text]); productions not listed
+#: carry only implicit copy-rules (and no limb), exactly the style the
+#: paper reports (most copy-rules implicit).
+SEMANTICS = {
+    "File": ("FileLb", [
+        "attrdecls.SYMS = symdecls.SYMS",
+        "prodlist.SYMS = symdecls.SYMS",
+        "prodlist.ATTRS$PF = attrdecls.ATTRS$PF",
+        "prodlist.MSG$NO = 0",
+        "prodlist.TOTAL$MSGS = prodlist.MSG$NO$OUT",
+        "prodlist.REPORTS$IN = prodlist.REPORT$LIST",
+        "ERR = if HasSymbol(symdecls.SYMS, IDENT1.TEXT)\n"
+        "        then null$msg$list()\n"
+        "        else cons$msg(IDENT1.LINE, 'start symbol not declared',\n"
+        "                      IDENT1.TEXT, null$msg$list())\n"
+        "        endif",
+        "file.MSGS = merge$msgs(ERR, merge$msgs(attrdecls.MSGS, prodlist.MSGS))",
+        "file.N$SYMS = SizeOf(symdecls.SYMS)",
+        "file.SYMS = symdecls.SYMS",
+    ]),
+    "SymMany": ("", [
+        "symdecls0.SYMS = union(symdecls1.SYMS, symdecl.SYMS)",
+    ]),
+    "SymDecl": ("SymDeclLb", [
+        "symdecl.SYMS = MakeSyms(identlist.NAMES, symkind.KIND$NAME)",
+    ]),
+    "KindNonterminal": ("", ["symkind.KIND$NAME = nonterminal$k"]),
+    "KindTerminal": ("", ["symkind.KIND$NAME = terminal$k"]),
+    "KindLimb": ("", ["symkind.KIND$NAME = limb$k"]),
+    "IdentMany": ("", [
+        "identlist0.NAMES = cons(IDENT.TEXT, identlist1.NAMES)",
+    ]),
+    "IdentOne": ("", [
+        "identlist.NAMES = cons(IDENT.TEXT, empty$list())",
+    ]),
+    "AttrNone": ("", [
+        "attrdecls.N$ATTRS = 0",
+        "attrdecls.ATTRS$PF = empty$pf()",
+        "attrdecls.MSGS = null$msg$list()",
+    ]),
+    "AttrMany": ("", [
+        "attrdecls0.N$ATTRS = attrdecls1.N$ATTRS + attrdecl.N$ATTRS",
+        "attrdecls0.ATTRS$PF = JoinPF(attrdecls1.ATTRS$PF, attrdecl.ATTRS$PF)",
+        "attrdecls0.MSGS = merge$msgs(attrdecls1.MSGS, attrdecl.MSGS)",
+    ]),
+    "AttrDecl": ("AttrDeclLb", [
+        "attrdecl.N$ATTRS = Length(attrspecs.SPECS)",
+        "attrdecl.ATTRS$PF = consPF(IDENT.TEXT, Length(attrspecs.SPECS), empty$pf())",
+        "ERR = if HasSymbol(attrdecl.SYMS, IDENT.TEXT)\n"
+        "        then null$msg$list()\n"
+        "        else cons$msg(IDENT.LINE, 'attributes declared for unknown symbol',\n"
+        "                      IDENT.TEXT, null$msg$list())\n"
+        "        endif",
+        "attrdecl.MSGS = ERR",
+    ]),
+    "SpecMany": ("", [
+        "attrspecs0.SPECS = cons(attrspec.SPEC, attrspecs1.SPECS)",
+    ]),
+    "SpecOne": ("", [
+        "attrspecs.SPECS = cons(attrspec.SPEC, empty$list())",
+    ]),
+    "AttrSpec": ("", [
+        "attrspec.SPEC = Spec3(akind.KIND$NAME, IDENT0.TEXT, IDENT1.TEXT)",
+    ]),
+    "KindInherited": ("", ["akind.KIND$NAME = inherited$k"]),
+    "KindSynthesized": ("", ["akind.KIND$NAME = synthesized$k"]),
+    "KindIntrinsic": ("", ["akind.KIND$NAME = intrinsic$k"]),
+    "KindLocal": ("", ["akind.KIND$NAME = local$k"]),
+    "ProdMany": ("ProdManyLb", [
+        "production.MSG$NO = prodlist1.MSG$NO$OUT",
+        "prodlist0.MSG$NO$OUT = production.MSG$NO$OUT",
+        "prodlist0.N$PRODS = prodlist1.N$PRODS + 1",
+        "prodlist0.N$FUNCS = prodlist1.N$FUNCS + production.N$FUNCS",
+        "prodlist0.N$COPIES = prodlist1.N$COPIES + production.N$COPIES",
+        "prodlist0.MSGS = merge$msgs(prodlist1.MSGS, production.MSGS)",
+        "prodlist0.REPORT$LIST = cons(production.REPORT, prodlist1.REPORT$LIST)",
+        "prodlist0.N$CHECK = prodlist1.N$CHECK + production.N$CHECK",
+        "prodlist0.N$OCCS = prodlist1.N$OCCS + production.N$OCCS",
+    ]),
+    "ProdOne": ("", [
+        "prodlist.N$PRODS = 1",
+        "prodlist.REPORT$LIST = cons(production.REPORT, empty$list())",
+    ]),
+    "ProdBare": ("ProdBareLb", [
+        "production.N$FUNCS = 0",
+        "production.N$COPIES = 0",
+        "production.MSG$NO$OUT = production.MSG$NO + Length(header.MSGS)",
+        "production.REPORT = Report3(header.LHS$NAME, production.TOTAL$MSGS, 0)",
+        "production.N$CHECK = IncrIfTrue(Length(production.REPORTS$IN) > 0, 0)",
+    ]),
+    "ProdFuncs": ("ProdFuncsLb", [
+        "production.MSG$NO$OUT = production.MSG$NO + Length(header.MSGS)",
+        "production.REPORT = Report3(header.LHS$NAME, production.TOTAL$MSGS,\n"
+        "                            funclist.N$FUNCS)",
+        "production.N$CHECK = IncrIfTrue(Length(production.REPORTS$IN) > 0, 0)",
+    ]),
+    "Header": ("HeaderLb", [
+        "header.LHS$NAME = StripSuffix(IDENT.TEXT)",
+        "header.LIMB$NAME = no$limb",
+        "ERR = if HasSymbol(header.SYMS, IDENT.TEXT)\n"
+        "        then null$msg$list()\n"
+        "        else cons$msg(IDENT.LINE, 'undeclared symbol', IDENT.TEXT,\n"
+        "                      null$msg$list())\n"
+        "        endif",
+        "header.MSGS = merge$msgs(ERR, symseq.MSGS)",
+        "header.N$OCCS = symseq.N$OCCS + CountAttrs(header.ATTRS$PF, IDENT.TEXT)",
+    ]),
+    "HeaderLimb": ("HeaderLimbLb", [
+        "header.LHS$NAME = StripSuffix(IDENT0.TEXT)",
+        "header.LIMB$NAME = IDENT1.TEXT",
+        "ERR = if HasSymbol(header.SYMS, IDENT0.TEXT)\n"
+        "        then null$msg$list()\n"
+        "        else cons$msg(IDENT0.LINE, 'undeclared symbol', IDENT0.TEXT,\n"
+        "                      null$msg$list())\n"
+        "        endif",
+        "ERR2 = if HasSymbol(header.SYMS, IDENT1.TEXT)\n"
+        "        then null$msg$list()\n"
+        "        else cons$msg(IDENT1.LINE, 'undeclared limb symbol', IDENT1.TEXT,\n"
+        "                      null$msg$list())\n"
+        "        endif",
+        "header.MSGS = merge$msgs(ERR, merge$msgs(ERR2, symseq.MSGS))",
+        "header.N$OCCS = symseq.N$OCCS + CountAttrs(header.ATTRS$PF, IDENT0.TEXT)\n"
+        "                + CountAttrs(header.ATTRS$PF, IDENT1.TEXT)",
+    ]),
+    "HeaderEmpty": ("HeaderEmptyLb", [
+        "header.LHS$NAME = StripSuffix(IDENT.TEXT)",
+        "header.LIMB$NAME = no$limb",
+        "ERR = if HasSymbol(header.SYMS, IDENT.TEXT)\n"
+        "        then null$msg$list()\n"
+        "        else cons$msg(IDENT.LINE, 'undeclared symbol', IDENT.TEXT,\n"
+        "                      null$msg$list())\n"
+        "        endif",
+        "header.MSGS = ERR",
+        "header.N$OCCS = CountAttrs(header.ATTRS$PF, IDENT.TEXT)",
+    ]),
+    "HeaderEmptyLimb": ("HeaderEmptyLimbLb", [
+        "header.LHS$NAME = StripSuffix(IDENT0.TEXT)",
+        "header.LIMB$NAME = IDENT1.TEXT",
+        "ERR = if HasSymbol(header.SYMS, IDENT0.TEXT)\n"
+        "        then null$msg$list()\n"
+        "        else cons$msg(IDENT0.LINE, 'undeclared symbol', IDENT0.TEXT,\n"
+        "                      null$msg$list())\n"
+        "        endif",
+        "ERR2 = if HasSymbol(header.SYMS, IDENT1.TEXT)\n"
+        "        then null$msg$list()\n"
+        "        else cons$msg(IDENT1.LINE, 'undeclared limb symbol', IDENT1.TEXT,\n"
+        "                      null$msg$list())\n"
+        "        endif",
+        "header.MSGS = merge$msgs(ERR, ERR2)",
+        "header.N$OCCS = CountAttrs(header.ATTRS$PF, IDENT0.TEXT)\n"
+        "                + CountAttrs(header.ATTRS$PF, IDENT1.TEXT)",
+    ]),
+    "SymSeqMany": ("SymSeqManyLb", [
+        "symseq0.N = symseq1.N + 1",
+        "ERR = if HasSymbol(symseq0.SYMS, IDENT.TEXT)\n"
+        "        then null$msg$list()\n"
+        "        else cons$msg(IDENT.LINE, 'undeclared symbol', IDENT.TEXT,\n"
+        "                      null$msg$list())\n"
+        "        endif",
+        "symseq0.MSGS = merge$msgs(symseq1.MSGS, ERR)",
+        "symseq0.N$OCCS = symseq1.N$OCCS + CountAttrs(symseq0.ATTRS$PF, IDENT.TEXT)",
+    ]),
+    "SymSeqOne": ("SymSeqOneLb", [
+        "symseq.N = 1",
+        "ERR = if HasSymbol(symseq.SYMS, IDENT.TEXT)\n"
+        "        then null$msg$list()\n"
+        "        else cons$msg(IDENT.LINE, 'undeclared symbol', IDENT.TEXT,\n"
+        "                      null$msg$list())\n"
+        "        endif",
+        "symseq.MSGS = ERR",
+        "symseq.N$OCCS = CountAttrs(symseq.ATTRS$PF, IDENT.TEXT)",
+    ]),
+    "FuncMany": ("FuncManyLb", [
+        "funclist0.N$FUNCS = funclist1.N$FUNCS + 1",
+        "funclist0.N$COPIES = IncrIfTrue(semfn.IS$COPY, funclist1.N$COPIES)",
+    ]),
+    "FuncOne": ("FuncOneLb", [
+        "funclist.N$FUNCS = 1",
+        "funclist.N$COPIES = IncrIfTrue(semfn.IS$COPY, 0)",
+    ]),
+    "SemFn": ("SemFnLb", [
+        "semfn.IS$COPY = exprtop.IS$REF",
+    ]),
+    "ExprIf": ("", ["exprtop.IS$REF = false"]),
+    "Or": ("", ["disj0.IS$REF = false"]),
+    "And": ("", ["conj0.IS$REF = false"]),
+    "Compare": ("", ["cmp.IS$REF = false"]),
+    "Plus": ("", ["add0.IS$REF = false"]),
+    "Minus": ("", ["add0.IS$REF = false"]),
+    "Times": ("", ["mul0.IS$REF = false"]),
+    "Divide": ("", ["mul0.IS$REF = false"]),
+    "NotOp": ("", ["unary0.IS$REF = false"]),
+    "NegOp": ("", ["unary0.IS$REF = false"]),
+    "Number": ("", ["primary.IS$REF = false"]),
+    "Str": ("", ["primary.IS$REF = false"]),
+    "True": ("", ["primary.IS$REF = false"]),
+    "False": ("", ["primary.IS$REF = false"]),
+    "Name": ("", ["primary.IS$REF = false"]),
+    "AttrRef": ("", ["primary.IS$REF = true"]),
+    "Call0": ("", ["primary.IS$REF = false"]),
+    "CallN": ("", ["primary.IS$REF = false"]),
+}
+
+
+def canonical_occurrence_names(lhs, rhs):
+    """Replicate repro.ag.model occurrence naming for the header text."""
+    all_syms = [lhs] + list(rhs)
+    counts = {}
+    for s in all_syms:
+        counts[s] = counts.get(s, 0) + 1
+    seen = {}
+    names = []
+    for s in all_syms:
+        if counts[s] > 1:
+            names.append(f"{s}{seen.get(s, 0)}")
+            seen[s] = seen.get(s, 0) + 1
+        else:
+            names.append(s)
+    return names[0], names[1:]
+
+
+def emit():
+    out = []
+    out.append("""\
+# The self-description: the LINGUIST input language, written as an
+# attribute grammar for LINGUIST itself.  Its generated evaluator
+# recomputes the dictionary — symbol table, attribute count, production
+# and semantic-function counts, explicit-copy-rule count — plus
+# undeclared-symbol diagnostics with source-order message numbering and
+# a final cross-check pass.  Four alternating passes, first pass
+# right-to-left, exactly the shape the paper reports for the original
+# 1800-line grammar.
+#
+# GENERATED by tools/gen_linguist_ag.py from the frontend's production
+# table so the phrase structure always matches the hand-written parser.
+# Edit the generator, not this file.
+
+grammar linguist : file .
+
+symbols
+""")
+    out.append("  nonterminal " + ",\n              ".join(NONTERMINALS) + " ;")
+    out.append("  terminal " + ",\n           ".join(TERMINALS) + " ;")
+    limbs = sorted({limb for limb, _ in SEMANTICS.values() if limb})
+    out.append("  limb " + ",\n       ".join(limbs) + " ;")
+    out.append("")
+    out.append("attributes")
+    out.append(ATTR_DECLS)
+    out.append("productions")
+    out.append("")
+    for tag, lhs, rhs in _PRODUCTIONS:
+        limb, funcs = SEMANTICS.get(tag, ("", []))
+        lhs_name, rhs_names = canonical_occurrence_names(lhs, rhs)
+        head = f"{lhs_name} = {' '.join(rhs_names)}".rstrip()
+        if limb:
+            head += f" -> {limb}"
+        head += " ."
+        out.append(f"# {tag}")
+        out.append(head)
+        if funcs:
+            body = " ,\n  ".join(funcs)
+            out.append("  " + body + " ;")
+        else:
+            out.append("  ;")
+        out.append("")
+    out.append("end")
+    return "\n".join(out) + "\n"
+
+
+if __name__ == "__main__":
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "src", "repro", "grammars", "linguist.ag"
+    )
+    text = emit()
+    with open(path, "w") as f:
+        f.write(text)
+    print(f"wrote {path}: {len(text.splitlines())} lines")
