@@ -41,9 +41,10 @@ def measure(linguist_binary, translator, n_bits: int):
     oracle = OracleEvaluator(linguist_binary.ag, translator.library)
     oracle.evaluate(builder.root)
     total = oracle.total_tree_bytes
-    # Peak residency of the file paradigm.
+    # Peak residency of the file paradigm, read from the run's unified
+    # telemetry registry (the same "mem.peak_bytes" the profile CLI shows).
     translator.translate(numeral)
-    peak = translator.last_driver.gauge.peak_bytes
+    peak = translator.last_driver.metrics.snapshot()["mem.peak_bytes"]
     return total, peak
 
 
@@ -81,7 +82,7 @@ def test_m1_oracle_keeps_whole_tree(linguist_binary, translator):
     assert peak < total
 
 
-def test_m1_balanced_trees_log_residency(pascal_translator, report):
+def test_m1_balanced_trees_log_residency(pascal_translator, report, metrics_snapshot):
     """On the Pascal grammar (statement lists), residency grows with
     nesting depth, not with statement count."""
     from repro.workloads import generate_pascal_program
@@ -89,11 +90,13 @@ def test_m1_balanced_trees_log_residency(pascal_translator, report):
     shallow = generate_pascal_program(n_statements=40, seed=3)
     long_ = generate_pascal_program(n_statements=400, seed=3)
     pascal_translator.translate(shallow)
-    peak_shallow = pascal_translator.last_driver.gauge.peak_bytes
-    io_shallow = pascal_translator.last_driver.accountant.bytes_written
+    snap = metrics_snapshot(pascal_translator)
+    peak_shallow = snap["mem.peak_bytes"]
+    io_shallow = snap["io.bytes_written"]
     pascal_translator.translate(long_)
-    peak_long = pascal_translator.last_driver.gauge.peak_bytes
-    io_long = pascal_translator.last_driver.accountant.bytes_written
+    snap = metrics_snapshot(pascal_translator)
+    peak_long = snap["mem.peak_bytes"]
+    io_long = snap["io.bytes_written"]
     text = (
         "EXP-M1b: statement-list scaling (Pascal)\n"
         f"  40 statements:  peak {peak_shallow:>8} B, file traffic {io_shallow:>9} B\n"

@@ -5,6 +5,14 @@ evaluation (see DESIGN.md's experiment index).  Every module both runs
 under ``pytest benchmarks/ --benchmark-only`` and writes its rendered
 table to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote
 paper-vs-measured numbers.
+
+Benchmarks read their numbers from the unified telemetry layer
+(:class:`repro.obs.MetricsRegistry` — see docs/observability.md): each
+``Linguist`` owns a registry with the ``overlay.*`` timings, and each
+translation's driver exposes ``io.*``/``mem.*``/``pass.*`` through
+``translator.last_driver.metrics``.  The :func:`metrics_snapshot`
+helper is the single accessor, so benchmark tables and the
+``trace``/``profile`` CLI can never diverge.
 """
 
 import os
@@ -16,6 +24,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 
 from repro.core import Linguist  # noqa: E402
 from repro.grammars import library_for, load_source  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -42,23 +51,40 @@ def report(results_dir):
 
 
 @pytest.fixture(scope="session")
+def metrics_snapshot():
+    """metrics_snapshot(obj): the unified telemetry snapshot of a
+    ``Linguist``, ``AlternatingPassDriver``, ``Translator`` (its last
+    driver), or raw ``MetricsRegistry`` — benchmarks read all counters
+    through this one accessor."""
+
+    def _snapshot(obj) -> dict:
+        if isinstance(obj, MetricsRegistry):
+            return obj.snapshot()
+        if hasattr(obj, "last_driver") and obj.last_driver is not None:
+            return obj.last_driver.metrics.snapshot()
+        return obj.metrics.snapshot()
+
+    return _snapshot
+
+
+@pytest.fixture(scope="session")
 def linguist_binary():
-    return Linguist(load_source("binary"))
+    return Linguist(load_source("binary"), metrics=MetricsRegistry())
 
 
 @pytest.fixture(scope="session")
 def linguist_calc():
-    return Linguist(load_source("calc"))
+    return Linguist(load_source("calc"), metrics=MetricsRegistry())
 
 
 @pytest.fixture(scope="session")
 def linguist_pascal():
-    return Linguist(load_source("pascal"))
+    return Linguist(load_source("pascal"), metrics=MetricsRegistry())
 
 
 @pytest.fixture(scope="session")
 def linguist_self():
-    return Linguist(load_source("linguist"))
+    return Linguist(load_source("linguist"), metrics=MetricsRegistry())
 
 
 @pytest.fixture(scope="session")

@@ -26,11 +26,23 @@ _LEN = struct.Struct("<I")
 
 
 class Spool:
-    """Abstract spool of pickled records."""
+    """Abstract spool of pickled records.
 
-    def __init__(self, accountant: Optional[IOAccountant] = None, channel: str = ""):
+    ``tracer`` (a :class:`repro.obs.Tracer`, or None for the default
+    zero-overhead path) receives one ``spool.write``/``spool.read``
+    instant event per record, tagged with the channel and byte size —
+    the event-level view of the paper's I/O-boundedness claim.
+    """
+
+    def __init__(
+        self,
+        accountant: Optional[IOAccountant] = None,
+        channel: str = "",
+        tracer=None,
+    ):
         self.accountant = accountant
         self.channel = channel
+        self.tracer = tracer
         self.n_records = 0
         self.data_bytes = 0
         self._finalized = False
@@ -46,6 +58,10 @@ class Spool:
         self.data_bytes += len(blob)
         if self.accountant is not None:
             self.accountant.charge_write(len(blob), self.channel)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "spool.write", cat="io", channel=self.channel, nbytes=len(blob)
+            )
 
     def finalize(self) -> None:
         """End the writing phase; the spool becomes readable."""
@@ -58,6 +74,10 @@ class Spool:
         for blob in self._iter_blobs_forward():
             if self.accountant is not None:
                 self.accountant.charge_read(len(blob), self.channel)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "spool.read", cat="io", channel=self.channel, nbytes=len(blob)
+                )
             yield pickle.loads(blob)
 
     def read_backward(self) -> Iterator[Any]:
@@ -65,6 +85,10 @@ class Spool:
         for blob in self._iter_blobs_backward():
             if self.accountant is not None:
                 self.accountant.charge_read(len(blob), self.channel)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "spool.read", cat="io", channel=self.channel, nbytes=len(blob)
+                )
             yield pickle.loads(blob)
 
     def _require_finalized(self) -> None:
@@ -97,8 +121,13 @@ class Spool:
 class MemorySpool(Spool):
     """Spool held in memory (still serialized, still accounted)."""
 
-    def __init__(self, accountant: Optional[IOAccountant] = None, channel: str = ""):
-        super().__init__(accountant, channel)
+    def __init__(
+        self,
+        accountant: Optional[IOAccountant] = None,
+        channel: str = "",
+        tracer=None,
+    ):
+        super().__init__(accountant, channel, tracer)
         self._blobs: List[bytes] = []
 
     def _write_blob(self, blob: bytes) -> None:
@@ -124,8 +153,9 @@ class DiskSpool(Spool):
         path: Optional[str] = None,
         accountant: Optional[IOAccountant] = None,
         channel: str = "",
+        tracer=None,
     ):
-        super().__init__(accountant, channel)
+        super().__init__(accountant, channel, tracer)
         if path is None:
             fd, path = tempfile.mkstemp(prefix="apt_", suffix=".spool")
             os.close(fd)

@@ -7,6 +7,10 @@ Subcommands::
     python -m repro generate FILE.ag --language pascal|python [-o DIR]
     python -m repro run NAME INPUT [--exec] translate with a shipped grammar
     python -m repro selfcheck               the self-generation bootstrap
+    python -m repro trace FILE.ag INPUT [--out F --format chrome|ndjson|summary]
+                                            traced translation (obs subsystem)
+    python -m repro profile FILE.ag [INPUT] per-overlay/per-pass time, I/O,
+                                            and peak-memory tables
 """
 
 from __future__ import annotations
@@ -125,6 +129,177 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _scanner_and_library(name: str):
+    """Scanner spec + function library of a shipped grammar, or (None, None).
+
+    ``trace``/``profile`` accept any ``.ag`` file; translating an INPUT
+    additionally needs the described language's scanner, which we only
+    have for the shipped grammars (keyed by file stem or ``--grammar``).
+    """
+    from repro.grammars import library_for
+    from repro.grammars import scanners
+
+    if name == "linguist":
+        from repro.frontend.lexer import LEXICAL_SPEC
+
+        return LEXICAL_SPEC, library_for(name)
+    factory = {
+        "binary": scanners.binary_scanner_spec,
+        "calc": scanners.calc_scanner_spec,
+        "pascal": scanners.pascal_scanner_spec,
+        "asm": scanners.asm_scanner_spec,
+    }.get(name)
+    if factory is None:
+        return None, None
+    return factory(), library_for(name)
+
+
+def _grammar_stem(args) -> str:
+    if getattr(args, "grammar", None):
+        return args.grammar
+    return os.path.splitext(os.path.basename(args.file))[0]
+
+
+def cmd_trace(args) -> int:
+    from repro.core import Linguist
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.obs.export import chrome_trace_json, ndjson, summary
+
+    name = _grammar_stem(args)
+    spec, library = _scanner_and_library(name)
+    if spec is None:
+        print(
+            f"error: no shipped scanner for grammar {name!r}; "
+            "pass --grammar binary|calc|pascal|asm|linguist",
+            file=sys.stderr,
+        )
+        return 2
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    linguist = Linguist(
+        _read(args.file),
+        filename=args.file,
+        first_direction=_DIRECTIONS[args.direction],
+        tracer=tracer,
+        metrics=metrics,
+    )
+    # The interpretive backend is the default here: it runs node visits
+    # through the runtime, so the trace shows the full overlay → pass →
+    # node-visit → semantic-function hierarchy.  The generated backend
+    # still yields overlay/pass spans and all spool/event instants.
+    translator = linguist.make_translator(
+        spec, library=library, backend=args.backend
+    )
+    text = _read(args.input) if os.path.exists(args.input) else args.input
+    translator.translate(text, tracer=tracer, metrics=metrics)
+
+    if args.format == "chrome":
+        rendered = chrome_trace_json(tracer.records)
+    elif args.format == "ndjson":
+        rendered = ndjson(tracer.records)
+    else:
+        rendered = summary(tracer.records, metrics)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(rendered + "\n")
+        print(
+            f"{args.format} trace written to {args.out} "
+            f"({len(tracer.records)} records)"
+        )
+    else:
+        print(rendered)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.core import Linguist
+    from repro.core.overlays import OVERLAY_NAMES
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    linguist = Linguist(
+        _read(args.file),
+        filename=args.file,
+        first_direction=_DIRECTIONS[args.direction],
+        metrics=metrics,
+    )
+
+    translated = False
+    if args.input:
+        name = _grammar_stem(args)
+        spec, library = _scanner_and_library(name)
+        if spec is None:
+            print(
+                f"error: no shipped scanner for grammar {name!r}; "
+                "pass --grammar binary|calc|pascal|asm|linguist",
+                file=sys.stderr,
+            )
+            return 2
+        translator = linguist.make_translator(spec, library=library)
+        text = _read(args.input) if os.path.exists(args.input) else args.input
+        translator.translate(text, metrics=metrics)
+        translated = True
+
+    # Everything below renders from the live MetricsRegistry snapshot —
+    # the same numbers the benchmarks consume.
+    snap = metrics.snapshot()
+    lines = [f"profile: {args.file} (grammar {linguist.ag.name!r})", ""]
+    total = snap.get("overlay.total.seconds", 0.0) or 1e-12
+    lines.append(
+        f"{'overlay':<30} {'ms':>10} {'share':>7} {'io bytes':>10} "
+        f"{'peak resident B':>16}"
+    )
+    for name in OVERLAY_NAMES:
+        seconds = snap.get(f"overlay.{name}.seconds")
+        if seconds is None:
+            continue
+        lines.append(
+            f"{name:<30} {seconds * 1000:>10.1f} "
+            f"{100 * seconds / total:>6.0f}% "
+            f"{snap.get(f'overlay.{name}.io_bytes', 0):>10,} "
+            f"{snap.get(f'overlay.{name}.peak_bytes', 0):>16,}"
+        )
+    lines.append(f"{'TOTAL':<30} {total * 1000:>10.1f} {'100':>6}%")
+
+    if translated:
+        lines.append("")
+        lines.append(
+            f"{'evaluation pass':<30} {'ms':>10} {'rec r/w':>11} "
+            f"{'bytes r/w':>15} {'peak resident B':>16}"
+        )
+        for k in range(1, int(snap.get("pass.n_passes", 0)) + 1):
+            lines.append(
+                f"pass {k} ({snap.get(f'pass.{k}.direction', '?'):<13}) "
+                f"{snap.get(f'pass.{k}.seconds', 0.0) * 1000:>10.1f} "
+                f"{snap.get(f'pass.{k}.records_read', 0):>5}/"
+                f"{snap.get(f'pass.{k}.records_written', 0):<5} "
+                f"{snap.get(f'pass.{k}.bytes_read', 0):>7,}/"
+                f"{snap.get(f'pass.{k}.bytes_written', 0):<7,} "
+                f"{snap.get(f'pass.{k}.peak_bytes', 0):>16,}"
+            )
+        lines.append("")
+        lines.append(
+            f"totals: {snap.get('io.records_read', 0):,} records / "
+            f"{snap.get('io.bytes_read', 0):,} bytes read, "
+            f"{snap.get('io.records_written', 0):,} records / "
+            f"{snap.get('io.bytes_written', 0):,} bytes written, "
+            f"peak resident {snap.get('mem.peak_bytes', 0):,} B "
+            f"({snap.get('mem.peak_nodes', 0)} nodes)"
+        )
+        lines.append(
+            f"events: {snap.get('evt.copyrule_elided', 0)} copy-rules "
+            f"elided, {snap.get('evt.subsume_saves', 0)} saves / "
+            f"{snap.get('evt.subsume_restores', 0)} restores at "
+            f"subsumption sites, {snap.get('evt.dead_attrs_skipped', 0)} "
+            "dead attribute instances skipped"
+        )
+    print("\n".join(lines))
+    if args.metrics:
+        print()
+        print(metrics.render())
+    return 0
+
+
 def cmd_selfcheck(args) -> int:
     from repro.core.selfgen import SelfGeneration
 
@@ -175,6 +350,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--exec", dest="execute", action="store_true",
                        help="run the produced CODE on the stack machine")
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="translate INPUT under the telemetry subsystem and export "
+        "the span/event trace",
+    )
+    add_common(p_trace)
+    p_trace.add_argument("input", help="input text or a path to it")
+    p_trace.add_argument(
+        "--format", choices=["chrome", "ndjson", "summary"], default="chrome",
+        help="chrome (chrome://tracing JSON, default), ndjson, or summary",
+    )
+    p_trace.add_argument("--out", help="write the trace to this file")
+    p_trace.add_argument(
+        "--backend", choices=["interp", "generated"], default="interp",
+        help="evaluator backend (interp shows node-visit spans; default)",
+    )
+    p_trace.add_argument(
+        "--grammar",
+        help="shipped-grammar name for scanner/library (default: file stem)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="per-overlay (and, with INPUT, per-pass) time/I-O/memory "
+        "tables from the metrics registry",
+    )
+    add_common(p_prof)
+    p_prof.add_argument(
+        "input", nargs="?", default=None,
+        help="optional input text or path — adds the per-pass table",
+    )
+    p_prof.add_argument(
+        "--grammar",
+        help="shipped-grammar name for scanner/library (default: file stem)",
+    )
+    p_prof.add_argument(
+        "--metrics", action="store_true",
+        help="also dump the raw unified metrics snapshot",
+    )
+    p_prof.set_defaults(func=cmd_profile)
 
     p_self = sub.add_parser("selfcheck", help="run the self-generation bootstrap")
     p_self.set_defaults(func=cmd_selfcheck)

@@ -25,6 +25,7 @@ scanner, and generated evaluator into a runnable :class:`Translator`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.ag.circularity import check_noncircular
@@ -52,6 +53,7 @@ from repro.frontend.syntax import parse_ag_text
 from repro.core.overlays import OverlayClock, OverlayTiming
 from repro.lalr.parser import LALRParser
 from repro.lalr.tables import ParseTables, build_tables
+from repro.obs.metrics import MetricsRegistry
 from repro.passes.partition import PassAssignment, assign_passes
 from repro.passes.schedule import Direction
 from repro.regex.generator import ScannerSpec
@@ -70,11 +72,19 @@ class Linguist:
         subsumption: Optional[SubsumptionConfig] = None,
         dead_attribute_suppression: bool = True,
         check_circularity: bool = True,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.source = source
         self.filename = filename
         self.sink = DiagnosticSink()
-        clock = OverlayClock()
+        #: Unified telemetry: every overlay's wall time registers here
+        #: under ``overlay.<name>.seconds`` (see docs/observability.md);
+        #: benchmarks read this registry rather than private counters.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Structured tracer (repro.obs.Tracer) or None when disabled.
+        self.tracer = tracer
+        clock = OverlayClock(tracer=tracer, metrics=self.metrics)
 
         self.ag_file = clock.run(
             "parser overlay", lambda: parse_ag_text(source, filename)
@@ -146,6 +156,8 @@ class Linguist:
             "evaluator generation overlay", generate
         )
         self.overlay_times: OverlayTiming = clock.timing
+        #: Per-overlay I/O and peak-memory deltas (see StageClock.details).
+        self.overlay_details = clock.details
         self._tables: Optional[ParseTables] = None
 
     # ------------------------------------------------------------------
@@ -220,14 +232,25 @@ class Translator:
 
     # ------------------------------------------------------------------
 
-    def translate(self, text: str) -> EvaluationResult:
-        """Scan, parse, and evaluate ``text``."""
+    def translate(
+        self,
+        text: str,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> EvaluationResult:
+        """Scan, parse, and evaluate ``text``.
+
+        ``tracer``/``metrics`` enable the telemetry subsystem for this
+        translation (see docs/observability.md); both default to off.
+        """
         if self.scanner is None:
             raise EvaluationError(
                 "this translator was built without a scanner spec; "
                 "use translate_tokens()"
             )
-        return self.translate_tokens(self.scanner.tokens(text))
+        return self.translate_tokens(
+            self.scanner.tokens(text), tracer=tracer, metrics=metrics
+        )
 
     def translate_tokens(
         self,
@@ -235,10 +258,15 @@ class Translator:
         spool_factory: Optional[Callable[[str], Spool]] = None,
         accountant: Optional[IOAccountant] = None,
         gauge: Optional[MemoryGauge] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> EvaluationResult:
         accountant = accountant if accountant is not None else IOAccountant()
-        factory = spool_factory or (lambda ch: MemorySpool(accountant, ch))
-        initial = self._build_initial(tokens, factory)
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        factory = spool_factory or (
+            lambda ch: MemorySpool(accountant, ch, tracer=tracer)
+        )
+        initial = self._build_initial(tokens, factory, tracer, metrics)
         driver = AlternatingPassDriver(
             self.ag,
             self.linguist.plans,
@@ -247,6 +275,8 @@ class Translator:
             spool_factory=factory,
             accountant=accountant,
             gauge=gauge,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.last_driver = driver
         strategy = (
@@ -257,7 +287,11 @@ class Translator:
         return driver.run(initial, strategy=strategy)
 
     def _build_initial(
-        self, tokens, factory: Callable[[str], Spool]
+        self,
+        tokens,
+        factory: Callable[[str], Spool],
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> Spool:
         """Build the initial APT spool per the configured strategy.
 
@@ -267,18 +301,39 @@ class Translator:
         the parse tree and emits it in prefix order.
         """
         initial = factory("initial")
-        bottom_up = self.linguist.assignment.first_direction is Direction.R2L
-        if bottom_up:
-            builder = APTBuilder(
-                self.ag, initial, intrinsic_fn=self.intrinsic_fn, build_tree=False
-            )
-            self.parser.parse(tokens, listener=builder, build_tree=False)
-            builder.finish()
+        if tracer is not None and initial.tracer is None:
+            initial.tracer = tracer
+        if tracer is not None:
+            span_ctx = tracer.span("parser overlay", cat="overlay")
         else:
-            builder = APTBuilder(
-                self.ag, None, intrinsic_fn=self.intrinsic_fn, build_tree=True
-            )
-            self.parser.parse(tokens, listener=builder, build_tree=False)
-            builder.finish()
-            builder.emit_prefix(initial)
+            span_ctx = nullcontext()
+        bottom_up = self.linguist.assignment.first_direction is Direction.R2L
+        with span_ctx:
+            if bottom_up:
+                builder = APTBuilder(
+                    self.ag,
+                    initial,
+                    intrinsic_fn=self.intrinsic_fn,
+                    build_tree=False,
+                    tracer=tracer,
+                    metrics=metrics,
+                )
+                self.parser.parse(
+                    tokens, listener=builder, build_tree=False, tracer=tracer
+                )
+                builder.finish()
+            else:
+                builder = APTBuilder(
+                    self.ag,
+                    None,
+                    intrinsic_fn=self.intrinsic_fn,
+                    build_tree=True,
+                    tracer=tracer,
+                    metrics=metrics,
+                )
+                self.parser.parse(
+                    tokens, listener=builder, build_tree=False, tracer=tracer
+                )
+                builder.finish()
+                builder.emit_prefix(initial)
         return initial

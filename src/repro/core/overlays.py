@@ -4,13 +4,18 @@
 seven overlays and six passes … The time used by each overlay when
 processing LINGUIST-86's attribute grammar is shown in the table."
 We reproduce the same decomposition and per-overlay timing (EXP-T3).
+
+The timing machinery itself is the generic
+:class:`~repro.obs.metrics.StageClock` of the telemetry subsystem; the
+classes here are thin domain-named shims so the overlay pipeline can be
+traced (one span per overlay) and metered (``overlay.<name>.seconds``
+in the unified :class:`~repro.obs.metrics.MetricsRegistry` snapshot)
+without any caller changes.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Tuple
+from repro.obs.metrics import StageClock, StageTimes
 
 #: Overlay names in pipeline order, matching §V's table rows.
 OVERLAY_NAMES = [
@@ -24,37 +29,11 @@ OVERLAY_NAMES = [
 ]
 
 
-@dataclass
-class OverlayTiming:
+class OverlayTiming(StageTimes):
     """Per-overlay wall-clock times of one Linguist run."""
 
-    entries: List[Tuple[str, float]] = field(default_factory=list)
 
-    def record(self, name: str, seconds: float) -> None:
-        self.entries.append((name, seconds))
+class OverlayClock(StageClock):
+    """Times named overlay stages (optionally tracing/metering them)."""
 
-    @property
-    def total(self) -> float:
-        return sum(t for _, t in self.entries)
-
-    def render(self) -> str:
-        width = max(len(n) for n, _ in self.entries) if self.entries else 10
-        lines = [
-            f"  {name:>{width}} - {seconds * 1000:8.1f} ms"
-            for name, seconds in self.entries
-        ]
-        lines.append(f"  {'TOTAL':>{width}} - {self.total * 1000:8.1f} ms")
-        return "\n".join(lines)
-
-
-class OverlayClock:
-    """Times named overlay stages."""
-
-    def __init__(self) -> None:
-        self.timing = OverlayTiming()
-
-    def run(self, name: str, thunk: Callable[[], object]) -> object:
-        started = time.perf_counter()
-        result = thunk()
-        self.timing.record(name, time.perf_counter() - started)
-        return result
+    timing_factory = OverlayTiming

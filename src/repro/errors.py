@@ -158,3 +158,8 @@ class EvaluationError(ReproError):
 
 class GenerationError(ReproError):
     """Evaluator code generation failed."""
+
+
+class TelemetryError(ReproError):
+    """The telemetry subsystem detected an inconsistency (e.g. a metric
+    registered under two kinds, or an unbalanced memory-gauge ledger)."""

@@ -6,8 +6,13 @@ pass under the prefix-emission strategy, which reads the parser's
 prefix file forwards — and writes its own postfix-order spool.  Two
 intermediate files are live per pass, exactly as in the paper.
 
-The driver also keeps the per-pass timings, I/O counters, and the
-memory gauge the benchmarks read (EXP-T3, EXP-M1).
+The driver is also the telemetry hub of an evaluation: it owns (or is
+handed) a :class:`~repro.obs.metrics.MetricsRegistry` into which its
+:class:`IOAccountant`, :class:`MemoryGauge`, and per-pass statistics
+register as snapshot sources (``io.*``, ``mem.*``, ``pass.*``), and —
+when given a :class:`~repro.obs.trace.Tracer` — wraps the run in an
+``evaluation overlay`` span containing one span per pass (EXP-T3,
+EXP-M1).
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.evalgen.runtime import (
     FunctionLibrary,
     TraceEvent,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.passes.schedule import Direction
 from repro.util.iotrack import IOAccountant, MemoryGauge
 
@@ -50,6 +56,8 @@ class AlternatingPassDriver:
         accountant: Optional[IOAccountant] = None,
         gauge: Optional[MemoryGauge] = None,
         trace: Optional[List[TraceEvent]] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.ag = ag
         self.pass_plans = pass_plans
@@ -58,12 +66,30 @@ class AlternatingPassDriver:
         self.accountant = accountant if accountant is not None else IOAccountant()
         self.gauge = gauge if gauge is not None else MemoryGauge()
         self.trace = trace
+        self.tracer = tracer
+        #: Unified registry: io.*, mem.*, and pass.* sources live here.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.accountant.bind(self.metrics, "io")
+        self.gauge.bind(self.metrics, "mem")
+        self.metrics.register_source("pass", self._pass_source)
         self._spool_factory = spool_factory or (
-            lambda channel: MemorySpool(self.accountant, channel)
+            lambda channel: MemorySpool(self.accountant, channel, tracer=self.tracer)
         )
         #: Seconds spent in each pass, filled by :meth:`run`.
         self.pass_times: List[float] = []
+        #: Per-pass time/I/O/memory rows, filled by :meth:`run`.
+        self.pass_stats: List[Dict[str, Any]] = []
         self.final_spool: Optional[Spool] = None
+
+    def _pass_source(self) -> Dict[str, Any]:
+        """Snapshot source: ``pass.<k>.seconds``, I/O deltas, peaks."""
+        out: Dict[str, Any] = {"n_passes": len(self.pass_stats)}
+        for stats in self.pass_stats:
+            k = stats["pass"]
+            for key, value in stats.items():
+                if key != "pass":
+                    out[f"{k}.{key}"] = value
+        return out
 
     def run(self, initial: Spool, strategy: str = "bottom-up") -> EvaluationResult:
         """Evaluate: ``initial`` is the parser-emitted APT file.
@@ -84,7 +110,23 @@ class AlternatingPassDriver:
             raise EvaluationError(
                 "prefix initial files require a left-to-right first pass"
             )
+        tracer = self.tracer
+        if tracer is None:
+            return self._run_passes(initial, strategy)
+        with tracer.span(
+            "evaluation overlay",
+            cat="overlay",
+            grammar=self.ag.name,
+            strategy=strategy,
+            n_passes=len(self.pass_plans),
+        ):
+            return self._run_passes(initial, strategy)
+
+    def _run_passes(self, initial: Spool, strategy: str) -> EvaluationResult:
+        tracer = self.tracer
+        acc = self.accountant
         self.pass_times = []
+        self.pass_stats = []
         spool_in = initial
         root: Optional[APTNode] = None
         for plan in self.pass_plans:
@@ -93,15 +135,52 @@ class AlternatingPassDriver:
             else:
                 reader = spool_in.read_backward()
             spool_out = self._spool_factory(f"pass{plan.pass_k}.out")
+            if tracer is not None and spool_out.tracer is None:
+                spool_out.tracer = tracer
             runtime = EvaluatorRuntime(
-                reader, spool_out, self.library, self.gauge, self.trace
+                reader,
+                spool_out,
+                self.library,
+                self.gauge,
+                self.trace,
+                tracer=tracer,
+                metrics=self.metrics,
             )
+            io_before = (
+                acc.records_read,
+                acc.records_written,
+                acc.bytes_read,
+                acc.bytes_written,
+            )
+            if tracer is not None:
+                tracer.begin(
+                    f"pass {plan.pass_k}",
+                    cat="pass",
+                    direction=plan.direction.value,
+                )
             started = time.perf_counter()
             from repro.util.recursion import deep_recursion
 
-            with deep_recursion():
-                root = self.executor(plan, runtime)
-            self.pass_times.append(time.perf_counter() - started)
+            try:
+                with deep_recursion():
+                    root = self.executor(plan, runtime)
+            finally:
+                seconds = time.perf_counter() - started
+                if tracer is not None:
+                    tracer.end()
+            self.pass_times.append(seconds)
+            self.pass_stats.append(
+                {
+                    "pass": plan.pass_k,
+                    "direction": plan.direction.value,
+                    "seconds": seconds,
+                    "records_read": acc.records_read - io_before[0],
+                    "records_written": acc.records_written - io_before[1],
+                    "bytes_read": acc.bytes_read - io_before[2],
+                    "bytes_written": acc.bytes_written - io_before[3],
+                    "peak_bytes": self.gauge.peak_bytes,
+                }
+            )
             if not runtime.at_end():
                 raise EvaluationError(
                     f"pass {plan.pass_k} did not consume the whole APT file"

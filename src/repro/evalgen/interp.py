@@ -53,7 +53,27 @@ class InterpretiveEvaluator:
         prod = self.ag.productions[node.production]
         eplan = plan.plans[prod.index]
         runtime.note_visit(prod.tag)
+        tracer = runtime.tracer
+        if tracer is None:
+            return self._run_actions(node, prod, eplan, plan, runtime, globals_)
+        with tracer.span(
+            prod.tag or prod.lhs,
+            cat="visit",
+            symbol=node.symbol,
+            production=prod.index,
+        ):
+            return self._run_actions(node, prod, eplan, plan, runtime, globals_)
 
+    def _run_actions(
+        self,
+        node: APTNode,
+        prod,
+        eplan: EvaluationPlan,
+        plan: PassPlan,
+        runtime: EvaluatorRuntime,
+        globals_: Dict[str, Any],
+    ) -> None:
+        tracer = runtime.tracer
         nodes: Dict[int, APTNode] = {LHS_POSITION: node}
         temps: Dict[str, Any] = {}
         saves: Dict[str, Any] = {}
@@ -102,9 +122,15 @@ class InterpretiveEvaluator:
                 def lookup(position: int, attr: str) -> Any:
                     return source_value(action.refmap[(position, attr)])
 
-                value = eval_expr(
-                    binding.expr, lookup, runtime.call, runtime.constant
-                )
+                if tracer is None:
+                    value = eval_expr(
+                        binding.expr, lookup, runtime.call, runtime.constant
+                    )
+                else:
+                    with tracer.span(str(binding.target), cat="semfn"):
+                        value = eval_expr(
+                            binding.expr, lookup, runtime.call, runtime.constant
+                        )
                 runtime.note_eval(str(binding.target))
                 if action.temp:
                     temps[action.temp] = value
@@ -113,14 +139,17 @@ class InterpretiveEvaluator:
                         binding.target.attr_name
                     ] = value
             elif kind is ActionKind.SUBSUME:
-                pass  # no code: the value is already in its global
+                # No code: the value is already in its global.
+                runtime.note_copyrule_elided(str(action.binding))
             elif kind is ActionKind.SNAPSHOT:
                 temps[action.temp] = globals_[action.group]
             elif kind is ActionKind.SETGLOBAL:
                 globals_[action.group] = source_value(action.source)
             elif kind is ActionKind.ENTRY_SAVE:
                 saves[action.group] = globals_[action.group]
+                runtime.note_subsume_save(action.group)
             elif kind is ActionKind.EXIT_RESTORE:
                 globals_[action.group] = saves[action.group]
+                runtime.note_subsume_restore(action.group)
             else:  # pragma: no cover
                 raise EvaluationError(f"unknown plan action {kind}")

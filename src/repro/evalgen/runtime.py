@@ -83,12 +83,28 @@ class EvaluatorRuntime:
         library: Optional[FunctionLibrary] = None,
         gauge: Optional[MemoryGauge] = None,
         trace: Optional[List[TraceEvent]] = None,
+        tracer=None,
+        metrics=None,
     ):
         self._reader = reader
         self._output = output
         self.library = library or FunctionLibrary()
         self.gauge = gauge
         self.trace = trace
+        #: Structured tracer (repro.obs.Tracer) or None — the fast path.
+        self.tracer = tracer
+        # Event counters, resolved once against the metrics registry so
+        # the hot path pays one attribute check when telemetry is off.
+        if metrics is not None:
+            self._c_elided = metrics.counter("evt.copyrule_elided")
+            self._c_saves = metrics.counter("evt.subsume_saves")
+            self._c_restores = metrics.counter("evt.subsume_restores")
+            self._c_dead = metrics.counter("evt.dead_attrs_skipped")
+        else:
+            self._c_elided = None
+            self._c_saves = None
+            self._c_restores = None
+            self._c_dead = None
 
     # -- node I/O -----------------------------------------------------------
 
@@ -127,6 +143,15 @@ class EvaluatorRuntime:
             attrs = node.attrs
         else:
             attrs = {k: node.attrs[k] for k in fields if k in node.attrs}
+            dropped = len(node.attrs) - len(attrs)
+            if dropped:
+                # Dead-attribute suppression actually discarded instances.
+                if self._c_dead is not None:
+                    self._c_dead.inc(dropped)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "dead.skip", cat="evt", symbol=node.symbol, n=dropped
+                    )
         self._output.append((node.symbol, node.production, attrs, node.is_limb))
         if self.gauge is not None:
             self.gauge.release(node.__dict__.get("_resident_bytes", 0))
@@ -168,6 +193,29 @@ class EvaluatorRuntime:
     def note_visit(self, detail: str) -> None:
         if self.trace is not None:
             self.trace.append(TraceEvent("visit", detail))
+
+    # -- structured telemetry events ------------------------------------------
+
+    def note_copyrule_elided(self, detail: str) -> None:
+        """A copy-rule was subsumed by a global — no code, no traffic."""
+        if self._c_elided is not None:
+            self._c_elided.inc()
+        if self.tracer is not None:
+            self.tracer.instant("copyrule.elided", cat="evt", binding=detail)
+
+    def note_subsume_save(self, group: str) -> None:
+        """Entry-save of a subsumption global at a reassigning production."""
+        if self._c_saves is not None:
+            self._c_saves.inc()
+        if self.tracer is not None:
+            self.tracer.instant("subsume.save", cat="evt", group=group)
+
+    def note_subsume_restore(self, group: str) -> None:
+        """Exit-restore of a subsumption global."""
+        if self._c_restores is not None:
+            self._c_restores.inc()
+        if self.tracer is not None:
+            self.tracer.instant("subsume.restore", cat="evt", group=group)
 
 
 class EvaluationResult:

@@ -77,13 +77,33 @@ class LALRParser:
         tokens: Iterable[Token],
         listener: Optional[ParseListener] = None,
         build_tree: bool = True,
+        tracer=None,
     ) -> Optional[ParseTreeNode]:
         """Parse ``tokens``; return the tree root (or None if not built).
 
         ``tokens`` must end with a token whose kind is ``$eof`` (the
         scanner emits one).  Raises :class:`ParseError` on syntax errors
-        with the set of expected terminals.
+        with the set of expected terminals.  With a ``tracer`` the whole
+        parse runs inside one span (category ``parse``) whose args carry
+        the final shift/reduce counts.
         """
+        if tracer is not None:
+            span = tracer.begin("parse", cat="parse")
+            try:
+                return self._parse(tokens, listener, build_tree, span)
+            finally:
+                tracer.end()
+        return self._parse(tokens, listener, build_tree, None)
+
+    def _parse(
+        self,
+        tokens: Iterable[Token],
+        listener: Optional[ParseListener],
+        build_tree: bool,
+        span,
+    ) -> Optional[ParseTreeNode]:
+        n_shifts = 0
+        n_reduces = 0
         state_stack: List[int] = [0]
         node_stack: List[Optional[ParseTreeNode]] = []
         stream = iter(tokens)
@@ -100,6 +120,7 @@ class LALRParser:
                     f"({token.text!r}); expected one of: {', '.join(expected)}"
                 )
             if act.kind is ActionKind.SHIFT:
+                n_shifts += 1
                 if listener is not None:
                     listener.on_shift(token)
                 state_stack.append(act.target)
@@ -110,6 +131,7 @@ class LALRParser:
                 if token is None:
                     token = Token(EOF_SYMBOL, "", _loc())
             elif act.kind is ActionKind.REDUCE:
+                n_reduces += 1
                 prod = self.grammar.productions[act.target]
                 n = len(prod.rhs)
                 children = node_stack[len(node_stack) - n :] if n else []
@@ -129,6 +151,9 @@ class LALRParser:
                     else None
                 )
             else:  # ACCEPT
+                if span is not None:
+                    span.args["n_shifts"] = n_shifts
+                    span.args["n_reduces"] = n_reduces
                 if listener is not None:
                     listener.on_shift(token)  # the $eof leaf
                 if build_tree:

@@ -1,0 +1,114 @@
+"""Trace exporters: Chrome ``chrome://tracing`` JSON, NDJSON, summary.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace_json` — the Trace Event Format understood by
+  ``chrome://tracing`` / Perfetto.  Spans become complete events
+  (``"ph": "X"`` with ``ts``/``dur`` in microseconds) on one pid/tid;
+  the viewer reconstructs the overlay → pass → node-visit nesting from
+  timestamp containment.  Instant events become ``"ph": "i"``.
+* :func:`ndjson` — one JSON object per line, in start-time order, for
+  ad-hoc ``jq``/pandas analysis.
+* :func:`summary` — a terminal table aggregating span time by category
+  and event counts by name, optionally followed by a
+  :class:`~repro.obs.metrics.MetricsRegistry` rendering.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import INSTANT, SPAN, TraceRecord
+
+__all__ = ["chrome_trace_events", "chrome_trace_json", "ndjson", "summary"]
+
+
+def chrome_trace_events(
+    records: Iterable[TraceRecord], pid: int = 1, tid: int = 1
+) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list of the Chrome Trace Event Format."""
+    events: List[Dict[str, Any]] = []
+    for rec in records:
+        event: Dict[str, Any] = {
+            "name": rec.name,
+            "cat": rec.cat or "default",
+            "ts": rec.ts_us,
+            "pid": pid,
+            "tid": tid,
+        }
+        if rec.kind == SPAN:
+            event["ph"] = "X"
+            event["dur"] = rec.dur_us
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        if rec.args:
+            event["args"] = dict(rec.args)
+        events.append(event)
+    return events
+
+
+def chrome_trace_json(records: Iterable[TraceRecord], indent: int = None) -> str:
+    """A complete Chrome-trace JSON document."""
+    doc = {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs (LINGUIST-86 reproduction)"},
+    }
+    return json.dumps(doc, indent=indent, default=str)
+
+
+def ndjson(records: Iterable[TraceRecord]) -> str:
+    """Newline-delimited JSON events, ordered by start time."""
+    lines = []
+    for rec in sorted(records, key=lambda r: r.ts):
+        obj: Dict[str, Any] = {
+            "kind": rec.kind,
+            "name": rec.name,
+            "cat": rec.cat,
+            "ts_us": rec.ts_us,
+            "depth": rec.depth,
+        }
+        if rec.kind == SPAN:
+            obj["dur_us"] = rec.dur_us
+        if rec.args:
+            obj["args"] = dict(rec.args)
+        lines.append(json.dumps(obj, default=str))
+    return "\n".join(lines)
+
+
+def summary(
+    records: Iterable[TraceRecord],
+    metrics: Optional[MetricsRegistry] = None,
+) -> str:
+    """Human-readable digest of a trace (plus metrics, if given)."""
+    records = list(records)
+    span_stats: Dict[str, List[float]] = {}
+    instant_counts: Dict[str, int] = {}
+    for rec in records:
+        if rec.kind == SPAN:
+            span_stats.setdefault(rec.cat or rec.name, []).append(rec.dur_us)
+        elif rec.kind == INSTANT:
+            instant_counts[rec.name] = instant_counts.get(rec.name, 0) + 1
+
+    lines = [f"trace summary: {len(records)} records"]
+    if span_stats:
+        lines.append(
+            f"  {'span category':<18} {'count':>8} {'total ms':>10} {'max ms':>9}"
+        )
+        for cat in sorted(span_stats):
+            durs = span_stats[cat]
+            lines.append(
+                f"  {cat:<18} {len(durs):>8} {sum(durs) / 1000:>10.2f} "
+                f"{max(durs) / 1000:>9.2f}"
+            )
+    if instant_counts:
+        lines.append(f"  {'event':<28} {'count':>8}")
+        for name in sorted(instant_counts):
+            lines.append(f"  {name:<28} {instant_counts[name]:>8}")
+    if metrics is not None:
+        lines.append("")
+        lines.append(metrics.render())
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""Structured tracing: hierarchical spans and instant events.
+
+The paper's whole evaluation story (§V) is a *timeline*: seven overlays
+run in sequence, each alternating pass streams the APT through a pair of
+spool files, and every node visit fires semantic-function evaluations.
+This module makes that timeline observable as a tree of **spans**
+(overlay → pass → node-visit → semantic-function) interleaved with
+**instant events** (spool reads and writes, save/restore traffic at
+static-subsumption sites, elided copy-rules, dead-attribute skips).
+
+Design constraints:
+
+* **Near-zero overhead when disabled.**  Instrumented code holds
+  ``tracer: Optional[Tracer]`` defaulting to ``None`` and guards every
+  hook with one ``is not None`` check; :class:`NullTracer` exists for
+  call sites that prefer an always-valid object, and its methods are
+  unconditionally no-ops.
+* **Append-only records.**  A span is recorded at ``begin`` (so records
+  are ordered by start time) and its duration is patched at ``end``;
+  exporters (:mod:`repro.obs.export`) never need the live stack.
+
+Timestamps are ``time.perf_counter_ns`` deltas from tracer creation;
+exporters convert to the microseconds Chrome's ``chrome://tracing``
+expects.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer", "NULL_TRACER"]
+
+#: Record kinds.
+SPAN = "span"
+INSTANT = "instant"
+
+
+class TraceRecord:
+    """One trace record: a completed/open span or an instant event.
+
+    ``ts`` and ``dur`` are nanoseconds relative to the owning tracer's
+    epoch; ``depth`` is the span-stack depth at emission time (0 for
+    top-level), which lets consumers reconstruct nesting without links.
+    """
+
+    __slots__ = ("kind", "name", "cat", "ts", "dur", "depth", "args")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        cat: str,
+        ts: int,
+        dur: int,
+        depth: int,
+        args: Dict[str, Any],
+    ):
+        self.kind = kind
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.dur = dur
+        self.depth = depth
+        self.args = args
+
+    @property
+    def ts_us(self) -> float:
+        return self.ts / 1000.0
+
+    @property
+    def dur_us(self) -> float:
+        return self.dur / 1000.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" dur={self.dur}ns" if self.kind == SPAN else ""
+        return (
+            f"<{self.kind} {self.cat + ':' if self.cat else ''}{self.name}"
+            f" @{self.ts}ns depth={self.depth}{extra}>"
+        )
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "record")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self.record: Optional[TraceRecord] = None
+
+    def __enter__(self) -> TraceRecord:
+        self.record = self._tracer.begin(self._name, self._cat, **self._args)
+        return self.record
+
+    def __exit__(self, *exc) -> None:
+        self._tracer.end()
+
+
+class Tracer:
+    """Collects spans and instant events on one logical timeline."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        self._stack: List[TraceRecord] = []
+        self._epoch = time.perf_counter_ns()
+
+    # -- emission ----------------------------------------------------------
+
+    def _now(self) -> int:
+        return time.perf_counter_ns() - self._epoch
+
+    def begin(self, name: str, cat: str = "", **args: Any) -> TraceRecord:
+        """Open a span; it must be closed by a matching :meth:`end`."""
+        rec = TraceRecord(SPAN, name, cat, self._now(), 0, len(self._stack), args)
+        self._stack.append(rec)
+        self.records.append(rec)
+        return rec
+
+    def end(self) -> TraceRecord:
+        """Close the innermost open span, fixing its duration."""
+        rec = self._stack.pop()
+        rec.dur = self._now() - rec.ts
+        return rec
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _SpanContext:
+        """Context manager: ``with tracer.span("pass 1", cat="pass"): ...``"""
+        return _SpanContext(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "", **args: Any) -> None:
+        """Record an instantaneous structured event."""
+        self.records.append(
+            TraceRecord(INSTANT, name, cat, self._now(), 0, len(self._stack), args)
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def spans(self, cat: Optional[str] = None) -> List[TraceRecord]:
+        return [
+            r for r in self.records
+            if r.kind == SPAN and (cat is None or r.cat == cat)
+        ]
+
+    def instants(self, name: Optional[str] = None) -> List[TraceRecord]:
+        return [
+            r for r in self.records
+            if r.kind == INSTANT and (name is None or r.name == name)
+        ]
+
+    def open_spans(self) -> int:
+        """Number of spans begun but not yet ended (0 when well nested)."""
+        return len(self._stack)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class _NullSpanContext:
+    """Shared no-op context manager for :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Optional[TraceRecord]:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """A tracer that records nothing — the disabled fast path.
+
+    All emission methods are no-ops; ``enabled`` is False so callers
+    building expensive ``args`` payloads can skip the work entirely.
+    """
+
+    enabled = False
+    records: tuple = ()
+
+    def begin(self, name: str, cat: str = "", **args: Any) -> None:
+        return None
+
+    def end(self) -> None:
+        return None
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "", **args: Any) -> None:
+        return None
+
+    def spans(self, cat: Optional[str] = None) -> list:
+        return []
+
+    def instants(self, name: Optional[str] = None) -> list:
+        return []
+
+    def open_spans(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Process-wide shared null tracer (stateless, safe to share).
+NULL_TRACER = NullTracer()

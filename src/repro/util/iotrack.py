@@ -1,4 +1,4 @@
-"""I/O and memory accounting.
+"""I/O and memory accounting — compatibility shims over ``repro.obs``.
 
 Two of the paper's headline claims are quantitative-but-relative:
 
@@ -10,107 +10,14 @@ Two of the paper's headline claims are quantitative-but-relative:
 
 We cannot rerun the 8086, so every spool file and every evaluator in
 this reproduction charges its traffic to an :class:`IOAccountant` and
-its node residency to a :class:`MemoryGauge`; the benchmarks read these
-counters to reproduce the claims' shapes.
+its node residency to a :class:`MemoryGauge`.  The implementations now
+live in :mod:`repro.obs.metrics`, where they register as snapshot
+sources of the unified :class:`~repro.obs.metrics.MetricsRegistry`;
+this module keeps the historical import path alive.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from repro.obs.metrics import ChannelStats, IOAccountant, IOStats, MemoryGauge
 
-
-@dataclass
-class IOAccountant:
-    """Counts record and byte traffic between memory and "disk"."""
-
-    records_read: int = 0
-    records_written: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-    #: Per-channel breakdown, e.g. {"pass1.in": ..., "pass1.out": ...}
-    by_channel: Dict[str, "ChannelStats"] = field(default_factory=dict)
-
-    def charge_read(self, nbytes: int, channel: str = "") -> None:
-        self.records_read += 1
-        self.bytes_read += nbytes
-        if channel:
-            self._channel(channel).charge_read(nbytes)
-
-    def charge_write(self, nbytes: int, channel: str = "") -> None:
-        self.records_written += 1
-        self.bytes_written += nbytes
-        if channel:
-            self._channel(channel).charge_write(nbytes)
-
-    def _channel(self, name: str) -> "ChannelStats":
-        stats = self.by_channel.get(name)
-        if stats is None:
-            stats = ChannelStats()
-            self.by_channel[name] = stats
-        return stats
-
-    @property
-    def total_bytes(self) -> int:
-        return self.bytes_read + self.bytes_written
-
-    @property
-    def total_records(self) -> int:
-        return self.records_read + self.records_written
-
-    def snapshot(self) -> Dict[str, int]:
-        return {
-            "records_read": self.records_read,
-            "records_written": self.records_written,
-            "bytes_read": self.bytes_read,
-            "bytes_written": self.bytes_written,
-        }
-
-
-@dataclass
-class ChannelStats:
-    records_read: int = 0
-    records_written: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-
-    def charge_read(self, nbytes: int) -> None:
-        self.records_read += 1
-        self.bytes_read += nbytes
-
-    def charge_write(self, nbytes: int) -> None:
-        self.records_written += 1
-        self.bytes_written += nbytes
-
-
-class MemoryGauge:
-    """Tracks currently resident and peak resident bytes of APT nodes.
-
-    Evaluators call :meth:`acquire` when a node enters the in-memory
-    stack (``GetNode``) and :meth:`release` when it is written back
-    (``PutNode``).  ``peak_bytes`` is the 48K-claim comparator.
-    """
-
-    def __init__(self) -> None:
-        self.current_bytes = 0
-        self.peak_bytes = 0
-        self.current_nodes = 0
-        self.peak_nodes = 0
-
-    def acquire(self, nbytes: int) -> None:
-        self.current_bytes += nbytes
-        self.current_nodes += 1
-        if self.current_bytes > self.peak_bytes:
-            self.peak_bytes = self.current_bytes
-        if self.current_nodes > self.peak_nodes:
-            self.peak_nodes = self.current_nodes
-
-    def release(self, nbytes: int) -> None:
-        self.current_bytes -= nbytes
-        self.current_nodes -= 1
-
-    def reset(self) -> None:
-        self.current_bytes = 0
-        self.peak_bytes = 0
-        self.current_nodes = 0
-        self.peak_nodes = 0
+__all__ = ["ChannelStats", "IOAccountant", "IOStats", "MemoryGauge"]
