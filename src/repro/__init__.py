@@ -26,7 +26,7 @@ Subpackages (see DESIGN.md for the full inventory):
 from repro.ag import GrammarBuilder
 from repro.core import Linguist, Translator
 from repro.core.selfgen import SelfGeneration
-from repro.errors import ReproError
+from repro.errors import ReproError, ResumeError, SpoolCorruptionError
 from repro.evalgen.runtime import EvaluationResult, FunctionLibrary
 from repro.frontend import load_grammar
 from repro.grammars import GRAMMAR_NAMES, library_for, load_source
@@ -49,5 +49,7 @@ __all__ = [
     "ScannerSpec",
     "Direction",
     "ReproError",
+    "ResumeError",
+    "SpoolCorruptionError",
     "__version__",
 ]

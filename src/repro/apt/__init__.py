@@ -14,7 +14,14 @@ pass).
 """
 
 from repro.apt.node import APTNode, estimate_bytes
-from repro.apt.storage import DiskSpool, MemorySpool, Spool
+from repro.apt.storage import (
+    DiskSpool,
+    MemorySpool,
+    Spool,
+    SpoolScanReport,
+    salvage_spool,
+    scan_spool,
+)
 from repro.apt.linear import (
     iter_bottom_up,
     iter_prefix,
@@ -28,6 +35,9 @@ __all__ = [
     "DiskSpool",
     "MemorySpool",
     "Spool",
+    "SpoolScanReport",
+    "salvage_spool",
+    "scan_spool",
     "iter_bottom_up",
     "iter_prefix",
     "read_order_for_pass",

@@ -3,11 +3,41 @@
 A *spool* is written strictly sequentially (append) and then read
 sequentially either **forward or backward** — the whole §II evaluation
 paradigm rests on reading the previous pass's output file backwards.
-:class:`DiskSpool` keeps records on real secondary storage in a
-length-prefixed-both-ends format (the trailing length makes backward
-reads a pair of seeks, the way a tape or disk file would be read in
-reverse); :class:`MemorySpool` is the fast equivalent for tests.  Both
-charge every transfer to an :class:`~repro.util.iotrack.IOAccountant`.
+:class:`DiskSpool` keeps records on real secondary storage;
+:class:`MemorySpool` is the fast equivalent for tests.  Both charge
+every transfer to an :class:`~repro.util.iotrack.IOAccountant`.
+
+Durable format v2
+-----------------
+
+Real secondary storage fails — torn writes, truncation, bit rot — so
+the on-disk format carries integrity metadata end to end::
+
+    header   "APTSPL2\\n" magic + u16 version + u16 flags       (12 B)
+    record   <u32 len> <u32 crc32> <blob> <u32 crc32> <u32 len> (16 B + blob)
+    ...
+    footer   "APTSEAL\\n" magic + u64 n_records + u64 data_bytes
+             + u32 stream_crc + u32 footer_crc                  (32 B)
+
+The record framing is *mirrored* (length outermost, checksum inner on
+both sides) so a backward reader hops record-to-record with two seeks
+and still cross-checks the leading words against the trailing ones.
+The footer seals the file: record count, payload byte count, a running
+CRC32 over every blob in write order, and a CRC32 of the footer itself.
+``finalize()`` is atomic — records stream into ``<path>.tmp``, the
+footer is written, the file is flushed + fsync'ed, and only then
+renamed over ``<path>`` — so a finalized spool is either completely
+present or absent, never half-sealed.
+
+Legacy **v1** files (bare ``<u32 len> blob <u32 len>`` framing, no
+header/footer/checksums) remain readable: the readers sniff the magic
+and fall back to the v1 framing walk, now with the leading/trailing
+length cross-check the original backward reader skipped.
+
+Every integrity failure raises :class:`~repro.errors.SpoolCorruptionError`
+naming the 0-based record index and byte offset; :func:`scan_spool` and
+:func:`salvage_spool` give ``repro fsck`` a non-raising sweep and a
+longest-valid-prefix recovery path.
 """
 
 from __future__ import annotations
@@ -17,12 +47,46 @@ import os
 import pickle
 import struct
 import tempfile
-from typing import Any, Iterator, List, Optional
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
 
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, SpoolCorruptionError
 from repro.util.iotrack import IOAccountant
 
 _LEN = struct.Struct("<I")
+
+#: v2 file header: magic, format version, flags (reserved).
+MAGIC = b"APTSPL2\n"
+_HEADER = struct.Struct("<8sHH")
+#: v2 record head (length, crc32) and mirrored tail (crc32, length).
+_REC_HEAD = struct.Struct("<II")
+_REC_TAIL = struct.Struct("<II")
+#: v2 sealed footer: magic, n_records, data_bytes, stream crc, footer crc.
+FOOTER_MAGIC = b"APTSEAL\n"
+_FOOTER = struct.Struct("<8sQQII")
+
+FORMAT_V1 = 1
+FORMAT_V2 = 2
+
+#: Per-record framing overhead in bytes, by format version.
+RECORD_OVERHEAD = {FORMAT_V1: 2 * _LEN.size,
+                   FORMAT_V2: _REC_HEAD.size + _REC_TAIL.size}
+
+
+def _footer_bytes(n_records: int, data_bytes: int, stream_crc: int) -> bytes:
+    body = _FOOTER.pack(FOOTER_MAGIC, n_records, data_bytes, stream_crc, 0)
+    crc = zlib.crc32(body[: _FOOTER.size - 4])
+    return body[: _FOOTER.size - 4] + _LEN.pack(crc)
+
+
+@dataclass
+class SpoolFooter:
+    """Decoded v2 footer."""
+
+    n_records: int
+    data_bytes: int
+    stream_crc: int
 
 
 class Spool:
@@ -32,6 +96,10 @@ class Spool:
     zero-overhead path) receives one ``spool.write``/``spool.read``
     instant event per record, tagged with the channel and byte size —
     the event-level view of the paper's I/O-boundedness claim.
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`, or None) receives
+    a ``robust.spool_corruption_detected`` counter bump whenever a read
+    fails an integrity check; the healthy hot path stays a single
+    ``is not None`` test.
     """
 
     def __init__(
@@ -39,10 +107,12 @@ class Spool:
         accountant: Optional[IOAccountant] = None,
         channel: str = "",
         tracer=None,
+        metrics=None,
     ):
         self.accountant = accountant
         self.channel = channel
         self.tracer = tracer
+        self.metrics = metrics
         self.n_records = 0
         self.data_bytes = 0
         self._finalized = False
@@ -53,6 +123,12 @@ class Spool:
         if self._finalized:
             raise EvaluationError(f"spool {self.channel!r} already finalized")
         blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        self.append_blob(blob)
+
+    def append_blob(self, blob: bytes) -> None:
+        """Append an already-pickled record (the salvage/copy fast path)."""
+        if self._finalized:
+            raise EvaluationError(f"spool {self.channel!r} already finalized")
         self._write_blob(blob)
         self.n_records += 1
         self.data_bytes += len(blob)
@@ -97,6 +173,35 @@ class Spool:
                 f"spool {self.channel!r} read before writing finished"
             )
 
+    def _corrupt(
+        self,
+        message: str,
+        *,
+        record_index: Optional[int] = None,
+        byte_offset: Optional[int] = None,
+        reason: str = "corrupt",
+    ) -> SpoolCorruptionError:
+        """Build (and meter) a corruption error for this spool."""
+        exc = SpoolCorruptionError(
+            f"spool {self.channel!r}: {message}",
+            record_index=record_index,
+            byte_offset=byte_offset,
+            path=getattr(self, "path", None),
+            reason=reason,
+        )
+        if self.metrics is not None:
+            self.metrics.counter("robust.spool_corruption_detected").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "spool.corruption",
+                cat="robust",
+                channel=self.channel,
+                reason=reason,
+                record_index=record_index,
+                byte_offset=byte_offset,
+            )
+        return exc
+
     # -- to implement ------------------------------------------------------
 
     def _write_blob(self, blob: bytes) -> None:
@@ -126,8 +231,9 @@ class MemorySpool(Spool):
         accountant: Optional[IOAccountant] = None,
         channel: str = "",
         tracer=None,
+        metrics=None,
     ):
-        super().__init__(accountant, channel, tracer)
+        super().__init__(accountant, channel, tracer, metrics)
         self._blobs: List[bytes] = []
 
     def _write_blob(self, blob: bytes) -> None:
@@ -141,11 +247,15 @@ class MemorySpool(Spool):
 
 
 class DiskSpool(Spool):
-    """Spool on real secondary storage.
+    """Spool on real secondary storage (durable format v2 by default).
 
-    Record format: ``<u32 length> <blob> <u32 length>``.  The trailing
-    length lets a backward reader hop record to record with two seeks,
-    never loading more than one record into memory.
+    While being written, records stream into ``<path>.tmp``;
+    :meth:`finalize` seals the footer, fsyncs, and atomically renames
+    the temp file over ``path``.  Pass ``format_version=1`` to write
+    the legacy checksum-free framing (for back-compat tests); both
+    versions are auto-detected on read.  Use :meth:`DiskSpool.open` to
+    attach to an existing finalized spool file (checkpoint resume,
+    fsck).
     """
 
     def __init__(
@@ -154,8 +264,13 @@ class DiskSpool(Spool):
         accountant: Optional[IOAccountant] = None,
         channel: str = "",
         tracer=None,
+        metrics=None,
+        format_version: int = FORMAT_V2,
     ):
-        super().__init__(accountant, channel, tracer)
+        super().__init__(accountant, channel, tracer, metrics)
+        if format_version not in (FORMAT_V1, FORMAT_V2):
+            raise ValueError(f"unknown spool format version {format_version}")
+        self.format_version = format_version
         if path is None:
             fd, path = tempfile.mkstemp(prefix="apt_", suffix=".spool")
             os.close(fd)
@@ -163,61 +278,598 @@ class DiskSpool(Spool):
         else:
             self._owns_file = False
         self.path = path
-        self._writer: Optional[io.BufferedWriter] = open(path, "wb")
+        self._stream_crc = 0
+        if format_version == FORMAT_V2:
+            self._tmp_path: Optional[str] = path + ".tmp"
+            self._writer: Optional[io.BufferedWriter] = open(self._tmp_path, "wb")
+            self._writer.write(_HEADER.pack(MAGIC, FORMAT_V2, 0))
+        else:
+            self._tmp_path = None
+            self._writer = open(path, "wb")
+
+    # -- attach to an existing file ---------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        accountant: Optional[IOAccountant] = None,
+        channel: str = "",
+        tracer=None,
+        metrics=None,
+    ) -> "DiskSpool":
+        """Attach (read-only) to an existing finalized spool file.
+
+        Sniffs the format version, verifies the v2 footer, and fills
+        ``n_records``/``data_bytes`` from it; v1 files get counts by a
+        framing walk (no checksums to verify).
+        """
+        spool = cls.__new__(cls)
+        Spool.__init__(spool, accountant, channel, tracer, metrics)
+        spool.path = path
+        spool._owns_file = False
+        spool._writer = None
+        spool._tmp_path = None
+        spool._stream_crc = 0
+        spool._finalized = True
+        if not os.path.exists(path):
+            raise spool._corrupt("spool file missing", reason="truncated")
+        with open(path, "rb") as f:
+            size = f.seek(0, os.SEEK_END)
+            spool.format_version = spool._sniff_version(f, size)
+            if spool.format_version == FORMAT_V2:
+                footer = spool._read_footer(f, size)
+                spool.n_records = footer.n_records
+                spool.data_bytes = footer.data_bytes
+                spool._stream_crc = footer.stream_crc
+            else:
+                n, nbytes = 0, 0
+                for blob in spool._iter_v1_forward(f, size):
+                    n += 1
+                    nbytes += len(blob)
+                spool.n_records = n
+                spool.data_bytes = nbytes
+        return spool
+
+    # -- writing ----------------------------------------------------------
 
     def _write_blob(self, blob: bytes) -> None:
         if self._writer is None:
             raise EvaluationError(f"spool {self.channel!r} is not open for writing")
-        self._writer.write(_LEN.pack(len(blob)))
-        self._writer.write(blob)
-        self._writer.write(_LEN.pack(len(blob)))
+        if self.format_version == FORMAT_V2:
+            crc = zlib.crc32(blob)
+            self._writer.write(_REC_HEAD.pack(len(blob), crc))
+            self._writer.write(blob)
+            self._writer.write(_REC_TAIL.pack(crc, len(blob)))
+            self._stream_crc = zlib.crc32(blob, self._stream_crc)
+        else:
+            self._writer.write(_LEN.pack(len(blob)))
+            self._writer.write(blob)
+            self._writer.write(_LEN.pack(len(blob)))
 
     def finalize(self) -> None:
         if self._writer is not None:
-            self._writer.close()
-            self._writer = None
+            if self.format_version == FORMAT_V2:
+                self._writer.write(
+                    _footer_bytes(self.n_records, self.data_bytes, self._stream_crc)
+                )
+                self._writer.flush()
+                os.fsync(self._writer.fileno())
+                self._writer.close()
+                self._writer = None
+                os.replace(self._tmp_path, self.path)
+                self._tmp_path = None
+            else:
+                self._writer.close()
+                self._writer = None
         super().finalize()
+
+    # -- format sniffing ---------------------------------------------------
+
+    def _sniff_version(self, f, size: int) -> int:
+        if size >= _HEADER.size:
+            f.seek(0)
+            magic, version, _flags = _HEADER.unpack(f.read(_HEADER.size))
+            if magic == MAGIC:
+                if version != FORMAT_V2:
+                    raise self._corrupt(
+                        f"unsupported spool format version {version}",
+                        byte_offset=0,
+                        reason="header",
+                    )
+                return FORMAT_V2
+        return FORMAT_V1
+
+    def _read_footer(self, f, size: int) -> SpoolFooter:
+        """Read and verify the sealed v2 footer (raises on any damage)."""
+        if size < _HEADER.size + _FOOTER.size:
+            raise self._corrupt(
+                f"file too short for a sealed spool ({size} bytes)",
+                byte_offset=size,
+                reason="truncated",
+            )
+        f.seek(size - _FOOTER.size)
+        raw = f.read(_FOOTER.size)
+        magic, n_records, data_bytes, stream_crc, footer_crc = _FOOTER.unpack(raw)
+        if magic != FOOTER_MAGIC:
+            raise self._corrupt(
+                "missing footer seal (truncated file or crash before finalize)",
+                byte_offset=size - _FOOTER.size,
+                reason="footer",
+            )
+        if zlib.crc32(raw[: _FOOTER.size - 4]) != footer_crc:
+            raise self._corrupt(
+                "footer checksum mismatch",
+                byte_offset=size - _FOOTER.size,
+                reason="footer",
+            )
+        expected = (
+            _HEADER.size
+            + data_bytes
+            + RECORD_OVERHEAD[FORMAT_V2] * n_records
+            + _FOOTER.size
+        )
+        if expected != size:
+            raise self._corrupt(
+                f"footer inconsistent with file size "
+                f"({size} bytes on disk, {expected} sealed)",
+                byte_offset=size - _FOOTER.size,
+                reason="footer",
+            )
+        return SpoolFooter(n_records, data_bytes, stream_crc)
+
+    # -- forward reading ---------------------------------------------------
 
     def _iter_blobs_forward(self) -> Iterator[bytes]:
         with open(self.path, "rb") as f:
-            while True:
-                head = f.read(_LEN.size)
-                if not head:
-                    return
-                (length,) = _LEN.unpack(head)
-                blob = f.read(length)
-                if len(blob) != length:
-                    raise EvaluationError(f"truncated spool {self.channel!r}")
-                trailer = f.read(_LEN.size)
-                if len(trailer) != _LEN.size or _LEN.unpack(trailer)[0] != length:
-                    raise EvaluationError(
-                        f"truncated or corrupt spool {self.channel!r} "
-                        "(record trailer mismatch)"
-                    )
-                yield blob
+            size = f.seek(0, os.SEEK_END)
+            if self._sniff_version(f, size) == FORMAT_V2:
+                yield from self._iter_v2_forward(f, size)
+            else:
+                yield from self._iter_v1_forward(f, size)
+
+    def _iter_v2_forward(self, f, size: int) -> Iterator[bytes]:
+        footer = self._read_footer(f, size)
+        data_end = size - _FOOTER.size
+        pos = _HEADER.size
+        f.seek(pos)
+        index = 0
+        crc = 0
+        overhead = RECORD_OVERHEAD[FORMAT_V2]
+        while pos < data_end:
+            head = f.read(_REC_HEAD.size)
+            if len(head) != _REC_HEAD.size:
+                raise self._corrupt(
+                    "record header truncated",
+                    record_index=index, byte_offset=pos, reason="truncated",
+                )
+            length, want_crc = _REC_HEAD.unpack(head)
+            if length > data_end - pos - overhead:
+                raise self._corrupt(
+                    f"record length {length} overruns the sealed data region",
+                    record_index=index, byte_offset=pos, reason="framing",
+                )
+            blob = f.read(length)
+            if len(blob) != length:
+                raise self._corrupt(
+                    "record payload truncated",
+                    record_index=index, byte_offset=pos, reason="truncated",
+                )
+            if zlib.crc32(blob) != want_crc:
+                raise self._corrupt(
+                    "record checksum mismatch (bit rot or torn write)",
+                    record_index=index, byte_offset=pos, reason="checksum",
+                )
+            tail = f.read(_REC_TAIL.size)
+            if len(tail) != _REC_TAIL.size:
+                raise self._corrupt(
+                    "record trailer truncated",
+                    record_index=index, byte_offset=pos, reason="truncated",
+                )
+            tail_crc, tail_len = _REC_TAIL.unpack(tail)
+            if tail_len != length or tail_crc != want_crc:
+                raise self._corrupt(
+                    "record head/tail framing mismatch",
+                    record_index=index, byte_offset=pos, reason="framing",
+                )
+            crc = zlib.crc32(blob, crc)
+            yield blob
+            index += 1
+            pos += overhead + length
+        if index != footer.n_records:
+            raise self._corrupt(
+                f"footer promises {footer.n_records} records, walked {index}",
+                record_index=index, byte_offset=pos, reason="footer",
+            )
+        if crc != footer.stream_crc:
+            raise self._corrupt(
+                "whole-file stream checksum mismatch",
+                record_index=index, byte_offset=pos, reason="footer",
+            )
+
+    def _iter_v1_forward(self, f, size: int) -> Iterator[bytes]:
+        f.seek(0)
+        pos = 0
+        index = 0
+        while True:
+            head = f.read(_LEN.size)
+            if not head:
+                return
+            if len(head) != _LEN.size:
+                raise self._corrupt(
+                    "truncated record header",
+                    record_index=index, byte_offset=pos, reason="truncated",
+                )
+            (length,) = _LEN.unpack(head)
+            if length > size - pos - 2 * _LEN.size:
+                raise self._corrupt(
+                    f"record length {length} overruns the file (truncated spool)",
+                    record_index=index, byte_offset=pos, reason="truncated",
+                )
+            blob = f.read(length)
+            if len(blob) != length:
+                raise self._corrupt(
+                    "truncated spool",
+                    record_index=index, byte_offset=pos, reason="truncated",
+                )
+            trailer = f.read(_LEN.size)
+            if len(trailer) != _LEN.size or _LEN.unpack(trailer)[0] != length:
+                raise self._corrupt(
+                    "truncated or corrupt spool (record trailer mismatch)",
+                    record_index=index, byte_offset=pos, reason="framing",
+                )
+            yield blob
+            index += 1
+            pos += 2 * _LEN.size + length
+
+    # -- backward reading --------------------------------------------------
 
     def _iter_blobs_backward(self) -> Iterator[bytes]:
         with open(self.path, "rb") as f:
-            f.seek(0, os.SEEK_END)
-            pos = f.tell()
-            while pos > 0:
-                f.seek(pos - _LEN.size)
-                (length,) = _LEN.unpack(f.read(_LEN.size))
-                start = pos - 2 * _LEN.size - length
-                if start < 0:
-                    raise EvaluationError(f"corrupt spool {self.channel!r}")
-                f.seek(start + _LEN.size)
-                blob = f.read(length)
-                yield blob
-                pos = start
+            size = f.seek(0, os.SEEK_END)
+            if self._sniff_version(f, size) == FORMAT_V2:
+                yield from self._iter_v2_backward(f, size)
+            else:
+                yield from self._iter_v1_backward(f, size)
+
+    def _iter_v2_backward(self, f, size: int) -> Iterator[bytes]:
+        footer = self._read_footer(f, size)
+        pos = size - _FOOTER.size  # end of the data region
+        overhead = RECORD_OVERHEAD[FORMAT_V2]
+        seen = 0
+        while pos > _HEADER.size:
+            index = footer.n_records - seen - 1  # forward-order index
+            f.seek(pos - _REC_TAIL.size)
+            tail_crc, length = _REC_TAIL.unpack(f.read(_REC_TAIL.size))
+            start = pos - overhead - length
+            if start < _HEADER.size:
+                raise self._corrupt(
+                    f"trailing length {length} underruns the header",
+                    record_index=index, byte_offset=pos - _REC_TAIL.size,
+                    reason="framing",
+                )
+            f.seek(start)
+            head_len, head_crc = _REC_HEAD.unpack(f.read(_REC_HEAD.size))
+            if head_len != length or head_crc != tail_crc:
+                raise self._corrupt(
+                    "record head/tail framing mismatch",
+                    record_index=index, byte_offset=start, reason="framing",
+                )
+            blob = f.read(length)
+            if len(blob) != length or zlib.crc32(blob) != head_crc:
+                raise self._corrupt(
+                    "record checksum mismatch (bit rot or torn write)",
+                    record_index=index, byte_offset=start, reason="checksum",
+                )
+            yield blob
+            seen += 1
+            pos = start
+        if seen != footer.n_records:
+            raise self._corrupt(
+                f"footer promises {footer.n_records} records, walked {seen}",
+                record_index=None, byte_offset=pos, reason="footer",
+            )
+
+    def _iter_v1_backward(self, f, size: int) -> Iterator[bytes]:
+        pos = size
+        while pos > 0:
+            if pos < 2 * _LEN.size:
+                raise self._corrupt(
+                    "corrupt spool (dangling bytes before first record)",
+                    byte_offset=pos, reason="framing",
+                )
+            f.seek(pos - _LEN.size)
+            (length,) = _LEN.unpack(f.read(_LEN.size))
+            start = pos - 2 * _LEN.size - length
+            if start < 0:
+                raise self._corrupt(
+                    f"trailing length {length} underruns the file",
+                    byte_offset=pos - _LEN.size, reason="framing",
+                )
+            # Cross-check the *leading* length word against the trailer —
+            # a mismatched header must not go undetected just because we
+            # approached the record from the right.
+            f.seek(start)
+            (head_length,) = _LEN.unpack(f.read(_LEN.size))
+            if head_length != length:
+                raise self._corrupt(
+                    f"record head/tail length mismatch "
+                    f"({head_length} vs {length})",
+                    byte_offset=start, reason="framing",
+                )
+            blob = f.read(length)
+            if len(blob) != length:
+                raise self._corrupt(
+                    "truncated spool",
+                    byte_offset=start, reason="truncated",
+                )
+            yield blob
+            pos = start
+
+    # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         if self._writer is not None:
             self._writer.close()
             self._writer = None
+        if self._tmp_path is not None and os.path.exists(self._tmp_path):
+            os.unlink(self._tmp_path)
+            self._tmp_path = None
         if self._owns_file and os.path.exists(self.path):
             os.unlink(self.path)
 
     def file_bytes(self) -> int:
-        """Actual on-disk size, including record framing."""
-        return self.data_bytes + 2 * _LEN.size * self.n_records
+        """Actual on-disk size, including framing, header, and footer."""
+        per_record = RECORD_OVERHEAD[self.format_version]
+        fixed = (
+            _HEADER.size + _FOOTER.size
+            if self.format_version == FORMAT_V2
+            else 0
+        )
+        return self.data_bytes + per_record * self.n_records + fixed
+
+
+# ---------------------------------------------------------------------------
+# fsck: non-raising scan + longest-valid-prefix salvage
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpoolScanReport:
+    """Outcome of a tolerant full sweep over a spool file (``repro fsck``)."""
+
+    path: str
+    version: int = FORMAT_V2
+    file_bytes: int = 0
+    #: Records whose framing + checksum verified, scanning forward.
+    n_valid: int = 0
+    #: Payload bytes across the valid prefix.
+    valid_data_bytes: int = 0
+    #: File offset one past the last valid record (start of the damage,
+    #: or of the footer when the file is clean).
+    valid_end_offset: int = 0
+    #: Footer-sealed record count (None for v1 / unsealed files).
+    sealed_records: Optional[int] = None
+    footer_ok: bool = False
+    #: The first integrity failure met, if any.
+    error: Optional[SpoolCorruptionError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def render(self) -> str:
+        lines = [
+            f"fsck {self.path}",
+            f"  format      v{self.version}"
+            + ("" if self.version == FORMAT_V1 else
+               f" (footer {'sealed' if self.footer_ok else 'BAD'})"),
+            f"  file bytes  {self.file_bytes:,}",
+            f"  records     {self.n_valid:,} valid"
+            + (f" / {self.sealed_records:,} sealed"
+               if self.sealed_records is not None else ""),
+            f"  payload     {self.valid_data_bytes:,} bytes over the valid prefix",
+        ]
+        if self.error is None:
+            lines.append("  status      clean")
+        else:
+            lines.append(
+                f"  status      CORRUPT at {self.error.locus()}"
+                f" [{self.error.reason}]: {self.error}"
+            )
+        return "\n".join(lines)
+
+
+def scan_spool(path: str, metrics=None, tracer=None) -> SpoolScanReport:
+    """Sweep ``path`` forward, verifying every record; never raises.
+
+    Returns a :class:`SpoolScanReport` whose ``error`` (if any) is the
+    first :class:`SpoolCorruptionError` encountered, and whose
+    ``n_valid``/``valid_end_offset`` describe the longest
+    checksum-valid prefix — the unit :func:`salvage_spool` recovers.
+    """
+    report = SpoolScanReport(path=path)
+    spool = DiskSpool.__new__(DiskSpool)
+    Spool.__init__(spool, None, os.path.basename(path), tracer, metrics)
+    spool.path = path
+    spool._owns_file = False
+    spool._writer = None
+    spool._tmp_path = None
+    spool._finalized = True
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        report.error = spool._corrupt("spool file missing", reason="truncated")
+        return report
+    report.file_bytes = size
+    with open(path, "rb") as f:
+        try:
+            version = spool._sniff_version(f, size)
+        except SpoolCorruptionError as exc:
+            report.error = exc
+            return report
+        report.version = version
+        spool.format_version = version
+        if version == FORMAT_V2:
+            report.valid_end_offset = _HEADER.size
+            try:
+                footer = spool._read_footer(f, size)
+                report.sealed_records = footer.n_records
+                report.footer_ok = True
+            except SpoolCorruptionError as exc:
+                report.error = exc
+            # Walk records tolerantly even under a bad footer, bounding
+            # the data region by the footer when it is intact.
+            data_end = size - _FOOTER.size if report.footer_ok else size
+            walker = _walk_v2_records(spool, f, data_end)
+        else:
+            walker = _walk_v1_records(spool, f, size)
+        try:
+            for offset_after, blob in walker:
+                report.n_valid += 1
+                report.valid_data_bytes += len(blob)
+                report.valid_end_offset = offset_after
+        except SpoolCorruptionError as exc:
+            if report.error is None:
+                report.error = exc
+        if (
+            report.error is None
+            and report.sealed_records is not None
+            and report.n_valid != report.sealed_records
+        ):
+            report.error = spool._corrupt(
+                f"footer promises {report.sealed_records} records, "
+                f"walked {report.n_valid}",
+                record_index=report.n_valid,
+                byte_offset=report.valid_end_offset,
+                reason="footer",
+            )
+    return report
+
+
+def _walk_v2_records(spool, f, data_end) -> Iterator[Tuple[int, bytes]]:
+    pos = _HEADER.size
+    f.seek(pos)
+    index = 0
+    overhead = RECORD_OVERHEAD[FORMAT_V2]
+    while pos < data_end:
+        head = f.read(_REC_HEAD.size)
+        if len(head) != _REC_HEAD.size:
+            raise spool._corrupt(
+                "record header truncated",
+                record_index=index, byte_offset=pos, reason="truncated",
+            )
+        length, want_crc = _REC_HEAD.unpack(head)
+        if length > data_end - pos - overhead:
+            raise spool._corrupt(
+                f"record length {length} overruns the data region",
+                record_index=index, byte_offset=pos, reason="framing",
+            )
+        blob = f.read(length)
+        tail = f.read(_REC_TAIL.size)
+        if len(blob) != length or len(tail) != _REC_TAIL.size:
+            raise spool._corrupt(
+                "record truncated",
+                record_index=index, byte_offset=pos, reason="truncated",
+            )
+        tail_crc, tail_len = _REC_TAIL.unpack(tail)
+        if tail_len != length or tail_crc != want_crc:
+            raise spool._corrupt(
+                "record head/tail framing mismatch",
+                record_index=index, byte_offset=pos, reason="framing",
+            )
+        if zlib.crc32(blob) != want_crc:
+            raise spool._corrupt(
+                "record checksum mismatch",
+                record_index=index, byte_offset=pos, reason="checksum",
+            )
+        pos += overhead + length
+        yield pos, blob
+        index += 1
+
+
+def _walk_v1_records(spool, f, size) -> Iterator[Tuple[int, bytes]]:
+    f.seek(0)
+    pos = 0
+    index = 0
+    while pos < size:
+        head = f.read(_LEN.size)
+        if len(head) != _LEN.size:
+            raise spool._corrupt(
+                "truncated record header",
+                record_index=index, byte_offset=pos, reason="truncated",
+            )
+        (length,) = _LEN.unpack(head)
+        if length > size - pos - 2 * _LEN.size:
+            raise spool._corrupt(
+                f"record length {length} overruns the file",
+                record_index=index, byte_offset=pos, reason="truncated",
+            )
+        blob = f.read(length)
+        trailer = f.read(_LEN.size)
+        if len(blob) != length or len(trailer) != _LEN.size:
+            raise spool._corrupt(
+                "truncated spool",
+                record_index=index, byte_offset=pos, reason="truncated",
+            )
+        if _LEN.unpack(trailer)[0] != length:
+            raise spool._corrupt(
+                "record trailer mismatch",
+                record_index=index, byte_offset=pos, reason="framing",
+            )
+        pos += 2 * _LEN.size + length
+        yield pos, blob
+        index += 1
+
+
+def salvage_spool(
+    src: str, dst: str, metrics=None, tracer=None
+) -> SpoolScanReport:
+    """Recover the longest checksum-valid prefix of ``src`` into ``dst``.
+
+    ``dst`` is written as a fresh sealed v2 spool (atomic finalize), so
+    a salvaged file always verifies clean afterwards.  Returns the scan
+    report of the *source*; ``report.n_valid`` records were recovered.
+    """
+    report = scan_spool(src, metrics=metrics, tracer=tracer)
+    out = DiskSpool(dst, channel=os.path.basename(dst), tracer=tracer,
+                    metrics=metrics)
+    spool = DiskSpool.__new__(DiskSpool)
+    Spool.__init__(spool, None, os.path.basename(src), None, None)
+    spool.path = src
+    spool._owns_file = False
+    spool._writer = None
+    spool._tmp_path = None
+    spool._finalized = True
+    spool.format_version = report.version
+    recovered = 0
+    try:
+        size = report.file_bytes
+        with open(src, "rb") as f:
+            if report.version == FORMAT_V2:
+                data_end = size - _FOOTER.size if report.footer_ok else size
+                walker = _walk_v2_records(spool, f, data_end)
+            else:
+                walker = _walk_v1_records(spool, f, size)
+            try:
+                for _, blob in walker:
+                    out.append_blob(blob)
+                    recovered += 1
+                    if recovered >= report.n_valid:
+                        break
+            except SpoolCorruptionError:
+                pass  # the prefix up to the damage is already copied
+        out.finalize()
+    except BaseException:
+        out.close()
+        raise
+    if metrics is not None:
+        metrics.counter("robust.spool_records_salvaged").inc(recovered)
+        if not report.ok:
+            metrics.counter("robust.spool_salvage_runs").inc()
+    if tracer is not None:
+        tracer.instant(
+            "spool.salvage", cat="robust", src=src, dst=dst,
+            recovered=recovered,
+        )
+    return report

@@ -11,6 +11,9 @@ Subcommands::
                                             traced translation (obs subsystem)
     python -m repro profile FILE.ag [INPUT] per-overlay/per-pass time, I/O,
                                             and peak-memory tables
+    python -m repro fsck SPOOL [--salvage OUT]
+                                            verify an APT spool file; recover
+                                            the valid prefix into OUT
 """
 
 from __future__ import annotations
@@ -109,10 +112,18 @@ def cmd_run(args) -> int:
         spec = LEXICAL_SPEC
     else:
         spec = spec_factory()
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     linguist = Linguist(load_source(args.name))
     translator = linguist.make_translator(spec, library=library_for(args.name))
     text = _read(args.input) if os.path.exists(args.input) else args.input
-    result = translator.translate(text)
+    result = translator.translate(
+        text, checkpoint_dir=args.checkpoint_dir, resume=args.resume
+    )
+    if args.checkpoint_dir:
+        verb = "resumed from" if args.resume else "checkpointed to"
+        print(f"# evaluation {verb} {args.checkpoint_dir}", file=sys.stderr)
     for attr, value in sorted(result.root_attrs.items()):
         rendered = list(value) if hasattr(value, "__iter__") and not isinstance(
             value, str
@@ -293,11 +304,68 @@ def cmd_profile(args) -> int:
             f"subsumption sites, {snap.get('evt.dead_attrs_skipped', 0)} "
             "dead attribute instances skipped"
         )
+    robust = {
+        key: value
+        for key, value in sorted(snap.items())
+        if key.startswith("robust.") and not key.endswith(".peak")
+    }
+    if robust:
+        lines.append("")
+        lines.append(
+            "robustness: "
+            + ", ".join(
+                f"{key[len('robust.'):]}={value}"
+                for key, value in robust.items()
+            )
+        )
     print("\n".join(lines))
     if args.metrics:
         print()
         print(metrics.render())
     return 0
+
+
+def cmd_fsck(args) -> int:
+    """Verify (and optionally salvage) an APT spool file.
+
+    Exit status: 0 clean, 1 corrupt (report printed, and with
+    ``--salvage`` the longest checksum-valid prefix recovered), 2 usage.
+    """
+    from repro.apt.storage import salvage_spool, scan_spool
+    from repro.errors import Diagnostic, Severity, SourceLocation
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    if not os.path.exists(args.spool):
+        print(f"error: no such spool file: {args.spool}", file=sys.stderr)
+        return 2
+    if args.salvage:
+        report = salvage_spool(args.spool, args.salvage, metrics=metrics)
+    else:
+        report = scan_spool(args.spool, metrics=metrics)
+    print(report.render())
+    if args.salvage:
+        print(
+            f"salvaged {report.n_valid} record(s) "
+            f"({report.valid_data_bytes:,} payload bytes) -> {args.salvage}"
+        )
+    if args.metrics:
+        print()
+        print(metrics.render())
+    if report.ok:
+        return 0
+    # A location-bearing diagnostic: the damaged region, named the same
+    # way grammar errors name their source coordinates.
+    err = report.error
+    diag = Diagnostic(
+        Severity.ERROR,
+        f"spool corrupt at {err.locus()} [{err.reason}]; "
+        f"valid prefix: {report.n_valid} record(s), "
+        f"{report.valid_end_offset} bytes",
+        SourceLocation(filename=args.spool),
+    )
+    print(str(diag), file=sys.stderr)
+    return 1
 
 
 def cmd_selfcheck(args) -> int:
@@ -349,7 +417,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("input", help="input text or a path to it")
     p_run.add_argument("--exec", dest="execute", action="store_true",
                        help="run the produced CODE on the stack machine")
+    p_run.add_argument(
+        "--checkpoint-dir",
+        help="persist every completed evaluation pass (sealed spool + "
+        "manifest) into this directory",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed evaluation from the checkpoint manifest "
+        "(requires --checkpoint-dir)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="verify an APT spool file's header, per-record checksums, "
+        "and sealed footer",
+    )
+    p_fsck.add_argument("spool", help="path to a .spool file (v1 or v2)")
+    p_fsck.add_argument(
+        "--salvage", metavar="OUT",
+        help="recover the longest checksum-valid prefix into a fresh "
+        "sealed v2 spool at OUT",
+    )
+    p_fsck.add_argument(
+        "--metrics", action="store_true",
+        help="also dump the robustness counters",
+    )
+    p_fsck.set_defaults(func=cmd_fsck)
 
     p_trace = sub.add_parser(
         "trace",

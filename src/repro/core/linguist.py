@@ -237,11 +237,17 @@ class Translator:
         text: str,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ) -> EvaluationResult:
         """Scan, parse, and evaluate ``text``.
 
         ``tracer``/``metrics`` enable the telemetry subsystem for this
         translation (see docs/observability.md); both default to off.
+        ``checkpoint_dir`` makes the evaluation durable: every
+        completed pass seals its spool there and updates the manifest,
+        and ``resume=True`` restarts from the first incomplete pass of
+        a previously killed run (see docs/robustness.md).
         """
         if self.scanner is None:
             raise EvaluationError(
@@ -249,7 +255,11 @@ class Translator:
                 "use translate_tokens()"
             )
         return self.translate_tokens(
-            self.scanner.tokens(text), tracer=tracer, metrics=metrics
+            self.scanner.tokens(text),
+            tracer=tracer,
+            metrics=metrics,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
 
     def translate_tokens(
@@ -260,6 +270,8 @@ class Translator:
         gauge: Optional[MemoryGauge] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ) -> EvaluationResult:
         accountant = accountant if accountant is not None else IOAccountant()
         metrics = metrics if metrics is not None else MetricsRegistry()
@@ -277,6 +289,7 @@ class Translator:
             gauge=gauge,
             tracer=tracer,
             metrics=metrics,
+            checkpoint_dir=checkpoint_dir,
         )
         self.last_driver = driver
         strategy = (
@@ -284,7 +297,7 @@ class Translator:
             if self.linguist.assignment.first_direction is Direction.R2L
             else "prefix"
         )
-        return driver.run(initial, strategy=strategy)
+        return driver.run(initial, strategy=strategy, resume=resume)
 
     def _build_initial(
         self,

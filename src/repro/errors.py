@@ -23,7 +23,9 @@ class Severity(enum.Enum):
     WARNING = "warning"
     ERROR = "error"
 
-    def __lt__(self, other: "Severity") -> bool:
+    def __lt__(self, other: object):
+        if not isinstance(other, Severity):
+            return NotImplemented
         order = [Severity.NOTE, Severity.WARNING, Severity.ERROR]
         return order.index(self) < order.index(other)
 
@@ -104,7 +106,7 @@ class DiagnosticSink:
     def sorted_by_location(self) -> List[Diagnostic]:
         return sorted(self._items, key=lambda d: d.location)
 
-    def raise_if_errors(self, exc_type: type = None) -> None:
+    def raise_if_errors(self, exc_type: Optional[type] = None) -> None:
         """Raise ``exc_type`` (default :class:`SemanticError`) summarizing errors."""
         if not self.has_errors:
             return
@@ -154,6 +156,50 @@ class PassError(ReproError):
 
 class EvaluationError(ReproError):
     """A generated or interpreted evaluator failed at APT-evaluation time."""
+
+
+class SpoolCorruptionError(EvaluationError):
+    """An APT spool file failed an integrity check.
+
+    Carries the precise failure locus so a corrupt record can be
+    reported against its position in the linearized tree (the
+    *systematic debugging* requirement) instead of surfacing as a blind
+    crash: ``record_index`` is the 0-based index of the record whose
+    framing or checksum failed (in *forward*, i.e. file, order;
+    ``None`` when the damage precedes any record, e.g. a bad header),
+    ``byte_offset`` is the file offset where the inconsistency was
+    detected, and ``reason`` is a short machine-readable tag
+    (``"checksum"``, ``"truncated"``, ``"framing"``, ``"header"``,
+    ``"footer"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        record_index: Optional[int] = None,
+        byte_offset: Optional[int] = None,
+        path: Optional[str] = None,
+        reason: str = "corrupt",
+        diagnostics: Optional[List[Diagnostic]] = None,
+    ):
+        super().__init__(message, diagnostics=diagnostics)
+        self.record_index = record_index
+        self.byte_offset = byte_offset
+        self.path = path
+        self.reason = reason
+
+    def locus(self) -> str:
+        """Human-readable ``record N @ byte M`` locator."""
+        rec = "?" if self.record_index is None else str(self.record_index)
+        off = "?" if self.byte_offset is None else str(self.byte_offset)
+        return f"record {rec} @ byte {off}"
+
+
+class ResumeError(EvaluationError):
+    """A checkpoint manifest could not be used to resume an evaluation
+    (missing/garbled manifest, grammar or plan mismatch, or a
+    checkpointed spool that fails verification)."""
 
 
 class GenerationError(ReproError):

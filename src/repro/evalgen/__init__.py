@@ -29,7 +29,7 @@ from repro.evalgen.interp import InterpretiveEvaluator
 from repro.evalgen.codegen_py import PythonCodeGenerator, GeneratedEvaluator
 from repro.evalgen.codegen_pascal import PascalCodeGenerator
 from repro.evalgen.husk import CodeSizeReport, measure_code_sizes
-from repro.evalgen.driver import AlternatingPassDriver
+from repro.evalgen.driver import AlternatingPassDriver, CheckpointManager
 
 __all__ = [
     "EvaluatorRuntime",
@@ -50,4 +50,5 @@ __all__ = [
     "CodeSizeReport",
     "measure_code_sizes",
     "AlternatingPassDriver",
+    "CheckpointManager",
 ]

@@ -17,14 +17,16 @@ EXP-M1).
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.ag.model import AttributeGrammar
 from repro.apt.linear import TreeNode
 from repro.apt.node import APTNode
-from repro.apt.storage import MemorySpool, Spool
-from repro.errors import EvaluationError
+from repro.apt.storage import DiskSpool, MemorySpool, Spool
+from repro.errors import EvaluationError, ResumeError, SpoolCorruptionError
 from repro.evalgen.plan import PassPlan
 from repro.evalgen.runtime import (
     EvaluationResult,
@@ -43,6 +45,199 @@ PassExecutor = Callable[[PassPlan, EvaluatorRuntime], APTNode]
 SpoolFactory = Callable[[str], Spool]
 
 
+class CheckpointManager:
+    """Persists per-pass progress so a killed evaluation can resume.
+
+    The manager owns a directory holding one sealed
+    :class:`~repro.apt.storage.DiskSpool` per completed pass
+    (``pass<k>.spool``) plus a small JSON **manifest**
+    (``checkpoint.json``) recording, for each completed pass, its
+    index, direction, spool file name, record count, payload bytes,
+    and whole-stream CRC32 — enough to verify the spool before
+    trusting it.  The manifest itself is written atomically
+    (``*.tmp`` + ``os.replace``) after every completed pass, so it
+    never names a pass whose spool is not fully sealed.
+
+    On ``resume``, :meth:`resume_state` validates the manifest against
+    the live grammar and pass plans, re-verifies the *last* completed
+    spool record by record, and hands back the pass index to restart
+    from plus the reopened spool.  Any mismatch raises
+    :class:`~repro.errors.ResumeError` — a stale or foreign checkpoint
+    must never silently poison an evaluation.
+    """
+
+    MANIFEST = "checkpoint.json"
+    VERSION = 1
+
+    def __init__(self, directory: str, tracer=None, metrics=None):
+        self.directory = directory
+        self.tracer = tracer
+        self.metrics = metrics
+        os.makedirs(directory, exist_ok=True)
+        self._completed: List[Dict[str, Any]] = []
+        self._header: Dict[str, Any] = {}
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, self.MANIFEST)
+
+    def spool_path(self, pass_k: int) -> str:
+        return os.path.join(self.directory, f"pass{pass_k}.spool")
+
+    # -- writing -----------------------------------------------------------
+
+    def start_run(self, ag_name: str, strategy: str, plans: List[PassPlan]) -> None:
+        """Begin a fresh checkpointed run (clears prior progress)."""
+        self._header = {
+            "version": self.VERSION,
+            "grammar": ag_name,
+            "strategy": strategy,
+            "n_passes": len(plans),
+            "directions": [p.direction.value for p in plans],
+        }
+        self._completed = []
+        self._write_manifest()
+
+    def make_spool(
+        self, plan: PassPlan, accountant, channel: str, tracer=None, metrics=None
+    ) -> DiskSpool:
+        """The durable output spool for ``plan`` (kept after close)."""
+        return DiskSpool(
+            self.spool_path(plan.pass_k),
+            accountant,
+            channel,
+            tracer=tracer,
+            metrics=metrics,
+        )
+
+    def record_pass(self, plan: PassPlan, spool: Spool) -> None:
+        """Note that ``plan`` completed with ``spool`` sealed on disk."""
+        entry = {
+            "pass": plan.pass_k,
+            "direction": plan.direction.value,
+            "spool": os.path.basename(getattr(spool, "path", "")),
+            "n_records": spool.n_records,
+            "data_bytes": spool.data_bytes,
+            "stream_crc": getattr(spool, "_stream_crc", 0),
+        }
+        self._completed.append(entry)
+        self._write_manifest()
+        if self.metrics is not None:
+            self.metrics.counter("robust.checkpoint_passes_written").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "checkpoint.pass", cat="robust",
+                pass_k=plan.pass_k, n_records=spool.n_records,
+            )
+
+    def _write_manifest(self) -> None:
+        doc = dict(self._header)
+        doc["completed"] = self._completed
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    # -- resuming ----------------------------------------------------------
+
+    def load_manifest(self) -> Dict[str, Any]:
+        if not os.path.exists(self.manifest_path):
+            raise ResumeError(
+                f"no checkpoint manifest at {self.manifest_path}"
+            )
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            raise ResumeError(f"unreadable checkpoint manifest: {exc}") from exc
+        if doc.get("version") != self.VERSION:
+            raise ResumeError(
+                f"checkpoint manifest version {doc.get('version')!r} "
+                f"!= {self.VERSION}"
+            )
+        return doc
+
+    def resume_state(
+        self, ag_name: str, strategy: str, plans: List[PassPlan]
+    ) -> tuple:
+        """Validate the manifest; return ``(completed_k, spool_or_None)``.
+
+        ``completed_k`` is the number of leading passes already sealed
+        on disk (0 means start from scratch); when positive, the second
+        element is the reopened, fully re-verified output spool of pass
+        ``completed_k``.
+        """
+        doc = self.load_manifest()
+        if doc.get("grammar") != ag_name:
+            raise ResumeError(
+                f"checkpoint is for grammar {doc.get('grammar')!r}, "
+                f"not {ag_name!r}"
+            )
+        if doc.get("strategy") != strategy:
+            raise ResumeError(
+                f"checkpoint used strategy {doc.get('strategy')!r}, "
+                f"this run uses {strategy!r}"
+            )
+        if doc.get("n_passes") != len(plans) or doc.get("directions") != [
+            p.direction.value for p in plans
+        ]:
+            raise ResumeError(
+                "checkpoint pass structure does not match the current "
+                "evaluator (grammar or pass assignment changed)"
+            )
+        completed = doc.get("completed", [])
+        for i, entry in enumerate(completed):
+            if entry.get("pass") != i + 1:
+                raise ResumeError(
+                    f"manifest completed-pass list is not contiguous "
+                    f"at position {i}"
+                )
+        # Adopt the on-disk state so subsequent record_pass() calls
+        # extend (rather than restart) the completed list.
+        self._header = {key: doc[key] for key in doc if key != "completed"}
+        self._completed = list(completed)
+        k = len(completed)
+        if k == 0:
+            return 0, None
+        last = completed[-1]
+        path = os.path.join(self.directory, last.get("spool", ""))
+        try:
+            spool = DiskSpool.open(
+                path, channel=f"pass{k}.out",
+                tracer=self.tracer, metrics=self.metrics,
+            )
+        except SpoolCorruptionError as exc:
+            raise ResumeError(
+                f"checkpointed spool for pass {k} failed verification: {exc}"
+            ) from exc
+        if (
+            spool.n_records != last.get("n_records")
+            or spool.data_bytes != last.get("data_bytes")
+            or spool._stream_crc != last.get("stream_crc")
+        ):
+            raise ResumeError(
+                f"checkpointed spool for pass {k} does not match the "
+                f"manifest (expected {last.get('n_records')} records / "
+                f"crc {last.get('stream_crc'):#010x}, found "
+                f"{spool.n_records} / {spool._stream_crc:#010x})"
+            )
+        # Full sweep: every record's framing and checksum must hold
+        # before we trust the file as pass k's output.
+        try:
+            for _ in spool._iter_blobs_forward():
+                pass
+        except SpoolCorruptionError as exc:
+            raise ResumeError(
+                f"checkpointed spool for pass {k} is damaged at "
+                f"{exc.locus()}: {exc}"
+            ) from exc
+        return k, spool
+
+
 class AlternatingPassDriver:
     """Runs all passes of an evaluator over an initial APT spool."""
 
@@ -58,6 +253,8 @@ class AlternatingPassDriver:
         trace: Optional[List[TraceEvent]] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        checkpoint: Optional[CheckpointManager] = None,
+        checkpoint_dir: Optional[str] = None,
     ):
         self.ag = ag
         self.pass_plans = pass_plans
@@ -75,6 +272,12 @@ class AlternatingPassDriver:
         self._spool_factory = spool_factory or (
             lambda channel: MemorySpool(self.accountant, channel, tracer=self.tracer)
         )
+        if checkpoint is None and checkpoint_dir is not None:
+            checkpoint = CheckpointManager(
+                checkpoint_dir, tracer=tracer, metrics=self.metrics
+            )
+        #: Optional durable-progress manager (see :class:`CheckpointManager`).
+        self.checkpoint = checkpoint
         #: Seconds spent in each pass, filled by :meth:`run`.
         self.pass_times: List[float] = []
         #: Per-pass time/I/O/memory rows, filled by :meth:`run`.
@@ -91,13 +294,24 @@ class AlternatingPassDriver:
                     out[f"{k}.{key}"] = value
         return out
 
-    def run(self, initial: Spool, strategy: str = "bottom-up") -> EvaluationResult:
+    def run(
+        self,
+        initial: Spool,
+        strategy: str = "bottom-up",
+        resume: bool = False,
+    ) -> EvaluationResult:
         """Evaluate: ``initial`` is the parser-emitted APT file.
 
         ``strategy`` must match how the file was emitted: ``"bottom-up"``
         (postfix; first pass right-to-left) or ``"prefix"`` (first pass
         left-to-right).  §II: "Part of its input is an indication of
         which strategy is to be used."
+
+        With a checkpoint manager attached and ``resume=True``, the
+        driver verifies the on-disk manifest and the last sealed pass
+        spool and restarts from the first incomplete pass instead of
+        pass 1 (raising :class:`~repro.errors.ResumeError` on any
+        mismatch); ``resume=False`` starts a fresh checkpointed run.
         """
         if not self.pass_plans:
             raise EvaluationError("no passes to run (attribute-free grammar)")
@@ -112,7 +326,7 @@ class AlternatingPassDriver:
             )
         tracer = self.tracer
         if tracer is None:
-            return self._run_passes(initial, strategy)
+            return self._run_passes(initial, strategy, resume)
         with tracer.span(
             "evaluation overlay",
             cat="overlay",
@@ -120,21 +334,76 @@ class AlternatingPassDriver:
             strategy=strategy,
             n_passes=len(self.pass_plans),
         ):
-            return self._run_passes(initial, strategy)
+            return self._run_passes(initial, strategy, resume)
 
-    def _run_passes(self, initial: Spool, strategy: str) -> EvaluationResult:
+    def _resume_point(self, strategy: str, resume: bool):
+        """(start index, input spool override) per the checkpoint state."""
+        if self.checkpoint is None:
+            if resume:
+                raise ResumeError(
+                    "resume requested but the driver has no checkpoint "
+                    "manager (pass checkpoint_dir=...)"
+                )
+            return 0, None
+        if not resume:
+            self.checkpoint.start_run(self.ag.name, strategy, self.pass_plans)
+            return 0, None
+        completed_k, spool = self.checkpoint.resume_state(
+            self.ag.name, strategy, self.pass_plans
+        )
+        if completed_k:
+            self.metrics.counter("robust.resume_passes_skipped").inc(completed_k)
+            self.metrics.counter("robust.resume_runs").inc()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "checkpoint.resume", cat="robust",
+                    passes_skipped=completed_k,
+                )
+        return completed_k, spool
+
+    def _root_attrs_from_spool(self, spool: Spool) -> Dict[str, Any]:
+        """Root attributes straight off a finished final spool.
+
+        The final spool is in postfix order, so its last record — the
+        first one a backward read yields — is the root.  Used when a
+        resume finds *every* pass already sealed on disk.
+        """
+        for record in spool.read_backward():
+            _symbol, _production, attrs, is_limb = record
+            if not is_limb:
+                return dict(attrs)
+        raise EvaluationError("checkpointed final spool holds no root record")
+
+    def _run_passes(
+        self, initial: Spool, strategy: str, resume: bool = False
+    ) -> EvaluationResult:
         tracer = self.tracer
         acc = self.accountant
         self.pass_times = []
         self.pass_stats = []
-        spool_in = initial
+        start_index, resumed_spool = self._resume_point(strategy, resume)
+        spool_in = resumed_spool if resumed_spool is not None else initial
+        if start_index >= len(self.pass_plans) and resumed_spool is not None:
+            # Everything already completed: recover the root attributes
+            # from the sealed final spool without rerunning any pass.
+            self.final_spool = resumed_spool
+            return EvaluationResult(
+                self._root_attrs_from_spool(resumed_spool),
+                n_passes=len(self.pass_plans),
+            )
         root: Optional[APTNode] = None
-        for plan in self.pass_plans:
+        for plan in self.pass_plans[start_index:]:
             if plan.pass_k == 1 and strategy == "prefix":
                 reader = spool_in.read_forward()
             else:
                 reader = spool_in.read_backward()
-            spool_out = self._spool_factory(f"pass{plan.pass_k}.out")
+            if self.checkpoint is not None:
+                spool_out: Spool = self.checkpoint.make_spool(
+                    plan, acc, f"pass{plan.pass_k}.out",
+                    tracer=tracer, metrics=self.metrics,
+                )
+            else:
+                spool_out = self._spool_factory(f"pass{plan.pass_k}.out")
             if tracer is not None and spool_out.tracer is None:
                 spool_out.tracer = tracer
             runtime = EvaluatorRuntime(
@@ -162,30 +431,41 @@ class AlternatingPassDriver:
             from repro.util.recursion import deep_recursion
 
             try:
-                with deep_recursion():
-                    root = self.executor(plan, runtime)
-            finally:
-                seconds = time.perf_counter() - started
-                if tracer is not None:
-                    tracer.end()
-            self.pass_times.append(seconds)
-            self.pass_stats.append(
-                {
-                    "pass": plan.pass_k,
-                    "direction": plan.direction.value,
-                    "seconds": seconds,
-                    "records_read": acc.records_read - io_before[0],
-                    "records_written": acc.records_written - io_before[1],
-                    "bytes_read": acc.bytes_read - io_before[2],
-                    "bytes_written": acc.bytes_written - io_before[3],
-                    "peak_bytes": self.gauge.peak_bytes,
-                }
-            )
-            if not runtime.at_end():
-                raise EvaluationError(
-                    f"pass {plan.pass_k} did not consume the whole APT file"
+                try:
+                    with deep_recursion():
+                        root = self.executor(plan, runtime)
+                finally:
+                    seconds = time.perf_counter() - started
+                    if tracer is not None:
+                        tracer.end()
+                self.pass_times.append(seconds)
+                self.pass_stats.append(
+                    {
+                        "pass": plan.pass_k,
+                        "direction": plan.direction.value,
+                        "seconds": seconds,
+                        "records_read": acc.records_read - io_before[0],
+                        "records_written": acc.records_written - io_before[1],
+                        "bytes_read": acc.bytes_read - io_before[2],
+                        "bytes_written": acc.bytes_written - io_before[3],
+                        "peak_bytes": self.gauge.peak_bytes,
+                    }
                 )
-            spool_out.finalize()
+                if not runtime.at_end():
+                    raise EvaluationError(
+                        f"pass {plan.pass_k} did not consume the whole APT file"
+                    )
+                spool_out.finalize()
+            except BaseException:
+                # A failed pass must not leak its half-written output
+                # spool (or the previous intermediate) as stray
+                # apt_*.spool temp files.
+                spool_out.close()
+                if spool_in is not initial:
+                    spool_in.close()
+                raise
+            if self.checkpoint is not None:
+                self.checkpoint.record_pass(plan, spool_out)
             if spool_in is not initial:
                 spool_in.close()
             spool_in = spool_out

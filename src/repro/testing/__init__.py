@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the storage-and-recovery subsystem.
+
+See :mod:`repro.testing.faults` — the robustness suite composes a
+seeded :class:`~repro.testing.faults.FaultPlan` with any spool to
+exercise torn writes, bit rot, truncation, short reads, and close-time
+I/O errors without touching real failing hardware.
+"""
+
+from repro.testing.faults import (
+    FaultInjected,
+    FaultMode,
+    FaultPlan,
+    FaultyFile,
+    FaultySpool,
+    bit_flip,
+    tear_tail,
+    truncate_file,
+)
+
+__all__ = [
+    "FaultInjected",
+    "FaultMode",
+    "FaultPlan",
+    "FaultyFile",
+    "FaultySpool",
+    "bit_flip",
+    "tear_tail",
+    "truncate_file",
+]

@@ -213,10 +213,15 @@ class CatSeq:
 
     @property
     def tail(self) -> "SeqLike":
-        items = self.to_pylist()
-        if not items:
+        if not self._length:
             raise IndexError("tail of an empty sequence")
-        return Sequence.from_iterable(items[1:])
+        # Preserve structural sharing: dropping the head of ``left``
+        # must keep ``right`` as a shared spine (the right-sharing
+        # invariant append guarantees), never flatten-and-rebuild.
+        if len(self.left):
+            left_tail = self.left.tail
+            return left_tail.append(self.right) if len(left_tail) else self.right
+        return self.right.tail
 
     def cons(self, item: Any) -> "CatSeq":
         return CatSeq(Sequence.from_iterable([item]), self)
