@@ -1,0 +1,191 @@
+"""CI benchmark regression gate.
+
+Measures the calc-workload translation throughput (the cheap,
+per-input half of the paper's §V economics) and the cold-vs-warm build
+cost (the expensive, once-per-grammar half, which ``repro.buildcache``
+amortizes), then compares throughput against the committed baseline in
+``benchmarks/results/baseline_t4.json``:
+
+* **throughput gate** — fail when measured lines/min drops more than
+  ``THRESHOLD`` (25%) below the baseline;
+* **cache smoke** — fail unless a warm (cache-rehydrated) ``Linguist``
+  construction is measurably faster than a cold build (< half the
+  cold time; in practice it is ~20x faster, so this margin absorbs CI
+  noise).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update-baseline
+
+Refresh the baseline (on the reference machine) whenever a deliberate
+performance change lands, and commit the JSON diff alongside it.
+Exit status: 0 pass, 1 regression/smoke failure, 2 missing baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "baseline_t4.json"
+)
+
+#: Maximum tolerated throughput drop relative to the committed baseline.
+THRESHOLD = 0.25
+
+#: The warm build must cost less than this fraction of the cold build.
+WARM_FRACTION = 0.5
+
+
+def measure_calc_throughput(rounds: int = 5, n_statements: int = 200) -> dict:
+    """Best-of-``rounds`` translation throughput over a generated calc
+    program (lines per minute, generated backend, warm translator)."""
+    from repro.core import Linguist
+    from repro.grammars import load_source, scanner_and_library
+    from repro.workloads import generate_calc_program
+
+    spec, library = scanner_and_library("calc")
+    translator = Linguist(load_source("calc")).make_translator(
+        spec, library=library
+    )
+    program = generate_calc_program(n_statements, seed=17)
+    n_lines = len(program.splitlines())
+    translator.translate(program)  # warm the path once
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        translator.translate(program)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "n_lines": n_lines,
+        "rounds": rounds,
+        "best_seconds": best,
+        "lines_per_minute": n_lines / best * 60.0,
+    }
+
+
+def measure_cold_vs_warm(rounds: int = 3) -> dict:
+    """Once-per-grammar build cost, cold (full pipeline + seal) vs warm
+    (cache rehydration), best-of-``rounds`` each."""
+    from repro.buildcache import BuildCache
+    from repro.core import Linguist
+    from repro.grammars import load_source
+
+    source = load_source("calc")
+    cold_best = warm_best = float("inf")
+    with tempfile.TemporaryDirectory() as root:
+        for _ in range(rounds):
+            cache = BuildCache(root)
+            cache.clear()
+            start = time.perf_counter()
+            Linguist(source, cache=cache)
+            cold_best = min(cold_best, time.perf_counter() - start)
+            # cache is now sealed: time the warm rebuild
+            start = time.perf_counter()
+            warm = Linguist(source, cache=BuildCache(root))
+            warm_best = min(warm_best, time.perf_counter() - start)
+            assert warm.from_cache, "warm rebuild missed the cache"
+    return {
+        "cold_seconds": cold_best,
+        "warm_seconds": warm_best,
+        "speedup": cold_best / warm_best if warm_best > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help=f"rewrite {BASELINE_PATH} from this run's measurements",
+    )
+    parser.add_argument("--rounds", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    throughput = measure_calc_throughput(rounds=args.rounds)
+    cache = measure_cold_vs_warm()
+
+    lpm = throughput["lines_per_minute"]
+    print(
+        f"calc throughput: {lpm:,.0f} lines/min "
+        f"({throughput['n_lines']} lines, best of {throughput['rounds']})"
+    )
+    print(
+        f"build cost: cold {cache['cold_seconds'] * 1000:.1f} ms, "
+        f"warm {cache['warm_seconds'] * 1000:.1f} ms "
+        f"({cache['speedup']:.1f}x speedup from the artifact cache)"
+    )
+
+    if args.update_baseline:
+        baseline = {
+            "benchmark": "calc-workload throughput (EXP-T4 family)",
+            "lines_per_minute": lpm,
+            "threshold": THRESHOLD,
+            "machine": platform.platform(),
+            "python": platform.python_version(),
+            "cold_seconds": cache["cold_seconds"],
+            "warm_seconds": cache["warm_seconds"],
+        }
+        os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+        with open(BASELINE_PATH, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print(
+            f"error: no baseline at {BASELINE_PATH}; run with "
+            "--update-baseline on the reference machine and commit it",
+            file=sys.stderr,
+        )
+        return 2
+    with open(BASELINE_PATH, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+    floor = baseline["lines_per_minute"] * (1.0 - THRESHOLD)
+
+    ok = True
+    if lpm < floor:
+        drop = 100.0 * (1.0 - lpm / baseline["lines_per_minute"])
+        print(
+            f"FAIL throughput regression: {lpm:,.0f} lines/min is "
+            f"{drop:.0f}% below baseline "
+            f"{baseline['lines_per_minute']:,.0f} "
+            f"(tolerated: {100 * THRESHOLD:.0f}%)",
+            file=sys.stderr,
+        )
+        ok = False
+    else:
+        print(
+            f"PASS throughput: {lpm:,.0f} >= floor {floor:,.0f} lines/min "
+            f"(baseline {baseline['lines_per_minute']:,.0f} - "
+            f"{100 * THRESHOLD:.0f}%)"
+        )
+
+    warm_limit = cache["cold_seconds"] * WARM_FRACTION
+    if cache["warm_seconds"] >= warm_limit:
+        print(
+            f"FAIL cache smoke: warm build {cache['warm_seconds'] * 1000:.1f} ms "
+            f"is not measurably faster than cold "
+            f"{cache['cold_seconds'] * 1000:.1f} ms "
+            f"(must be < {100 * WARM_FRACTION:.0f}%)",
+            file=sys.stderr,
+        )
+        ok = False
+    else:
+        print(
+            f"PASS cache smoke: warm {cache['warm_seconds'] * 1000:.1f} ms < "
+            f"{100 * WARM_FRACTION:.0f}% of cold "
+            f"{cache['cold_seconds'] * 1000:.1f} ms"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Parallel batch translation over the persistent build cache.
+
+The paper's economics (§V) — expensive once-per-grammar build, cheap
+streaming per-input translation — invite exactly one scaling move for
+serving many inputs: **warm the artifact cache once, then fan the
+independent inputs out across worker processes that rehydrate from the
+cache instead of rebuilding**.  This module is that batch driver:
+
+* :func:`build_batch_translator` constructs a
+  :class:`~repro.core.Translator` for a shipped grammar *through* a
+  :class:`~repro.buildcache.BuildCache` and records the recipe
+  (:class:`WorkerSpec`) workers need to reconstruct it;
+* :func:`run_batch` (surfaced as
+  :meth:`repro.core.Translator.translate_many` and the ``repro batch``
+  CLI) maps inputs over a ``multiprocessing`` pool with **per-input
+  isolation** — one failed input is reported in its
+  :class:`BatchItem` while every other input completes;
+* telemetry lands in the ``batch.*`` counters/gauges and ``batch.*``
+  trace instants (see ``docs/performance.md``).
+
+Sequential (``jobs <= 1``) and parallel executions produce identical
+results; the differential suite pins that down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError, ReproError
+from repro.evalgen.runtime import EvaluationResult
+
+#: Worker-side translator, built once per process by :func:`_worker_init`.
+_WORKER_TRANSLATOR = None
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to rebuild the translator.
+
+    Deliberately tiny and picklable: the *source text* and knobs, never
+    live objects — workers rehydrate the expensive artifacts from the
+    on-disk build cache at ``cache_dir`` (a cold worker would rebuild
+    and re-seal them, so correctness never depends on cache state).
+    """
+
+    source: str
+    filename: str
+    grammar_name: str
+    direction: str  # "r2l" | "l2r" | "auto"
+    cache_dir: str
+    backend: str = "generated"
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one input: a result or an isolated failure."""
+
+    index: int
+    ok: bool
+    result: Optional[EvaluationResult] = None
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+
+
+@dataclass
+class BatchReport:
+    """Outcome of a whole batch, in input order."""
+
+    items: List[BatchItem] = field(default_factory=list)
+    jobs: int = 1
+    seconds: float = 0.0
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for item in self.items if item.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.items) - self.n_ok
+
+    @property
+    def ok(self) -> bool:
+        return self.n_failed == 0
+
+    def failures(self) -> List[BatchItem]:
+        return [item for item in self.items if not item.ok]
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            first = self.failures()[0]
+            raise EvaluationError(
+                f"{self.n_failed} of {len(self.items)} batch input(s) failed; "
+                f"first: input {first.index}: "
+                f"{first.error_type}: {first.error}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# building translators through the cache
+# ---------------------------------------------------------------------------
+
+
+def direction_of(name: str):
+    from repro.passes.schedule import Direction
+
+    return {"r2l": Direction.R2L, "l2r": Direction.L2R, "auto": "auto"}[name]
+
+
+def build_batch_translator(
+    spec: WorkerSpec,
+    metrics=None,
+    tracer=None,
+):
+    """Build (or cache-rehydrate) the translator a :class:`WorkerSpec`
+    describes, and stamp the spec onto it for later fan-out."""
+    from repro.buildcache import BuildCache
+    from repro.core import Linguist
+    from repro.grammars import scanner_and_library
+
+    scanner_spec, library = scanner_and_library(spec.grammar_name)
+    if scanner_spec is None:
+        raise EvaluationError(
+            f"no shipped scanner for grammar {spec.grammar_name!r}; "
+            "batch translation needs a scanner specification"
+        )
+    cache = BuildCache(spec.cache_dir)
+    linguist = Linguist(
+        spec.source,
+        filename=spec.filename,
+        first_direction=direction_of(spec.direction),
+        tracer=tracer,
+        metrics=metrics,
+        cache=cache,
+    )
+    translator = linguist.make_translator(
+        scanner_spec, library=library, backend=spec.backend
+    )
+    translator.spawn_spec = spec
+    return translator
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_init(spec: WorkerSpec) -> None:
+    """Pool initializer: rehydrate the translator from the build cache
+    (once per worker process)."""
+    global _WORKER_TRANSLATOR
+    _WORKER_TRANSLATOR = build_batch_translator(spec)
+
+
+def _worker_translate(job: Tuple[int, str]) -> Tuple[Any, ...]:
+    """Translate one input inside a worker, isolating any failure."""
+    index, text = job
+    started = time.perf_counter()
+    try:
+        result = _WORKER_TRANSLATOR.translate(text)
+    except Exception as exc:  # per-input isolation: report, don't kill the pool
+        return (
+            index,
+            False,
+            None,
+            0,
+            type(exc).__name__,
+            str(exc),
+            time.perf_counter() - started,
+        )
+    return (
+        index,
+        True,
+        result.root_attrs,
+        result.n_passes,
+        None,
+        None,
+        time.perf_counter() - started,
+    )
+
+
+def _item_from_tuple(data: Tuple[Any, ...]) -> BatchItem:
+    index, ok, attrs, n_passes, error_type, error, seconds = data
+    return BatchItem(
+        index=index,
+        ok=ok,
+        result=EvaluationResult(attrs, n_passes) if ok else None,
+        error_type=error_type,
+        error=error,
+        seconds=seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the driver
+# ---------------------------------------------------------------------------
+
+
+def run_batch(
+    translator,
+    texts: Sequence[str],
+    jobs: int = 1,
+    metrics=None,
+    tracer=None,
+) -> BatchReport:
+    """Translate ``texts`` through ``translator``; see
+    :meth:`repro.core.Translator.translate_many`."""
+    texts = list(texts)
+    started = time.perf_counter()
+    if tracer is not None:
+        tracer.instant(
+            "batch.start", cat="batch", inputs=len(texts), jobs=jobs
+        )
+    if jobs > 1:
+        items = _run_parallel(translator, texts, jobs)
+    else:
+        items = _run_sequential(translator, texts)
+    report = BatchReport(
+        items=items, jobs=max(1, jobs), seconds=time.perf_counter() - started
+    )
+    if metrics is not None:
+        metrics.counter("batch.inputs").inc(len(texts))
+        metrics.counter("batch.ok").inc(report.n_ok)
+        metrics.counter("batch.failed").inc(report.n_failed)
+        metrics.gauge("batch.jobs").set(report.jobs)
+        metrics.gauge("batch.seconds").set(report.seconds)
+        for item in items:
+            metrics.histogram("batch.item.seconds").observe(item.seconds)
+    if tracer is not None:
+        for item in items:
+            tracer.instant(
+                "batch.item",
+                cat="batch",
+                index=item.index,
+                ok=item.ok,
+                seconds=item.seconds,
+                error=item.error_type,
+            )
+        tracer.instant(
+            "batch.done",
+            cat="batch",
+            ok=report.n_ok,
+            failed=report.n_failed,
+            seconds=report.seconds,
+        )
+    return report
+
+
+def _run_sequential(translator, texts: Sequence[str]) -> List[BatchItem]:
+    items: List[BatchItem] = []
+    for index, text in enumerate(texts):
+        t0 = time.perf_counter()
+        try:
+            result = translator.translate(text)
+        except Exception as exc:
+            items.append(
+                BatchItem(
+                    index=index,
+                    ok=False,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                    seconds=time.perf_counter() - t0,
+                )
+            )
+        else:
+            items.append(
+                BatchItem(
+                    index=index,
+                    ok=True,
+                    result=result,
+                    seconds=time.perf_counter() - t0,
+                )
+            )
+    return items
+
+
+def _run_parallel(translator, texts: Sequence[str], jobs: int) -> List[BatchItem]:
+    import multiprocessing
+
+    spec = translator.spawn_spec
+    if spec is None:
+        raise EvaluationError(
+            "translate_many(jobs > 1) needs a worker spec: build the "
+            "translator via repro.batch.build_batch_translator (or the "
+            "`repro batch` CLI) so workers know how to rehydrate it "
+            "from the build cache"
+        )
+    # Make sure the artifacts the workers will rehydrate are sealed on
+    # disk (they are, unless the cache was cleared since construction —
+    # in which case workers rebuild once per process; slower, never wrong).
+    with multiprocessing.Pool(
+        processes=jobs, initializer=_worker_init, initargs=(spec,)
+    ) as pool:
+        raw = pool.map(_worker_translate, list(enumerate(texts)))
+    items = [_item_from_tuple(data) for data in raw]
+    items.sort(key=lambda item: item.index)
+    return items

@@ -14,6 +14,10 @@ Subcommands::
     python -m repro fsck SPOOL [--salvage OUT]
                                             verify an APT spool file; recover
                                             the valid prefix into OUT
+    python -m repro batch FILE.ag INPUTS... [-j N --cache-dir DIR]
+                                            translate many inputs through the
+                                            persistent build cache, optionally
+                                            across worker processes
 """
 
 from __future__ import annotations
@@ -124,11 +128,8 @@ def cmd_run(args) -> int:
     if args.checkpoint_dir:
         verb = "resumed from" if args.resume else "checkpointed to"
         print(f"# evaluation {verb} {args.checkpoint_dir}", file=sys.stderr)
-    for attr, value in sorted(result.root_attrs.items()):
-        rendered = list(value) if hasattr(value, "__iter__") and not isinstance(
-            value, str
-        ) else value
-        print(f"{attr} = {rendered}")
+    for line in render_root_attrs(result.root_attrs):
+        print(line)
     if args.execute:
         if "CODE" not in result:
             print("--exec: grammar produces no CODE attribute", file=sys.stderr)
@@ -143,26 +144,26 @@ def cmd_run(args) -> int:
 def _scanner_and_library(name: str):
     """Scanner spec + function library of a shipped grammar, or (None, None).
 
-    ``trace``/``profile`` accept any ``.ag`` file; translating an INPUT
-    additionally needs the described language's scanner, which we only
-    have for the shipped grammars (keyed by file stem or ``--grammar``).
+    ``trace``/``profile``/``batch`` accept any ``.ag`` file; translating
+    an INPUT additionally needs the described language's scanner, which
+    we only have for the shipped grammars (keyed by file stem or
+    ``--grammar``).
     """
-    from repro.grammars import library_for
-    from repro.grammars import scanners
+    from repro.grammars import scanner_and_library
 
-    if name == "linguist":
-        from repro.frontend.lexer import LEXICAL_SPEC
+    return scanner_and_library(name)
 
-        return LEXICAL_SPEC, library_for(name)
-    factory = {
-        "binary": scanners.binary_scanner_spec,
-        "calc": scanners.calc_scanner_spec,
-        "pascal": scanners.pascal_scanner_spec,
-        "asm": scanners.asm_scanner_spec,
-    }.get(name)
-    if factory is None:
-        return None, None
-    return factory(), library_for(name)
+
+def render_root_attrs(root_attrs) -> List[str]:
+    """Render root attributes exactly as ``repro run`` prints them —
+    ``repro batch`` reuses this so batch output is byte-identical."""
+    lines = []
+    for attr, value in sorted(root_attrs.items()):
+        rendered = list(value) if hasattr(value, "__iter__") and not isinstance(
+            value, str
+        ) else value
+        lines.append(f"{attr} = {rendered}")
+    return lines
 
 
 def _grammar_stem(args) -> str:
@@ -222,17 +223,36 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _render_metric(value) -> str:
+    """One metric value on one line (histogram snapshots are dicts)."""
+    if isinstance(value, dict):
+        inner = ", ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in value.items()
+        )
+        return "{" + inner + "}"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
 def cmd_profile(args) -> int:
     from repro.core import Linguist
     from repro.core.overlays import OVERLAY_NAMES
     from repro.obs import MetricsRegistry
 
+    cache = None
+    if args.cache_dir:
+        from repro.buildcache import BuildCache
+
+        cache = BuildCache(args.cache_dir)
     metrics = MetricsRegistry()
     linguist = Linguist(
         _read(args.file),
         filename=args.file,
         first_direction=_DIRECTIONS[args.direction],
         metrics=metrics,
+        cache=cache,
     )
 
     translated = False
@@ -304,18 +324,24 @@ def cmd_profile(args) -> int:
             f"subsumption sites, {snap.get('evt.dead_attrs_skipped', 0)} "
             "dead attribute instances skipped"
         )
-    robust = {
-        key: value
-        for key, value in sorted(snap.items())
-        if key.startswith("robust.") and not key.endswith(".peak")
-    }
-    if robust:
+    for title, prefix in (
+        ("robustness", "robust."),
+        ("build cache", "cache."),
+        ("batch", "batch."),
+    ):
+        section = {
+            key: value
+            for key, value in sorted(snap.items())
+            if key.startswith(prefix) and not key.endswith(".peak")
+        }
+        if not section:
+            continue
         lines.append("")
         lines.append(
-            "robustness: "
+            f"{title}: "
             + ", ".join(
-                f"{key[len('robust.'):]}={value}"
-                for key, value in robust.items()
+                f"{key[len(prefix):]}={_render_metric(value)}"
+                for key, value in section.items()
             )
         )
     print("\n".join(lines))
@@ -366,6 +392,73 @@ def cmd_fsck(args) -> int:
     )
     print(str(diag), file=sys.stderr)
     return 1
+
+
+def cmd_batch(args) -> int:
+    """Translate many inputs through the persistent build cache.
+
+    The grammar is built (or cache-rehydrated) exactly once; with
+    ``-j N`` the inputs fan out across ``N`` worker processes that
+    rehydrate the translator from the same cache.  Exit status: 0 when
+    every input translated, 1 when any input failed (other inputs still
+    complete — per-input isolation).
+    """
+    from repro.batch import WorkerSpec, build_batch_translator
+    from repro.buildcache import default_cache_root
+    from repro.obs import MetricsRegistry
+
+    name = _grammar_stem(args)
+    spec, _ = _scanner_and_library(name)
+    if spec is None:
+        print(
+            f"error: no shipped scanner for grammar {name!r}; "
+            "pass --grammar binary|calc|pascal|asm|linguist",
+            file=sys.stderr,
+        )
+        return 2
+    metrics = MetricsRegistry()
+    worker_spec = WorkerSpec(
+        source=_read(args.file),
+        filename=args.file,
+        grammar_name=name,
+        direction=args.direction,
+        cache_dir=args.cache_dir or default_cache_root(),
+        backend=args.backend,
+    )
+    translator = build_batch_translator(worker_spec, metrics=metrics)
+    texts = [
+        _read(item) if os.path.exists(item) else item for item in args.inputs
+    ]
+    report = translator.translate_many(texts, jobs=args.jobs, metrics=metrics)
+
+    if args.output_dir:
+        os.makedirs(args.output_dir, exist_ok=True)
+    for item in report.items:
+        if item.ok:
+            rendered = "\n".join(render_root_attrs(item.result.root_attrs))
+            if args.output_dir:
+                path = os.path.join(args.output_dir, f"{item.index:04d}.out")
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(rendered + "\n")
+            else:
+                print(f"# input {item.index}: ok ({item.seconds * 1000:.1f} ms)")
+                print(rendered)
+        else:
+            print(
+                f"# input {item.index}: FAILED "
+                f"{item.error_type}: {item.error}",
+                file=sys.stderr,
+            )
+    print(
+        f"# batch: {report.n_ok}/{len(report.items)} ok, "
+        f"{report.n_failed} failed, jobs={report.jobs}, "
+        f"{report.seconds * 1000:.1f} ms total",
+        file=sys.stderr,
+    )
+    if args.metrics:
+        print()
+        print(metrics.render())
+    return 0 if report.ok else 1
 
 
 def cmd_selfcheck(args) -> int:
@@ -483,10 +576,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="shipped-grammar name for scanner/library (default: file stem)",
     )
     p_prof.add_argument(
+        "--cache-dir",
+        help="build through the persistent artifact cache at DIR (the "
+        "cache.* counters then appear in the profile)",
+    )
+    p_prof.add_argument(
         "--metrics", action="store_true",
         help="also dump the raw unified metrics snapshot",
     )
     p_prof.set_defaults(func=cmd_profile)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="translate many inputs through the persistent build cache, "
+        "optionally across worker processes (-j N)",
+    )
+    add_common(p_batch)
+    p_batch.add_argument(
+        "inputs", nargs="+",
+        help="input texts or paths to them (each translated independently)",
+    )
+    p_batch.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (default 1 = sequential in-process)",
+    )
+    p_batch.add_argument(
+        "--grammar",
+        help="shipped-grammar name for scanner/library (default: file stem)",
+    )
+    p_batch.add_argument(
+        "--cache-dir",
+        help="build-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-linguist86)",
+    )
+    p_batch.add_argument(
+        "--output-dir", metavar="DIR",
+        help="write each input's root attributes to DIR/NNNN.out instead "
+        "of stdout",
+    )
+    p_batch.add_argument(
+        "--backend", choices=["interp", "generated"], default="generated",
+        help="evaluator backend (default generated)",
+    )
+    p_batch.add_argument(
+        "--metrics", action="store_true",
+        help="also dump the cache.*/batch.* metrics snapshot",
+    )
+    p_batch.set_defaults(func=cmd_batch)
 
     p_self = sub.add_parser("selfcheck", help="run the self-generation bootstrap")
     p_self.set_defaults(func=cmd_selfcheck)

@@ -21,12 +21,24 @@ The same input also feeds the LALR parse-table builder — "we submit
 exactly the same input file to both LINGUIST-86 and the parse-table
 builder" (§IV) — and :meth:`Linguist.make_translator` packages tables,
 scanner, and generated evaluator into a runnable :class:`Translator`.
+
+Warm starts
+-----------
+
+All of the above is **once-per-grammar** work (§V), so it caches: pass
+a :class:`repro.buildcache.BuildCache` as ``cache=`` and a cold build
+seals the analyzed model, LALR tables, pass plans, subsumption
+decisions, and generated pass-module text into the content-addressed
+store; a warm construction rehydrates them and skips straight to
+``exec``-compiling the cached text — zero LALR / DFA / planning /
+code-generation work (``cache.hit`` counters prove it).  See
+``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.ag.circularity import check_noncircular
 from repro.ag.model import AttributeGrammar
@@ -56,9 +68,25 @@ from repro.lalr.tables import ParseTables, build_tables
 from repro.obs.metrics import MetricsRegistry
 from repro.passes.partition import PassAssignment, assign_passes
 from repro.passes.schedule import Direction
-from repro.regex.generator import ScannerSpec
+from repro.regex.generator import ScannerGenerator, ScannerSpec
 from repro.regex.scanner import Scanner
 from repro.util.iotrack import IOAccountant, MemoryGauge
+
+#: Keys every cached grammar payload must carry (payloads missing any
+#: of these — e.g. written by a future layout — are rebuilt, not trusted).
+_PAYLOAD_KEYS = frozenset(
+    [
+        "ag",
+        "assignment",
+        "deadness",
+        "allocation",
+        "plans",
+        "artifacts",
+        "pascal",
+        "listing",
+        "tables",
+    ]
+)
 
 
 class Linguist:
@@ -74,7 +102,13 @@ class Linguist:
         check_circularity: bool = True,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        cache=None,
     ):
+        if first_direction != "auto" and not isinstance(first_direction, Direction):
+            raise ValueError(
+                f"first_direction must be a Direction or 'auto', "
+                f"got {first_direction!r}"
+            )
         self.source = source
         self.filename = filename
         self.sink = DiagnosticSink()
@@ -84,30 +118,38 @@ class Linguist:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Structured tracer (repro.obs.Tracer) or None when disabled.
         self.tracer = tracer
+        #: Persistent artifact cache (repro.buildcache.BuildCache) or None.
+        self.cache = cache
+        #: True when this construction rehydrated from the cache.
+        self.from_cache = False
+        self.first_direction = first_direction
+        self.subsumption_config = subsumption
+        self.dead_attribute_suppression = dead_attribute_suppression
+        self.check_circularity = check_circularity
+        #: The parsed ``.ag`` syntax tree (None on an alias-level warm
+        #: start, which skips parsing entirely).
+        self.ag_file = None
+        self._tables: Optional[ParseTables] = None
+        self._analyzed = False
+        self._model_key: Optional[str] = None
+        self._source_key: Optional[str] = None
+
         clock = OverlayClock(tracer=tracer, metrics=self.metrics)
 
-        self.ag_file = clock.run(
-            "parser overlay", lambda: parse_ag_text(source, filename)
-        )
-        # Overlays 2 and 3 are the two semantic-analysis passes; our
-        # analyze() does both, so we time them as one and charge the
-        # validator's copy-rule insertion to the second.
-        self.ag: AttributeGrammar = clock.run(
-            "first attrib eval overlay", lambda: analyze(self.ag_file, self.sink)
-        )
-        self.sink.raise_if_errors()
+        if cache is not None and self._try_warm(clock):
+            self.from_cache = True
+            self.overlay_times = clock.timing
+            self.overlay_details = clock.details
+            return
+
+        if not self._analyzed:
+            self._parse_and_analyze(clock)
         clock.run(
             "second attrib eval overlay",
-            lambda: build_tables(self.ag.underlying_cfg()),
+            lambda: self._build_tables(),
         )
-        # (The LALR tables are rebuilt lazily for the translator; the
-        # timing above charges the table-construction work.)
-
-        if first_direction != "auto" and not isinstance(first_direction, Direction):
-            raise ValueError(
-                f"first_direction must be a Direction or 'auto', "
-                f"got {first_direction!r}"
-            )
+        # (The timing above charges the LALR table-construction work;
+        # the tables are kept for the translator.)
 
         def evaluability():
             if check_circularity:
@@ -158,7 +200,143 @@ class Linguist:
         self.overlay_times: OverlayTiming = clock.timing
         #: Per-overlay I/O and peak-memory deltas (see StageClock.details).
         self.overlay_details = clock.details
-        self._tables: Optional[ParseTables] = None
+
+        if cache is not None:
+            self._store_cache()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _parse_and_analyze(self, clock: OverlayClock) -> None:
+        """Overlays 1–2: parse the ``.ag`` text and build the dictionary."""
+        self.ag_file = clock.run(
+            "parser overlay", lambda: parse_ag_text(self.source, self.filename)
+        )
+        # Overlays 2 and 3 are the two semantic-analysis passes; our
+        # analyze() does both, so we time them as one and charge the
+        # validator's copy-rule insertion to the second.
+        self.ag: AttributeGrammar = clock.run(
+            "first attrib eval overlay", lambda: analyze(self.ag_file, self.sink)
+        )
+        self.sink.raise_if_errors()
+        self._analyzed = True
+
+    def _build_tables(self) -> ParseTables:
+        if self._tables is None:
+            self._tables = build_tables(self.ag.underlying_cfg())
+        return self._tables
+
+    def _strategy_args(self) -> tuple:
+        return (
+            self.first_direction,
+            self.subsumption_config,
+            self.dead_attribute_suppression,
+            self.check_circularity,
+        )
+
+    def _try_warm(self, clock: OverlayClock) -> bool:
+        """Attempt a warm start from the artifact cache.
+
+        Lookup is two-level: a parse-free *alias* over the raw source
+        text, then (on alias miss) the canonical *model* key computed
+        after overlays 1–2.  Returns True when every expensive overlay
+        (LALR, evaluability, shaping, listing, code generation) was
+        skipped; on False, overlays 1–2 may already have run and the
+        cold path continues from there.
+        """
+        from repro.buildcache.key import grammar_key, source_key
+
+        skey = source_key(self.source, *self._strategy_args())
+        self._source_key = skey
+        payload = None
+        alias = self.cache.load(
+            "alias", skey, metrics=self.metrics, tracer=self.tracer
+        )
+        if alias is not None and isinstance(alias.get("target"), str):
+            self._model_key = alias["target"]
+            payload = self.cache.load(
+                "grammar", self._model_key,
+                metrics=self.metrics, tracer=self.tracer,
+            )
+        if payload is None:
+            self._parse_and_analyze(clock)
+            mkey = grammar_key(self.ag, *self._strategy_args())
+            self._model_key = mkey
+            payload = self.cache.load(
+                "grammar", mkey, metrics=self.metrics, tracer=self.tracer
+            )
+            if payload is not None:
+                # Same model reached from a different serialization of
+                # the source: remember the shortcut for next time.
+                self.cache.store(
+                    "alias", skey, {"target": mkey},
+                    metrics=self.metrics, tracer=self.tracer,
+                )
+        if payload is None or not _PAYLOAD_KEYS <= payload.keys():
+            return False
+        self._rehydrate(payload)
+        return True
+
+    def _rehydrate(self, payload: Dict[str, Any]) -> None:
+        """Adopt a cached build wholesale (zero rebuild work).
+
+        The payload's objects are internally consistent — the pass
+        assignment, deadness, allocation, and plans all reference the
+        payload's own grammar object — so the cached ``ag`` *replaces*
+        any freshly analyzed one.
+        """
+        own_source_lines = self.ag.source_lines if self._analyzed else None
+        self.ag = payload["ag"]
+        if own_source_lines is not None:
+            # Presentation detail, not semantics: the cached model
+            # remembers the *original* source's line count; statistics
+            # and the listing should report ours.
+            self.ag.source_lines = own_source_lines
+        self.assignment = payload["assignment"]
+        self.deadness = payload["deadness"]
+        self.allocation = payload["allocation"]
+        self.plans = payload["plans"]
+        self.pascal_artifacts = payload["pascal"]
+        self._tables = payload["tables"]
+        if self._analyzed:
+            # Model-level hit from a differently spelled source: the
+            # cached listing embeds the *original* source text, so
+            # re-render against ours (cheap — no analyses rerun).
+            self.listing = render_listing(
+                self.source, self.ag, self.sink, self.assignment
+            )
+        else:
+            self.listing = payload["listing"]
+        # Straight to exec-compiling the cached generated text: no
+        # PythonCodeGenerator work on the warm path.
+        self.generated = GeneratedEvaluator.from_artifacts(
+            self.ag, self.plans, payload["artifacts"]
+        )
+
+    def _store_cache(self) -> None:
+        from repro.buildcache.key import grammar_key
+
+        if self._model_key is None:
+            self._model_key = grammar_key(self.ag, *self._strategy_args())
+        payload = {
+            "ag": self.ag,
+            "assignment": self.assignment,
+            "deadness": self.deadness,
+            "allocation": self.allocation,
+            "plans": self.plans,
+            "artifacts": self.generated.artifacts,
+            "pascal": self.pascal_artifacts,
+            "listing": self.listing,
+            "tables": self._build_tables(),
+        }
+        self.cache.store(
+            "grammar", self._model_key, payload,
+            metrics=self.metrics, tracer=self.tracer,
+        )
+        if self._source_key is not None:
+            self.cache.store(
+                "alias", self._source_key, {"target": self._model_key},
+                metrics=self.metrics, tracer=self.tracer,
+            )
 
     # ------------------------------------------------------------------
 
@@ -181,9 +359,7 @@ class Linguist:
         return measure_code_sizes(self.ag.name, artifacts, language)
 
     def parse_tables(self) -> ParseTables:
-        if self._tables is None:
-            self._tables = build_tables(self.ag.underlying_cfg())
-        return self._tables
+        return self._build_tables()
 
     def make_translator(
         self,
@@ -197,6 +373,8 @@ class Linguist:
         ``scanner_spec`` describes the *described language's* lexical
         structure (the scanner-generator input of §V); omit it to feed
         pre-scanned token streams to :meth:`Translator.translate_tokens`.
+        When this Linguist carries a build cache, the scanner DFA is
+        cached/rehydrated through it as well.
         """
         return Translator(self, scanner_spec, library, backend, intrinsic_fn)
 
@@ -219,7 +397,7 @@ class Translator:
         self.intrinsic_fn = intrinsic_fn
         self.parser = LALRParser(linguist.parse_tables())
         self.scanner: Optional[Scanner] = (
-            scanner_spec.generate() if scanner_spec is not None else None
+            self._make_scanner(scanner_spec) if scanner_spec is not None else None
         )
         if backend == "generated":
             self._executor = linguist.generated.executor
@@ -229,6 +407,33 @@ class Translator:
             raise ValueError(f"unknown backend {backend!r}")
         #: Filled by each translate() call.
         self.last_driver: Optional[AlternatingPassDriver] = None
+        #: How to rebuild this translator in another process (set by the
+        #: batch driver / CLI for shipped grammars; required for
+        #: ``translate_many(jobs > 1)``).  A repro.batch.WorkerSpec.
+        self.spawn_spec = None
+
+    def _make_scanner(self, spec: ScannerSpec) -> Scanner:
+        """Generate (or cache-rehydrate) the described language's scanner."""
+        cache = self.linguist.cache
+        if cache is None:
+            return spec.generate()
+        from repro.buildcache.key import scanner_key
+
+        metrics = self.linguist.metrics
+        tracer = self.linguist.tracer
+        key = scanner_key(spec)
+        payload = cache.load("scanner", key, metrics=metrics, tracer=tracer)
+        dfa = payload.get("dfa") if payload is not None else None
+        if dfa is None:
+            generator = ScannerGenerator(spec)
+            dfa = generator.build_tables()
+            cache.store(
+                "scanner", key, {"dfa": dfa}, metrics=metrics, tracer=tracer
+            )
+            return generator.generate()
+        # Warm path: the cached DFA seeds the generator, so no NFA /
+        # subset construction / minimization runs.
+        return ScannerGenerator(spec, dfa=dfa).generate()
 
     # ------------------------------------------------------------------
 
@@ -261,6 +466,28 @@ class Translator:
             checkpoint_dir=checkpoint_dir,
             resume=resume,
         )
+
+    def translate_many(
+        self,
+        texts: Sequence[str],
+        jobs: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ):
+        """Translate many independent inputs, optionally in parallel.
+
+        With ``jobs <= 1`` the inputs run sequentially in-process; with
+        ``jobs > 1`` they fan out across a ``multiprocessing`` pool
+        whose workers *rehydrate this translator from the build cache*
+        (which therefore must exist: build the translator through
+        :func:`repro.batch.build_batch_translator` or ``repro batch``).
+        Each input is isolated — one failure is reported in its
+        :class:`repro.batch.BatchItem` while the others complete.
+        Returns a :class:`repro.batch.BatchReport`.
+        """
+        from repro.batch import run_batch
+
+        return run_batch(self, texts, jobs=jobs, metrics=metrics, tracer=tracer)
 
     def translate_tokens(
         self,

@@ -202,6 +202,34 @@ class ResumeError(EvaluationError):
     checkpointed spool that fails verification)."""
 
 
+class CacheCorruptionError(ReproError):
+    """A build-cache entry failed an integrity check.
+
+    The persistent grammar-artifact cache (:mod:`repro.buildcache`)
+    seals every entry with the same header + CRC discipline as the v2
+    spool format; any damage — bad magic, version skew, key mismatch,
+    checksum failure, truncation, or an unpicklable payload — raises
+    this error *internally* and is translated by
+    :meth:`repro.buildcache.BuildCache.load` into a transparent miss
+    (the damaged file is removed and the artifacts are rebuilt), never
+    a crash.  ``reason`` is a short machine-readable tag (``"header"``,
+    ``"footer"``, ``"checksum"``, ``"truncated"``, ``"key"``,
+    ``"payload"``, ``"version"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        reason: str = "corrupt",
+        diagnostics: Optional[List[Diagnostic]] = None,
+    ):
+        super().__init__(message, diagnostics=diagnostics)
+        self.path = path
+        self.reason = reason
+
+
 class GenerationError(ReproError):
     """Evaluator code generation failed."""
 

@@ -296,6 +296,26 @@ class GeneratedEvaluator:
         self.pass_plans = pass_plans
         gen = PythonCodeGenerator(ag)
         self.artifacts = gen.generate_all(pass_plans)
+        self._compile_artifacts()
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        ag: AttributeGrammar,
+        pass_plans: List[PassPlan],
+        artifacts: List[CodeArtifact],
+    ) -> "GeneratedEvaluator":
+        """Rehydrate from already-generated source text (the warm-cache
+        path): no :class:`PythonCodeGenerator` runs — construction goes
+        straight to ``exec``-compiling the cached text."""
+        self = cls.__new__(cls)
+        self.ag = ag
+        self.pass_plans = pass_plans
+        self.artifacts = artifacts
+        self._compile_artifacts()
+        return self
+
+    def _compile_artifacts(self) -> None:
         self._classes: Dict[int, type] = {}
         for artifact in self.artifacts:
             namespace: Dict[str, object] = {}

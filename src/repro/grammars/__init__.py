@@ -41,6 +41,30 @@ def load_source(name: str) -> str:
         return f.read()
 
 
+def scanner_and_library(name: str):
+    """Scanner spec + function library of a shipped grammar, or (None, None).
+
+    The described language's scanner only exists for the shipped
+    grammars; ``trace``/``profile``/``batch`` resolve it by grammar
+    name (file stem or ``--grammar``).
+    """
+    from repro.grammars import scanners
+
+    if name == "linguist":
+        from repro.frontend.lexer import LEXICAL_SPEC
+
+        return LEXICAL_SPEC, library_for(name)
+    factory = {
+        "binary": scanners.binary_scanner_spec,
+        "calc": scanners.calc_scanner_spec,
+        "pascal": scanners.pascal_scanner_spec,
+        "asm": scanners.asm_scanner_spec,
+    }.get(name)
+    if factory is None:
+        return None, None
+    return factory(), library_for(name)
+
+
 def library_for(name: str) -> FunctionLibrary:
     """The function library a shipped grammar's evaluators need."""
     if name == "pascal":

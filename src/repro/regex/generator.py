@@ -57,9 +57,12 @@ class ScannerSpec:
 class ScannerGenerator:
     """Compiles a :class:`ScannerSpec` into DFA tables and a scanner."""
 
-    def __init__(self, spec: ScannerSpec):
+    def __init__(self, spec: ScannerSpec, dfa: Optional[DFA] = None):
+        #: ``dfa`` pre-seeds the pipeline with an already-built (e.g.
+        #: cache-rehydrated) DFA, skipping NFA construction, subset
+        #: construction, and minimization entirely.
         self.spec = spec
-        self._dfa: Optional[DFA] = None
+        self._dfa: Optional[DFA] = dfa
 
     def build_tables(self) -> DFA:
         """Run the full pipeline and cache the minimized DFA."""

@@ -1,0 +1,19 @@
+"""Shared pytest configuration for the test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden files under tests/golden/ from the "
+        "current generator output instead of comparing against them "
+        "(run, inspect `git diff`, commit)",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")

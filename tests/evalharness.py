@@ -120,3 +120,103 @@ class Pipeline:
         oracle = OracleEvaluator(self.ag, self.library)
         result = oracle.evaluate(root)
         return result, root
+
+
+# ---------------------------------------------------------------------------
+# Differential backend suite: every evaluator path over one text
+# ---------------------------------------------------------------------------
+
+
+def canonical_attrs(root_attrs) -> dict:
+    """Root attributes rendered to canonical byte-comparable strings.
+
+    Matches the ``repro run`` rendering convention: non-string iterables
+    are materialized as lists, then everything goes through ``repr``.
+    """
+    out = {}
+    for attr, value in sorted(root_attrs.items()):
+        rendered = list(value) if hasattr(value, "__iter__") and not isinstance(
+            value, str
+        ) else value
+        out[attr] = repr(rendered)
+    return out
+
+
+class BackendSuite:
+    """One shipped grammar, translatable through all four evaluator paths:
+
+    * ``interp``    — the interpretive pass evaluator,
+    * ``generated`` — the exec-compiled generated pass modules,
+    * ``oracle``    — the demand-driven tree evaluator (pure semantics,
+      no passes, no spools),
+    * ``cached``    — a *cache-rehydrated* translator (built through a
+      warm :class:`repro.buildcache.BuildCache`, so its pass modules
+      come from cached source text and its scanner from a cached DFA).
+
+    Build once per grammar (construction is the expensive per-grammar
+    step); :meth:`run` is cheap per input.
+    """
+
+    def __init__(self, grammar_name: str, cache_dir: str):
+        from repro.buildcache import BuildCache
+        from repro.core import Linguist
+        from repro.grammars import load_source, scanner_and_library
+
+        self.grammar_name = grammar_name
+        source = load_source(grammar_name)
+        spec, library = scanner_and_library(grammar_name)
+        assert spec is not None, f"no shipped scanner for {grammar_name!r}"
+        self.library = library
+
+        cold = Linguist(source)
+        self.ag = cold.ag
+        self.interp = cold.make_translator(spec, library=library, backend="interp")
+        self.generated = cold.make_translator(
+            spec, library=library, backend="generated"
+        )
+
+        # Seed the cache (grammar artifacts + scanner DFA), then rebuild
+        # warm: the 'cached' path must come from rehydrated artifacts,
+        # not freshly generated ones.
+        Linguist(source, cache=BuildCache(cache_dir)).make_translator(
+            spec, library=library
+        )
+        warm = Linguist(source, cache=BuildCache(cache_dir))
+        assert warm.from_cache, "warm rebuild did not hit the build cache"
+        self.cached = warm.make_translator(
+            spec, library=library, backend="generated"
+        )
+
+    def oracle_attrs(self, text: str) -> dict:
+        tokens = list(self.interp.scanner.tokens(text))
+        spool = MemorySpool(channel="initial")
+        builder = APTBuilder(self.ag, spool, build_tree=True)
+        self.interp.parser.parse(tokens, listener=builder, build_tree=False)
+        builder.finish()
+        result = OracleEvaluator(self.ag, self.library).evaluate(builder.root)
+        return result.root_attrs
+
+    def run(self, text: str) -> dict:
+        """Translate ``text`` through every path; return
+        ``{path: canonical root attrs}`` (oracle projected onto the
+        pass-evaluated attribute set — the oracle attributes *every*
+        instance, the passes export the root's visible ones)."""
+        interp = canonical_attrs(self.interp.translate(text).root_attrs)
+        generated = canonical_attrs(self.generated.translate(text).root_attrs)
+        cached = canonical_attrs(self.cached.translate(text).root_attrs)
+        oracle_full = canonical_attrs(self.oracle_attrs(text))
+        oracle = {k: v for k, v in oracle_full.items() if k in interp}
+        return {
+            "interp": interp,
+            "generated": generated,
+            "cached": cached,
+            "oracle": oracle,
+        }
+
+
+def run_all_backends(grammar_name: str, text: str, cache_dir: str) -> dict:
+    """Translate ``text`` with ``grammar_name`` through all four
+    evaluator paths (interp / generated / oracle / cache-rehydrated);
+    return ``{path: canonical root attrs}`` for differential comparison.
+    """
+    return BackendSuite(grammar_name, cache_dir).run(text)

@@ -1,0 +1,233 @@
+"""Property tests for the build-cache content addressing.
+
+The cache key must be exactly as sensitive as the build it names:
+
+* **any single semantic mutation** — renaming an attribute, reordering
+  productions (production indices feed the LALR construction), tweaking
+  a semantic function, or changing the pass strategy — must change the
+  key (a collision would replay the wrong artifacts);
+* **serialization-order noise** — declaring the same symbols, the same
+  attributes, or the same per-production semantic functions in a
+  different order — must NOT change the key (the grammar is
+  declarative; equal grammars share one payload);
+* **a cache hit must be invisible**: the warm build's artifacts equal
+  the cold build's, byte for byte.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ag import GrammarBuilder
+from repro.buildcache import grammar_key, scanner_key, source_key
+from repro.passes.schedule import Direction
+from repro.evalgen.subsumption import SubsumptionConfig
+
+# ---------------------------------------------------------------------------
+# a parametric grammar: every knob is one observable mutation site
+# ---------------------------------------------------------------------------
+
+#: (symbol-declaration order, per-production function order) never
+#: change semantics; everything else does.
+
+
+def make_grammar(
+    attr="TOT",
+    const="0",
+    expr="item.ACC + X.W",
+    swap_productions=False,
+    sym_order=(0, 1, 2),
+    fn_order=(0, 1, 2),
+    attr_order=False,
+):
+    b = GrammarBuilder("keyprobe", start="root")
+
+    def declare_item():
+        # attr_order flips only the *declaration order* of item's
+        # attributes (symbol.attributes is insertion-ordered): the
+        # grammar is identical either way.
+        if attr_order:
+            b.nonterminal("item", synthesized={attr: "int"},
+                          inherited={"ACC": "int"})
+        else:
+            b.nonterminal("item", inherited={"ACC": "int"},
+                          synthesized={attr: "int"})
+
+    decls = [
+        lambda: b.nonterminal("root", synthesized={"OUT": "int"}),
+        declare_item,
+        lambda: b.terminal("X", intrinsic={"W": "int"}),
+    ]
+    for i in sym_order:
+        decls[i]()
+    root_functions = [
+        ("item0.ACC", const),
+        ("item1.ACC", f"item0.{attr}"),
+        ("root.OUT", f"item1.{attr}"),
+    ]
+    root_functions = [root_functions[i] for i in fn_order]
+    prods = [
+        lambda: b.production("root", ["item", "item"], functions=root_functions),
+        lambda: b.production(
+            "item", ["X"], functions=[(f"item.{attr}", expr)]
+        ),
+    ]
+    if swap_productions:
+        # Same production set, alternatives of 'item' swapped in index
+        # order via an extra epsilon-free alternative pair.
+        prods = [prods[1], prods[0]]
+    for make in prods:
+        make()
+    return b.finish()
+
+
+BASE_KEY = grammar_key(make_grammar())
+
+
+# ---------------------------------------------------------------------------
+# sensitivity: every single mutation changes the key
+# ---------------------------------------------------------------------------
+
+MUTATIONS = {
+    "rename-attribute": dict(attr="SUM"),
+    "tweak-constant": dict(const="1"),
+    "tweak-function": dict(expr="item.ACC - X.W"),
+    "reorder-productions": dict(swap_productions=True),
+}
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_single_model_mutation_changes_key(name):
+    mutated = grammar_key(make_grammar(**MUTATIONS[name]))
+    assert mutated != BASE_KEY, f"mutation {name} collided with the base key"
+
+
+@given(
+    attr=st.sampled_from(["TOT", "SUM", "N", "ACCOUT"]),
+    const=st.integers(0, 50).map(str),
+)
+@settings(max_examples=30, deadline=None)
+def test_attr_and_constant_feed_the_key(attr, const):
+    """The key is injective over this two-knob family: two builds
+    collide iff their knobs are equal."""
+    a = grammar_key(make_grammar(attr=attr, const=const))
+    b = grammar_key(make_grammar())
+    if attr == "TOT" and const == "0":
+        assert a == b
+    else:
+        assert a != b
+
+
+STRATEGIES = [
+    dict(first_direction=Direction.L2R),
+    dict(subsumption=SubsumptionConfig(enabled=False)),
+    dict(subsumption=SubsumptionConfig(grouping="per-attribute")),
+    dict(dead_attribute_suppression=False),
+    dict(check_circularity=False),
+]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: str(sorted(s)))
+def test_pass_strategy_changes_key(strategy):
+    ag = make_grammar()
+    assert grammar_key(ag, **strategy) != grammar_key(ag)
+    assert source_key("src", **strategy) != source_key("src")
+
+
+# ---------------------------------------------------------------------------
+# insensitivity: declaration-order noise collides
+# ---------------------------------------------------------------------------
+
+
+@given(
+    sym_order=st.permutations(range(3)),
+    fn_order=st.permutations(range(3)),
+    attr_order=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_declaration_order_is_canonicalized_away(sym_order, fn_order, attr_order):
+    """The same grammar re-serialized in any symbol / attribute /
+    semantic-function declaration order has the same key."""
+    shuffled = make_grammar(
+        sym_order=tuple(sym_order),
+        fn_order=tuple(fn_order),
+        attr_order=attr_order,
+    )
+    assert grammar_key(shuffled) == BASE_KEY
+
+
+def test_key_is_deterministic_across_builds():
+    assert grammar_key(make_grammar()) == grammar_key(make_grammar())
+
+
+# ---------------------------------------------------------------------------
+# scanner keys
+# ---------------------------------------------------------------------------
+
+
+def _spec(pattern="[0-9]+", keyword="let"):
+    from repro.regex.generator import ScannerSpec
+
+    spec = ScannerSpec()
+    spec.rule("NUM", pattern)
+    spec.rule("WS", "[ \t\n]+", skip=True)
+    spec.keyword(keyword)
+    return spec
+
+
+def test_scanner_key_sensitivity():
+    base = scanner_key(_spec())
+    assert scanner_key(_spec()) == base
+    assert scanner_key(_spec(pattern="[0-9]*")) != base
+    assert scanner_key(_spec(keyword="print")) != base
+
+
+def test_scanner_rule_order_matters():
+    """Earlier rules win ties, so rule order is semantic — it must
+    feed the key."""
+    from repro.regex.generator import ScannerSpec
+
+    a = ScannerSpec().rule("A", "x").rule("B", "x|y")
+    b = ScannerSpec().rule("B", "x|y").rule("A", "x")
+    assert scanner_key(a) != scanner_key(b)
+
+
+# ---------------------------------------------------------------------------
+# a cache hit is invisible: warm artifacts == cold artifacts
+# ---------------------------------------------------------------------------
+
+
+def _warm_equals_cold(source: str, seed_source: str) -> None:
+    import tempfile
+
+    from repro.buildcache import BuildCache
+    from repro.core import Linguist
+
+    cold = Linguist(source)
+    with tempfile.TemporaryDirectory() as root:
+        Linguist(seed_source, cache=BuildCache(root))  # seeds the cache
+        warm = Linguist(source, cache=BuildCache(root))
+        assert warm.from_cache
+    assert [a.text for a in warm.python_artifacts] == [
+        a.text for a in cold.python_artifacts
+    ]
+    assert warm.assignment.n_passes == cold.assignment.n_passes
+    assert warm.listing == cold.listing
+
+
+@pytest.mark.parametrize("name", ["binary", "calc"])
+def test_cache_hit_equals_cold_build(name):
+    from repro.grammars import load_source
+
+    source = load_source(name)
+    _warm_equals_cold(source, source)
+
+
+@given(pad=st.text(alphabet=" \t\n", min_size=1, max_size=8))
+@settings(max_examples=10, deadline=None)
+def test_model_key_hit_equals_cold_build(pad):
+    """A differently formatted but equal grammar (source-alias miss,
+    model-key hit) still rehydrates to exactly the cold build."""
+    from repro.grammars import load_source
+
+    seed_source = load_source("binary")
+    _warm_equals_cold(seed_source + pad, seed_source)

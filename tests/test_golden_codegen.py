@@ -1,0 +1,88 @@
+"""Golden-file tests pinning the generated evaluator source.
+
+The Python code generator's exact output is part of this repo's
+contract: the build cache persists generated pass-module *text* and
+exec-compiles it on rehydration, so silent churn in the emitted code
+would invalidate caches (and, worse, could change semantics without any
+unit test noticing).  These tests pin the full generated text — every
+pass module, plus the size accounting — for two sample grammars that
+together exercise the interesting emission shapes:
+
+* ``knuth_binary`` — two alternating passes, an inherited attribute
+  computed from a later-pass synthesized one, implicit copy-rules;
+* ``context_heavy`` — the copy-chain shape where static subsumption
+  fires: SNAPSHOT/SETGLOBAL/ENTRY_SAVE/EXIT_RESTORE actions and
+  subsumed-copy-rule comments.
+
+Updating intentionally::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_codegen.py --update-golden
+
+then inspect ``git diff tests/golden/`` and commit the new goldens with
+the generator change (see docs/performance.md).
+"""
+
+import os
+
+import pytest
+
+from repro.evalgen.codegen_py import PythonCodeGenerator
+from tests import sample_grammars
+from tests.evalharness import Pipeline
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+GRAMMARS = {
+    "knuth_binary": sample_grammars.knuth_binary,
+    "context_heavy": sample_grammars.context_heavy,
+}
+
+
+def render_generated(name: str) -> str:
+    """All generated pass modules for one sample grammar, concatenated
+    deterministically with their size accounting."""
+    pipeline = Pipeline(GRAMMARS[name]())
+    artifacts = PythonCodeGenerator(pipeline.ag).generate_all(pipeline.plans)
+    chunks = []
+    for artifact in artifacts:
+        chunks.append(
+            f"# ==== pass {artifact.pass_k}: "
+            f"husk={artifact.husk_bytes}B sem={artifact.sem_bytes}B "
+            f"subsumed={artifact.n_subsumed} ====\n"
+        )
+        chunks.append(artifact.text)
+    return "".join(chunks)
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.codegen.py.golden")
+
+
+@pytest.mark.parametrize("name", sorted(GRAMMARS))
+def test_codegen_matches_golden(name, update_golden):
+    generated = render_generated(name)
+    path = golden_path(name)
+    if update_golden:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(generated)
+        pytest.skip(f"golden file rewritten: {path}")
+    assert os.path.exists(path), (
+        f"missing golden file {path}; generate it with "
+        "`pytest tests/test_golden_codegen.py --update-golden`"
+    )
+    with open(path, "r", encoding="utf-8") as f:
+        expected = f.read()
+    assert generated == expected, (
+        f"generated code for {name!r} differs from {path}; if the "
+        "change is intentional, regenerate with --update-golden and "
+        "commit the diff (note: this invalidates build caches — bump "
+        "repro.buildcache.key.CACHE_FORMAT_VERSION)"
+    )
+
+
+def test_generation_is_deterministic():
+    """Two in-process generations are byte-identical (a precondition
+    for golden files and for content-addressed caching)."""
+    for name in GRAMMARS:
+        assert render_generated(name) == render_generated(name)
