@@ -27,19 +27,19 @@ from repro.evalgen.interp import InterpretiveEvaluator
 from repro.grammars.scanners import calc_scanner_spec
 
 
-def run_traced(linguist_calc, source: str):
-    translator = linguist_calc.make_translator(calc_scanner_spec())
+def run_traced(linguist_calc_paper, source: str):
+    translator = linguist_calc_paper.make_translator(calc_scanner_spec())
     trace = []
     spool = MemorySpool(channel="initial")
-    builder = APTBuilder(linguist_calc.ag, spool)
+    builder = APTBuilder(linguist_calc_paper.ag, spool)
     translator.parser.parse(
         translator.scanner.tokens(source), listener=builder, build_tree=False
     )
     builder.finish()
     driver = AlternatingPassDriver(
-        linguist_calc.ag,
-        linguist_calc.plans,
-        InterpretiveEvaluator(linguist_calc.ag).run_pass,
+        linguist_calc_paper.ag,
+        linguist_calc_paper.plans,
+        InterpretiveEvaluator(linguist_calc_paper.ag).run_pass,
         library=translator.library,
         trace=trace,
     )
@@ -47,17 +47,17 @@ def run_traced(linguist_calc, source: str):
     return trace
 
 
-def test_f2_every_get_has_matching_put(linguist_calc):
-    trace = run_traced(linguist_calc, "let a = 2 ; print a * a")
+def test_f2_every_get_has_matching_put(linguist_calc_paper):
+    trace = run_traced(linguist_calc_paper, "let a = 2 ; print a * a")
     gets = sum(1 for e in trace if e.kind == "get")
     puts = sum(1 for e in trace if e.kind == "put")
     assert gets == puts > 0
 
 
-def test_f2_paradigm_order(linguist_calc, report):
+def test_f2_paradigm_order(linguist_calc_paper, report):
     """For every nonterminal node: get precedes visit precedes put, and
     the pass-k inherited evaluations sit between get and visit."""
-    trace = run_traced(linguist_calc, "let a = 1 ; print a + 1")
+    trace = run_traced(linguist_calc_paper, "let a = 1 ; print a + 1")
     # Flatten to (kind, detail) and check balanced nesting per symbol.
     opened = []
     violations = []
@@ -81,11 +81,11 @@ def test_f2_paradigm_order(linguist_calc, report):
     assert not violations
 
 
-def test_f2_generated_procedure_matches_paper_shape(linguist_calc, report):
+def test_f2_generated_procedure_matches_paper_shape(linguist_calc_paper, report):
     """The generated Pascal production-procedure has the paper's
     skeleton: GetNode*, inherited assignments, recursive PP call,
     PutNode*, synthesized assignments."""
-    artifact = linguist_calc.pascal_artifacts[1]  # pass 2 does the work
+    artifact = linguist_calc_paper.pascal_artifacts[1]  # pass 2 does the work
     # Extract the procedure for the Add production.
     m = re.search(
         r"procedure ADDLIMBPP2.*?end; \{ ADDLIMBPP2 \}", artifact.text, re.S
@@ -101,5 +101,5 @@ def test_f2_generated_procedure_matches_paper_shape(linguist_calc, report):
     assert get_pos < put_pos
 
 
-def test_f2_trace_benchmark(benchmark, linguist_calc):
-    benchmark(lambda: run_traced(linguist_calc, "let a = 1 ; print a"))
+def test_f2_trace_benchmark(benchmark, linguist_calc_paper):
+    benchmark(lambda: run_traced(linguist_calc_paper, "let a = 1 ; print a"))

@@ -26,8 +26,8 @@ PAPER = {
 }
 
 
-def _measured(linguist_self):
-    s = linguist_self.statistics
+def _measured(linguist_self_paper):
+    s = linguist_self_paper.statistics
     return {
         "source lines": s.source_lines,
         "grammar symbols": s.n_symbols,
@@ -41,11 +41,11 @@ def _measured(linguist_self):
     }
 
 
-def test_t1_statistics_table(benchmark, linguist_self, report):
+def test_t1_statistics_table(benchmark, linguist_self_paper, report):
     stats = benchmark(lambda: compute_statistics(
-        linguist_self.ag, n_passes=linguist_self.n_passes
+        linguist_self_paper.ag, n_passes=linguist_self_paper.n_passes
     ))
-    measured = _measured(linguist_self)
+    measured = _measured(linguist_self_paper)
 
     lines = ["EXP-T1: statistics of the self-description attribute grammar",
              f"{'quantity':<26} {'paper':>8} {'measured':>10}"]
@@ -62,8 +62,8 @@ def test_t1_statistics_table(benchmark, linguist_self, report):
     assert stats.n_productions == measured["productions"]
 
 
-def test_t1_copy_share_is_mostly_implicit(linguist_self):
-    s = linguist_self.statistics
+def test_t1_copy_share_is_mostly_implicit(linguist_self_paper):
+    s = linguist_self_paper.statistics
     # Paper: 276 of 302 copy-rules implicit (91%); ours must also be a
     # clear majority.
     assert s.n_implicit_copy_rules / max(1, s.n_copy_rules) > 0.6

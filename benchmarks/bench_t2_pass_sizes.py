@@ -17,9 +17,9 @@ PAPER_ROWS = [("pass 1", 4292), ("pass 2", 6538), ("pass 3", 5414),
               ("pass 4", 7215), ("husk", 4065)]
 
 
-def test_t2_pass_sizes_table(benchmark, linguist_self, report):
+def test_t2_pass_sizes_table(benchmark, linguist_self_paper, report):
     sizes = benchmark(lambda: measure_code_sizes(
-        "linguist", linguist_self.pascal_artifacts, "pascal"
+        "linguist", linguist_self_paper.pascal_artifacts, "pascal"
     ))
     lines = ["EXP-T2: generated evaluator sizes (self grammar)",
              f"{'module':<10} {'paper (8086 B)':>15} {'measured (src B)':>18} "
@@ -44,9 +44,9 @@ def test_t2_pass_sizes_table(benchmark, linguist_self, report):
     assert max(sems) > min(sems)
 
 
-def test_t2_python_and_pascal_sizes_correlate(linguist_self):
-    pas = measure_code_sizes("linguist", linguist_self.pascal_artifacts, "pascal")
-    py = measure_code_sizes("linguist", linguist_self.python_artifacts, "python")
+def test_t2_python_and_pascal_sizes_correlate(linguist_self_paper):
+    pas = measure_code_sizes("linguist", linguist_self_paper.pascal_artifacts, "pascal")
+    py = measure_code_sizes("linguist", linguist_self_paper.python_artifacts, "python")
     # Ranking of passes by semantic size should agree between renderings.
     rank = lambda sizes: sorted(range(4), key=lambda i: sizes.passes[i].sem_bytes)
     assert rank(pas) == rank(py)

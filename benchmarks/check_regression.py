@@ -11,7 +11,13 @@ amortizes), then compares throughput against the committed baseline in
 * **cache smoke** — fail unless a warm (cache-rehydrated) ``Linguist``
   construction is measurably faster than a cold build (< half the
   cold time; in practice it is ~20x faster, so this margin absorbs CI
-  noise).
+  noise);
+* **codec gate** — fail when the on-disk bytes/record of a sealed v3
+  spool grows more than ``THRESHOLD`` above the baseline (the APT
+  encoding is the constant that multiplies through every pass's I/O);
+* **fusion gate** — fail when the calc grammar's scheduled pass count
+  exceeds the baseline (a fusion regression silently doubles the
+  streaming work per translation).
 
 Usage::
 
@@ -99,6 +105,51 @@ def measure_cold_vs_warm(rounds: int = 3) -> dict:
     }
 
 
+def measure_spool_codec(n_statements: int = 200) -> dict:
+    """On-disk bytes/record of the sealed v3 spool format versus the v2
+    pickle-per-record framing, over a real calc initial-APT stream, and
+    the fused pass count the scheduler produced for calc."""
+    from repro.apt.build import APTBuilder
+    from repro.apt.storage import (
+        FORMAT_V2,
+        FORMAT_V3,
+        DiskSpool,
+        MemorySpool,
+    )
+    from repro.core import Linguist
+    from repro.grammars import load_source, scanner_and_library
+    from repro.workloads import generate_calc_program
+
+    spec, library = scanner_and_library("calc")
+    linguist = Linguist(load_source("calc"))
+    translator = linguist.make_translator(spec, library=library)
+    program = generate_calc_program(n_statements, seed=17)
+    tokens = list(translator.scanner.tokens(program))
+    mem = MemorySpool(channel="initial")
+    builder = APTBuilder(linguist.ag, mem, build_tree=False)
+    translator.parser.parse(tokens, listener=builder, build_tree=False)
+    builder.finish()
+    records = list(mem.read_forward())
+
+    sizes = {}
+    with tempfile.TemporaryDirectory() as root:
+        for name, fmt in (("v2", FORMAT_V2), ("v3", FORMAT_V3)):
+            path = os.path.join(root, f"{name}.spool")
+            spool = DiskSpool(path, format_version=fmt)
+            for record in records:
+                spool.append(record)
+            spool.finalize()
+            sizes[name] = os.path.getsize(path)
+    n = len(records)
+    return {
+        "n_records": n,
+        "v2_bytes_per_record": sizes["v2"] / n,
+        "v3_bytes_per_record": sizes["v3"] / n,
+        "shrink": sizes["v2"] / sizes["v3"],
+        "calc_n_passes": linguist.n_passes,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -110,6 +161,7 @@ def main(argv=None) -> int:
 
     throughput = measure_calc_throughput(rounds=args.rounds)
     cache = measure_cold_vs_warm()
+    codec = measure_spool_codec()
 
     lpm = throughput["lines_per_minute"]
     print(
@@ -121,6 +173,12 @@ def main(argv=None) -> int:
         f"warm {cache['warm_seconds'] * 1000:.1f} ms "
         f"({cache['speedup']:.1f}x speedup from the artifact cache)"
     )
+    print(
+        f"spool codec: v3 {codec['v3_bytes_per_record']:.1f} bytes/record "
+        f"vs v2 {codec['v2_bytes_per_record']:.1f} "
+        f"({codec['shrink']:.2f}x shrink, {codec['n_records']} records); "
+        f"calc schedules {codec['calc_n_passes']} fused pass(es)"
+    )
 
     if args.update_baseline:
         baseline = {
@@ -131,6 +189,9 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "cold_seconds": cache["cold_seconds"],
             "warm_seconds": cache["warm_seconds"],
+            "spool_v3_bytes_per_record": codec["v3_bytes_per_record"],
+            "spool_v2_over_v3_shrink": codec["shrink"],
+            "calc_n_passes": codec["calc_n_passes"],
         }
         os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
         with open(BASELINE_PATH, "w", encoding="utf-8") as f:
@@ -184,6 +245,40 @@ def main(argv=None) -> int:
             f"{100 * WARM_FRACTION:.0f}% of cold "
             f"{cache['cold_seconds'] * 1000:.1f} ms"
         )
+
+    base_bpr = baseline.get("spool_v3_bytes_per_record")
+    if base_bpr is not None:
+        ceiling = base_bpr * (1.0 + THRESHOLD)
+        if codec["v3_bytes_per_record"] > ceiling:
+            print(
+                f"FAIL codec bloat: v3 spool now "
+                f"{codec['v3_bytes_per_record']:.1f} bytes/record, more than "
+                f"{100 * THRESHOLD:.0f}% above baseline {base_bpr:.1f}",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(
+                f"PASS codec: {codec['v3_bytes_per_record']:.1f} <= ceiling "
+                f"{ceiling:.1f} bytes/record (baseline {base_bpr:.1f} + "
+                f"{100 * THRESHOLD:.0f}%)"
+            )
+
+    base_passes = baseline.get("calc_n_passes")
+    if base_passes is not None:
+        if codec["calc_n_passes"] > base_passes:
+            print(
+                f"FAIL fusion regression: calc schedules "
+                f"{codec['calc_n_passes']} passes, baseline fused it to "
+                f"{base_passes}",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(
+                f"PASS fusion: calc schedules {codec['calc_n_passes']} "
+                f"pass(es) (baseline {base_passes})"
+            )
     return 0 if ok else 1
 
 

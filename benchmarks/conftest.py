@@ -87,6 +87,27 @@ def linguist_self():
     return Linguist(load_source("linguist"), metrics=MetricsRegistry())
 
 
+# Paper-fidelity builds: the paper's figures (4 alternating passes for
+# the self grammar, Figure-3 paradigm traces, per-pass code sizes) are
+# stated over the *original* alternating-pass partition, so these pin
+# ``fuse_passes=False``.  The fused default is measured by the
+# throughput/codec benchmarks (t4, t6).
+
+
+@pytest.fixture(scope="session")
+def linguist_self_paper():
+    return Linguist(
+        load_source("linguist"), fuse_passes=False, metrics=MetricsRegistry()
+    )
+
+
+@pytest.fixture(scope="session")
+def linguist_calc_paper():
+    return Linguist(
+        load_source("calc"), fuse_passes=False, metrics=MetricsRegistry()
+    )
+
+
 @pytest.fixture(scope="session")
 def pascal_translator(linguist_pascal):
     from repro.grammars.scanners import pascal_scanner_spec

@@ -7,6 +7,11 @@ strategy (first pass right-to-left — the one LINGUIST-86 itself uses)
 the grammar needs **two alternating passes**, and you can watch the APT
 stream through the intermediate files in both directions.
 
+The example builds its Linguist with ``fuse_passes=False`` to keep both
+passes visible; by default pass fusion merges them into a single
+left-to-right traversal (zero intermediate files — see
+``repro.passes.fusion`` and docs/performance.md).
+
 Run:  python examples/desk_calculator.py
 """
 
@@ -26,7 +31,7 @@ print (x + y) * 2
 
 
 def main() -> None:
-    linguist = Linguist(load_source("calc"))
+    linguist = Linguist(load_source("calc"), fuse_passes=False)
     print(f"calc.ag needs {linguist.n_passes} alternating passes "
           f"(first pass {linguist.assignment.direction(1).value})")
     for k in range(1, linguist.n_passes + 1):

@@ -14,11 +14,15 @@ pass).
 """
 
 from repro.apt.node import APTNode, estimate_bytes
+from repro.apt.codec import RecordCodec
 from repro.apt.storage import (
+    DEFAULT_SPOOL_MEMORY_BUDGET,
+    AdaptiveSpool,
     DiskSpool,
     MemorySpool,
     Spool,
     SpoolScanReport,
+    adaptive_spool_factory,
     salvage_spool,
     scan_spool,
 )
@@ -32,10 +36,14 @@ from repro.apt.build import APTBuilder, default_intrinsics
 __all__ = [
     "APTNode",
     "estimate_bytes",
+    "RecordCodec",
+    "DEFAULT_SPOOL_MEMORY_BUDGET",
+    "AdaptiveSpool",
     "DiskSpool",
     "MemorySpool",
     "Spool",
     "SpoolScanReport",
+    "adaptive_spool_factory",
     "salvage_spool",
     "scan_spool",
     "iter_bottom_up",

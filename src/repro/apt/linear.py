@@ -47,37 +47,50 @@ def iter_bottom_up(root: TreeNode, direction: Direction = Direction.L2R) -> Iter
 
     This is also what a bottom-up parser emits (for L2R): the initial
     APT file of the paper's first strategy.
+
+    Implemented with an explicit stack: APTs are as deep as the source
+    program (statement lists chain linearly), and a recursive
+    ``yield from`` chain would cost O(depth) per yielded node — the
+    iterative walk keeps linearization O(1) amortized per node.
     """
-
-    def walk(tree: TreeNode) -> Iterator[APTNode]:
+    r2l = direction is Direction.R2L
+    # Each subtree yields: children's subtrees (in visit order), then
+    # its limb, then its own node; the root is no exception.
+    stack = [(root, False)]
+    while stack:
+        tree, expanded = stack.pop()
+        if expanded:
+            if tree.limb is not None:
+                yield tree.limb
+            yield tree.node
+            continue
+        stack.append((tree, True))
         children = tree.children
-        if direction is Direction.R2L:
-            children = list(reversed(children))
-        for child in children:
-            yield from walk(child)
-            yield child.node
-        if tree.limb is not None:
-            yield tree.limb
-
-    yield from walk(root)
-    yield root.node
+        # Pop order reverses push order, so push the visit order backwards.
+        for child in (children if r2l else reversed(children)):
+            stack.append((child, False))
+    # (root's own node is produced by its expanded phase above)
 
 
 def iter_prefix(root: TreeNode, direction: Direction = Direction.L2R) -> Iterator[APTNode]:
     """The read (prefix) order of a pass running ``direction``: node,
-    limb, then each child's prefix order in visit order."""
+    limb, then each child's prefix order in visit order.
 
-    def walk(tree: TreeNode) -> Iterator[APTNode]:
+    Iterative for the same reason as :func:`iter_bottom_up`: prefix
+    emission is the hot path of every translation whose first pass runs
+    left-to-right, and recursion would pay O(depth) per node.
+    """
+    r2l = direction is Direction.R2L
+    stack = [root]
+    while stack:
+        tree = stack.pop()
         yield tree.node
         if tree.limb is not None:
             yield tree.limb
         children = tree.children
-        if direction is Direction.R2L:
-            children = list(reversed(children))
-        for child in children:
-            yield from walk(child)
-
-    yield from walk(root)
+        # Pop order reverses push order, so push the visit order backwards.
+        for child in (children if r2l else reversed(children)):
+            stack.append(child)
 
 
 def read_order_for_pass(

@@ -34,10 +34,48 @@ header/footer/checksums) remain readable: the readers sniff the magic
 and fall back to the v1 framing walk, now with the leading/trailing
 length cross-check the original backward reader skipped.
 
+Compact format v3 (the default)
+-------------------------------
+
+v2 pays ``pickle.dumps`` plus 16 framing bytes and a CRC32 *per
+record* — on a million-node APT that is a million checksum and write
+calls per pass.  Format v3 attacks both costs::
+
+    header   "APTSPL3\\n" magic + u16 version + u16 flags       (12 B)
+    block    <u32 payload_len> <u32 n_records> <u32 crc32>
+             payload := ( <u32 rec_len> record-bytes )*
+             <u32 crc32> <u32 n_records> <u32 payload_len>      (24 B + payload)
+    ...
+    names    <u32 nt_len> <u32 nt_crc32> name-table payload      (8 B + payload)
+    footer   "APTSEL3\\n" magic + u64 n_records + u64 data_bytes
+             + u64 n_blocks + u64 nt_offset + u32 nt_bytes
+             + u32 stream_crc + u32 footer_crc                  (52 B)
+
+Records are encoded by the struct-packed
+:class:`~repro.apt.codec.RecordCodec` (symbol/attribute names become
+name-table ids on disk) and framed into ~32 KiB *blocks* with **one**
+CRC32 per block — checksum and write-call overhead amortize across
+every record in the block, while the mirrored block frame keeps the
+two-seek backward hop of v2 (a backward reader decodes one block at a
+time, so memory stays bounded by the block size, not the file).  The
+name table is sealed into its own checksummed section before the
+footer.  ``finalize()`` keeps the v2 atomic tmp+fsync+rename
+discipline, and v1/v2 files remain fully readable and salvageable —
+the readers sniff the magic.
+
 Every integrity failure raises :class:`~repro.errors.SpoolCorruptionError`
-naming the 0-based record index and byte offset; :func:`scan_spool` and
-:func:`salvage_spool` give ``repro fsck`` a non-raising sweep and a
-longest-valid-prefix recovery path.
+naming the 0-based record index and byte offset (block-framed spools
+also carry the block index and block-relative offset);
+:func:`scan_spool` and :func:`salvage_spool` give ``repro fsck`` a
+non-raising sweep and a longest-valid-prefix recovery path for all
+three formats.
+
+:class:`AdaptiveSpool` (the default evaluation spool since pass
+fusion) keeps small APTs entirely in memory — raw records, no
+serialization at all — and transparently spills to a sealed v3
+:class:`DiskSpool` past a configurable byte budget, preserving the
+paper's bounded-memory guarantee while letting small inputs skip the
+filesystem entirely.
 """
 
 from __future__ import annotations
@@ -51,6 +89,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro.apt.codec import RecordCodec, deserialize_names, serialize_names
 from repro.errors import EvaluationError, SpoolCorruptionError
 from repro.util.iotrack import IOAccountant
 
@@ -58,6 +97,8 @@ _LEN = struct.Struct("<I")
 
 #: v2 file header: magic, format version, flags (reserved).
 MAGIC = b"APTSPL2\n"
+#: v3 file header magic (same header struct as v2).
+MAGIC_V3 = b"APTSPL3\n"
 _HEADER = struct.Struct("<8sHH")
 #: v2 record head (length, crc32) and mirrored tail (crc32, length).
 _REC_HEAD = struct.Struct("<II")
@@ -65,13 +106,34 @@ _REC_TAIL = struct.Struct("<II")
 #: v2 sealed footer: magic, n_records, data_bytes, stream crc, footer crc.
 FOOTER_MAGIC = b"APTSEAL\n"
 _FOOTER = struct.Struct("<8sQQII")
+#: v3 block head (payload_len, n_records, crc32) and mirrored tail
+#: (crc32, n_records, payload_len).
+_BLOCK_HEAD = struct.Struct("<III")
+_BLOCK_TAIL = struct.Struct("<III")
+#: v3 name-table section head: payload length, payload crc32.
+_NT_HEAD = struct.Struct("<II")
+#: v3 sealed footer: magic, n_records, data_bytes, n_blocks, nt_offset,
+#: nt_bytes, stream crc, footer crc.
+FOOTER_MAGIC_V3 = b"APTSEL3\n"
+_FOOTER3 = struct.Struct("<8sQQQQIII")
 
 FORMAT_V1 = 1
 FORMAT_V2 = 2
+FORMAT_V3 = 3
 
-#: Per-record framing overhead in bytes, by format version.
+#: Target (uncompressed) payload bytes per v3 block: one CRC32 and two
+#: write calls amortize across every record that fits.
+DEFAULT_BLOCK_SIZE = 32 * 1024
+
+#: Per-record framing overhead in bytes, by format version (v3 charges
+#: only the in-block length prefix per record; block framing is
+#: per-*block* and amortized).
 RECORD_OVERHEAD = {FORMAT_V1: 2 * _LEN.size,
-                   FORMAT_V2: _REC_HEAD.size + _REC_TAIL.size}
+                   FORMAT_V2: _REC_HEAD.size + _REC_TAIL.size,
+                   FORMAT_V3: _LEN.size}
+
+#: v3 per-block framing overhead (mirrored head + tail).
+BLOCK_OVERHEAD = _BLOCK_HEAD.size + _BLOCK_TAIL.size
 
 
 def _footer_bytes(n_records: int, data_bytes: int, stream_crc: int) -> bytes:
@@ -80,12 +142,36 @@ def _footer_bytes(n_records: int, data_bytes: int, stream_crc: int) -> bytes:
     return body[: _FOOTER.size - 4] + _LEN.pack(crc)
 
 
+def _footer3_bytes(
+    n_records: int, data_bytes: int, n_blocks: int,
+    nt_offset: int, nt_bytes: int, stream_crc: int,
+) -> bytes:
+    body = _FOOTER3.pack(
+        FOOTER_MAGIC_V3, n_records, data_bytes, n_blocks,
+        nt_offset, nt_bytes, stream_crc, 0,
+    )
+    crc = zlib.crc32(body[: _FOOTER3.size - 4])
+    return body[: _FOOTER3.size - 4] + _LEN.pack(crc)
+
+
 @dataclass
 class SpoolFooter:
     """Decoded v2 footer."""
 
     n_records: int
     data_bytes: int
+    stream_crc: int
+
+
+@dataclass
+class SpoolFooterV3:
+    """Decoded v3 footer."""
+
+    n_records: int
+    data_bytes: int
+    n_blocks: int
+    nt_offset: int
+    nt_bytes: int
     stream_crc: int
 
 
@@ -122,11 +208,18 @@ class Spool:
     def append(self, record: Any) -> None:
         if self._finalized:
             raise EvaluationError(f"spool {self.channel!r} already finalized")
-        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-        self.append_blob(blob)
+        self.append_blob(self._encode(record))
+
+    def _encode(self, record: Any) -> bytes:
+        """Serialize one record (pickle by default; v3 uses the codec)."""
+        return pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _decode(self, blob: bytes) -> Any:
+        """Inverse of :meth:`_encode`."""
+        return pickle.loads(blob)
 
     def append_blob(self, blob: bytes) -> None:
-        """Append an already-pickled record (the salvage/copy fast path)."""
+        """Append an already-encoded record (the salvage/copy fast path)."""
         if self._finalized:
             raise EvaluationError(f"spool {self.channel!r} already finalized")
         self._write_blob(blob)
@@ -154,7 +247,7 @@ class Spool:
                 self.tracer.instant(
                     "spool.read", cat="io", channel=self.channel, nbytes=len(blob)
                 )
-            yield pickle.loads(blob)
+            yield self._decode(blob)
 
     def read_backward(self) -> Iterator[Any]:
         self._require_finalized()
@@ -165,7 +258,7 @@ class Spool:
                 self.tracer.instant(
                     "spool.read", cat="io", channel=self.channel, nbytes=len(blob)
                 )
-            yield pickle.loads(blob)
+            yield self._decode(blob)
 
     def _require_finalized(self) -> None:
         if not self._finalized:
@@ -180,6 +273,8 @@ class Spool:
         record_index: Optional[int] = None,
         byte_offset: Optional[int] = None,
         reason: str = "corrupt",
+        block_index: Optional[int] = None,
+        block_byte_offset: Optional[int] = None,
     ) -> SpoolCorruptionError:
         """Build (and meter) a corruption error for this spool."""
         exc = SpoolCorruptionError(
@@ -188,6 +283,8 @@ class Spool:
             byte_offset=byte_offset,
             path=getattr(self, "path", None),
             reason=reason,
+            block_index=block_index,
+            block_byte_offset=block_byte_offset,
         )
         if self.metrics is not None:
             self.metrics.counter("robust.spool_corruption_detected").inc()
@@ -199,6 +296,7 @@ class Spool:
                 reason=reason,
                 record_index=record_index,
                 byte_offset=byte_offset,
+                block_index=block_index,
             )
         return exc
 
@@ -246,16 +344,224 @@ class MemorySpool(Spool):
         return iter(reversed(self._blobs))
 
 
+#: Default per-spool byte budget before an :class:`AdaptiveSpool`
+#: spills to disk.  Sized so typical interactive inputs never touch the
+#: filesystem while a pathological APT still honors the paper's
+#: bounded-primary-memory premise.
+DEFAULT_SPOOL_MEMORY_BUDGET = 8 * 1024 * 1024
+
+
+class AdaptiveSpool(Spool):
+    """Memory-resident spool that transparently spills to a v3 DiskSpool.
+
+    Small APTs — the overwhelmingly common case — never pay
+    serialization at all: records are kept as live Python objects and
+    handed back by reference.  Once the *estimated* footprint crosses
+    ``memory_budget`` bytes, the buffered records are replayed into a
+    fresh v3 :class:`DiskSpool` (temp file, removed on :meth:`close`)
+    and all subsequent traffic streams through it, restoring the
+    paper's secondary-storage behavior for inputs that actually need it.
+
+    Byte accounting stays meaningful without encoding every record:
+    the first ``EXACT_HEAD`` appends are probe-encoded through the v3
+    codec and charged their exact size (small spools — the common case
+    — account precisely), after which only every ``SAMPLE_EVERY``-th
+    record is probed and the running average is charged.  The charged
+    size of each record is remembered so the read side mirrors the
+    write side exactly (per-pass read/write byte symmetry holds, as it
+    does for the real formats).  After a spill, appends charge actual
+    encoded bytes.
+
+    Metrics: ``spool.spill.count`` / ``spool.spill.records`` /
+    ``spool.spill.bytes`` count spill events, records replayed, and
+    encoded bytes they produced; a ``spool.spill`` trace instant marks
+    the moment in the timeline.
+    """
+
+    #: Probe-encode (and charge exactly) this many leading records.
+    EXACT_HEAD = 64
+    #: Past the head, probe-encode one record in this many to keep the
+    #: running average calibrated.
+    SAMPLE_EVERY = 32
+
+    def __init__(
+        self,
+        accountant: Optional[IOAccountant] = None,
+        channel: str = "",
+        tracer=None,
+        metrics=None,
+        memory_budget: int = DEFAULT_SPOOL_MEMORY_BUDGET,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
+        super().__init__(accountant, channel, tracer, metrics)
+        self.memory_budget = max(0, memory_budget)
+        self.block_size = block_size
+        self._records: List[Any] = []
+        #: Per-record charged byte sizes (estimates before the spill,
+        #: actual encoded sizes after), mirrored on the read side.
+        self._sizes: List[int] = []
+        self._mem_bytes = 0
+        self._disk: Optional[DiskSpool] = None
+        self._probe = RecordCodec()
+        self._sample_bytes = 0
+        self._sample_count = 0
+        self._avg_bytes = 0
+
+    @property
+    def spilled(self) -> bool:
+        """Whether this spool has crossed its budget and gone to disk."""
+        return self._disk is not None
+
+    # -- writing ----------------------------------------------------------
+
+    def _estimate(self, record: Any) -> int:
+        i = self.n_records
+        if i < self.EXACT_HEAD or not i % self.SAMPLE_EVERY:
+            nbytes = len(self._probe.encode(record))
+            self._sample_bytes += nbytes
+            self._sample_count += 1
+            self._avg_bytes = self._sample_bytes // self._sample_count
+            if i < self.EXACT_HEAD:
+                return nbytes
+        return self._avg_bytes
+
+    def append(self, record: Any) -> None:
+        if self._finalized:
+            raise EvaluationError(f"spool {self.channel!r} already finalized")
+        if self._disk is None:
+            nbytes = self._estimate(record)
+            self._records.append(record)
+            self._mem_bytes += nbytes
+        else:
+            before = self._disk.data_bytes
+            self._disk.append(record)
+            nbytes = self._disk.data_bytes - before
+        self._sizes.append(nbytes)
+        self.n_records += 1
+        self.data_bytes += nbytes
+        if self.accountant is not None:
+            self.accountant.charge_write(nbytes, self.channel)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "spool.write", cat="io", channel=self.channel, nbytes=nbytes
+            )
+        if self._disk is None and self._mem_bytes > self.memory_budget:
+            self._spill()
+
+    def _spill(self) -> None:
+        """Replay the buffered records into a fresh v3 temp DiskSpool.
+
+        The inner spool carries no accountant/tracer of its own — the
+        replayed records were already charged at append time, and all
+        future traffic is charged by this wrapper — but it shares the
+        metrics registry so corruption/codec counters keep flowing.
+        """
+        disk = DiskSpool(
+            None, accountant=None, channel=self.channel,
+            tracer=None, metrics=self.metrics, block_size=self.block_size,
+        )
+        for record in self._records:
+            disk.append(record)
+        if self.metrics is not None:
+            self.metrics.counter("spool.spill.count").inc()
+            self.metrics.counter("spool.spill.records").inc(len(self._records))
+            self.metrics.counter("spool.spill.bytes").inc(disk.data_bytes)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "spool.spill", cat="io", channel=self.channel,
+                records=len(self._records), estimated_bytes=self._mem_bytes,
+                encoded_bytes=disk.data_bytes,
+            )
+        self._records = []
+        self._disk = disk
+
+    def finalize(self) -> None:
+        if self._disk is not None:
+            self._disk.finalize()
+        super().finalize()
+
+    # -- reading ----------------------------------------------------------
+
+    def _charge_read(self, nbytes: int) -> None:
+        if self.accountant is not None:
+            self.accountant.charge_read(nbytes, self.channel)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "spool.read", cat="io", channel=self.channel, nbytes=nbytes
+            )
+
+    def read_forward(self) -> Iterator[Any]:
+        self._require_finalized()
+        if self._disk is None:
+            for record, nbytes in zip(self._records, self._sizes):
+                self._charge_read(nbytes)
+                yield record
+        else:
+            decode = self._disk._decode
+            for blob, nbytes in zip(
+                self._disk._iter_blobs_forward(), self._sizes
+            ):
+                self._charge_read(nbytes)
+                yield decode(blob)
+
+    def read_backward(self) -> Iterator[Any]:
+        self._require_finalized()
+        if self._disk is None:
+            for record, nbytes in zip(
+                reversed(self._records), reversed(self._sizes)
+            ):
+                self._charge_read(nbytes)
+                yield record
+        else:
+            decode = self._disk._decode
+            for blob, nbytes in zip(
+                self._disk._iter_blobs_backward(), reversed(self._sizes)
+            ):
+                self._charge_read(nbytes)
+                yield decode(blob)
+
+    def close(self) -> None:
+        if self._disk is not None:
+            self._disk.close()
+            self._disk = None
+        self._records = []
+        self._sizes = []
+
+
+def adaptive_spool_factory(
+    accountant: Optional[IOAccountant] = None,
+    tracer=None,
+    metrics=None,
+    memory_budget: int = DEFAULT_SPOOL_MEMORY_BUDGET,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+):
+    """Build a ``SpoolFactory`` producing budgeted :class:`AdaptiveSpool`\\ s.
+
+    This is the default factory of
+    :meth:`repro.core.linguist.Translator.translate_tokens` and of
+    :class:`repro.evalgen.driver.AlternatingPassDriver`; the budget is
+    surfaced on the CLI as ``repro run --spool-memory-budget``.
+    """
+
+    def factory(channel: str) -> AdaptiveSpool:
+        return AdaptiveSpool(
+            accountant, channel, tracer=tracer, metrics=metrics,
+            memory_budget=memory_budget, block_size=block_size,
+        )
+
+    return factory
+
+
 class DiskSpool(Spool):
-    """Spool on real secondary storage (durable format v2 by default).
+    """Spool on real secondary storage (compact block format v3 by default).
 
     While being written, records stream into ``<path>.tmp``;
     :meth:`finalize` seals the footer, fsyncs, and atomically renames
-    the temp file over ``path``.  Pass ``format_version=1`` to write
-    the legacy checksum-free framing (for back-compat tests); both
-    versions are auto-detected on read.  Use :meth:`DiskSpool.open` to
-    attach to an existing finalized spool file (checkpoint resume,
-    fsck).
+    the temp file over ``path``.  Pass ``format_version=2`` for the
+    per-record-checksummed v2 layout or ``format_version=1`` for the
+    legacy checksum-free framing (back-compat tests); all versions are
+    auto-detected on read.  Use :meth:`DiskSpool.open` to attach to an
+    existing finalized spool file (checkpoint resume, fsck).
     """
 
     def __init__(
@@ -265,12 +571,14 @@ class DiskSpool(Spool):
         channel: str = "",
         tracer=None,
         metrics=None,
-        format_version: int = FORMAT_V2,
+        format_version: int = FORMAT_V3,
+        block_size: int = DEFAULT_BLOCK_SIZE,
     ):
         super().__init__(accountant, channel, tracer, metrics)
-        if format_version not in (FORMAT_V1, FORMAT_V2):
+        if format_version not in (FORMAT_V1, FORMAT_V2, FORMAT_V3):
             raise ValueError(f"unknown spool format version {format_version}")
         self.format_version = format_version
+        self.block_size = max(1, block_size)
         if path is None:
             fd, path = tempfile.mkstemp(prefix="apt_", suffix=".spool")
             os.close(fd)
@@ -279,9 +587,22 @@ class DiskSpool(Spool):
             self._owns_file = False
         self.path = path
         self._stream_crc = 0
-        if format_version == FORMAT_V2:
+        #: v3 writer state: the codec (doubles as the read codec of a
+        #: freshly written spool), the current block buffer, and counts.
+        self._codec: Optional[RecordCodec] = None
+        self._block_buf: Optional[bytearray] = None
+        self._block_records = 0
+        self._n_blocks = 0
+        self._nt_bytes = 0
+        if format_version == FORMAT_V3:
+            self._codec = RecordCodec()
+            self._block_buf = bytearray()
             self._tmp_path: Optional[str] = path + ".tmp"
             self._writer: Optional[io.BufferedWriter] = open(self._tmp_path, "wb")
+            self._writer.write(_HEADER.pack(MAGIC_V3, FORMAT_V3, 0))
+        elif format_version == FORMAT_V2:
+            self._tmp_path = path + ".tmp"
+            self._writer = open(self._tmp_path, "wb")
             self._writer.write(_HEADER.pack(MAGIC, FORMAT_V2, 0))
         else:
             self._tmp_path = None
@@ -312,12 +633,25 @@ class DiskSpool(Spool):
         spool._tmp_path = None
         spool._stream_crc = 0
         spool._finalized = True
+        spool._codec = None
+        spool._block_buf = None
+        spool._block_records = 0
+        spool._n_blocks = 0
+        spool._nt_bytes = 0
+        spool.block_size = DEFAULT_BLOCK_SIZE
         if not os.path.exists(path):
             raise spool._corrupt("spool file missing", reason="truncated")
         with open(path, "rb") as f:
             size = f.seek(0, os.SEEK_END)
             spool.format_version = spool._sniff_version(f, size)
-            if spool.format_version == FORMAT_V2:
+            if spool.format_version == FORMAT_V3:
+                footer = spool._read_footer3(f, size)
+                spool.n_records = footer.n_records
+                spool.data_bytes = footer.data_bytes
+                spool._stream_crc = footer.stream_crc
+                spool._n_blocks = footer.n_blocks
+                spool._nt_bytes = footer.nt_bytes
+            elif spool.format_version == FORMAT_V2:
                 footer = spool._read_footer(f, size)
                 spool.n_records = footer.n_records
                 spool.data_bytes = footer.data_bytes
@@ -333,10 +667,31 @@ class DiskSpool(Spool):
 
     # -- writing ----------------------------------------------------------
 
+    def _encode(self, record: Any) -> bytes:
+        if self.format_version == FORMAT_V3:
+            return self._codec.encode(record)
+        return super()._encode(record)
+
+    def _decode(self, blob: bytes) -> Any:
+        if self.format_version == FORMAT_V3:
+            codec = self._codec
+            if codec is None:
+                codec = self._codec = self._load_codec()
+            return codec.decode(blob)
+        return super()._decode(blob)
+
     def _write_blob(self, blob: bytes) -> None:
         if self._writer is None:
             raise EvaluationError(f"spool {self.channel!r} is not open for writing")
-        if self.format_version == FORMAT_V2:
+        if self.format_version == FORMAT_V3:
+            buf = self._block_buf
+            buf += _LEN.pack(len(blob))
+            buf += blob
+            self._block_records += 1
+            self._stream_crc = zlib.crc32(blob, self._stream_crc)
+            if len(buf) >= self.block_size:
+                self._flush_block()
+        elif self.format_version == FORMAT_V2:
             crc = zlib.crc32(blob)
             self._writer.write(_REC_HEAD.pack(len(blob), crc))
             self._writer.write(blob)
@@ -347,9 +702,60 @@ class DiskSpool(Spool):
             self._writer.write(blob)
             self._writer.write(_LEN.pack(len(blob)))
 
+    def _flush_block(self) -> None:
+        """Seal the current in-memory block: one CRC32 and one mirrored
+        frame for however many records accumulated."""
+        if not self._block_records:
+            return
+        payload = bytes(self._block_buf)
+        crc = zlib.crc32(payload)
+        self._writer.write(
+            _BLOCK_HEAD.pack(len(payload), self._block_records, crc)
+        )
+        self._writer.write(payload)
+        self._writer.write(
+            _BLOCK_TAIL.pack(crc, self._block_records, len(payload))
+        )
+        self._n_blocks += 1
+        if self.metrics is not None:
+            self.metrics.counter("spool.codec.blocks_written").inc()
+            self.metrics.counter("spool.codec.block_payload_bytes").inc(
+                len(payload)
+            )
+        self._block_buf = bytearray()
+        self._block_records = 0
+
     def finalize(self) -> None:
         if self._writer is not None:
-            if self.format_version == FORMAT_V2:
+            if self.format_version == FORMAT_V3:
+                self._flush_block()
+                nt_payload = serialize_names(self._codec.names)
+                nt_offset = self._writer.tell()
+                self._nt_bytes = len(nt_payload)
+                self._writer.write(
+                    _NT_HEAD.pack(len(nt_payload), zlib.crc32(nt_payload))
+                )
+                self._writer.write(nt_payload)
+                self._writer.write(
+                    _footer3_bytes(
+                        self.n_records, self.data_bytes, self._n_blocks,
+                        nt_offset, len(nt_payload), self._stream_crc,
+                    )
+                )
+                self._writer.flush()
+                os.fsync(self._writer.fileno())
+                self._writer.close()
+                self._writer = None
+                os.replace(self._tmp_path, self.path)
+                self._tmp_path = None
+                if self.metrics is not None:
+                    self.metrics.counter("spool.codec.records_written").inc(
+                        self.n_records
+                    )
+                    self.metrics.counter("spool.codec.nametable_bytes").inc(
+                        len(nt_payload)
+                    )
+            elif self.format_version == FORMAT_V2:
                 self._writer.write(
                     _footer_bytes(self.n_records, self.data_bytes, self._stream_crc)
                 )
@@ -378,6 +784,14 @@ class DiskSpool(Spool):
                         reason="header",
                     )
                 return FORMAT_V2
+            if magic == MAGIC_V3:
+                if version != FORMAT_V3:
+                    raise self._corrupt(
+                        f"unsupported spool format version {version}",
+                        byte_offset=0,
+                        reason="header",
+                    )
+                return FORMAT_V3
         return FORMAT_V1
 
     def _read_footer(self, f, size: int) -> SpoolFooter:
@@ -418,15 +832,225 @@ class DiskSpool(Spool):
             )
         return SpoolFooter(n_records, data_bytes, stream_crc)
 
+    def _read_footer3(self, f, size: int) -> SpoolFooterV3:
+        """Read and verify the sealed v3 footer (raises on any damage)."""
+        min_size = _HEADER.size + _NT_HEAD.size + 4 + _FOOTER3.size
+        if size < min_size:
+            raise self._corrupt(
+                f"file too short for a sealed v3 spool ({size} bytes)",
+                byte_offset=size,
+                reason="truncated",
+            )
+        f.seek(size - _FOOTER3.size)
+        raw = f.read(_FOOTER3.size)
+        (magic, n_records, data_bytes, n_blocks,
+         nt_offset, nt_bytes, stream_crc, footer_crc) = _FOOTER3.unpack(raw)
+        if magic != FOOTER_MAGIC_V3:
+            raise self._corrupt(
+                "missing footer seal (truncated file or crash before finalize)",
+                byte_offset=size - _FOOTER3.size,
+                reason="footer",
+            )
+        if zlib.crc32(raw[: _FOOTER3.size - 4]) != footer_crc:
+            raise self._corrupt(
+                "footer checksum mismatch",
+                byte_offset=size - _FOOTER3.size,
+                reason="footer",
+            )
+        expected = nt_offset + _NT_HEAD.size + nt_bytes + _FOOTER3.size
+        data_region = nt_offset - _HEADER.size
+        expected_data = (
+            data_bytes
+            + RECORD_OVERHEAD[FORMAT_V3] * n_records
+            + BLOCK_OVERHEAD * n_blocks
+        )
+        if expected != size or nt_offset < _HEADER.size or \
+                data_region != expected_data:
+            raise self._corrupt(
+                f"footer inconsistent with file size "
+                f"({size} bytes on disk, {expected} sealed; "
+                f"data region {data_region} vs {expected_data} promised)",
+                byte_offset=size - _FOOTER3.size,
+                reason="footer",
+            )
+        return SpoolFooterV3(
+            n_records, data_bytes, n_blocks, nt_offset, nt_bytes, stream_crc
+        )
+
+    def _load_codec(self) -> RecordCodec:
+        """Load the sealed name-table section and build the read codec."""
+        with open(self.path, "rb") as f:
+            size = f.seek(0, os.SEEK_END)
+            footer = self._read_footer3(f, size)
+            f.seek(footer.nt_offset)
+            head = f.read(_NT_HEAD.size)
+            if len(head) != _NT_HEAD.size:
+                raise self._corrupt(
+                    "name-table section head truncated",
+                    byte_offset=footer.nt_offset, reason="nametable",
+                )
+            nt_len, nt_crc = _NT_HEAD.unpack(head)
+            if nt_len != footer.nt_bytes:
+                raise self._corrupt(
+                    f"name-table length {nt_len} disagrees with the "
+                    f"footer ({footer.nt_bytes})",
+                    byte_offset=footer.nt_offset, reason="nametable",
+                )
+            payload = f.read(nt_len)
+            if len(payload) != nt_len:
+                raise self._corrupt(
+                    "name-table payload truncated",
+                    byte_offset=footer.nt_offset, reason="nametable",
+                )
+            if zlib.crc32(payload) != nt_crc:
+                raise self._corrupt(
+                    "name-table checksum mismatch (bit rot or torn write)",
+                    byte_offset=footer.nt_offset, reason="nametable",
+                )
+            try:
+                names = deserialize_names(payload)
+            except ValueError as exc:
+                raise self._corrupt(
+                    f"name-table payload undecodable: {exc}",
+                    byte_offset=footer.nt_offset, reason="nametable",
+                ) from exc
+        return RecordCodec(names)
+
     # -- forward reading ---------------------------------------------------
 
     def _iter_blobs_forward(self) -> Iterator[bytes]:
         with open(self.path, "rb") as f:
             size = f.seek(0, os.SEEK_END)
-            if self._sniff_version(f, size) == FORMAT_V2:
+            version = self._sniff_version(f, size)
+            if version == FORMAT_V3:
+                yield from self._iter_v3_forward(f, size)
+            elif version == FORMAT_V2:
                 yield from self._iter_v2_forward(f, size)
             else:
                 yield from self._iter_v1_forward(f, size)
+
+    def _split_block(
+        self, payload: bytes, n_records: int,
+        block_index: int, block_start: int, first_record_index: int,
+    ) -> List[bytes]:
+        """Split a checksum-verified block payload into its records."""
+        blobs: List[bytes] = []
+        pos = 0
+        end = len(payload)
+        for i in range(n_records):
+            if pos + _LEN.size > end:
+                raise self._corrupt(
+                    f"record length prefix overruns the block payload",
+                    record_index=first_record_index + i,
+                    byte_offset=block_start + _BLOCK_HEAD.size + pos,
+                    block_index=block_index, block_byte_offset=pos,
+                    reason="framing",
+                )
+            (length,) = _LEN.unpack_from(payload, pos)
+            pos += _LEN.size
+            if pos + length > end:
+                raise self._corrupt(
+                    f"record length {length} overruns the block payload",
+                    record_index=first_record_index + i,
+                    byte_offset=block_start + _BLOCK_HEAD.size + pos,
+                    block_index=block_index, block_byte_offset=pos,
+                    reason="framing",
+                )
+            blobs.append(payload[pos:pos + length])
+            pos += length
+        if pos != end:
+            raise self._corrupt(
+                f"block payload has {end - pos} trailing bytes after "
+                f"its {n_records} records",
+                record_index=first_record_index + n_records - 1,
+                byte_offset=block_start + _BLOCK_HEAD.size + pos,
+                block_index=block_index, block_byte_offset=pos,
+                reason="framing",
+            )
+        return blobs
+
+    def _read_block_forward(
+        self, f, pos: int, data_end: int, block_index: int,
+        first_record_index: int,
+    ) -> Tuple[List[bytes], int]:
+        """Read + verify one block at ``pos``; return (records, end pos)."""
+        head = f.read(_BLOCK_HEAD.size)
+        if len(head) != _BLOCK_HEAD.size:
+            raise self._corrupt(
+                "block header truncated",
+                record_index=first_record_index, byte_offset=pos,
+                block_index=block_index, reason="truncated",
+            )
+        payload_len, n_records, want_crc = _BLOCK_HEAD.unpack(head)
+        if payload_len > data_end - pos - BLOCK_OVERHEAD:
+            raise self._corrupt(
+                f"block payload length {payload_len} overruns the sealed "
+                f"data region",
+                record_index=first_record_index, byte_offset=pos,
+                block_index=block_index, reason="framing",
+            )
+        payload = f.read(payload_len)
+        if len(payload) != payload_len:
+            raise self._corrupt(
+                "block payload truncated",
+                record_index=first_record_index, byte_offset=pos,
+                block_index=block_index, reason="truncated",
+            )
+        tail = f.read(_BLOCK_TAIL.size)
+        if len(tail) != _BLOCK_TAIL.size:
+            raise self._corrupt(
+                "block trailer truncated",
+                record_index=first_record_index, byte_offset=pos,
+                block_index=block_index, reason="truncated",
+            )
+        tail_crc, tail_n, tail_len = _BLOCK_TAIL.unpack(tail)
+        if tail_len != payload_len or tail_n != n_records or \
+                tail_crc != want_crc:
+            raise self._corrupt(
+                "block head/tail framing mismatch",
+                record_index=first_record_index, byte_offset=pos,
+                block_index=block_index, reason="framing",
+            )
+        if zlib.crc32(payload) != want_crc:
+            raise self._corrupt(
+                "block checksum mismatch (bit rot or torn write)",
+                record_index=first_record_index, byte_offset=pos,
+                block_index=block_index, reason="checksum",
+            )
+        blobs = self._split_block(
+            payload, n_records, block_index, pos, first_record_index
+        )
+        return blobs, pos + BLOCK_OVERHEAD + payload_len
+
+    def _iter_v3_forward(self, f, size: int) -> Iterator[bytes]:
+        footer = self._read_footer3(f, size)
+        data_end = footer.nt_offset
+        pos = _HEADER.size
+        f.seek(pos)
+        index = 0
+        block_index = 0
+        crc = 0
+        while pos < data_end:
+            blobs, pos = self._read_block_forward(
+                f, pos, data_end, block_index, index
+            )
+            for blob in blobs:
+                crc = zlib.crc32(blob, crc)
+                yield blob
+                index += 1
+            block_index += 1
+        if index != footer.n_records or block_index != footer.n_blocks:
+            raise self._corrupt(
+                f"footer promises {footer.n_records} records in "
+                f"{footer.n_blocks} blocks, walked {index} in {block_index}",
+                record_index=index, byte_offset=pos,
+                block_index=block_index, reason="footer",
+            )
+        if crc != footer.stream_crc:
+            raise self._corrupt(
+                "whole-file stream checksum mismatch",
+                record_index=index, byte_offset=pos, reason="footer",
+            )
 
     def _iter_v2_forward(self, f, size: int) -> Iterator[bytes]:
         footer = self._read_footer(f, size)
@@ -527,10 +1151,79 @@ class DiskSpool(Spool):
     def _iter_blobs_backward(self) -> Iterator[bytes]:
         with open(self.path, "rb") as f:
             size = f.seek(0, os.SEEK_END)
-            if self._sniff_version(f, size) == FORMAT_V2:
+            version = self._sniff_version(f, size)
+            if version == FORMAT_V3:
+                yield from self._iter_v3_backward(f, size)
+            elif version == FORMAT_V2:
                 yield from self._iter_v2_backward(f, size)
             else:
                 yield from self._iter_v1_backward(f, size)
+
+    def _iter_v3_backward(self, f, size: int) -> Iterator[bytes]:
+        """Hop block-to-block from the back via the mirrored tails,
+        decode each block forward, and yield its records reversed —
+        memory stays bounded by one block, not the file."""
+        footer = self._read_footer3(f, size)
+        pos = footer.nt_offset  # end of the block region
+        blocks_seen = 0
+        records_seen = 0
+        while pos > _HEADER.size:
+            block_index = footer.n_blocks - blocks_seen - 1
+            if pos - _BLOCK_TAIL.size < _HEADER.size:
+                raise self._corrupt(
+                    "dangling bytes before the first block",
+                    byte_offset=pos, block_index=block_index,
+                    reason="framing",
+                )
+            f.seek(pos - _BLOCK_TAIL.size)
+            tail_crc, tail_n, tail_len = _BLOCK_TAIL.unpack(
+                f.read(_BLOCK_TAIL.size)
+            )
+            start = pos - BLOCK_OVERHEAD - tail_len
+            if start < _HEADER.size:
+                raise self._corrupt(
+                    f"trailing block length {tail_len} underruns the header",
+                    byte_offset=pos - _BLOCK_TAIL.size,
+                    block_index=block_index, reason="framing",
+                )
+            f.seek(start)
+            first_record_index = None  # filled after the head is read
+            head = f.read(_BLOCK_HEAD.size)
+            payload_len, n_records, want_crc = _BLOCK_HEAD.unpack(head)
+            first_record_index = (
+                footer.n_records - records_seen - n_records
+            )
+            if payload_len != tail_len or n_records != tail_n or \
+                    want_crc != tail_crc:
+                raise self._corrupt(
+                    "block head/tail framing mismatch",
+                    record_index=max(first_record_index, 0),
+                    byte_offset=start, block_index=block_index,
+                    reason="framing",
+                )
+            payload = f.read(payload_len)
+            if len(payload) != payload_len or zlib.crc32(payload) != want_crc:
+                raise self._corrupt(
+                    "block checksum mismatch (bit rot or torn write)",
+                    record_index=max(first_record_index, 0),
+                    byte_offset=start, block_index=block_index,
+                    reason="checksum",
+                )
+            blobs = self._split_block(
+                payload, n_records, block_index, start,
+                max(first_record_index, 0),
+            )
+            yield from reversed(blobs)
+            blocks_seen += 1
+            records_seen += n_records
+            pos = start
+        if blocks_seen != footer.n_blocks or records_seen != footer.n_records:
+            raise self._corrupt(
+                f"footer promises {footer.n_records} records in "
+                f"{footer.n_blocks} blocks, walked {records_seen} in "
+                f"{blocks_seen}",
+                byte_offset=pos, reason="footer",
+            )
 
     def _iter_v2_backward(self, f, size: int) -> Iterator[bytes]:
         footer = self._read_footer(f, size)
@@ -620,6 +1313,18 @@ class DiskSpool(Spool):
 
     def file_bytes(self) -> int:
         """Actual on-disk size, including framing, header, and footer."""
+        if self.format_version == FORMAT_V3:
+            if self._finalized and os.path.exists(self.path):
+                return os.path.getsize(self.path)
+            # Unfinalized estimate: header + data + per-record prefixes
+            # + sealed blocks so far (+ the still-buffered one).
+            pending = 1 if self._block_records else 0
+            return (
+                _HEADER.size
+                + self.data_bytes
+                + RECORD_OVERHEAD[FORMAT_V3] * self.n_records
+                + BLOCK_OVERHEAD * (self._n_blocks + pending)
+            )
         per_record = RECORD_OVERHEAD[self.format_version]
         fixed = (
             _HEADER.size + _FOOTER.size
@@ -639,7 +1344,7 @@ class SpoolScanReport:
     """Outcome of a tolerant full sweep over a spool file (``repro fsck``)."""
 
     path: str
-    version: int = FORMAT_V2
+    version: int = FORMAT_V3
     file_bytes: int = 0
     #: Records whose framing + checksum verified, scanning forward.
     n_valid: int = 0
@@ -651,6 +1356,11 @@ class SpoolScanReport:
     #: Footer-sealed record count (None for v1 / unsealed files).
     sealed_records: Optional[int] = None
     footer_ok: bool = False
+    #: v3 only: blocks whose frame + checksum verified / footer-sealed
+    #: block count / name-table section integrity.
+    n_blocks_valid: int = 0
+    sealed_blocks: Optional[int] = None
+    nametable_ok: Optional[bool] = None
     #: The first integrity failure met, if any.
     error: Optional[SpoolCorruptionError] = None
 
@@ -668,8 +1378,21 @@ class SpoolScanReport:
             f"  records     {self.n_valid:,} valid"
             + (f" / {self.sealed_records:,} sealed"
                if self.sealed_records is not None else ""),
-            f"  payload     {self.valid_data_bytes:,} bytes over the valid prefix",
         ]
+        if self.version == FORMAT_V3:
+            lines.append(
+                f"  blocks      {self.n_blocks_valid:,} valid"
+                + (f" / {self.sealed_blocks:,} sealed"
+                   if self.sealed_blocks is not None else "")
+            )
+            if self.nametable_ok is not None:
+                lines.append(
+                    "  name table  "
+                    + ("sealed" if self.nametable_ok else "BAD")
+                )
+        lines.append(
+            f"  payload     {self.valid_data_bytes:,} bytes over the valid prefix"
+        )
         if self.error is None:
             lines.append("  status      clean")
         else:
@@ -689,13 +1412,7 @@ def scan_spool(path: str, metrics=None, tracer=None) -> SpoolScanReport:
     checksum-valid prefix — the unit :func:`salvage_spool` recovers.
     """
     report = SpoolScanReport(path=path)
-    spool = DiskSpool.__new__(DiskSpool)
-    Spool.__init__(spool, None, os.path.basename(path), tracer, metrics)
-    spool.path = path
-    spool._owns_file = False
-    spool._writer = None
-    spool._tmp_path = None
-    spool._finalized = True
+    spool = _attach_readonly(path, tracer, metrics)
     try:
         size = os.path.getsize(path)
     except OSError:
@@ -710,7 +1427,22 @@ def scan_spool(path: str, metrics=None, tracer=None) -> SpoolScanReport:
             return report
         report.version = version
         spool.format_version = version
-        if version == FORMAT_V2:
+        blocks_valid = [0]
+        if version == FORMAT_V3:
+            report.valid_end_offset = _HEADER.size
+            footer3: Optional[SpoolFooterV3] = None
+            try:
+                footer3 = spool._read_footer3(f, size)
+                report.sealed_records = footer3.n_records
+                report.sealed_blocks = footer3.n_blocks
+                report.footer_ok = True
+            except SpoolCorruptionError as exc:
+                report.error = exc
+            # Walk blocks tolerantly; under an intact footer the data
+            # region ends where the name-table section begins.
+            data_end = footer3.nt_offset if report.footer_ok else size
+            walker = _walk_v3_records(spool, f, data_end, blocks_valid)
+        elif version == FORMAT_V2:
             report.valid_end_offset = _HEADER.size
             try:
                 footer = spool._read_footer(f, size)
@@ -732,6 +1464,7 @@ def scan_spool(path: str, metrics=None, tracer=None) -> SpoolScanReport:
         except SpoolCorruptionError as exc:
             if report.error is None:
                 report.error = exc
+        report.n_blocks_valid = blocks_valid[0]
         if (
             report.error is None
             and report.sealed_records is not None
@@ -744,7 +1477,121 @@ def scan_spool(path: str, metrics=None, tracer=None) -> SpoolScanReport:
                 byte_offset=report.valid_end_offset,
                 reason="footer",
             )
+    if version == FORMAT_V3 and report.footer_ok:
+        # The records are only decodable through the sealed name table,
+        # so its integrity is part of the fsck verdict.
+        try:
+            spool._load_codec()
+            report.nametable_ok = True
+        except SpoolCorruptionError as exc:
+            report.nametable_ok = False
+            if report.error is None:
+                report.error = exc
     return report
+
+
+def _attach_readonly(path: str, tracer=None, metrics=None) -> DiskSpool:
+    """Build a bare read-only :class:`DiskSpool` shell for fsck walks.
+
+    Unlike :meth:`DiskSpool.open` this never touches the file, so it
+    works on arbitrarily damaged inputs; the caller sniffs the version
+    and sets ``format_version`` itself.
+    """
+    spool = DiskSpool.__new__(DiskSpool)
+    Spool.__init__(spool, None, os.path.basename(path), tracer, metrics)
+    spool.path = path
+    spool._owns_file = False
+    spool._writer = None
+    spool._tmp_path = None
+    spool._finalized = True
+    spool._stream_crc = 0
+    spool._codec = None
+    spool._block_buf = None
+    spool._block_records = 0
+    spool._n_blocks = 0
+    spool._nt_bytes = 0
+    spool.block_size = DEFAULT_BLOCK_SIZE
+    return spool
+
+
+def _walk_v3_records(
+    spool, f, data_end, blocks_valid
+) -> Iterator[Tuple[int, bytes]]:
+    """Tolerant forward walk over v3 blocks.
+
+    Yields ``(offset_after, blob)`` per record — ``offset_after`` is the
+    absolute file offset one past the record's bytes *inside* its block
+    payload, so fsck reports stay record-granular even though integrity
+    is verified block-at-a-time.  ``blocks_valid`` is a one-cell list
+    incremented per fully verified block (generators cannot return a
+    count mid-iteration to a caller that also consumes their items).
+    """
+    pos = _HEADER.size
+    f.seek(pos)
+    index = 0
+    block_index = 0
+    while pos < data_end:
+        block_start = pos
+        blobs, pos = spool._read_block_forward(
+            f, block_start, data_end, block_index, index
+        )
+        blocks_valid[0] += 1
+        off = block_start + _BLOCK_HEAD.size
+        for blob in blobs:
+            off += _LEN.size + len(blob)
+            yield off, blob
+            index += 1
+        block_index += 1
+
+
+def _collect_v3_blocks(spool, f, data_end) -> Tuple[List[bytes], int]:
+    """Collect the valid-prefix record blobs of a v3 data region.
+
+    Returns ``(blobs, end)`` where ``end`` is the file offset one past
+    the last fully verified block — under a damaged footer that is the
+    best guess for where the name-table section starts.
+    """
+    blobs_ok: List[bytes] = []
+    pos = _HEADER.size
+    f.seek(pos)
+    index = 0
+    block_index = 0
+    try:
+        while pos < data_end:
+            blobs, pos = spool._read_block_forward(
+                f, pos, data_end, block_index, index
+            )
+            blobs_ok.extend(blobs)
+            index += len(blobs)
+            block_index += 1
+    except SpoolCorruptionError:
+        pass  # the prefix up to the damage is what salvage copies
+    return blobs_ok, pos
+
+
+def _try_recover_nametable(f, nt_start: int, size: int):
+    """Best-effort parse of a v3 name-table section at ``nt_start``.
+
+    Used when the footer is damaged and the section can no longer be
+    located through it.  Returns a :class:`RecordCodec` when the
+    section's own length/crc framing verifies, else ``None``.
+    """
+    if nt_start + _NT_HEAD.size > size:
+        return None
+    f.seek(nt_start)
+    head = f.read(_NT_HEAD.size)
+    if len(head) != _NT_HEAD.size:
+        return None
+    nt_len, nt_crc = _NT_HEAD.unpack(head)
+    if nt_start + _NT_HEAD.size + nt_len > size:
+        return None
+    payload = f.read(nt_len)
+    if len(payload) != nt_len or zlib.crc32(payload) != nt_crc:
+        return None
+    try:
+        return RecordCodec(deserialize_names(payload))
+    except ValueError:
+        return None
 
 
 def _walk_v2_records(spool, f, data_end) -> Iterator[Tuple[int, bytes]]:
@@ -827,26 +1674,58 @@ def salvage_spool(
 ) -> SpoolScanReport:
     """Recover the longest checksum-valid prefix of ``src`` into ``dst``.
 
-    ``dst`` is written as a fresh sealed v2 spool (atomic finalize), so
-    a salvaged file always verifies clean afterwards.  Returns the scan
-    report of the *source*; ``report.n_valid`` records were recovered.
+    v1/v2 sources are rewritten as fresh sealed **v2** spools (record
+    blobs are pickles — format-agnostic), while a v3 source is rescued
+    into a sealed **v3** spool whose name table is copied verbatim from
+    the source so the interned ids inside the copied blobs stay
+    aligned.  When the v3 footer itself is the damaged part, salvage
+    walks the blocks anyway and attempts to parse the name-table
+    section where the valid blocks end — a flipped footer bit must not
+    cost the whole spool.  A v3 file whose name table cannot be
+    recovered at all (crash before finalize, or the section itself hit
+    by bit rot) is unrecoverable by design: its blobs reference
+    interned ids that no longer spell anything, so salvage writes an
+    *empty* sealed spool rather than garbage.
+
+    ``dst`` always verifies clean afterwards (atomic finalize).
+    Returns the scan report of the *source*; the number of records
+    actually recovered is reported via the ``robust.*`` metrics.
     """
     report = scan_spool(src, metrics=metrics, tracer=tracer)
-    out = DiskSpool(dst, channel=os.path.basename(dst), tracer=tracer,
-                    metrics=metrics)
-    spool = DiskSpool.__new__(DiskSpool)
-    Spool.__init__(spool, None, os.path.basename(src), None, None)
-    spool.path = src
-    spool._owns_file = False
-    spool._writer = None
-    spool._tmp_path = None
-    spool._finalized = True
+    if report.version == FORMAT_V3:
+        out = DiskSpool(dst, channel=os.path.basename(dst), tracer=tracer,
+                        metrics=metrics, format_version=FORMAT_V3)
+    else:
+        out = DiskSpool(dst, channel=os.path.basename(dst), tracer=tracer,
+                        metrics=metrics, format_version=FORMAT_V2)
+    spool = _attach_readonly(src)
     spool.format_version = report.version
     recovered = 0
     try:
         size = report.file_bytes
         with open(src, "rb") as f:
-            if report.version == FORMAT_V2:
+            if report.version == FORMAT_V3:
+                if report.footer_ok:
+                    data_end = spool._read_footer3(f, size).nt_offset
+                else:
+                    data_end = size
+                blobs_ok, nt_start = _collect_v3_blocks(
+                    spool, f, data_end
+                )
+                if report.footer_ok and report.nametable_ok:
+                    # Seed the output codec with the source's sealed
+                    # name table so copied blobs decode identically.
+                    codec: Optional[RecordCodec] = spool._load_codec()
+                elif not report.footer_ok:
+                    codec = _try_recover_nametable(f, nt_start, size)
+                else:
+                    codec = None  # sealed name table failed its crc
+                if codec is not None:
+                    out._codec = codec
+                    walker = ((0, blob) for blob in blobs_ok)
+                else:
+                    walker = iter(())  # ids unspellable: nothing to save
+            elif report.version == FORMAT_V2:
                 data_end = size - _FOOTER.size if report.footer_ok else size
                 walker = _walk_v2_records(spool, f, data_end)
             else:

@@ -50,7 +50,9 @@ from repro.passes.schedule import Direction
 
 #: Bump whenever the payload layout, the generated-code shape, or the
 #: canonicalization itself changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: 2: payloads carry fusion metadata; the strategy text gained the
+#: pass-fusion flag (plans built under fusion are shaped differently).
+CACHE_FORMAT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -91,6 +93,7 @@ def canonical_strategy_text(
     subsumption: Optional[SubsumptionConfig] = None,
     dead_attribute_suppression: bool = True,
     check_circularity: bool = True,
+    fuse_passes: bool = True,
 ) -> str:
     """Canonical rendering of the pass strategy (the build *recipe*)."""
     direction = (
@@ -107,6 +110,7 @@ def canonical_strategy_text(
         f" subsumption=({cfg_text})"
         f" deadness={bool(dead_attribute_suppression)}"
         f" circularity={bool(check_circularity)}"
+        f" fusion={bool(fuse_passes)}"
     )
 
 
@@ -150,6 +154,7 @@ def grammar_key(
     subsumption: Optional[SubsumptionConfig] = None,
     dead_attribute_suppression: bool = True,
     check_circularity: bool = True,
+    fuse_passes: bool = True,
 ) -> str:
     """Content address of the per-grammar build artifacts."""
     return _digest(
@@ -161,6 +166,7 @@ def grammar_key(
             subsumption,
             dead_attribute_suppression,
             check_circularity,
+            fuse_passes,
         ),
     )
 
@@ -180,6 +186,7 @@ def source_key(
     subsumption: Optional[SubsumptionConfig] = None,
     dead_attribute_suppression: bool = True,
     check_circularity: bool = True,
+    fuse_passes: bool = True,
 ) -> str:
     """Alias key over the raw ``.ag`` source text + strategy.
 
@@ -196,5 +203,6 @@ def source_key(
             subsumption,
             dead_attribute_suppression,
             check_circularity,
+            fuse_passes,
         ),
     )

@@ -123,7 +123,8 @@ def cmd_run(args) -> int:
     translator = linguist.make_translator(spec, library=library_for(args.name))
     text = _read(args.input) if os.path.exists(args.input) else args.input
     result = translator.translate(
-        text, checkpoint_dir=args.checkpoint_dir, resume=args.resume
+        text, checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        spool_memory_budget=args.spool_memory_budget,
     )
     if args.checkpoint_dir:
         verb = "resumed from" if args.resume else "checkpointed to"
@@ -325,6 +326,9 @@ def cmd_profile(args) -> int:
             "dead attribute instances skipped"
         )
     for title, prefix in (
+        ("fusion", "fusion."),
+        ("spool codec", "spool.codec."),
+        ("spool spill", "spool.spill."),
         ("robustness", "robust."),
         ("build cache", "cache."),
         ("batch", "batch."),
@@ -520,18 +524,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a killed evaluation from the checkpoint manifest "
         "(requires --checkpoint-dir)",
     )
+    p_run.add_argument(
+        "--spool-memory-budget", type=int, default=None, metavar="BYTES",
+        help="max bytes each intermediate APT spool keeps in memory "
+        "before spilling to a sealed v3 disk spool (default 8 MiB; "
+        "0 forces disk spooling throughout)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_fsck = sub.add_parser(
         "fsck",
-        help="verify an APT spool file's header, per-record checksums, "
-        "and sealed footer",
+        help="verify an APT spool file's header, record/block checksums, "
+        "name table, and sealed footer",
     )
-    p_fsck.add_argument("spool", help="path to a .spool file (v1 or v2)")
+    p_fsck.add_argument("spool", help="path to a .spool file (v1, v2, or v3)")
     p_fsck.add_argument(
         "--salvage", metavar="OUT",
         help="recover the longest checksum-valid prefix into a fresh "
-        "sealed v2 spool at OUT",
+        "sealed spool at OUT (v3 sources are rescued as v3 with their "
+        "name table; v1/v2 as v2)",
     )
     p_fsck.add_argument(
         "--metrics", action="store_true",

@@ -44,7 +44,11 @@ from repro.ag.circularity import check_noncircular
 from repro.ag.model import AttributeGrammar
 from repro.ag.stats import GrammarStatistics, compute_statistics
 from repro.apt.build import APTBuilder, default_intrinsics
-from repro.apt.storage import MemorySpool, Spool
+from repro.apt.storage import (
+    DEFAULT_SPOOL_MEMORY_BUDGET,
+    Spool,
+    adaptive_spool_factory,
+)
 from repro.errors import DiagnosticSink, EvaluationError
 from repro.evalgen.codegen_pascal import PascalCodeGenerator
 from repro.evalgen.codegen_py import CodeArtifact, GeneratedEvaluator
@@ -66,6 +70,7 @@ from repro.core.overlays import OverlayClock, OverlayTiming
 from repro.lalr.parser import LALRParser
 from repro.lalr.tables import ParseTables, build_tables
 from repro.obs.metrics import MetricsRegistry
+from repro.passes.fusion import FusionResult, fuse_assignment
 from repro.passes.partition import PassAssignment, assign_passes
 from repro.passes.schedule import Direction
 from repro.regex.generator import ScannerGenerator, ScannerSpec
@@ -85,6 +90,7 @@ _PAYLOAD_KEYS = frozenset(
         "pascal",
         "listing",
         "tables",
+        "fusion",
     ]
 )
 
@@ -100,6 +106,7 @@ class Linguist:
         subsumption: Optional[SubsumptionConfig] = None,
         dead_attribute_suppression: bool = True,
         check_circularity: bool = True,
+        fuse_passes: bool = True,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         cache=None,
@@ -126,6 +133,13 @@ class Linguist:
         self.subsumption_config = subsumption
         self.dead_attribute_suppression = dead_attribute_suppression
         self.check_circularity = check_circularity
+        #: Whether to statically merge adjacent passes whose attribute
+        #: dependencies permit evaluation in one traversal (pass fusion;
+        #: see repro.passes.fusion).  Part of the cache key.
+        self.fuse_passes = fuse_passes
+        #: The fusion outcome (repro.passes.fusion.FusionResult); when
+        #: ``fuse_passes`` is False this records zero eliminated passes.
+        self.fusion: Optional[FusionResult] = None
         #: The parsed ``.ag`` syntax tree (None on an alias-level warm
         #: start, which skips parsing entirely).
         self.ag_file = None
@@ -157,12 +171,23 @@ class Linguist:
             if first_direction == "auto":
                 from repro.passes.partition import choose_first_direction
 
-                return choose_first_direction(self.ag)
-            return assign_passes(self.ag, first_direction)
+                assignment = choose_first_direction(self.ag)
+            else:
+                assignment = assign_passes(self.ag, first_direction)
+            if fuse_passes:
+                fusion = fuse_assignment(
+                    self.ag, assignment,
+                    metrics=self.metrics, tracer=self.tracer,
+                )
+            else:
+                fusion = FusionResult(
+                    assignment=assignment,
+                    original_n_passes=assignment.n_passes,
+                )
+            return fusion
 
-        self.assignment: PassAssignment = clock.run(
-            "evaluability test overlay", evaluability
-        )
+        self.fusion = clock.run("evaluability test overlay", evaluability)
+        self.assignment: PassAssignment = self.fusion.assignment
 
         def shape():
             from repro.evalgen.subsumption import refine_allocation
@@ -231,6 +256,7 @@ class Linguist:
             self.subsumption_config,
             self.dead_attribute_suppression,
             self.check_circularity,
+            self.fuse_passes,
         )
 
     def _try_warm(self, clock: OverlayClock) -> bool:
@@ -292,6 +318,27 @@ class Linguist:
             # and the listing should report ours.
             self.ag.source_lines = own_source_lines
         self.assignment = payload["assignment"]
+        fusion_meta = payload["fusion"]
+        self.fusion = FusionResult(
+            assignment=self.assignment,
+            original_n_passes=fusion_meta["original_n_passes"],
+            fused_pairs=[tuple(p) for p in fusion_meta["fused_pairs"]],
+        )
+        if self.fusion.fused:
+            # Re-emit the fusion metrics so `repro profile` attributes
+            # the eliminated passes on warm starts too.
+            self.metrics.counter("fusion.fused").inc(
+                len(self.fusion.fused_pairs)
+            )
+            self.metrics.counter("fusion.passes_eliminated").inc(
+                self.fusion.passes_eliminated
+            )
+            self.metrics.gauge("fusion.n_passes_before").set(
+                self.fusion.original_n_passes
+            )
+            self.metrics.gauge("fusion.n_passes_after").set(
+                self.assignment.n_passes
+            )
         self.deadness = payload["deadness"]
         self.allocation = payload["allocation"]
         self.plans = payload["plans"]
@@ -327,6 +374,10 @@ class Linguist:
             "pascal": self.pascal_artifacts,
             "listing": self.listing,
             "tables": self._build_tables(),
+            "fusion": {
+                "original_n_passes": self.fusion.original_n_passes,
+                "fused_pairs": [list(p) for p in self.fusion.fused_pairs],
+            },
         }
         self.cache.store(
             "grammar", self._model_key, payload,
@@ -444,6 +495,7 @@ class Translator:
         metrics: Optional[MetricsRegistry] = None,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        spool_memory_budget: Optional[int] = None,
     ) -> EvaluationResult:
         """Scan, parse, and evaluate ``text``.
 
@@ -453,6 +505,9 @@ class Translator:
         completed pass seals its spool there and updates the manifest,
         and ``resume=True`` restarts from the first incomplete pass of
         a previously killed run (see docs/robustness.md).
+        ``spool_memory_budget`` caps the bytes each intermediate APT
+        spool may keep in memory before spilling to a v3 disk spool
+        (None picks the default; 0 forces disk spooling throughout).
         """
         if self.scanner is None:
             raise EvaluationError(
@@ -465,6 +520,7 @@ class Translator:
             metrics=metrics,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            spool_memory_budget=spool_memory_budget,
         )
 
     def translate_many(
@@ -499,11 +555,19 @@ class Translator:
         metrics: Optional[MetricsRegistry] = None,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        spool_memory_budget: Optional[int] = None,
     ) -> EvaluationResult:
         accountant = accountant if accountant is not None else IOAccountant()
         metrics = metrics if metrics is not None else MetricsRegistry()
-        factory = spool_factory or (
-            lambda ch: MemorySpool(accountant, ch, tracer=tracer)
+        factory = spool_factory or adaptive_spool_factory(
+            accountant,
+            tracer=tracer,
+            metrics=metrics,
+            memory_budget=(
+                DEFAULT_SPOOL_MEMORY_BUDGET
+                if spool_memory_budget is None
+                else spool_memory_budget
+            ),
         )
         initial = self._build_initial(tokens, factory, tracer, metrics)
         driver = AlternatingPassDriver(

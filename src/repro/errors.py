@@ -170,7 +170,13 @@ class SpoolCorruptionError(EvaluationError):
     ``byte_offset`` is the file offset where the inconsistency was
     detected, and ``reason`` is a short machine-readable tag
     (``"checksum"``, ``"truncated"``, ``"framing"``, ``"header"``,
-    ``"footer"``).
+    ``"footer"``, ``"nametable"``).
+
+    Block-framed (format v3) spools carry a second, block-relative
+    locus: ``block_index`` is the 0-based index of the damaged block
+    and ``block_byte_offset`` the offset of the failure *inside* that
+    block's payload (``None`` when the damage is the block frame
+    itself).  v1/v2 errors leave both ``None``.
     """
 
     def __init__(
@@ -181,6 +187,8 @@ class SpoolCorruptionError(EvaluationError):
         byte_offset: Optional[int] = None,
         path: Optional[str] = None,
         reason: str = "corrupt",
+        block_index: Optional[int] = None,
+        block_byte_offset: Optional[int] = None,
         diagnostics: Optional[List[Diagnostic]] = None,
     ):
         super().__init__(message, diagnostics=diagnostics)
@@ -188,12 +196,24 @@ class SpoolCorruptionError(EvaluationError):
         self.byte_offset = byte_offset
         self.path = path
         self.reason = reason
+        self.block_index = block_index
+        self.block_byte_offset = block_byte_offset
 
     def locus(self) -> str:
-        """Human-readable ``record N @ byte M`` locator."""
+        """Human-readable ``record N @ byte M`` locator; block-framed
+        spools append ``(block B + O)`` — the block-relative locus."""
         rec = "?" if self.record_index is None else str(self.record_index)
         off = "?" if self.byte_offset is None else str(self.byte_offset)
-        return f"record {rec} @ byte {off}"
+        base = f"record {rec} @ byte {off}"
+        if self.block_index is not None:
+            if self.block_byte_offset is None:
+                base += f" (block {self.block_index})"
+            else:
+                base += (
+                    f" (block {self.block_index}"
+                    f" + {self.block_byte_offset})"
+                )
+        return base
 
 
 class ResumeError(EvaluationError):

@@ -25,7 +25,12 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.ag.model import AttributeGrammar
 from repro.apt.linear import TreeNode
 from repro.apt.node import APTNode
-from repro.apt.storage import DiskSpool, MemorySpool, Spool
+from repro.apt.storage import (
+    DiskSpool,
+    MemorySpool,
+    Spool,
+    adaptive_spool_factory,
+)
 from repro.errors import EvaluationError, ResumeError, SpoolCorruptionError
 from repro.evalgen.plan import PassPlan
 from repro.evalgen.runtime import (
@@ -269,8 +274,8 @@ class AlternatingPassDriver:
         self.accountant.bind(self.metrics, "io")
         self.gauge.bind(self.metrics, "mem")
         self.metrics.register_source("pass", self._pass_source)
-        self._spool_factory = spool_factory or (
-            lambda channel: MemorySpool(self.accountant, channel, tracer=self.tracer)
+        self._spool_factory = spool_factory or adaptive_spool_factory(
+            self.accountant, tracer=self.tracer, metrics=self.metrics
         )
         if checkpoint is None and checkpoint_dir is not None:
             checkpoint = CheckpointManager(

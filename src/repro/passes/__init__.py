@@ -22,6 +22,7 @@ from repro.passes.schedule import (
     schedule_production,
 )
 from repro.passes.partition import PassAssignment, assign_passes
+from repro.passes.fusion import FusionResult, fuse_assignment
 from repro.passes.report import render_pass_report
 
 __all__ = [
@@ -32,5 +33,7 @@ __all__ = [
     "schedule_production",
     "PassAssignment",
     "assign_passes",
+    "FusionResult",
+    "fuse_assignment",
     "render_pass_report",
 ]

@@ -151,7 +151,9 @@ class BackendSuite:
       no passes, no spools),
     * ``cached``    — a *cache-rehydrated* translator (built through a
       warm :class:`repro.buildcache.BuildCache`, so its pass modules
-      come from cached source text and its scanner from a cached DFA).
+      come from cached source text and its scanner from a cached DFA),
+    * ``unfused``   — the interpretive evaluator with pass fusion
+      disabled, running the original (pre-fusion) pass partition.
 
     Build once per grammar (construction is the expensive per-grammar
     step); :meth:`run` is cheap per input.
@@ -174,6 +176,16 @@ class BackendSuite:
         self.generated = cold.make_translator(
             spec, library=library, backend="generated"
         )
+
+        # The fusion differential pair: same grammar, fusion off.  The
+        # fused/unfused evaluations must agree byte for byte while the
+        # fused one runs strictly fewer passes (when fusion applies).
+        plain = Linguist(source, fuse_passes=False)
+        self.unfused = plain.make_translator(
+            spec, library=library, backend="interp"
+        )
+        self.fused_n_passes = cold.n_passes
+        self.unfused_n_passes = plain.n_passes
 
         # Seed the cache (grammar artifacts + scanner DFA), then rebuild
         # warm: the 'cached' path must come from rehydrated artifacts,
@@ -204,12 +216,14 @@ class BackendSuite:
         interp = canonical_attrs(self.interp.translate(text).root_attrs)
         generated = canonical_attrs(self.generated.translate(text).root_attrs)
         cached = canonical_attrs(self.cached.translate(text).root_attrs)
+        unfused = canonical_attrs(self.unfused.translate(text).root_attrs)
         oracle_full = canonical_attrs(self.oracle_attrs(text))
         oracle = {k: v for k, v in oracle_full.items() if k in interp}
         return {
             "interp": interp,
             "generated": generated,
             "cached": cached,
+            "unfused": unfused,
             "oracle": oracle,
         }
 

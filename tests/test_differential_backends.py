@@ -1,6 +1,6 @@
 """Differential fuzz harness: every evaluator path must agree, byte for byte.
 
-Four ways to compute a translation exist in this codebase:
+Five ways to compute a translation exist in this codebase:
 
 * the **interpretive** pass evaluator (walks the plans at runtime),
 * the **generated** pass modules (exec-compiled Python),
@@ -8,9 +8,11 @@ Four ways to compute a translation exist in this codebase:
   semantic functions — no passes, no spools),
 * the **cache-rehydrated** translator (pass modules compiled from
   cached source text, scanner from a cached DFA — the warm path of
-  ``repro.buildcache``).
+  ``repro.buildcache``),
+* the **unfused** interpretive evaluator (pass fusion disabled — the
+  original alternating-pass partition, one pass per fixpoint level).
 
-They are four implementations of one semantics, so on every input the
+They are five implementations of one semantics, so on every input the
 root attributes must be *byte-identical* (canonicalized through
 :func:`tests.evalharness.canonical_attrs`).  The workloads are seeded
 generators from :mod:`repro.workloads.generators` — deterministic, so a
@@ -93,6 +95,9 @@ def test_all_backends_agree(grammar, workload_id, text, suite_cache_root):
     assert results["cached"] == interp, (
         f"{workload_id}: cache-rehydrated backend disagrees with interpretive"
     )
+    assert results["unfused"] == interp, (
+        f"{workload_id}: unfused evaluation disagrees with the fused one"
+    )
     assert results["oracle"] == interp, (
         f"{workload_id}: oracle disagrees with the pass evaluators"
     )
@@ -103,13 +108,58 @@ def test_run_all_backends_helper(tmp_path):
     results = run_all_backends(
         "calc", generate_calc_program(6, seed=99), str(tmp_path / "cache")
     )
-    assert set(results) == {"interp", "generated", "cached", "oracle"}
+    assert set(results) == {"interp", "generated", "cached", "unfused",
+                            "oracle"}
     assert (
         results["interp"]
         == results["generated"]
         == results["cached"]
+        == results["unfused"]
         == results["oracle"]
     )
+
+
+# ---------------------------------------------------------------------------
+# fusion differential: identical bytes, strictly fewer passes
+# ---------------------------------------------------------------------------
+
+_FUSION_CASES = [
+    ("calc", True, generate_calc_program(12, seed=7)),
+    ("pascal", True, generate_pascal_program(10, seed=7)),
+    ("binary", False, generate_binary_numeral(16, seed=7)),
+]
+
+
+@pytest.mark.parametrize(
+    "grammar,fuses,text", _FUSION_CASES, ids=[g for g, _, _ in _FUSION_CASES]
+)
+def test_fusion_preserves_bytes_and_cuts_passes(
+    grammar, fuses, text, suite_cache_root
+):
+    """The fused evaluation must be byte-identical to the unfused one
+    while running strictly fewer *trace-visible* passes (when fusion
+    applies; binary's dependencies admit no fusion and must not pay
+    any)."""
+    from repro.obs import Tracer
+    from tests.evalharness import canonical_attrs
+
+    suite = suite_for(grammar, suite_cache_root)
+    fused_tracer, unfused_tracer = Tracer(), Tracer()
+    fused = suite.interp.translate(text, tracer=fused_tracer)
+    unfused = suite.unfused.translate(text, tracer=unfused_tracer)
+    assert canonical_attrs(fused.root_attrs) == canonical_attrs(
+        unfused.root_attrs
+    )
+    fused_passes = len(fused_tracer.spans(cat="pass"))
+    unfused_passes = len(unfused_tracer.spans(cat="pass"))
+    assert fused_passes == suite.fused_n_passes
+    assert unfused_passes == suite.unfused_n_passes
+    if fuses:
+        assert fused_passes < unfused_passes, (
+            f"{grammar}: fusion did not reduce the trace-visible pass count"
+        )
+    else:
+        assert fused_passes == unfused_passes
 
 
 def test_cached_suite_really_rehydrated(suite_cache_root):

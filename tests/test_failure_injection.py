@@ -15,6 +15,7 @@ from repro.apt.storage import (
     _HEADER,
     FORMAT_V1,
     FORMAT_V2,
+    FORMAT_V3,
     DiskSpool,
     MemorySpool,
     salvage_spool,
@@ -487,7 +488,19 @@ class TestCorruptionProperties:
             rescued = DiskSpool.open(dst)
             recovered = list(rescued.read_forward())
             assert recovered == records[: len(recovered)]
-            assert len(recovered) == report.n_valid
+            if (
+                report.version == FORMAT_V3
+                and len(recovered) == 0
+                and report.nametable_ok is not True
+            ):
+                # v3 blobs spell their strings through the sealed name
+                # table; when neither the footer nor the section itself
+                # survives, the valid blocks are undecodable by design
+                # and salvage writes an empty sealed spool instead of
+                # garbage (see docs/robustness.md).
+                pass
+            else:
+                assert len(recovered) == report.n_valid
             assert scan_spool(dst).ok
 
     @settings(max_examples=40, deadline=None)
@@ -562,6 +575,133 @@ class TestFsckCli:
         from repro.cli import main
 
         assert main(["fsck", str(tmp_path / "ghost.spool")]) == 2
+
+
+class TestFsckV3:
+    """fsck/salvage over the block-framed v3 format: block-relative and
+    record-relative loci, CLI behavior on a bit-flipped block, and the
+    name-table-preserving salvage path."""
+
+    def _spool(self, tmp_path, n=300, block_size=256):
+        path = str(tmp_path / "v3.spool")
+        spool = DiskSpool(path, block_size=block_size)
+        records = [
+            (f"Sym{i % 3}", i % 4, {"VAL": i, "NAME": f"n{i % 5}"}, False)
+            for i in range(n)
+        ]
+        for r in records:
+            spool.append(r)
+        spool.finalize()
+        assert spool._n_blocks > 2  # the scenarios below need several
+        return spool, records
+
+    def test_scan_reports_blocks_and_nametable(self, tmp_path):
+        spool, records = self._spool(tmp_path)
+        report = scan_spool(spool.path)
+        assert report.ok
+        assert report.version == FORMAT_V3
+        assert report.n_valid == len(records)
+        assert report.sealed_blocks == spool._n_blocks
+        assert report.n_blocks_valid == spool._n_blocks
+        assert report.nametable_ok is True
+        rendered = report.render()
+        assert "blocks" in rendered and "name table  sealed" in rendered
+
+    def test_block_flip_carries_block_locus(self, tmp_path):
+        spool, _ = self._spool(tmp_path)
+        # Flip a payload bit inside the SECOND block.
+        from repro.apt.storage import _BLOCK_HEAD, _HEADER
+
+        with open(spool.path, "rb") as f:
+            f.seek(_HEADER.size)
+            payload_len, n0, _crc = _BLOCK_HEAD.unpack(f.read(_BLOCK_HEAD.size))
+        block2 = _HEADER.size + 24 + payload_len  # BLOCK_OVERHEAD == 24
+        bit_flip(spool.path, block2 + _BLOCK_HEAD.size + 5, 3)
+        with pytest.raises(SpoolCorruptionError) as exc:
+            list(spool.read_forward())
+        err = exc.value
+        assert err.reason == "checksum"
+        assert err.block_index == 1
+        assert err.record_index == n0  # first record of the bad block
+        assert err.byte_offset == block2
+        assert f"block {err.block_index}" in err.locus()
+        # Backward reads detect the same damage.
+        with pytest.raises(SpoolCorruptionError):
+            list(spool.read_backward())
+        report = scan_spool(spool.path)
+        assert not report.ok
+        assert report.n_valid == n0
+        assert report.n_blocks_valid == 1
+        assert report.error.block_index == 1
+
+    def test_record_relative_offset_inside_block(self, tmp_path):
+        # _split_block runs under a *matching* checksum, so its framing
+        # errors (crafted or logic bugs) must carry the block-relative
+        # record offset.
+        spool, _ = self._spool(tmp_path)
+        bogus = struct.pack("<I", 10_000) + b"x"  # length overruns payload
+        with pytest.raises(SpoolCorruptionError) as exc:
+            spool._split_block(
+                bogus, 1, block_index=7, block_start=1000,
+                first_record_index=42,
+            )
+        err = exc.value
+        assert err.block_index == 7
+        assert err.block_byte_offset == 4  # just past the length prefix
+        assert err.record_index == 42
+        assert "block 7 + 4" in err.locus()
+
+    def test_fsck_cli_v3_block_flip_and_salvage(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spool, records = self._spool(tmp_path)
+        report = scan_spool(spool.path)
+        assert report.ok
+        # Flip one bit in the last block's payload: earlier blocks stay
+        # recoverable.
+        bit_flip(spool.path, report.valid_end_offset - 10, 2)
+        assert main(["fsck", spool.path]) == 1
+        captured = capsys.readouterr()
+        assert "CORRUPT" in captured.out
+        assert "block" in captured.out
+        out = str(tmp_path / "rescued.spool")
+        assert main(["fsck", spool.path, "--salvage", out]) == 1
+        assert "salvaged" in capsys.readouterr().out
+        rescued = DiskSpool.open(out)
+        # v3 sources are rescued as v3, name table intact: the records
+        # decode identically (ids still spell the same strings).
+        assert rescued.format_version == FORMAT_V3
+        got = list(rescued.read_forward())
+        assert got == records[: len(got)]
+        assert len(got) > 0
+        assert scan_spool(out).ok
+
+    def test_salvage_survives_footer_damage(self, tmp_path):
+        # A flipped footer bit must not cost the whole spool: salvage
+        # re-locates the name-table section after the last valid block.
+        spool, records = self._spool(tmp_path)
+        size = os.path.getsize(spool.path)
+        bit_flip(spool.path, size - 6, 1)  # inside the footer crc
+        report = scan_spool(spool.path)
+        assert not report.ok and not report.footer_ok
+        out = str(tmp_path / "rescued.spool")
+        salvage_spool(spool.path, out)
+        rescued = DiskSpool.open(out)
+        assert list(rescued.read_forward()) == records
+        assert scan_spool(out).ok
+
+    def test_unsealed_v3_is_unrecoverable_but_clean(self, tmp_path):
+        # Crash before finalize: no name table yet, ids are unspellable
+        # — salvage must produce an empty sealed spool, not garbage.
+        spool, _ = self._spool(tmp_path)
+        truncate_file(spool.path, 400)
+        report = scan_spool(spool.path)
+        assert not report.ok
+        out = str(tmp_path / "rescued.spool")
+        salvage_spool(spool.path, out)
+        rescued = DiskSpool.open(out)
+        assert rescued.n_records == 0
+        assert scan_spool(out).ok
 
 
 # ---------------------------------------------------------------------------

@@ -261,7 +261,9 @@ class TestEndToEnd:
             "parser overlay",
             "evaluation overlay",
         }
-        assert len(passes) == 2  # calc needs two alternating passes
+        # calc's two alternating passes fuse into one left-to-right
+        # traversal (repro.passes.fusion), so one pass span is traced.
+        assert len(passes) == 1
         assert visits and semfns
         # Nesting: every pass span sits inside the evaluation overlay,
         # every visit inside some pass, every semfn inside some visit.
@@ -319,7 +321,8 @@ class TestEndToEnd:
         assert snap["io.by_channel"]["initial"]["records_written"] > 0
         assert snap["mem.peak_bytes"] > 0
         assert snap["mem.unbalanced_releases"] == 0
-        assert snap["pass.n_passes"] == 2
+        assert snap["pass.n_passes"] == 1  # fused: calc's 2 passes merge
+        assert snap["fusion.passes_eliminated"] == 1
         assert snap["pass.1.bytes_read"] > 0
         assert "overlay.parser overlay.seconds" in snap
         assert snap["evt.copyrule_elided"] > 0

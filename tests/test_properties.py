@@ -1,14 +1,24 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import os
 import string
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ag.exprtext import parse_expression
+from repro.apt.codec import RecordCodec, deserialize_names, serialize_names
 from repro.apt.linear import TreeNode, iter_bottom_up, iter_prefix
 from repro.apt.node import APTNode
-from repro.apt.storage import DiskSpool, MemorySpool
+from repro.apt.storage import (
+    FORMAT_V1,
+    FORMAT_V2,
+    FORMAT_V3,
+    AdaptiveSpool,
+    DiskSpool,
+    MemorySpool,
+)
+from repro.errors import SpoolCorruptionError
 from repro.passes.schedule import Direction
 from repro.regex import build_nfa, determinize, minimize, parse_regex
 from repro.regex.ast import char_code
@@ -157,6 +167,150 @@ class TestSpoolProperties:
             spool.finalize()
             assert list(spool.read_forward()) == recs
             assert list(spool.read_backward()) == recs[::-1]
+        finally:
+            spool.close()
+
+    @pytest.mark.parametrize("version", [FORMAT_V1, FORMAT_V2, FORMAT_V3])
+    @given(records)
+    @settings(max_examples=15)
+    def test_disk_spool_round_trip_format_matrix(self, version, recs):
+        """Every on-disk format round-trips in both directions, and a
+        reopened spool agrees with the writer-side instance."""
+        spool = DiskSpool(format_version=version)
+        try:
+            for r in recs:
+                spool.append(r)
+            spool.finalize()
+            assert list(spool.read_forward()) == recs
+            assert list(spool.read_backward()) == recs[::-1]
+            reopened = DiskSpool.open(spool.path)
+            assert reopened.format_version == version
+            assert reopened.n_records == len(recs)
+            assert list(reopened.read_forward()) == recs
+            assert list(reopened.read_backward()) == recs[::-1]
+        finally:
+            spool.close()
+
+    @given(records, st.integers(0, 256))
+    @settings(max_examples=20)
+    def test_adaptive_spool_round_trip_across_budgets(self, recs, budget):
+        """An AdaptiveSpool behaves identically whether it stays
+        memory-resident or spills mid-stream."""
+        spool = AdaptiveSpool(memory_budget=budget)
+        try:
+            for r in recs:
+                spool.append(r)
+            spool.finalize()
+            assert spool.n_records == len(recs)
+            assert list(spool.read_forward()) == recs
+            assert list(spool.read_backward()) == recs[::-1]
+        finally:
+            spool.close()
+
+
+# ---------------------------------------------------------------------------
+# Record codec v3: value- and *type*-faithful round trips
+# ---------------------------------------------------------------------------
+
+codec_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(),  # includes > 64-bit values (pickle fallback)
+        st.floats(allow_nan=False),
+        st.text(max_size=90),  # crosses the MAX_INTERN_LEN=64 boundary
+        st.binary(max_size=16),  # pickle fallback
+        st.sets(st.integers(-5, 5), max_size=3),  # pickle fallback
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=4), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+def _assert_type_faithful(a, b, path="value"):
+    assert type(a) is type(b), f"{path}: {type(a)} != {type(b)}"
+    if isinstance(a, (list, tuple)):
+        assert len(a) == len(b), path
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_type_faithful(x, y, f"{path}[{i}]")
+    elif isinstance(a, dict):
+        assert a.keys() == b.keys(), path
+        for k in a:
+            _assert_type_faithful(a[k], b[k], f"{path}[{k!r}]")
+    else:
+        assert a == b, path
+
+
+class TestRecordCodecProperties:
+    @given(codec_values)
+    @settings(max_examples=150)
+    def test_value_round_trip_is_type_faithful(self, value):
+        codec = RecordCodec()
+        decoded = codec.decode(codec.encode(value))
+        _assert_type_faithful(decoded, value)
+
+    @given(
+        st.text(min_size=1, max_size=10),
+        st.one_of(st.none(), st.integers(0, 1000)),
+        st.dictionaries(st.text(min_size=1, max_size=8), codec_values,
+                        max_size=4),
+        st.booleans(),
+    )
+    @settings(max_examples=100)
+    def test_node_record_round_trip(self, symbol, production, attrs, is_limb):
+        codec = RecordCodec()
+        record = (symbol, production, attrs, is_limb)
+        decoded = codec.decode(codec.encode(record))
+        _assert_type_faithful(decoded, record)
+
+    @given(st.lists(st.text(min_size=1, max_size=30), unique=True))
+    def test_name_table_section_round_trip(self, names):
+        codec = RecordCodec()
+        for name in names:
+            codec.names.intern(name)
+        rebuilt = deserialize_names(serialize_names(codec.names))
+        assert list(rebuilt) == list(codec.names)
+        for name in names:
+            assert rebuilt.intern(name) == codec.names.intern(name)
+
+    @given(records, st.integers(0, 2**31 - 1), st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_v3_bit_flip_detected_or_harmless(self, recs, pos_seed, bit):
+        """Flip one bit anywhere in a sealed v3 file: a fresh reader
+        either detects the damage in BOTH directions or the data is
+        byte-for-byte unaffected (e.g. a reserved-flag bit)."""
+        spool = DiskSpool()
+        try:
+            for r in recs:
+                spool.append(r)
+            spool.finalize()
+            size = os.path.getsize(spool.path)
+            offset = pos_seed % size
+            with open(spool.path, "r+b") as f:
+                f.seek(offset)
+                byte = f.read(1)[0]
+                f.seek(offset)
+                f.write(bytes([byte ^ (1 << bit)]))
+            outcomes = {}
+            for name in ("fwd", "bwd"):
+                try:
+                    fresh = DiskSpool.open(spool.path)
+                    got = list(
+                        fresh.read_forward() if name == "fwd"
+                        else fresh.read_backward()
+                    )
+                    outcomes[name] = got
+                except SpoolCorruptionError:
+                    outcomes[name] = None
+            if outcomes["fwd"] is None or outcomes["bwd"] is None:
+                assert outcomes["fwd"] is None and outcomes["bwd"] is None
+            else:
+                assert outcomes["fwd"] == recs
+                assert outcomes["bwd"] == recs[::-1]
         finally:
             spool.close()
 
