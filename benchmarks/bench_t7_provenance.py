@@ -1,0 +1,138 @@
+"""EXP-T7 — provenance recording economics and the disabled-mode tax.
+
+The provenance recorder (``repro run --record``, docs/debugging.md) is
+an *opt-in* observability feature: when it is off, translation must
+cost what it cost before the feature existed.  This benchmark prices
+both sides on the EXP-T4 calc workload (200 generated statements,
+generated backend, warm translator):
+
+* **disabled mode** — a plain ``translate()``; the only added work is
+  the ``rec is None`` checks threaded through the evaluators.  The
+  measured lines/min is compared against the committed EXP-T4 baseline
+  (``results/baseline_t4.json``); ``check_regression.py`` gates the
+  same number at 3%.
+* **record mode** — ``translate(record=DIR)``: every semantic-function
+  instant and node write streams into the sealed NDJSON log, and the
+  run checkpoints its per-pass spools into the record directory.
+
+A second table prices the artifact (log size, bytes per event) and the
+time-travel queries themselves (``ProvenanceLog.open`` verification,
+``why``/``history``/``summary``), since a debugger nobody can afford
+to invoke answers no questions.
+"""
+
+import json
+import os
+import shutil
+import time
+
+from repro.core import Linguist
+from repro.grammars import library_for, load_source
+from repro.grammars.scanners import calc_scanner_spec
+from repro.obs.provenance import LOG_NAME, DebugSession, ProvenanceLog
+from repro.workloads import generate_calc_program
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "baseline_t4.json"
+)
+
+N_STATEMENTS = 200
+SEED = 17
+ROUNDS = 5
+
+
+def _best(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_t7_provenance_overhead(report, tmp_path):
+    translator = Linguist(load_source("calc")).make_translator(
+        calc_scanner_spec(), library=library_for("calc")
+    )
+    program = generate_calc_program(N_STATEMENTS, seed=SEED)
+    n_lines = len(program.splitlines())
+    translator.translate(program)  # warm the generated path
+
+    off_s = _best(lambda: translator.translate(program))
+
+    record_dir = str(tmp_path / "rec")
+
+    def recorded():
+        if os.path.exists(record_dir):
+            shutil.rmtree(record_dir)
+        translator.translate(program, record=record_dir)
+
+    on_s = _best(recorded)
+
+    off_lpm = n_lines / off_s * 60.0
+    on_lpm = n_lines / on_s * 60.0
+    slowdown = on_s / off_s
+
+    log_path = os.path.join(record_dir, LOG_NAME)
+    log_bytes = os.path.getsize(log_path)
+    log = ProvenanceLog.open(record_dir)
+    n_events = len(log.events)
+
+    open_s = _best(lambda: ProvenanceLog.open(record_dir), rounds=3)
+    with DebugSession(record_dir) as session:
+        why_s = _best(lambda: session.why((), "OUT", max_depth=8), rounds=3)
+        hist_s = _best(lambda: session.history((1,), "OUT"), rounds=3)
+        summ_s = _best(session.summary, rounds=3)
+
+    lines = [
+        f"EXP-T7: provenance recording (calc, {N_STATEMENTS} statements, "
+        f"{n_lines} lines, generated backend, best of {ROUNDS})",
+        f"{'mode':<28} {'ms/translate':>13} {'lines/min':>12}",
+        f"{'recording off':<28} {off_s * 1000:>13.1f} {off_lpm:>12,.0f}",
+        f"{'recording on (--record)':<28} {on_s * 1000:>13.1f} "
+        f"{on_lpm:>12,.0f}",
+        f"record-mode slowdown: {slowdown:.2f}x "
+        f"(buys {n_events:,} replayable instants per run)",
+        f"log: {log_bytes:,} bytes, {n_events:,} events "
+        f"({log_bytes / max(1, n_events):.0f} bytes/event), "
+        f"{log.n_passes} pass(es)",
+        f"queries: open+verify {open_s * 1000:.1f} ms, "
+        f"why {why_s * 1000:.2f} ms, history {hist_s * 1000:.2f} ms, "
+        f"summary {summ_s * 1000:.2f} ms",
+    ]
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as f:
+            baseline = json.load(f)
+        base_lpm = baseline.get(
+            "provenance_off_lines_per_minute", baseline["lines_per_minute"]
+        )
+        tax = 100.0 * (1.0 - off_lpm / base_lpm)
+        lines.append(
+            f"disabled-mode vs baseline {base_lpm:,.0f} lines/min: "
+            f"{tax:+.1f}% (gated at +3% by check_regression.py)"
+        )
+    report("t7_provenance", "\n".join(lines))
+
+    assert n_events > 0 and log_bytes > 0
+    # The hard 3% gate lives in check_regression.py against the
+    # committed baseline; here we sanity-bound the in-process numbers
+    # (generous, to absorb shared-runner noise).
+    assert slowdown < 50, "record mode is pathologically slow"
+
+
+def test_t7_recording_benchmark(benchmark, tmp_path):
+    """pytest-benchmark hook: one full recorded translation."""
+    translator = Linguist(load_source("calc")).make_translator(
+        calc_scanner_spec(), library=library_for("calc")
+    )
+    program = generate_calc_program(40, seed=SEED)
+    translator.translate(program)
+    record_dir = str(tmp_path / "rec")
+
+    def recorded():
+        if os.path.exists(record_dir):
+            shutil.rmtree(record_dir)
+        return translator.translate(program, record=record_dir)
+
+    result = benchmark(recorded)
+    assert "OUT" in result.root_attrs

@@ -17,7 +17,12 @@ amortizes), then compares throughput against the committed baseline in
   encoding is the constant that multiplies through every pass's I/O);
 * **fusion gate** — fail when the calc grammar's scheduled pass count
   exceeds the baseline (a fusion regression silently doubles the
-  streaming work per translation).
+  streaming work per translation);
+* **provenance gate** — fail when translation throughput with
+  provenance recording *disabled* drops more than
+  ``PROVENANCE_THRESHOLD`` (3%) below the baseline: the recorder is
+  opt-in, and the ``rec is None`` checks threaded through the
+  evaluators must stay free when nobody opted in.
 
 Usage::
 
@@ -48,6 +53,10 @@ THRESHOLD = 0.25
 
 #: The warm build must cost less than this fraction of the cold build.
 WARM_FRACTION = 0.5
+
+#: Maximum tolerated throughput drop with provenance recording DISABLED
+#: (the feature's pay-for-use promise — see bench_t7_provenance.py).
+PROVENANCE_THRESHOLD = 0.03
 
 
 def measure_calc_throughput(rounds: int = 5, n_statements: int = 200) -> dict:
@@ -150,6 +159,44 @@ def measure_spool_codec(n_statements: int = 200) -> dict:
     }
 
 
+def measure_provenance_overhead(
+    rounds: int = 5, n_statements: int = 200
+) -> dict:
+    """Throughput with provenance recording disabled vs enabled, on the
+    same warm translator and workload as :func:`measure_calc_throughput`
+    (the disabled number is what the 3% gate compares)."""
+    import shutil
+
+    from repro.core import Linguist
+    from repro.grammars import load_source, scanner_and_library
+    from repro.workloads import generate_calc_program
+
+    spec, library = scanner_and_library("calc")
+    translator = Linguist(load_source("calc")).make_translator(
+        spec, library=library
+    )
+    program = generate_calc_program(n_statements, seed=17)
+    n_lines = len(program.splitlines())
+    translator.translate(program)  # warm
+    off_best = on_best = float("inf")
+    with tempfile.TemporaryDirectory() as root:
+        record_dir = os.path.join(root, "rec")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            translator.translate(program)
+            off_best = min(off_best, time.perf_counter() - start)
+            if os.path.exists(record_dir):
+                shutil.rmtree(record_dir)
+            start = time.perf_counter()
+            translator.translate(program, record=record_dir)
+            on_best = min(on_best, time.perf_counter() - start)
+    return {
+        "off_lines_per_minute": n_lines / off_best * 60.0,
+        "on_lines_per_minute": n_lines / on_best * 60.0,
+        "record_slowdown": on_best / off_best,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -162,6 +209,7 @@ def main(argv=None) -> int:
     throughput = measure_calc_throughput(rounds=args.rounds)
     cache = measure_cold_vs_warm()
     codec = measure_spool_codec()
+    provenance = measure_provenance_overhead(rounds=args.rounds)
 
     lpm = throughput["lines_per_minute"]
     print(
@@ -179,6 +227,11 @@ def main(argv=None) -> int:
         f"({codec['shrink']:.2f}x shrink, {codec['n_records']} records); "
         f"calc schedules {codec['calc_n_passes']} fused pass(es)"
     )
+    print(
+        f"provenance: {provenance['off_lines_per_minute']:,.0f} lines/min "
+        f"disabled, {provenance['on_lines_per_minute']:,.0f} recording "
+        f"({provenance['record_slowdown']:.1f}x slowdown when opted in)"
+    )
 
     if args.update_baseline:
         baseline = {
@@ -192,6 +245,10 @@ def main(argv=None) -> int:
             "spool_v3_bytes_per_record": codec["v3_bytes_per_record"],
             "spool_v2_over_v3_shrink": codec["shrink"],
             "calc_n_passes": codec["calc_n_passes"],
+            "provenance_off_lines_per_minute": provenance[
+                "off_lines_per_minute"
+            ],
+            "provenance_threshold": PROVENANCE_THRESHOLD,
         }
         os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
         with open(BASELINE_PATH, "w", encoding="utf-8") as f:
@@ -278,6 +335,28 @@ def main(argv=None) -> int:
             print(
                 f"PASS fusion: calc schedules {codec['calc_n_passes']} "
                 f"pass(es) (baseline {base_passes})"
+            )
+
+    base_off = baseline.get("provenance_off_lines_per_minute")
+    if base_off is not None:
+        off_lpm = provenance["off_lines_per_minute"]
+        off_floor = base_off * (1.0 - PROVENANCE_THRESHOLD)
+        if off_lpm < off_floor:
+            tax = 100.0 * (1.0 - off_lpm / base_off)
+            print(
+                f"FAIL provenance disabled-mode tax: {off_lpm:,.0f} "
+                f"lines/min with recording off is {tax:.1f}% below "
+                f"baseline {base_off:,.0f} "
+                f"(tolerated: {100 * PROVENANCE_THRESHOLD:.0f}%)",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(
+                f"PASS provenance: {off_lpm:,.0f} >= floor "
+                f"{off_floor:,.0f} lines/min with recording disabled "
+                f"(baseline {base_off:,.0f} - "
+                f"{100 * PROVENANCE_THRESHOLD:.0f}%)"
             )
     return 0 if ok else 1
 

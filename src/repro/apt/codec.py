@@ -48,9 +48,43 @@ import pickle
 import struct
 from typing import Any, List, Optional, Tuple
 
+from typing import NamedTuple
+
 from repro.util.nametable import NameTable
 
-__all__ = ["RecordCodec", "serialize_names", "deserialize_names"]
+__all__ = [
+    "RecordCodec",
+    "RecordAddress",
+    "parse_address",
+    "serialize_names",
+    "deserialize_names",
+]
+
+
+class RecordAddress(NamedTuple):
+    """Random-access address of one node record in a sealed spool set:
+    ``(pass, block, record)`` — which pass's spool, which v3 block
+    frame, and which record slot inside that block's payload.  v1/v2
+    spools are a single implicit block, so their addresses are always
+    ``(pass, 0, record)``.  Rendered ``pass:block:record``."""
+
+    pass_k: int
+    block: int
+    record: int
+
+    def render(self) -> str:
+        return f"{self.pass_k}:{self.block}:{self.record}"
+
+
+def parse_address(text: str) -> RecordAddress:
+    """Parse a ``pass:block:record`` address rendered by
+    :meth:`RecordAddress.render`."""
+    parts = text.split(":")
+    if len(parts) != 3 or not all(p.lstrip("-").isdigit() for p in parts):
+        raise ValueError(
+            f"bad record address {text!r}; expected pass:block:record"
+        )
+    return RecordAddress(int(parts[0]), int(parts[1]), int(parts[2]))
 
 _U32 = struct.Struct("<I")
 _I32 = struct.Struct("<i")

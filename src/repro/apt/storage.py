@@ -89,7 +89,12 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 
-from repro.apt.codec import RecordCodec, deserialize_names, serialize_names
+from repro.apt.codec import (
+    RecordAddress,
+    RecordCodec,
+    deserialize_names,
+    serialize_names,
+)
 from repro.errors import EvaluationError, SpoolCorruptionError
 from repro.util.iotrack import IOAccountant
 
@@ -1401,6 +1406,188 @@ class SpoolScanReport:
                 f" [{self.error.reason}]: {self.error}"
             )
         return "\n".join(lines)
+
+
+class RandomAccessReader:
+    """Random access into a sealed spool by record index.
+
+    The streaming readers replay a whole pass; the time-travel debugger
+    instead needs *one node's* state out of the middle of a sealed
+    spool.  For v3 (block-framed) files this reader walks the block
+    frames once at attach time — header fields only, no payload reads —
+    building a ``(file offset, first record index)`` index, then serves
+    ``record(i)`` by verifying + decoding only the one block that holds
+    record ``i`` (with a one-block cache for locality).  v2/v1 files
+    get a per-record offset index; their addresses are always block 0.
+
+    Addresses are :class:`~repro.apt.codec.RecordAddress` triples
+    ``(pass, block, record-in-block)`` — the replay coordinates the
+    provenance log prints.
+    """
+
+    def __init__(self, spool: DiskSpool):
+        if not spool._finalized:
+            raise EvaluationError(
+                "random access requires a sealed spool (finalize() first)"
+            )
+        self.spool = spool
+        self._f = open(spool.path, "rb")
+        size = self._f.seek(0, os.SEEK_END)
+        self._cache_block: Optional[int] = None
+        self._cache_blobs: List[bytes] = []
+        #: Per-block (v3) or per-record (v2/v1) file offsets.
+        self._starts: List[int] = []
+        #: First record index of each v3 block (parallel to _starts).
+        self._firsts: List[int] = []
+        version = spool.format_version
+        if version == FORMAT_V3:
+            footer = spool._read_footer3(self._f, size)
+            self._data_end = footer.nt_offset
+            pos = _HEADER.size
+            index = 0
+            while pos < self._data_end:
+                self._f.seek(pos)
+                head = self._f.read(_BLOCK_HEAD.size)
+                if len(head) != _BLOCK_HEAD.size:
+                    raise spool._corrupt(
+                        "block header truncated",
+                        record_index=index, byte_offset=pos,
+                        block_index=len(self._starts), reason="truncated",
+                    )
+                payload_len, n_records, _crc = _BLOCK_HEAD.unpack(head)
+                if payload_len > self._data_end - pos - BLOCK_OVERHEAD:
+                    raise spool._corrupt(
+                        f"block payload length {payload_len} overruns the "
+                        "sealed data region",
+                        record_index=index, byte_offset=pos,
+                        block_index=len(self._starts), reason="framing",
+                    )
+                self._starts.append(pos)
+                self._firsts.append(index)
+                index += n_records
+                pos += BLOCK_OVERHEAD + payload_len
+        elif version == FORMAT_V2:
+            self._data_end = size - _FOOTER.size
+            pos = _HEADER.size
+            overhead = RECORD_OVERHEAD[FORMAT_V2]
+            while pos < self._data_end:
+                self._f.seek(pos)
+                head = self._f.read(_REC_HEAD.size)
+                if len(head) != _REC_HEAD.size:
+                    raise spool._corrupt(
+                        "record header truncated",
+                        record_index=len(self._starts), byte_offset=pos,
+                        reason="truncated",
+                    )
+                length, _crc = _REC_HEAD.unpack(head)
+                if length > self._data_end - pos - overhead:
+                    raise spool._corrupt(
+                        f"record length {length} overruns the sealed data "
+                        "region",
+                        record_index=len(self._starts), byte_offset=pos,
+                        reason="framing",
+                    )
+                self._starts.append(pos)
+                pos += overhead + length
+        else:
+            self._data_end = size
+            pos = 0
+            while pos + _LEN.size <= size:
+                self._f.seek(pos)
+                (length,) = _LEN.unpack(self._f.read(_LEN.size))
+                if pos + 2 * _LEN.size + length > size:
+                    raise spool._corrupt(
+                        f"record length {length} overruns the file",
+                        record_index=len(self._starts), byte_offset=pos,
+                        reason="framing",
+                    )
+                self._starts.append(pos)
+                pos += 2 * _LEN.size + length
+
+    @property
+    def n_records(self) -> int:
+        return self.spool.n_records
+
+    def locate(self, index: int):
+        """``(block, record-in-block)`` coordinates of record ``index``."""
+        if not 0 <= index < self.spool.n_records:
+            raise EvaluationError(
+                f"record index {index} out of range "
+                f"(spool holds {self.spool.n_records} records)"
+            )
+        if self.spool.format_version != FORMAT_V3:
+            return 0, index
+        import bisect
+
+        block = bisect.bisect_right(self._firsts, index) - 1
+        return block, index - self._firsts[block]
+
+    def address(self, pass_k: int, index: int) -> RecordAddress:
+        """The ``(pass, block, record)`` replay address of a record."""
+        block, rec = self.locate(index)
+        return RecordAddress(pass_k, block, rec)
+
+    def record(self, index: int) -> Any:
+        """Decode record ``index``, reading (and fully verifying) only
+        its containing block."""
+        spool = self.spool
+        block, rec = self.locate(index)
+        if self._cache_block != block:
+            if spool.format_version == FORMAT_V3:
+                pos = self._starts[block]
+                self._f.seek(pos)
+                blobs, _end = spool._read_block_forward(
+                    self._f, pos, self._data_end, block, self._firsts[block]
+                )
+            elif spool.format_version == FORMAT_V2:
+                blobs = [
+                    self._read_v2_record(i) for i in range(len(self._starts))
+                ]
+            else:
+                blobs = [
+                    self._read_v1_record(i) for i in range(len(self._starts))
+                ]
+            self._cache_block = block
+            self._cache_blobs = blobs
+        if spool.metrics is not None:
+            spool.metrics.counter("spool.codec.random_reads").inc()
+        return spool._decode(self._cache_blobs[rec])
+
+    def _read_v2_record(self, index: int) -> bytes:
+        spool = self.spool
+        pos = self._starts[index]
+        self._f.seek(pos)
+        head = self._f.read(_REC_HEAD.size)
+        length, want_crc = _REC_HEAD.unpack(head)
+        blob = self._f.read(length)
+        if len(blob) != length:
+            raise spool._corrupt(
+                "record payload truncated",
+                record_index=index, byte_offset=pos, reason="truncated",
+            )
+        if zlib.crc32(blob) != want_crc:
+            raise spool._corrupt(
+                "record checksum mismatch (bit rot or torn write)",
+                record_index=index, byte_offset=pos, reason="checksum",
+            )
+        return blob
+
+    def _read_v1_record(self, index: int) -> bytes:
+        pos = self._starts[index]
+        self._f.seek(pos)
+        (length,) = _LEN.unpack(self._f.read(_LEN.size))
+        return self._f.read(length)
+
+    def close(self) -> None:
+        if self._f is not None:
+            self._f.close()
+            self._f = None
+
+    def __enter__(self) -> "RandomAccessReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def scan_spool(path: str, metrics=None, tracer=None) -> SpoolScanReport:

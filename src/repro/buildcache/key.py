@@ -52,7 +52,9 @@ from repro.passes.schedule import Direction
 #: canonicalization itself changes incompatibly.
 #: 2: payloads carry fusion metadata; the strategy text gained the
 #: pass-fusion flag (plans built under fusion are shaped differently).
-CACHE_FORMAT_VERSION = 2
+#: 3: SUBSUME plan actions carry their subsumption group (needed by
+#: provenance recording); older pickled plans lack it.
+CACHE_FORMAT_VERSION = 3
 
 
 # ---------------------------------------------------------------------------

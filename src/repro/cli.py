@@ -12,8 +12,12 @@ Subcommands::
     python -m repro profile FILE.ag [INPUT] per-overlay/per-pass time, I/O,
                                             and peak-memory tables
     python -m repro fsck SPOOL [--salvage OUT]
-                                            verify an APT spool file; recover
-                                            the valid prefix into OUT
+                                            verify an APT spool file or a
+                                            provenance log; recover the valid
+                                            prefix into OUT
+    python -m repro debug why|history|step|summary DIR [...]
+                                            time-travel queries over a recorded
+                                            run (repro run ... --record DIR)
     python -m repro batch FILE.ag INPUTS... [-j N --cache-dir DIR]
                                             translate many inputs through the
                                             persistent build cache, optionally
@@ -116,17 +120,25 @@ def cmd_run(args) -> int:
         spec = LEXICAL_SPEC
     else:
         spec = spec_factory()
-    if args.resume and not args.checkpoint_dir:
-        print("--resume requires --checkpoint-dir", file=sys.stderr)
+    if args.resume and not (args.checkpoint_dir or args.record):
+        print("--resume requires --checkpoint-dir or --record", file=sys.stderr)
         return 2
     linguist = Linguist(load_source(args.name))
-    translator = linguist.make_translator(spec, library=library_for(args.name))
+    translator = linguist.make_translator(
+        spec, library=library_for(args.name), backend=args.backend
+    )
     text = _read(args.input) if os.path.exists(args.input) else args.input
     result = translator.translate(
         text, checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-        spool_memory_budget=args.spool_memory_budget,
+        spool_memory_budget=args.spool_memory_budget, record=args.record,
     )
-    if args.checkpoint_dir:
+    if args.record:
+        print(
+            f"# provenance recorded to {args.record} "
+            f"(query it with `repro debug why {args.record} NODE.ATTR`)",
+            file=sys.stderr,
+        )
+    elif args.checkpoint_dir:
         verb = "resumed from" if args.resume else "checkpointed to"
         print(f"# evaluation {verb} {args.checkpoint_dir}", file=sys.stderr)
     for line in render_root_attrs(result.root_attrs):
@@ -227,9 +239,11 @@ def cmd_trace(args) -> int:
 def _render_metric(value) -> str:
     """One metric value on one line (histogram snapshots are dicts)."""
     if isinstance(value, dict):
+        # Sorted so the summary table is deterministic (histogram
+        # snapshots are plain dicts in observation-insertion order).
         inner = ", ".join(
             f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
-            for k, v in value.items()
+            for k, v in sorted(value.items())
         )
         return "{" + inner + "}"
     if isinstance(value, float):
@@ -269,7 +283,7 @@ def cmd_profile(args) -> int:
             return 2
         translator = linguist.make_translator(spec, library=library)
         text = _read(args.input) if os.path.exists(args.input) else args.input
-        translator.translate(text, metrics=metrics)
+        translator.translate(text, metrics=metrics, record=args.record)
         translated = True
 
     # Everything below renders from the live MetricsRegistry snapshot —
@@ -332,6 +346,8 @@ def cmd_profile(args) -> int:
         ("robustness", "robust."),
         ("build cache", "cache."),
         ("batch", "batch."),
+        ("provenance", "provenance."),
+        ("debug", "debug."),
     ):
         section = {
             key: value
@@ -369,6 +385,10 @@ def cmd_fsck(args) -> int:
     if not os.path.exists(args.spool):
         print(f"error: no such spool file: {args.spool}", file=sys.stderr)
         return 2
+    from repro.obs.provenance import looks_like_provenance_log
+
+    if looks_like_provenance_log(args.spool):
+        return _fsck_provenance(args, metrics)
     if args.salvage:
         report = salvage_spool(args.spool, args.salvage, metrics=metrics)
     else:
@@ -396,6 +416,65 @@ def cmd_fsck(args) -> int:
     )
     print(str(diag), file=sys.stderr)
     return 1
+
+
+def _fsck_provenance(args, metrics) -> int:
+    """The fsck path for PROV1 provenance logs (sniffed by header)."""
+    from repro.errors import Diagnostic, Severity, SourceLocation
+    from repro.obs.provenance import salvage_provenance, scan_provenance
+
+    if args.salvage:
+        report = salvage_provenance(args.spool, args.salvage, metrics=metrics)
+    else:
+        report = scan_provenance(args.spool, metrics=metrics)
+    print(report.render())
+    if args.salvage:
+        print(f"salvaged {report.n_valid} record(s) -> {args.salvage}")
+    if args.metrics:
+        print()
+        print(metrics.render())
+    if report.ok:
+        return 0
+    err = report.error
+    diag = Diagnostic(
+        Severity.ERROR,
+        f"provenance log corrupt at {err.locus()} [{err.reason}]; "
+        f"valid prefix: {report.n_valid} record(s)",
+        SourceLocation(filename=args.spool),
+    )
+    print(str(diag), file=sys.stderr)
+    return 1
+
+
+def cmd_debug(args) -> int:
+    """Time-travel queries over a recorded run directory.
+
+    All four queries read only sealed artifacts (the provenance log and
+    the per-pass spools) — nothing is re-evaluated.  A damaged log
+    surfaces as a typed :class:`~repro.errors.ProvenanceCorruptionError`
+    naming the damaged record (exit 1 via the main handler).
+    """
+    from repro.obs import MetricsRegistry
+    from repro.obs.provenance import DebugSession
+
+    metrics = MetricsRegistry()
+    with DebugSession(args.dir, metrics=metrics) as session:
+        if args.query == "why":
+            print(session.render_why(args.target, max_depth=args.max_depth))
+        elif args.query == "history":
+            print(session.render_history(args.target))
+        elif args.query == "step":
+            print(
+                session.render_step(
+                    at=args.at, count=args.count, backward=args.backward
+                )
+            )
+        else:
+            print(session.render_summary())
+    if args.metrics:
+        print()
+        print(metrics.render())
+    return 0
 
 
 def cmd_batch(args) -> int:
@@ -530,14 +609,93 @@ def build_parser() -> argparse.ArgumentParser:
         "before spilling to a sealed v3 disk spool (default 8 MiB; "
         "0 forces disk spooling throughout)",
     )
+    p_run.add_argument(
+        "--record", metavar="DIR",
+        help="record attribute provenance into DIR (sealed NDJSON log + "
+        "every pass's sealed spool); query it with `repro debug`",
+    )
+    p_run.add_argument(
+        "--backend", choices=["interp", "generated"], default="generated",
+        help="evaluator backend (default generated)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_debug = sub.add_parser(
+        "debug",
+        help="time-travel queries over a recorded run "
+        "(see `repro run --record`)",
+    )
+    dsub = p_debug.add_subparsers(dest="query", required=True)
+
+    def add_debug_common(p):
+        p.add_argument("dir", help="record directory (from --record DIR)")
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="also dump the debug.* counters",
+        )
+
+    p_why = dsub.add_parser(
+        "why",
+        help="dependency-directed backward slice: the semantic-function "
+        "instants (across passes) that produced NODE.ATTR's value",
+    )
+    add_debug_common(p_why)
+    p_why.add_argument(
+        "target",
+        help="NODE.ATTR, e.g. root.OUT or root.1.2.VAL (positions are "
+        "1-based child indices; 'limb' names a production's limb node)",
+    )
+    p_why.add_argument(
+        "--max-depth", type=int, default=8, metavar="N",
+        help="slice recursion depth (default 8)",
+    )
+    p_why.set_defaults(func=cmd_debug)
+
+    p_hist = dsub.add_parser(
+        "history",
+        help="NODE.ATTR's value at every pass boundary, read out of the "
+        "sealed spools",
+    )
+    add_debug_common(p_hist)
+    p_hist.add_argument("target", help="NODE.ATTR (as in `debug why`)")
+    p_hist.set_defaults(func=cmd_debug)
+
+    p_step = dsub.add_parser(
+        "step",
+        help="replay recorded semantic-function instants around a cursor",
+    )
+    add_debug_common(p_step)
+    p_step.add_argument(
+        "--at", type=int, default=None, metavar="SEQ",
+        help="cursor instant (default: first; with --backward: last)",
+    )
+    p_step.add_argument(
+        "--count", type=int, default=10, metavar="N",
+        help="instants to show (default 10)",
+    )
+    p_step.add_argument(
+        "--backward", action="store_true",
+        help="step backward from the cursor instead of forward",
+    )
+    p_step.set_defaults(func=cmd_debug)
+
+    p_summ = dsub.add_parser(
+        "summary", help="totals of the recorded run (events per pass, "
+        "busiest productions and attributes)",
+    )
+    add_debug_common(p_summ)
+    p_summ.set_defaults(func=cmd_debug)
 
     p_fsck = sub.add_parser(
         "fsck",
         help="verify an APT spool file's header, record/block checksums, "
         "name table, and sealed footer",
     )
-    p_fsck.add_argument("spool", help="path to a .spool file (v1, v2, or v3)")
+    p_fsck.add_argument(
+        "spool",
+        help="path to a .spool file (v1, v2, or v3) or a provenance "
+        ".ndjson log (format is sniffed)",
+    )
     p_fsck.add_argument(
         "--salvage", metavar="OUT",
         help="recover the longest checksum-valid prefix into a fresh "
@@ -590,6 +748,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         help="build through the persistent artifact cache at DIR (the "
         "cache.* counters then appear in the profile)",
+    )
+    p_prof.add_argument(
+        "--record", metavar="DIR",
+        help="record attribute provenance while translating INPUT (the "
+        "provenance.* counters then appear in the profile)",
     )
     p_prof.add_argument(
         "--metrics", action="store_true",

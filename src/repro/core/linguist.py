@@ -37,6 +37,7 @@ code-generation work (``cache.hit`` counters prove it).  See
 
 from __future__ import annotations
 
+import os
 from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -458,6 +459,9 @@ class Translator:
             raise ValueError(f"unknown backend {backend!r}")
         #: Filled by each translate() call.
         self.last_driver: Optional[AlternatingPassDriver] = None
+        #: Lazily-built recording variant of the generated evaluator
+        #: (provenance hooks compiled in); the normal executor stays hot.
+        self._recording_eval: Optional[GeneratedEvaluator] = None
         #: How to rebuild this translator in another process (set by the
         #: batch driver / CLI for shipped grammars; required for
         #: ``translate_many(jobs > 1)``).  A repro.batch.WorkerSpec.
@@ -496,6 +500,7 @@ class Translator:
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
         spool_memory_budget: Optional[int] = None,
+        record: Optional[str] = None,
     ) -> EvaluationResult:
         """Scan, parse, and evaluate ``text``.
 
@@ -508,6 +513,10 @@ class Translator:
         ``spool_memory_budget`` caps the bytes each intermediate APT
         spool may keep in memory before spilling to a v3 disk spool
         (None picks the default; 0 forces disk spooling throughout).
+        ``record`` enables attribute-provenance recording into that
+        directory (a sealed NDJSON log plus every pass's sealed spool;
+        see docs/debugging.md) — it implies checkpointing into the same
+        directory, so the two directories must agree when both given.
         """
         if self.scanner is None:
             raise EvaluationError(
@@ -521,6 +530,7 @@ class Translator:
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             spool_memory_budget=spool_memory_budget,
+            record=record,
         )
 
     def translate_many(
@@ -556,6 +566,7 @@ class Translator:
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
         spool_memory_budget: Optional[int] = None,
+        record: Optional[str] = None,
     ) -> EvaluationResult:
         accountant = accountant if accountant is not None else IOAccountant()
         metrics = metrics if metrics is not None else MetricsRegistry()
@@ -569,11 +580,61 @@ class Translator:
                 else spool_memory_budget
             ),
         )
+        recorder = None
+        executor = self._executor
+        if record is not None:
+            if checkpoint_dir is not None and os.path.abspath(
+                checkpoint_dir
+            ) != os.path.abspath(record):
+                raise EvaluationError(
+                    "record= implies checkpointing into the record "
+                    f"directory, but checkpoint_dir={checkpoint_dir!r} "
+                    f"differs from record={record!r}"
+                )
+            checkpoint_dir = record
+            from repro.obs.provenance import ProvenanceRecorder
+
+            recorder = ProvenanceRecorder(
+                record,
+                grammar=self.ag.name,
+                backend=self.backend,
+                start=self.ag.start,
+                productions=self.ag.productions,
+                metrics=metrics,
+            )
+            if self.backend == "generated":
+                # Recording variant: same plans, provenance hooks
+                # compiled in.  Built once and kept; the non-recording
+                # executor (and its cached text) is untouched.
+                if self._recording_eval is None:
+                    self._recording_eval = GeneratedEvaluator(
+                        self.ag, self.linguist.plans, recording=True
+                    )
+                executor = self._recording_eval.executor
+            # The initial spool must survive in the record directory for
+            # the debug session's history queries; intermediates still go
+            # through the normal factory (the checkpoint manager seals
+            # every pass spool into the directory).
+            from repro.apt.storage import DiskSpool
+
+            inner_factory = factory
+
+            def factory(name: str) -> Spool:
+                if name == "initial":
+                    return DiskSpool(
+                        os.path.join(record, "initial.spool"),
+                        accountant=accountant,
+                        channel="initial",
+                        tracer=tracer,
+                        metrics=metrics,
+                    )
+                return inner_factory(name)
+
         initial = self._build_initial(tokens, factory, tracer, metrics)
         driver = AlternatingPassDriver(
             self.ag,
             self.linguist.plans,
-            self._executor,
+            executor,
             library=self.library,
             spool_factory=factory,
             accountant=accountant,
@@ -581,6 +642,7 @@ class Translator:
             tracer=tracer,
             metrics=metrics,
             checkpoint_dir=checkpoint_dir,
+            recorder=recorder,
         )
         self.last_driver = driver
         strategy = (

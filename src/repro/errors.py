@@ -250,6 +250,45 @@ class CacheCorruptionError(ReproError):
         self.reason = reason
 
 
+class ProvenanceError(ReproError):
+    """The attribute-provenance subsystem could not record or answer a
+    query (missing log, malformed node path, unknown attribute)."""
+
+
+class ProvenanceCorruptionError(ProvenanceError):
+    """A sealed provenance log failed an integrity check.
+
+    Provenance logs are line-framed NDJSON where every record carries
+    its own CRC32 and the seal line covers the whole stream; any damage
+    is reported against the exact record so ``repro debug`` degrades
+    into a diagnosis instead of a crash.  ``record_index`` is the
+    0-based line index of the damaged record (``None`` when the file as
+    a whole is unusable), and ``reason`` is a short machine-readable
+    tag (``"framing"``, ``"checksum"``, ``"header"``, ``"seal"``,
+    ``"truncated"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        record_index: Optional[int] = None,
+        path: Optional[str] = None,
+        reason: str = "corrupt",
+        diagnostics: Optional[List[Diagnostic]] = None,
+    ):
+        super().__init__(message, diagnostics=diagnostics)
+        self.record_index = record_index
+        self.path = path
+        self.reason = reason
+
+    def locus(self) -> str:
+        """Human-readable ``record N`` locator (matches the spool
+        corruption convention so fsck output renders uniformly)."""
+        rec = "?" if self.record_index is None else str(self.record_index)
+        return f"record {rec}"
+
+
 class GenerationError(ReproError):
     """Evaluator code generation failed."""
 

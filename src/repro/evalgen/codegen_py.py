@@ -38,6 +38,7 @@ HUSK = "husk"
 SEM = "sem"
 NOTE = "note"  # comments — zero weight
 DECL = "decl"  # declarations — data, not code; zero weight like the 8086
+PROV = "prov"  # provenance-recording hooks — zero weight, recording mode only
 
 
 @dataclass
@@ -80,10 +81,20 @@ def _var(position: int) -> str:
 
 
 class PythonCodeGenerator:
-    """Renders pass plans as Python evaluator classes."""
+    """Renders pass plans as Python evaluator classes.
 
-    def __init__(self, ag: AttributeGrammar):
+    With ``recording=True`` the generator additionally emits provenance
+    hooks (``rec.define``/``rec.put``/``rec.enter_child``) at every
+    attribute-definition and node-I/O site, mirroring the interpreter's
+    hook placement exactly so the two backends produce byte-comparable
+    provenance logs.  Recording output is a *separate* variant: normal
+    (``recording=False``) output is byte-identical to what this
+    generator always produced — it is golden-pinned and cached.
+    """
+
+    def __init__(self, ag: AttributeGrammar, recording: bool = False):
         self.ag = ag
+        self.recording = recording
 
     # -- expressions ----------------------------------------------------------
 
@@ -143,11 +154,25 @@ class PythonCodeGenerator:
 
     # -- procedures -------------------------------------------------------------
 
+    def _prov_inputs(self, binding, refmap: Dict[Tuple[int, str], tuple]) -> str:
+        """Code for the define hook's inputs tuple: ``(position, attr,
+        value-expression)`` triples in the same deduplicated order the
+        interpreter records them."""
+        from repro.obs.provenance import input_keys
+
+        items = "".join(
+            f"({p}, {a!r}, {self._source_code(refmap[(p, a)])}), "
+            for p, a in input_keys(binding)
+        )
+        return f"({items})"
+
     def _emit_procedure(self, em: _Emitter, plan: EvaluationPlan) -> None:
         prod = self.ag.productions[plan.production]
         em.emit(f"def p{prod.index}_{sanitize(prod.tag)}(self, n0):", HUSK, 1)
         em.emit(f'"""{prod} (pass {plan.pass_k})"""', NOTE, 2)
         em.emit("rt = self.rt", HUSK, 2)
+        if self.recording:
+            em.emit("rec = rt.rec", PROV, 2)
         body = 2
         for action in plan.actions:
             kind = action.kind
@@ -167,28 +192,69 @@ class PythonCodeGenerator:
                             SEM,
                             body,
                         )
+                if self.recording:
+                    sym = self._symbol_at(prod, action.position)
+                    em.emit(
+                        f"rec.put({action.position}, {sym!r}, rt.out_index())",
+                        PROV,
+                        body,
+                    )
                 em.emit(f"rt.put_node({var}, {names!r})", HUSK, body)
             elif kind is ActionKind.VISIT:
                 sym = self._symbol_at(prod, action.position)
+                if self.recording:
+                    em.emit(f"rec.enter_child({action.position})", PROV, body)
                 em.emit(
                     f"self.visit_{sanitize(sym)}({_var(action.position)})",
                     HUSK,
                     body,
                 )
+                if self.recording:
+                    em.emit("rec.exit_child()", PROV, body)
             elif kind is ActionKind.COMPUTE:
                 binding = action.binding
                 code = self.compile_expr(binding.expr, action.refmap)
+                target = binding.target
                 if action.temp:
                     em.emit(f"{action.temp} = {code}", SEM, body)
+                    readback = action.temp
                 else:
-                    target = binding.target
                     em.emit(
                         f"{_var(target.position)}.attrs[{target.attr_name!r}] = {code}",
                         SEM,
                         body,
                     )
+                    readback = f"{_var(target.position)}.attrs[{target.attr_name!r}]"
+                if self.recording:
+                    em.emit(
+                        f"rec.define({prod.index}, {target.position}, "
+                        f"{target.attr_name!r}, {readback}, "
+                        f"{self._prov_inputs(binding, action.refmap)}, "
+                        f"'compute', {str(binding)!r}, rt.out_index())",
+                        PROV,
+                        body,
+                    )
             elif kind is ActionKind.SUBSUME:
                 em.emit(f"# {{ {action.binding} }} -- subsumed", NOTE, body)
+                if self.recording:
+                    if not action.group:
+                        raise GenerationError(
+                            "SUBSUME action carries no group (pass plans "
+                            "predate provenance recording — likely a stale "
+                            "build cache; clear it and rebuild)"
+                        )
+                    binding = action.binding
+                    src = binding.copy_source()
+                    gvar = f"self.g_{sanitize(action.group)}"
+                    em.emit(
+                        f"rec.define({prod.index}, "
+                        f"{binding.target.position}, "
+                        f"{binding.target.attr_name!r}, {gvar}, "
+                        f"(({src.position}, {src.attr_name!r}, {gvar}), ), "
+                        f"'subsume', {str(binding)!r}, rt.out_index())",
+                        PROV,
+                        body,
+                    )
             elif kind is ActionKind.SNAPSHOT:
                 em.emit(
                     f"{action.temp} = self.g_{sanitize(action.group)}", SEM, body
@@ -250,6 +316,10 @@ class PythonCodeGenerator:
             em.emit(
                 f"n0.attrs[{attr_name!r}] = self.g_{sanitize(group)}", SEM, 2
             )
+        if self.recording:
+            em.emit(
+                f"rt.rec.put(0, {self.ag.start!r}, rt.out_index())", PROV, 2
+            )
         em.emit(f"rt.put_node(n0, {plan.root_fields!r})", HUSK, 2)
         em.emit("return n0", HUSK, 2)
         em.emit("", NOTE)
@@ -291,10 +361,15 @@ class PythonCodeGenerator:
 class GeneratedEvaluator:
     """Compiled generated evaluator: an executor for the driver."""
 
-    def __init__(self, ag: AttributeGrammar, pass_plans: List[PassPlan]):
+    def __init__(
+        self,
+        ag: AttributeGrammar,
+        pass_plans: List[PassPlan],
+        recording: bool = False,
+    ):
         self.ag = ag
         self.pass_plans = pass_plans
-        gen = PythonCodeGenerator(ag)
+        gen = PythonCodeGenerator(ag, recording=recording)
         self.artifacts = gen.generate_all(pass_plans)
         self._compile_artifacts()
 

@@ -260,6 +260,7 @@ class AlternatingPassDriver:
         metrics: Optional[MetricsRegistry] = None,
         checkpoint: Optional[CheckpointManager] = None,
         checkpoint_dir: Optional[str] = None,
+        recorder=None,
     ):
         self.ag = ag
         self.pass_plans = pass_plans
@@ -283,6 +284,8 @@ class AlternatingPassDriver:
             )
         #: Optional durable-progress manager (see :class:`CheckpointManager`).
         self.checkpoint = checkpoint
+        #: Optional provenance recorder (repro.obs.ProvenanceRecorder).
+        self.recorder = recorder
         #: Seconds spent in each pass, filled by :meth:`run`.
         self.pass_times: List[float] = []
         #: Per-pass time/I/O/memory rows, filled by :meth:`run`.
@@ -387,10 +390,19 @@ class AlternatingPassDriver:
         self.pass_times = []
         self.pass_stats = []
         start_index, resumed_spool = self._resume_point(strategy, resume)
+        rec = self.recorder
+        if rec is not None:
+            rec.begin_run(
+                strategy,
+                [p.direction.value for p in self.pass_plans],
+                resumed_from=start_index,
+            )
         spool_in = resumed_spool if resumed_spool is not None else initial
         if start_index >= len(self.pass_plans) and resumed_spool is not None:
             # Everything already completed: recover the root attributes
             # from the sealed final spool without rerunning any pass.
+            if rec is not None:
+                rec.seal()
             self.final_spool = resumed_spool
             return EvaluationResult(
                 self._root_attrs_from_spool(resumed_spool),
@@ -411,6 +423,8 @@ class AlternatingPassDriver:
                 spool_out = self._spool_factory(f"pass{plan.pass_k}.out")
             if tracer is not None and spool_out.tracer is None:
                 spool_out.tracer = tracer
+            if rec is not None:
+                rec.begin_pass(plan.pass_k, plan.direction.value)
             runtime = EvaluatorRuntime(
                 reader,
                 spool_out,
@@ -419,6 +433,7 @@ class AlternatingPassDriver:
                 self.trace,
                 tracer=tracer,
                 metrics=self.metrics,
+                recorder=rec,
             )
             io_before = (
                 acc.records_read,
@@ -465,6 +480,8 @@ class AlternatingPassDriver:
                 # A failed pass must not leak its half-written output
                 # spool (or the previous intermediate) as stray
                 # apt_*.spool temp files.
+                if rec is not None:
+                    rec.abort()
                 spool_out.close()
                 if spool_in is not initial:
                     spool_in.close()
@@ -474,6 +491,8 @@ class AlternatingPassDriver:
             if spool_in is not initial:
                 spool_in.close()
             spool_in = spool_out
+        if rec is not None:
+            rec.seal()
         self.final_spool = spool_in
         assert root is not None
         return EvaluationResult(root.attrs, n_passes=len(self.pass_plans))

@@ -18,6 +18,7 @@ from repro.errors import EvaluationError
 from repro.evalgen.exprinterp import eval_expr
 from repro.evalgen.plan import ActionKind, EvaluationPlan, PassPlan, PlanAction
 from repro.evalgen.runtime import EvaluatorRuntime
+from repro.obs.provenance import input_keys
 
 
 class InterpretiveEvaluator:
@@ -34,6 +35,8 @@ class InterpretiveEvaluator:
         self._visit(root, plan, runtime, globals_)
         for attr_name, group in plan.root_exports:
             root.attrs[attr_name] = globals_[group]
+        if runtime.rec is not None:
+            runtime.rec.put(LHS_POSITION, root.symbol, runtime.out_index())
         runtime.put_node(root, fields=plan.root_fields)
         return root
 
@@ -74,6 +77,7 @@ class InterpretiveEvaluator:
         globals_: Dict[str, Any],
     ) -> None:
         tracer = runtime.tracer
+        rec = runtime.rec
         nodes: Dict[int, APTNode] = {LHS_POSITION: node}
         temps: Dict[str, Any] = {}
         saves: Dict[str, Any] = {}
@@ -113,9 +117,16 @@ class InterpretiveEvaluator:
                     names.append(attr_name)
                     if source[0] != "field":
                         target.attrs[attr_name] = source_value(source)
+                if rec is not None:
+                    rec.put(action.position, target.symbol, runtime.out_index())
                 runtime.put_node(target, fields=names)
             elif kind is ActionKind.VISIT:
-                self._visit(nodes[action.position], plan, runtime, globals_)
+                if rec is None:
+                    self._visit(nodes[action.position], plan, runtime, globals_)
+                else:
+                    rec.enter_child(action.position)
+                    self._visit(nodes[action.position], plan, runtime, globals_)
+                    rec.exit_child()
             elif kind is ActionKind.COMPUTE:
                 binding = action.binding
 
@@ -138,9 +149,37 @@ class InterpretiveEvaluator:
                     nodes[binding.target.position].attrs[
                         binding.target.attr_name
                     ] = value
+                if rec is not None:
+                    rec.define(
+                        prod.index,
+                        binding.target.position,
+                        binding.target.attr_name,
+                        value,
+                        [
+                            (p, a, source_value(action.refmap[(p, a)]))
+                            for p, a in input_keys(binding)
+                        ],
+                        "compute",
+                        str(binding),
+                        runtime.out_index(),
+                    )
             elif kind is ActionKind.SUBSUME:
                 # No code: the value is already in its global.
                 runtime.note_copyrule_elided(str(action.binding))
+                if rec is not None:
+                    binding = action.binding
+                    src = binding.copy_source()
+                    value = globals_[action.group]
+                    rec.define(
+                        prod.index,
+                        binding.target.position,
+                        binding.target.attr_name,
+                        value,
+                        [(src.position, src.attr_name, value)],
+                        "subsume",
+                        str(binding),
+                        runtime.out_index(),
+                    )
             elif kind is ActionKind.SNAPSHOT:
                 temps[action.temp] = globals_[action.group]
             elif kind is ActionKind.SETGLOBAL:

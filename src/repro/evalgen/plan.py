@@ -313,7 +313,12 @@ class _PlanBuilder:
                 and skey in self.holds.get(tgroup, set())
             ):
                 # Subsumed: the proper value is already in the global.
-                self.actions.append(PlanAction(ActionKind.SUBSUME, binding=binding))
+                # The group rides along so provenance recording can read
+                # the subsumed value; it is excluded from PassPlan.groups
+                # (SUBSUME never allocates the global it reads).
+                self.actions.append(
+                    PlanAction(ActionKind.SUBSUME, binding=binding, group=tgroup)
+                )
                 self.holds[tgroup].add(tkey)
                 self.n_subsumed += 1
                 return
@@ -433,7 +438,7 @@ def build_pass_plans(
             plan = builder.build()
             plans[prod.index] = plan
             for action in plan.actions:
-                if action.group:
+                if action.group and action.kind is not ActionKind.SUBSUME:
                     groups.add(action.group)
         root_exports: List[Tuple[str, str]] = []
         for attr in start_sym.synthesized:

@@ -85,6 +85,7 @@ class EvaluatorRuntime:
         trace: Optional[List[TraceEvent]] = None,
         tracer=None,
         metrics=None,
+        recorder=None,
     ):
         self._reader = reader
         self._output = output
@@ -93,6 +94,8 @@ class EvaluatorRuntime:
         self.trace = trace
         #: Structured tracer (repro.obs.Tracer) or None — the fast path.
         self.tracer = tracer
+        #: Provenance recorder (repro.obs.ProvenanceRecorder) or None.
+        self.rec = recorder
         # Event counters, resolved once against the metrics registry so
         # the hot path pays one attribute check when telemetry is off.
         if metrics is not None:
@@ -157,6 +160,11 @@ class EvaluatorRuntime:
             self.gauge.release(node.__dict__.get("_resident_bytes", 0))
         if self.trace is not None:
             self.trace.append(TraceEvent("put", node.symbol))
+
+    def out_index(self) -> int:
+        """Record index the *next* :meth:`put_node` call will occupy in
+        the output spool — the spool offset provenance events carry."""
+        return self._output.n_records
 
     def at_end(self) -> bool:
         """True when the input spool is exhausted."""

@@ -17,6 +17,9 @@ substrate:
 * :mod:`repro.obs.export` — Chrome ``chrome://tracing`` JSON, NDJSON,
   and terminal-summary exporters consumed by the ``python -m repro
   trace`` and ``python -m repro profile`` subcommands.
+* :mod:`repro.obs.provenance` — the attribute-provenance recorder and
+  the time-travel query engine behind ``python -m repro debug``
+  (why/history/step/summary over a recorded run).
 
 See ``docs/observability.md`` for the span taxonomy and consumption
 guidelines.
@@ -36,8 +39,22 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, TraceRecord, Tracer
 from repro.obs.export import chrome_trace_events, chrome_trace_json, ndjson, summary
+from repro.obs.provenance import (
+    DebugSession,
+    ProvenanceLog,
+    ProvenanceRecorder,
+    ProvenanceScanReport,
+    salvage_provenance,
+    scan_provenance,
+)
 
 __all__ = [
+    "DebugSession",
+    "ProvenanceLog",
+    "ProvenanceRecorder",
+    "ProvenanceScanReport",
+    "salvage_provenance",
+    "scan_provenance",
     "ChannelStats",
     "Counter",
     "Gauge",
