@@ -1,0 +1,170 @@
+"""EXP-T8 — serving economics: daemon latency and throughput vs batch.
+
+The paper's §V splits translation cost into an expensive
+once-per-grammar build and a cheap streaming per-input run.  The serve
+daemon (``docs/serving.md``) is the long-lived form of that split:
+build once, keep warm, translate an unbounded request stream through
+supervised workers.  This benchmark quantifies what the robustness
+machinery costs:
+
+* **latency** — closed-loop p50/p99 per-request wall time through the
+  *real* daemon over HTTP (subprocess, sockets, journal on), i.e. what
+  a client actually observes;
+* **throughput** — sustained requests/s with concurrent clients,
+  against the same inputs through ``repro batch`` (the daemon's
+  per-request supervision + journaling overhead is the difference);
+* the admission/restart counters after the run (``serve.*``), read
+  from ``/stats`` — the same registry ``repro profile`` renders.
+
+The regression gate (``check_regression.py``) tracks the in-process
+variant of these numbers as ``serve_rps``/``serve_p99_ms``.
+"""
+
+import json
+import os
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+from repro.workloads import generate_calc_program
+
+N_REQUESTS = 80
+N_CLIENTS = 4
+WORKERS = 2
+SEED = 800
+
+
+def _percentile(sorted_values, fraction):
+    index = min(len(sorted_values) - 1, int(len(sorted_values) * fraction))
+    return sorted_values[index]
+
+
+def _start_daemon(tmp_path):
+    env = dict(os.environ, PYTHONPATH="src")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "src/repro/grammars/calc.ag", "--port", "0",
+         "--workers", str(WORKERS),
+         "--queue-depth", str(N_REQUESTS),
+         "--journal", str(tmp_path / "journal"),
+         "--cache-dir", str(tmp_path / "cache")],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    port = None
+    while port is None:
+        line = daemon.stdout.readline()
+        if not line:
+            raise RuntimeError("serve daemon exited during startup")
+        m = re.search(r"listening on http://[\d.]+:(\d+)", line)
+        if m:
+            port = int(m.group(1))
+    threading.Thread(
+        target=lambda: [None for _ in daemon.stdout], daemon=True
+    ).start()
+    return daemon, port
+
+
+def _post(port, text, timeout=60):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/translate",
+        data=text.encode(), method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.read()
+
+
+def test_t8_serve_latency_and_throughput(report, tmp_path):
+    texts = [
+        generate_calc_program(5 + i % 4, seed=SEED + i)
+        for i in range(N_REQUESTS)
+    ]
+
+    # Reference: the same inputs through the batch driver (same worker
+    # code path, no per-request admission/journal machinery).
+    from repro.batch import WorkerSpec, build_batch_translator
+    from repro.grammars import load_source, source_path
+
+    spec = WorkerSpec(
+        source=load_source("calc"),
+        filename=source_path("calc"),
+        grammar_name="calc",
+        direction="r2l",
+        cache_dir=str(tmp_path / "cache"),
+    )
+    translator = build_batch_translator(spec)
+    start = time.perf_counter()
+    batch_report = translator.translate_many(texts, jobs=WORKERS)
+    batch_seconds = time.perf_counter() - start
+    assert batch_report.ok
+
+    daemon, port = _start_daemon(tmp_path)
+    try:
+        _post(port, texts[0])  # warm the HTTP + dispatch path
+
+        # Closed loop, one client: per-request latency.
+        latencies = []
+        for text in texts:
+            t0 = time.perf_counter()
+            _post(port, text)
+            latencies.append(time.perf_counter() - t0)
+        latencies.sort()
+
+        # Concurrent clients: sustained throughput.
+        chunks = [texts[i::N_CLIENTS] for i in range(N_CLIENTS)]
+        failures = []
+
+        def drive(chunk):
+            try:
+                for text in chunk:
+                    _post(port, text)
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                failures.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=drive, args=(c,)) for c in chunks
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        concurrent_seconds = time.perf_counter() - t0
+        assert not failures, failures
+
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/stats", timeout=10
+        ) as resp:
+            stats = json.load(resp)
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        assert daemon.wait(timeout=60) == 0
+
+    p50 = statistics.median(latencies) * 1000.0
+    p99 = _percentile(latencies, 0.99) * 1000.0
+    serve_rps = N_REQUESTS / concurrent_seconds
+    batch_rps = N_REQUESTS / batch_seconds
+    text = (
+        f"EXP-T8: serve daemon vs batch ({N_REQUESTS} requests, "
+        f"{WORKERS} workers, journal on)\n"
+        f"  latency (closed loop over HTTP): "
+        f"p50 {p50:.1f} ms, p99 {p99:.1f} ms\n"
+        f"  throughput ({N_CLIENTS} concurrent clients): "
+        f"{serve_rps:,.0f} req/s sustained\n"
+        f"  repro batch  (same inputs, -j {WORKERS}): "
+        f"{batch_rps:,.0f} req/s\n"
+        f"  serve/batch throughput ratio: {serve_rps / batch_rps:.2f} "
+        f"(supervision + admission + journal tax)\n"
+        f"  counters: admitted={stats.get('serve.admitted')}, "
+        f"completed={stats.get('serve.completed')}, "
+        f"rejected={stats.get('serve.rejected', 0)}, "
+        f"restarts={stats.get('serve.worker_restarts', 0)}"
+    )
+    report("t8_serve", text)
+    # warm-up + closed-loop pass + concurrent pass, none lost
+    assert stats["serve.completed"] == 2 * N_REQUESTS + 1
+    assert p50 > 0 and serve_rps > 0

@@ -22,7 +22,11 @@ amortizes), then compares throughput against the committed baseline in
   provenance recording *disabled* drops more than
   ``PROVENANCE_THRESHOLD`` (3%) below the baseline: the recorder is
   opt-in, and the ``rec is None`` checks threaded through the
-  evaluators must stay free when nobody opted in.
+  evaluators must stay free when nobody opted in;
+* **serve gate** — fail when the serve daemon's sustained requests/s
+  (in-process, supervised workers — see ``docs/serving.md`` and
+  ``bench_t8_serve.py``) drops more than ``THRESHOLD`` below the
+  baseline.
 
 Usage::
 
@@ -197,6 +201,76 @@ def measure_provenance_overhead(
     }
 
 
+def measure_serve(n_requests: int = 60, workers: int = 2) -> dict:
+    """Serve-daemon latency and sustained throughput vs ``run_batch``
+    over the same inputs (in-process server, HTTP layer excluded so the
+    gate measures the service, not the socket stack)."""
+    import asyncio
+    import statistics
+
+    from repro.batch import WorkerSpec, build_batch_translator
+    from repro.grammars import load_source, source_path
+    from repro.serve.daemon import ServeConfig, TranslationServer
+    from repro.workloads import generate_calc_program
+
+    texts = [
+        generate_calc_program(5, seed=900 + i) for i in range(n_requests)
+    ]
+    with tempfile.TemporaryDirectory() as root:
+        spec = WorkerSpec(
+            source=load_source("calc"),
+            filename=source_path("calc"),
+            grammar_name="calc",
+            direction="r2l",
+            cache_dir=os.path.join(root, "cache"),
+        )
+        translator = build_batch_translator(spec)
+        start = time.perf_counter()
+        report = translator.translate_many(texts, jobs=workers)
+        batch_seconds = time.perf_counter() - start
+        assert report.ok, "batch reference run failed"
+
+        async def drive():
+            server = TranslationServer(
+                {"calc": spec},
+                ServeConfig(
+                    workers=workers,
+                    queue_depth=n_requests,  # gate measures service time
+                ),
+            )
+            await server.start()
+            try:
+                await server.submit("calc", texts[0])  # warm
+                latencies = []
+                for text in texts:  # closed loop: per-request latency
+                    t0 = time.perf_counter()
+                    result = await server.submit("calc", text)
+                    assert result.ok
+                    latencies.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()  # open loop: sustained RPS
+                await asyncio.gather(
+                    *[server.submit("calc", text) for text in texts]
+                )
+                concurrent_seconds = time.perf_counter() - t0
+            finally:
+                server.request_shutdown()
+                await server.drain()
+            return latencies, concurrent_seconds
+
+        latencies, concurrent_seconds = asyncio.run(drive())
+    latencies.sort()
+    return {
+        "n_requests": n_requests,
+        "workers": workers,
+        "p50_ms": statistics.median(latencies) * 1000.0,
+        "p99_ms": latencies[
+            min(len(latencies) - 1, int(len(latencies) * 0.99))
+        ] * 1000.0,
+        "serve_rps": n_requests / concurrent_seconds,
+        "batch_rps": n_requests / batch_seconds,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -210,6 +284,7 @@ def main(argv=None) -> int:
     cache = measure_cold_vs_warm()
     codec = measure_spool_codec()
     provenance = measure_provenance_overhead(rounds=args.rounds)
+    serve = measure_serve()
 
     lpm = throughput["lines_per_minute"]
     print(
@@ -232,6 +307,12 @@ def main(argv=None) -> int:
         f"disabled, {provenance['on_lines_per_minute']:,.0f} recording "
         f"({provenance['record_slowdown']:.1f}x slowdown when opted in)"
     )
+    print(
+        f"serve: p50 {serve['p50_ms']:.1f} ms, p99 {serve['p99_ms']:.1f} ms, "
+        f"{serve['serve_rps']:,.0f} req/s sustained "
+        f"({serve['workers']} workers; batch over the same inputs: "
+        f"{serve['batch_rps']:,.0f} req/s)"
+    )
 
     if args.update_baseline:
         baseline = {
@@ -249,6 +330,8 @@ def main(argv=None) -> int:
                 "off_lines_per_minute"
             ],
             "provenance_threshold": PROVENANCE_THRESHOLD,
+            "serve_rps": serve["serve_rps"],
+            "serve_p99_ms": serve["p99_ms"],
         }
         os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
         with open(BASELINE_PATH, "w", encoding="utf-8") as f:
@@ -357,6 +440,26 @@ def main(argv=None) -> int:
                 f"{off_floor:,.0f} lines/min with recording disabled "
                 f"(baseline {base_off:,.0f} - "
                 f"{100 * PROVENANCE_THRESHOLD:.0f}%)"
+            )
+
+    base_rps = baseline.get("serve_rps")
+    if base_rps is not None:
+        rps_floor = base_rps * (1.0 - THRESHOLD)
+        if serve["serve_rps"] < rps_floor:
+            drop = 100.0 * (1.0 - serve["serve_rps"] / base_rps)
+            print(
+                f"FAIL serve regression: {serve['serve_rps']:,.0f} req/s "
+                f"sustained is {drop:.0f}% below baseline "
+                f"{base_rps:,.0f} (tolerated: {100 * THRESHOLD:.0f}%)",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(
+                f"PASS serve: {serve['serve_rps']:,.0f} >= floor "
+                f"{rps_floor:,.0f} req/s sustained "
+                f"(baseline {base_rps:,.0f} - {100 * THRESHOLD:.0f}%; "
+                f"p99 {serve['p99_ms']:.1f} ms)"
             )
     return 0 if ok else 1
 

@@ -12,9 +12,18 @@ cache instead of rebuilding**.  This module is that batch driver:
   (:class:`WorkerSpec`) workers need to reconstruct it;
 * :func:`run_batch` (surfaced as
   :meth:`repro.core.Translator.translate_many` and the ``repro batch``
-  CLI) maps inputs over a ``multiprocessing`` pool with **per-input
-  isolation** — one failed input is reported in its
-  :class:`BatchItem` while every other input completes;
+  CLI) fans inputs across **supervised** worker processes
+  (:class:`repro.serve.workers.WorkerHandle` — the same lifecycle the
+  serve daemon uses) with **per-input isolation** — one failed input
+  is reported in its :class:`BatchItem` while every other input
+  completes;
+* ``timeout=`` (CLI ``--timeout``) bounds every input: a hung input is
+  recorded as a failed :class:`BatchItem` with a typed
+  :class:`~repro.errors.TranslationTimeout` and its worker is killed
+  and restarted, so one pathological input never stalls the pool;
+* ``KeyboardInterrupt`` terminates the workers and returns a *partial*
+  :class:`BatchReport` (``interrupted=True``) instead of hanging in
+  the pool join;
 * telemetry lands in the ``batch.*`` counters/gauges and ``batch.*``
   trace instants (see ``docs/performance.md``).
 
@@ -24,16 +33,19 @@ results; the differential suite pins that down.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import EvaluationError, ReproError
+from repro.errors import (
+    EvaluationError,
+    ReproError,
+    TranslationTimeout,
+    WorkerCrashed,
+)
 from repro.evalgen.runtime import EvaluationResult
-
-#: Worker-side translator, built once per process by :func:`_worker_init`.
-_WORKER_TRANSLATOR = None
-
 
 @dataclass(frozen=True)
 class WorkerSpec:
@@ -67,11 +79,17 @@ class BatchItem:
 
 @dataclass
 class BatchReport:
-    """Outcome of a whole batch, in input order."""
+    """Outcome of a whole batch, in input order.
+
+    ``interrupted=True`` marks a partial report: the run was cut short
+    (KeyboardInterrupt), workers were terminated, and ``items`` holds
+    only the inputs that finished before the cut.
+    """
 
     items: List[BatchItem] = field(default_factory=list)
     jobs: int = 1
     seconds: float = 0.0
+    interrupted: bool = False
 
     @property
     def n_ok(self) -> int:
@@ -145,40 +163,11 @@ def build_batch_translator(
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
-
-
-def _worker_init(spec: WorkerSpec) -> None:
-    """Pool initializer: rehydrate the translator from the build cache
-    (once per worker process)."""
-    global _WORKER_TRANSLATOR
-    _WORKER_TRANSLATOR = build_batch_translator(spec)
-
-
-def _worker_translate(job: Tuple[int, str]) -> Tuple[Any, ...]:
-    """Translate one input inside a worker, isolating any failure."""
-    index, text = job
-    started = time.perf_counter()
-    try:
-        result = _WORKER_TRANSLATOR.translate(text)
-    except Exception as exc:  # per-input isolation: report, don't kill the pool
-        return (
-            index,
-            False,
-            None,
-            0,
-            type(exc).__name__,
-            str(exc),
-            time.perf_counter() - started,
-        )
-    return (
-        index,
-        True,
-        result.root_attrs,
-        result.n_passes,
-        None,
-        None,
-        time.perf_counter() - started,
-    )
+#
+# The worker lifecycle itself lives in repro.serve.workers (WorkerHandle
+# + worker_main): the serve daemon and the batch driver share one
+# supervised-subprocess implementation, so a batch worker and a serve
+# worker are the same code path producing byte-identical results.
 
 
 def _item_from_tuple(data: Tuple[Any, ...]) -> BatchItem:
@@ -204,21 +193,35 @@ def run_batch(
     jobs: int = 1,
     metrics=None,
     tracer=None,
+    timeout: Optional[float] = None,
 ) -> BatchReport:
     """Translate ``texts`` through ``translator``; see
-    :meth:`repro.core.Translator.translate_many`."""
+    :meth:`repro.core.Translator.translate_many`.
+
+    ``timeout`` (seconds) bounds each input.  Deadlines are enforced by
+    killing the worker process that holds the hung input, so a timeout
+    requires the supervised-worker path: with ``jobs <= 1`` and a
+    timeout the batch still runs through one supervised subprocess
+    (same results, enforceable deadline) rather than in-process.
+    """
     texts = list(texts)
     started = time.perf_counter()
     if tracer is not None:
         tracer.instant(
             "batch.start", cat="batch", inputs=len(texts), jobs=jobs
         )
-    if jobs > 1:
-        items = _run_parallel(translator, texts, jobs)
+    interrupted = False
+    if jobs > 1 or timeout is not None:
+        items, interrupted = _run_supervised(
+            translator, texts, max(1, jobs), timeout, metrics
+        )
     else:
         items = _run_sequential(translator, texts)
     report = BatchReport(
-        items=items, jobs=max(1, jobs), seconds=time.perf_counter() - started
+        items=items,
+        jobs=max(1, jobs),
+        seconds=time.perf_counter() - started,
+        interrupted=interrupted,
     )
     if metrics is not None:
         metrics.counter("batch.inputs").inc(len(texts))
@@ -226,8 +229,12 @@ def run_batch(
         metrics.counter("batch.failed").inc(report.n_failed)
         metrics.gauge("batch.jobs").set(report.jobs)
         metrics.gauge("batch.seconds").set(report.seconds)
+        if interrupted:
+            metrics.counter("batch.interrupted").inc()
         for item in items:
             metrics.histogram("batch.item.seconds").observe(item.seconds)
+            if item.error_type == "TranslationTimeout":
+                metrics.counter("batch.timeouts").inc()
     if tracer is not None:
         for item in items:
             tracer.instant(
@@ -276,24 +283,104 @@ def _run_sequential(translator, texts: Sequence[str]) -> List[BatchItem]:
     return items
 
 
-def _run_parallel(translator, texts: Sequence[str], jobs: int) -> List[BatchItem]:
-    import multiprocessing
+def _run_supervised(
+    translator,
+    texts: Sequence[str],
+    jobs: int,
+    timeout: Optional[float],
+    metrics=None,
+) -> Tuple[List[BatchItem], bool]:
+    """Fan inputs across supervised worker subprocesses.
 
-    spec = translator.spawn_spec
+    One driver thread per worker pulls inputs off a shared deque and
+    runs them through its :class:`~repro.serve.workers.WorkerHandle`.
+    A timed-out or crashed worker is killed and restarted (the input is
+    recorded as a failed item — per-input isolation); Ctrl-C kills the
+    workers and returns whatever finished (``interrupted=True``).
+    """
+    from repro.serve.workers import WorkerHandle
+
+    spec = getattr(translator, "spawn_spec", None)
     if spec is None:
         raise EvaluationError(
-            "translate_many(jobs > 1) needs a worker spec: build the "
-            "translator via repro.batch.build_batch_translator (or the "
-            "`repro batch` CLI) so workers know how to rehydrate it "
-            "from the build cache"
+            "supervised batch execution (jobs > 1, or timeout=) needs a "
+            "worker spec: build the translator via "
+            "repro.batch.build_batch_translator (or the `repro batch` "
+            "CLI) so workers know how to rehydrate it from the build "
+            "cache"
         )
-    # Make sure the artifacts the workers will rehydrate are sealed on
-    # disk (they are, unless the cache was cleared since construction —
-    # in which case workers rebuild once per process; slower, never wrong).
-    with multiprocessing.Pool(
-        processes=jobs, initializer=_worker_init, initargs=(spec,)
-    ) as pool:
-        raw = pool.map(_worker_translate, list(enumerate(texts)))
-    items = [_item_from_tuple(data) for data in raw]
-    items.sort(key=lambda item: item.index)
-    return items
+    # The artifacts the workers rehydrate are sealed on disk (unless the
+    # cache was cleared since construction — then workers rebuild once
+    # per process; slower, never wrong).
+    handles = [
+        WorkerHandle(spec, worker_id=i, metrics=metrics).start()
+        for i in range(jobs)
+    ]
+    pending = deque(enumerate(texts))
+    done: Dict[int, BatchItem] = {}
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def drive(handle: WorkerHandle) -> None:
+        while not stop.is_set():
+            with lock:
+                if not pending:
+                    return
+                index, text = pending.popleft()
+            t0 = time.perf_counter()
+            try:
+                answer = handle.call(
+                    index, text, timeout=timeout, cancelled=stop.is_set
+                )
+            except TranslationTimeout as exc:
+                item = BatchItem(
+                    index=index,
+                    ok=False,
+                    error_type="TranslationTimeout",
+                    error=str(exc),
+                    seconds=time.perf_counter() - t0,
+                )
+                if not stop.is_set():
+                    handle.restart()  # the old incarnation is wedged
+            except WorkerCrashed as exc:
+                if stop.is_set():
+                    return  # shutdown, not a verdict on this input
+                item = BatchItem(
+                    index=index,
+                    ok=False,
+                    error_type="WorkerCrashed",
+                    error=str(exc),
+                    seconds=time.perf_counter() - t0,
+                )
+                handle.restart()
+            else:
+                item = _item_from_tuple(answer)
+            with lock:
+                done[index] = item
+
+    threads = [
+        threading.Thread(
+            target=drive, args=(handle,), name=f"batch-driver-{i}"
+        )
+        for i, handle in enumerate(handles)
+    ]
+    for thread in threads:
+        thread.start()
+    interrupted = False
+    try:
+        # join() in a loop so the main thread stays interruptible — the
+        # old multiprocessing.Pool path hung in join() on Ctrl-C.
+        while any(thread.is_alive() for thread in threads):
+            for thread in threads:
+                thread.join(timeout=0.1)
+    except KeyboardInterrupt:
+        interrupted = True
+        stop.set()
+        for handle in handles:
+            handle.kill()
+        for thread in threads:
+            thread.join(timeout=5.0)
+    finally:
+        for handle in handles:
+            handle.stop(grace=0.5)
+    return sorted(done.values(), key=lambda item: item.index), interrupted

@@ -13,8 +13,9 @@ format v2 (``apt/storage.py``)::
 The header echoes the content-address the entry was stored under, so a
 renamed or mis-hashed file can never satisfy a lookup; the footer seals
 the payload length and CRC32, and carries a CRC32 of itself.  Writes
-stream into ``<path>.tmp``, flush + fsync, then atomically rename — an
-entry is either completely present or absent, never half-sealed.
+stream into a writer-unique ``<path>.*.tmp``, flush + fsync, then
+atomically rename — an entry is either completely present or absent,
+never half-sealed, even when concurrent processes store the same key.
 
 Every integrity failure raises a typed
 :class:`~repro.errors.CacheCorruptionError` *internally*;
@@ -35,6 +36,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import tempfile
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
@@ -246,15 +248,33 @@ class BuildCache:
         footer_body = _FOOTER.pack(
             FOOTER_MAGIC, len(blob), zlib.crc32(blob), 0
         )[: _FOOTER.size - 4]
-        tmp = path + ".tmp"
-        with open(tmp, "wb") as f:
-            f.write(_HEADER.pack(MAGIC, ENTRY_FORMAT, 0, key_bytes.ljust(64, b"\x00")))
-            f.write(blob)
-            f.write(footer_body)
-            f.write(_U32.pack(zlib.crc32(footer_body)))
-            f.flush()
-            os.fsync(f.fileno())
-        os.replace(tmp, path)
+        # The tmp name must be unique per writer: concurrent processes
+        # (e.g. restarted serve/batch workers racing to rebuild the same
+        # grammar after a cache clear) may store the same key at once,
+        # and a shared ``<path>.tmp`` would let one writer rename the
+        # other's half-written file into place.  Same-key stores are
+        # byte-identical by content addressing, so last-rename-wins is
+        # safe.
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path),
+            prefix=os.path.basename(path) + ".",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(_HEADER.pack(MAGIC, ENTRY_FORMAT, 0, key_bytes.ljust(64, b"\x00")))
+                f.write(blob)
+                f.write(footer_body)
+                f.write(_U32.pack(zlib.crc32(footer_body)))
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self._count("write", kind, metrics)
         self._instant(
             "write", kind, key, tracer,

@@ -18,10 +18,15 @@ Subcommands::
     python -m repro debug why|history|step|summary DIR [...]
                                             time-travel queries over a recorded
                                             run (repro run ... --record DIR)
-    python -m repro batch FILE.ag INPUTS... [-j N --cache-dir DIR]
+    python -m repro batch FILE.ag INPUTS... [-j N --cache-dir DIR --timeout S]
                                             translate many inputs through the
                                             persistent build cache, optionally
                                             across worker processes
+    python -m repro serve FILE.ag [...] [--port P --workers N --journal DIR]
+                                            long-lived fault-tolerant
+                                            translation daemon (supervised
+                                            workers, admission control,
+                                            durable request journal)
 """
 
 from __future__ import annotations
@@ -169,14 +174,11 @@ def _scanner_and_library(name: str):
 
 def render_root_attrs(root_attrs) -> List[str]:
     """Render root attributes exactly as ``repro run`` prints them —
-    ``repro batch`` reuses this so batch output is byte-identical."""
-    lines = []
-    for attr, value in sorted(root_attrs.items()):
-        rendered = list(value) if hasattr(value, "__iter__") and not isinstance(
-            value, str
-        ) else value
-        lines.append(f"{attr} = {rendered}")
-    return lines
+    ``repro batch`` and the serve daemon reuse this (it lives in
+    :mod:`repro.evalgen.runtime` now) so their output is byte-identical."""
+    from repro.evalgen.runtime import render_root_attrs as _render
+
+    return _render(root_attrs)
 
 
 def _grammar_stem(args) -> str:
@@ -346,6 +348,7 @@ def cmd_profile(args) -> int:
         ("robustness", "robust."),
         ("build cache", "cache."),
         ("batch", "batch."),
+        ("serve", "serve."),
         ("provenance", "provenance."),
         ("debug", "debug."),
     ):
@@ -386,9 +389,12 @@ def cmd_fsck(args) -> int:
         print(f"error: no such spool file: {args.spool}", file=sys.stderr)
         return 2
     from repro.obs.provenance import looks_like_provenance_log
+    from repro.serve.journal import looks_like_request_journal
 
     if looks_like_provenance_log(args.spool):
         return _fsck_provenance(args, metrics)
+    if looks_like_request_journal(args.spool):
+        return _fsck_journal(args, metrics)
     if args.salvage:
         report = salvage_spool(args.spool, args.salvage, metrics=metrics)
     else:
@@ -439,6 +445,52 @@ def _fsck_provenance(args, metrics) -> int:
     diag = Diagnostic(
         Severity.ERROR,
         f"provenance log corrupt at {err.locus()} [{err.reason}]; "
+        f"valid prefix: {report.n_valid} record(s)",
+        SourceLocation(filename=args.spool),
+    )
+    print(str(diag), file=sys.stderr)
+    return 1
+
+
+def _fsck_journal(args, metrics) -> int:
+    """The fsck path for SRVJ1 request journals (sniffed by header).
+
+    A clean *unsealed* journal (the daemon was killed rather than
+    drained) exits 0 — that is an expected crash artifact whose valid
+    prefix is authoritative; record-level damage exits 1.
+    """
+    from repro.errors import Diagnostic, Severity, SourceLocation
+    from repro.serve.journal import (
+        replay_journal,
+        salvage_journal,
+        scan_journal,
+    )
+
+    if args.salvage:
+        report = salvage_journal(args.spool, args.salvage, metrics=metrics)
+    else:
+        report = scan_journal(args.spool, metrics=metrics)
+    print(report.render())
+    if report.ok:
+        state = replay_journal(args.spool)
+        print(
+            f"  requests: {len(state.completed)} completed, "
+            f"{len(state.failed)} failed, "
+            f"{len(state.in_flight)} in flight at shutdown"
+            + (f", {len(state.duplicates)} DUPLICATED"
+               if state.duplicates else "")
+        )
+    if args.salvage:
+        print(f"salvaged {report.n_valid} record(s) -> {args.salvage}")
+    if args.metrics:
+        print()
+        print(metrics.render())
+    if report.ok:
+        return 0
+    err = report.error
+    diag = Diagnostic(
+        Severity.ERROR,
+        f"request journal corrupt at {err.locus()} [{err.reason}]; "
         f"valid prefix: {report.n_valid} record(s)",
         SourceLocation(filename=args.spool),
     )
@@ -512,7 +564,9 @@ def cmd_batch(args) -> int:
     texts = [
         _read(item) if os.path.exists(item) else item for item in args.inputs
     ]
-    report = translator.translate_many(texts, jobs=args.jobs, metrics=metrics)
+    report = translator.translate_many(
+        texts, jobs=args.jobs, metrics=metrics, timeout=args.timeout
+    )
 
     if args.output_dir:
         os.makedirs(args.output_dir, exist_ok=True)
@@ -535,13 +589,108 @@ def cmd_batch(args) -> int:
     print(
         f"# batch: {report.n_ok}/{len(report.items)} ok, "
         f"{report.n_failed} failed, jobs={report.jobs}, "
-        f"{report.seconds * 1000:.1f} ms total",
+        f"{report.seconds * 1000:.1f} ms total"
+        + (" [INTERRUPTED: partial report]" if report.interrupted else ""),
         file=sys.stderr,
     )
     if args.metrics:
         print()
         print(metrics.render())
     return 0 if report.ok else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the fault-tolerant translation service daemon.
+
+    Builds every grammar once through the persistent build cache (the
+    warm instances), then serves ``POST /translate`` through a pool of
+    supervised worker subprocesses with bounded queues, per-request
+    deadlines, a circuit breaker per grammar, and a durable request
+    journal.  SIGTERM/SIGINT drains gracefully (stop admitting, finish
+    in-flight up to ``--drain-timeout``, seal the journal) and exits 0.
+    See docs/serving.md.
+    """
+    import asyncio
+
+    from repro.batch import WorkerSpec
+    from repro.buildcache import default_cache_root
+    from repro.obs import MetricsRegistry
+    from repro.serve import ServeConfig, TranslationServer
+
+    metrics = MetricsRegistry()
+    cache_dir = args.cache_dir or default_cache_root()
+    specs = {}
+    for path in args.files:
+        name = os.path.splitext(os.path.basename(path))[0]
+        spec, _ = _scanner_and_library(name)
+        if spec is None:
+            print(
+                f"error: no shipped scanner for grammar {name!r}; "
+                "serve needs a scanner for every grammar file",
+                file=sys.stderr,
+            )
+            return 2
+        specs[name] = WorkerSpec(
+            source=_read(path),
+            filename=path,
+            grammar_name=name,
+            direction=args.direction,
+            cache_dir=cache_dir,
+            backend=args.backend,
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        request_timeout=args.timeout,
+        drain_timeout=args.drain_timeout,
+        journal_dir=args.journal,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_retries=args.max_retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset,
+        backend=args.backend,
+        fsync_every_done=args.fsync,
+    )
+    return asyncio.run(_serve_main(specs, config, metrics))
+
+
+async def _serve_main(specs, config, metrics) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import TranslationServer
+    from repro.serve.http import HttpFrontend
+
+    server = TranslationServer(specs, config, metrics)
+    await server.start()
+    frontend = HttpFrontend(server, config.host, config.port or 0)
+    host, port = await frontend.start()
+    if server.journal is not None:
+        print(f"# request journal: {server.journal.path}", flush=True)
+    print(
+        f"# repro serve: listening on http://{host}:{port} "
+        f"(grammars: {', '.join(sorted(specs))}; "
+        f"{config.workers} worker(s)/grammar)",
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, server.request_shutdown)
+    rc = await server.run()
+    await frontend.stop()
+    snap = metrics.snapshot()
+    print(
+        "# drained: "
+        f"{snap.get('serve.admitted', 0)} admitted, "
+        f"{snap.get('serve.completed', 0)} completed, "
+        f"{snap.get('serve.rejected', 0)} rejected, "
+        f"{snap.get('serve.timeouts', 0)} timeouts, "
+        f"{snap.get('serve.worker_restarts', 0)} worker restart(s)",
+        flush=True,
+    )
+    return rc
 
 
 def cmd_selfcheck(args) -> int:
@@ -793,10 +942,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluator backend (default generated)",
     )
     p_batch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-input deadline; a hung input is recorded as a failed "
+        "item (TranslationTimeout) and its worker killed + restarted "
+        "(implies supervised subprocess execution even with -j 1)",
+    )
+    p_batch.add_argument(
         "--metrics", action="store_true",
         help="also dump the cache.*/batch.* metrics snapshot",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived fault-tolerant translation daemon: supervised "
+        "workers, admission control, circuit breaker, durable request "
+        "journal (see docs/serving.md)",
+    )
+    p_serve.add_argument(
+        "files", nargs="+", metavar="FILE.ag",
+        help="attribute grammar file(s) to serve (grammar name = file "
+        "stem; each needs a shipped scanner)",
+    )
+    p_serve.add_argument(
+        "--direction", choices=sorted(_DIRECTIONS), default="r2l",
+        help="first-pass direction (default r2l, the paper's choice)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8674,
+        help="TCP port (0 = kernel-assigned, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="supervised worker processes per grammar (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="bounded per-grammar queue; a full queue rejects with "
+        "429 + Retry-After instead of buffering (default 16)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request deadline (default 30); a request that "
+        "outlives it is cancelled and its worker killed + restarted",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="on SIGTERM, finish in-flight requests up to this long "
+        "before failing the stragglers fast (default 10)",
+    )
+    p_serve.add_argument(
+        "--journal", metavar="DIR",
+        help="durable CRC-framed request journal in DIR (verify with "
+        "`repro fsck DIR/requests.ndjson`)",
+    )
+    p_serve.add_argument(
+        "--heartbeat-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="an idle worker silent for this long is declared hung and "
+        "restarted (default 10)",
+    )
+    p_serve.add_argument(
+        "--max-retries", type=int, default=1, metavar="N",
+        help="re-dispatches of a request whose worker crashed "
+        "(translation is pure, so re-dispatch is idempotent; default 1)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="consecutive infrastructure failures that open a "
+        "grammar's circuit breaker (default 5)",
+    )
+    p_serve.add_argument(
+        "--breaker-reset", type=float, default=5.0, metavar="SECONDS",
+        help="how long an open breaker waits before a half-open probe "
+        "(default 5; doubles on probe failure)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        help="build-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-linguist86)",
+    )
+    p_serve.add_argument(
+        "--backend", choices=["interp", "generated"], default="generated",
+        help="evaluator backend (default generated)",
+    )
+    p_serve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the journal after every completed request "
+        "(machine-crash durability; default flushes per record, which "
+        "survives process kill)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_self = sub.add_parser("selfcheck", help="run the self-generation bootstrap")
     p_self.set_defaults(func=cmd_selfcheck)

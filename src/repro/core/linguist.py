@@ -539,21 +539,28 @@ class Translator:
         jobs: int = 1,
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
+        timeout: Optional[float] = None,
     ):
         """Translate many independent inputs, optionally in parallel.
 
         With ``jobs <= 1`` the inputs run sequentially in-process; with
-        ``jobs > 1`` they fan out across a ``multiprocessing`` pool
-        whose workers *rehydrate this translator from the build cache*
-        (which therefore must exist: build the translator through
-        :func:`repro.batch.build_batch_translator` or ``repro batch``).
-        Each input is isolated — one failure is reported in its
-        :class:`repro.batch.BatchItem` while the others complete.
-        Returns a :class:`repro.batch.BatchReport`.
+        ``jobs > 1`` they fan out across supervised worker subprocesses
+        (:mod:`repro.serve.workers`) that *rehydrate this translator
+        from the build cache* (which therefore must exist: build the
+        translator through :func:`repro.batch.build_batch_translator`
+        or ``repro batch``).  Each input is isolated — one failure is
+        reported in its :class:`repro.batch.BatchItem` while the others
+        complete.  ``timeout`` bounds every input (enforced by killing
+        and restarting the worker, so it implies the supervised path
+        even for ``jobs=1``).  Returns a
+        :class:`repro.batch.BatchReport`.
         """
         from repro.batch import run_batch
 
-        return run_batch(self, texts, jobs=jobs, metrics=metrics, tracer=tracer)
+        return run_batch(
+            self, texts, jobs=jobs, metrics=metrics, tracer=tracer,
+            timeout=timeout,
+        )
 
     def translate_tokens(
         self,

@@ -289,6 +289,124 @@ class ProvenanceCorruptionError(ProvenanceError):
         return f"record {rec}"
 
 
+class ServeError(ReproError):
+    """Base class for translation-service (``repro serve``) failures."""
+
+
+class ServerOverloaded(ServeError):
+    """Admission control rejected a request: the grammar's bounded queue
+    is full.
+
+    The daemon never buffers without bound — a full queue is reported
+    to the client immediately with ``retry_after`` (seconds), the
+    admission controller's estimate of when capacity frees up (surfaced
+    as an HTTP ``Retry-After`` header).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 1.0,
+        diagnostics: Optional[List[Diagnostic]] = None,
+    ):
+        super().__init__(message, diagnostics=diagnostics)
+        self.retry_after = retry_after
+
+
+class TranslationTimeout(ServeError):
+    """A translation exceeded its deadline.
+
+    Raised by ``repro serve`` when a request outlives its per-request
+    deadline and by ``repro batch --timeout`` when one input stalls the
+    pool; in both cases the worker running the input is killed and
+    restarted, so one hung input never wedges the service.  ``seconds``
+    is the budget that was exhausted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        seconds: Optional[float] = None,
+        diagnostics: Optional[List[Diagnostic]] = None,
+    ):
+        super().__init__(message, diagnostics=diagnostics)
+        self.seconds = seconds
+
+
+class WorkerCrashed(ServeError):
+    """A supervised worker process died while holding a request
+    (crash, OOM-kill, or SIGKILL).  ``exitcode`` is the process's exit
+    status (negative = killed by that signal number, ``None`` = the
+    worker stopped responding but the process object outlived it)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        exitcode: Optional[int] = None,
+        worker_id: Optional[int] = None,
+        diagnostics: Optional[List[Diagnostic]] = None,
+    ):
+        super().__init__(message, diagnostics=diagnostics)
+        self.exitcode = exitcode
+        self.worker_id = worker_id
+
+
+class GrammarUnavailable(ServeError):
+    """The grammar's circuit breaker is open: recent requests failed at
+    the infrastructure level (worker crashes, timeouts) persistently
+    enough that the service degrades this grammar to *unavailable*
+    instead of letting it poison the worker pool.  ``retry_after`` is
+    the time until the breaker probes again (half-open)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        grammar: Optional[str] = None,
+        retry_after: float = 1.0,
+        diagnostics: Optional[List[Diagnostic]] = None,
+    ):
+        super().__init__(message, diagnostics=diagnostics)
+        self.grammar = grammar
+        self.retry_after = retry_after
+
+
+class JournalCorruptionError(ServeError):
+    """A request journal failed an integrity check.
+
+    The serve daemon's journal is line-framed NDJSON where every record
+    carries its own CRC32 (the PROV1 discipline); damage is reported
+    against the exact record so ``repro fsck`` can name the valid
+    prefix.  ``record_index`` is the 0-based line index of the damaged
+    record (``None`` when the file as a whole is unusable) and
+    ``reason`` is a short machine-readable tag (``"framing"``,
+    ``"checksum"``, ``"header"``, ``"seal"``, ``"truncated"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        record_index: Optional[int] = None,
+        path: Optional[str] = None,
+        reason: str = "corrupt",
+        diagnostics: Optional[List[Diagnostic]] = None,
+    ):
+        super().__init__(message, diagnostics=diagnostics)
+        self.record_index = record_index
+        self.path = path
+        self.reason = reason
+
+    def locus(self) -> str:
+        """Human-readable ``record N`` locator (matches the spool and
+        provenance corruption conventions for uniform fsck output)."""
+        rec = "?" if self.record_index is None else str(self.record_index)
+        return f"record {rec}"
+
+
 class GenerationError(ReproError):
     """Evaluator code generation failed."""
 

@@ -249,3 +249,21 @@ class EvaluationResult:
 
     def __repr__(self) -> str:
         return f"EvaluationResult({self.root_attrs!r}, passes={self.n_passes})"
+
+
+def render_root_attrs(root_attrs: Dict[str, Any]) -> List[str]:
+    """Render root attributes exactly as ``repro run`` prints them.
+
+    This is THE canonical rendering: ``repro batch`` output files, the
+    serve daemon's response bodies, and the differential harness all
+    go through it, so "byte-identical across execution paths" is a
+    property of one function.  Non-str iterables (``CatSeq`` chains,
+    tuples) materialize as lists first.
+    """
+    lines = []
+    for attr, value in sorted(root_attrs.items()):
+        rendered = list(value) if hasattr(value, "__iter__") and not isinstance(
+            value, str
+        ) else value
+        lines.append(f"{attr} = {rendered}")
+    return lines

@@ -22,7 +22,13 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import INSTANT, SPAN, TraceRecord
 
-__all__ = ["chrome_trace_events", "chrome_trace_json", "ndjson", "summary"]
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "jsonable_snapshot",
+    "ndjson",
+    "summary",
+]
 
 
 def chrome_trace_events(
@@ -112,3 +118,25 @@ def summary(
         lines.append("")
         lines.append(metrics.render())
     return "\n".join(lines)
+
+
+def jsonable_snapshot(metrics) -> dict:
+    """A :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` coerced to
+    JSON-encodable values (the serve daemon's ``/stats`` body).
+
+    Counter/gauge values are already numbers; histogram snapshots are
+    plain dicts; anything exotic a registered source emits falls back
+    to ``repr`` so one odd source can never break the endpoint.
+    """
+    out = {}
+    for key, value in metrics.snapshot().items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, dict):
+            out[key] = {
+                str(k): (v if isinstance(v, (int, float, str, bool)) else repr(v))
+                for k, v in value.items()
+            }
+        else:
+            out[key] = repr(value)
+    return out

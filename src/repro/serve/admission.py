@@ -1,0 +1,219 @@
+"""Admission control, deadlines, backoff, and the circuit breaker.
+
+Pure, clock-injectable robustness primitives — nothing here knows
+about asyncio or subprocesses, so every state transition is unit
+testable with a fake clock:
+
+* :class:`Deadline` — a per-request time budget (``remaining()`` /
+  ``expired``) carved out once at admission and consumed by every
+  later stage (queue wait, worker execution, retries).
+* :class:`Backoff` — bounded exponential delay with deterministic
+  jitter, used by the supervisor between worker restarts.
+* :class:`CircuitBreaker` — the classic closed → open → half-open
+  automaton over *infrastructure* failures (worker crashes, timeouts
+  — never per-input errors like a syntax error, which are successful
+  service): ``failure_threshold`` consecutive failures open the
+  breaker for ``reset_seconds``; after that one probe request is
+  admitted (half-open); a probe success closes the breaker, a probe
+  failure re-opens it with doubled (capped) reset time.
+
+The admission decision itself lives with the queue: the daemon's
+per-grammar queues are bounded, and a full queue raises a typed
+:class:`~repro.errors.ServerOverloaded` carrying ``retry_after`` —
+requests are rejected at the door, never buffered without bound.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import GrammarUnavailable
+
+__all__ = ["Backoff", "CircuitBreaker", "Deadline"]
+
+
+class Deadline:
+    """A monotonic time budget for one request."""
+
+    def __init__(
+        self,
+        seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.seconds = seconds
+        self._clock = clock
+        self._expires = None if seconds is None else clock() + seconds
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (``None`` = unbounded, ``0.0`` = expired)."""
+        if self._expires is None:
+            return None
+        return max(0.0, self._expires - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._expires is not None and self._clock() >= self._expires
+
+
+class Backoff:
+    """Bounded exponential backoff with deterministic per-step jitter.
+
+    ``delay(n)`` is the wait before restart attempt ``n`` (0-based):
+    ``base * factor**n`` capped at ``cap``, plus a small deterministic
+    jitter derived from ``n`` so concurrent supervisors do not restart
+    in lockstep.  A supervisor calls :meth:`reset` after a worker
+    survives ``healthy_after`` seconds.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.1,
+        factor: float = 2.0,
+        cap: float = 5.0,
+        healthy_after: float = 30.0,
+    ):
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.healthy_after = healthy_after
+        self.attempt = 0
+
+    def delay(self, attempt: Optional[int] = None) -> float:
+        n = self.attempt if attempt is None else attempt
+        raw = min(self.cap, self.base * (self.factor ** n))
+        jitter = raw * 0.1 * (((n * 2654435761) % 97) / 97.0)
+        return raw + jitter
+
+    def next_delay(self) -> float:
+        """The delay for the current attempt; advances the counter."""
+        d = self.delay()
+        self.attempt += 1
+        return d
+
+    def reset(self) -> None:
+        self.attempt = 0
+
+
+class CircuitBreaker:
+    """Closed → open → half-open automaton for one grammar.
+
+    States (exported verbatim in ``serve.breaker_state``):
+
+    * ``closed`` — normal service; consecutive infrastructure failures
+      are counted, successes reset the count.
+    * ``open`` — :meth:`admit` raises
+      :class:`~repro.errors.GrammarUnavailable` (with ``retry_after``)
+      until ``reset_seconds`` have passed.
+    * ``half_open`` — exactly one probe request is admitted; its
+      outcome decides: success closes the breaker, failure re-opens it
+      with the reset time doubled (capped at ``max_reset_seconds``).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        grammar: str = "?",
+        failure_threshold: int = 5,
+        reset_seconds: float = 5.0,
+        max_reset_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics=None,
+    ):
+        self.grammar = grammar
+        self.failure_threshold = max(1, failure_threshold)
+        self.base_reset_seconds = reset_seconds
+        self.reset_seconds = reset_seconds
+        self.max_reset_seconds = max_reset_seconds
+        self._clock = clock
+        self._metrics = metrics
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_outstanding = False
+
+    # -- transitions -------------------------------------------------------
+
+    def _set_state(self, state: str) -> None:
+        if state != self.state and self._metrics is not None:
+            self._metrics.counter(f"serve.breaker.{state}").inc()
+        self.state = state
+        if self._metrics is not None:
+            gauge = {self.CLOSED: 0, self.HALF_OPEN: 1, self.OPEN: 2}[state]
+            self._metrics.gauge("serve.breaker_state").set(gauge)
+
+    def _retry_after(self) -> float:
+        assert self._opened_at is not None
+        return max(0.0, self._opened_at + self.reset_seconds - self._clock())
+
+    def admit(self) -> None:
+        """Gate one request; raises when the grammar is unavailable."""
+        if self.state == self.CLOSED:
+            return
+        if self.state == self.OPEN:
+            if self._retry_after() > 0.0:
+                raise GrammarUnavailable(
+                    f"grammar {self.grammar!r} is unavailable "
+                    f"(circuit breaker open after "
+                    f"{self.consecutive_failures} consecutive "
+                    f"infrastructure failures); retry in "
+                    f"{self._retry_after():.3g}s",
+                    grammar=self.grammar,
+                    retry_after=self._retry_after(),
+                )
+            self._set_state(self.HALF_OPEN)
+            self._probe_outstanding = False
+        # HALF_OPEN: admit exactly one probe at a time.
+        if self._probe_outstanding:
+            raise GrammarUnavailable(
+                f"grammar {self.grammar!r} is unavailable "
+                "(circuit breaker half-open, probe in flight)",
+                grammar=self.grammar,
+                retry_after=self.reset_seconds,
+            )
+        self._probe_outstanding = True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self.reset_seconds = self.base_reset_seconds
+            self._probe_outstanding = False
+            self._set_state(self.CLOSED)
+
+    def record_failure(self) -> None:
+        """One *infrastructure* failure (crash/timeout, not bad input)."""
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            # The probe failed: re-open, doubled reset time.
+            self.reset_seconds = min(
+                self.max_reset_seconds, self.reset_seconds * 2
+            )
+            self._probe_outstanding = False
+            self._opened_at = self._clock()
+            self._set_state(self.OPEN)
+            return
+        if (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_at = self._clock()
+            self._set_state(self.OPEN)
+
+    def release_probe(self) -> None:
+        """Resolve an outstanding half-open probe *neutrally* — the
+        probe request terminated without saying anything about grammar
+        health (rejected at the queue, expired while queued) — so the
+        breaker can admit the next probe instead of wedging."""
+        self._probe_outstanding = False
+
+    @property
+    def available(self) -> bool:
+        """True when :meth:`admit` would not raise right now."""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            return self._retry_after() <= 0.0
+        return not self._probe_outstanding

@@ -1,0 +1,485 @@
+"""The durable request journal: what did the daemon actually finish?
+
+A long-lived service that can be killed at any instant owes its
+operator an exact answer to "which requests completed?".  The serve
+daemon streams one line per request-state transition into an
+append-only NDJSON journal with the PROV1 framing discipline
+(``repro.obs.provenance``): every line is canonical JSON carrying its
+own CRC32, and a graceful drain appends a seal line covering the whole
+stream.  Unlike a provenance log the journal must be *readable after a
+crash* — a SIGKILLed daemon leaves an unsealed journal, possibly with
+one torn final line, and that is an expected state: the checksum-valid
+prefix is authoritative (a torn tail is reported, not fatal), and
+anything the prefix says ``done`` was durably completed before the
+crash.
+
+Record kinds (field ``e``)::
+
+    hdr   {"format":"SRVJ1","grammars":[...],"pid":...}
+    req   {"i":seq,"id":R,"g":grammar,"sha":input-sha256}   admitted
+    done  {"i":seq,"id":R,"g":grammar,"sha":output-sha256,
+           "ms":...,"w":worker,"r":retries}                 completed
+    fail  {"i":seq,"id":R,"g":grammar,"t":type,"msg":...}   failed
+    seal  {"n":records,"crc":stream-crc}                    clean drain
+
+``repro fsck`` sniffs the ``SRVJ1`` tag and routes here:
+:func:`scan_journal` verifies, :func:`salvage_journal` recovers the
+valid prefix into a freshly sealed journal, and :func:`replay_journal`
+reduces the record stream to a :class:`JournalState` (completed /
+failed / in-flight requests) — the crash-recovery report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import JournalCorruptionError
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "JOURNAL_NAME",
+    "JournalScanReport",
+    "JournalState",
+    "RequestJournal",
+    "looks_like_request_journal",
+    "replay_journal",
+    "salvage_journal",
+    "scan_journal",
+]
+
+#: Format tag in the header line; bump on incompatible layout changes.
+JOURNAL_FORMAT = "SRVJ1"
+
+#: Default file name inside a ``--journal`` directory.
+JOURNAL_NAME = "requests.ndjson"
+
+_SEPARATORS = (",", ":")
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _frame(obj: Dict[str, Any]) -> str:
+    """One journal line: canonical JSON + its own CRC32 (PROV1 framing)."""
+    body = json.dumps(obj, sort_keys=True, separators=_SEPARATORS)
+    crc = zlib.crc32(body.encode("utf-8"))
+    return f'{body[:-1]},"c":{crc}}}\n'
+
+
+def _verify_line(line: str, index: int, path: str) -> Dict[str, Any]:
+    """Parse + CRC-check one line; raise naming the damaged record."""
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise JournalCorruptionError(
+            f"journal record {index} is not valid JSON ({exc})",
+            record_index=index,
+            path=path,
+            reason="framing",
+        ) from exc
+    if not isinstance(obj, dict) or "c" not in obj:
+        raise JournalCorruptionError(
+            f"journal record {index} has no checksum field",
+            record_index=index,
+            path=path,
+            reason="framing",
+        )
+    want = obj.pop("c")
+    body = json.dumps(obj, sort_keys=True, separators=_SEPARATORS)
+    if zlib.crc32(body.encode("utf-8")) != want:
+        raise JournalCorruptionError(
+            f"journal record {index} checksum mismatch "
+            "(bit rot or torn write)",
+            record_index=index,
+            path=path,
+            reason="checksum",
+        )
+    return obj
+
+
+def journal_path(directory_or_file: str) -> str:
+    """``--journal`` accepts a directory (the journal lands at
+    ``requests.ndjson`` inside it) or an explicit ``*.ndjson`` file
+    path.  A path that does not exist yet counts as a directory unless
+    it is named like an NDJSON file — the daemon creates it."""
+    if os.path.isfile(directory_or_file) or directory_or_file.endswith(
+        ".ndjson"
+    ):
+        return directory_or_file
+    return os.path.join(directory_or_file, JOURNAL_NAME)
+
+
+def rotate_existing(path: str) -> Optional[str]:
+    """Move an existing journal aside (``requests.1.ndjson``, ...) so a
+    fresh daemon run never appends into an older run's stream; returns
+    the rotated-to path (or None)."""
+    if not os.path.exists(path):
+        return None
+    stem, ext = os.path.splitext(path)
+    n = 1
+    while os.path.exists(f"{stem}.{n}{ext}"):
+        n += 1
+    rotated = f"{stem}.{n}{ext}"
+    os.replace(path, rotated)
+    return rotated
+
+
+# ---------------------------------------------------------------------------
+# writing
+# ---------------------------------------------------------------------------
+
+
+class RequestJournal:
+    """Append-only journal writer for one daemon run.
+
+    Every line is flushed to the OS as it is written, so a SIGKILLed
+    *process* loses at most the line being torn mid-write; pass
+    ``fsync_every_done=True`` to additionally ``fsync`` after every
+    ``done``/``fail`` record (machine-crash durability, at a per-request
+    I/O cost).  :meth:`seal` fsyncs unconditionally.
+    """
+
+    def __init__(
+        self,
+        directory_or_file: str,
+        grammars: Optional[List[str]] = None,
+        metrics=None,
+        fsync_every_done: bool = False,
+    ):
+        path = journal_path(directory_or_file)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.rotated_from = rotate_existing(path)
+        self.path = path
+        self._fsync_every_done = fsync_every_done
+        self._seq = 0
+        self._stream_crc = 0
+        self._sealed = False
+        self._metrics = metrics
+        self._f = open(path, "w", encoding="utf-8")
+        self._emit(
+            {
+                "e": "hdr",
+                "format": JOURNAL_FORMAT,
+                "grammars": sorted(grammars or []),
+                "pid": os.getpid(),
+            },
+            count=False,
+        )
+
+    # -- events ------------------------------------------------------------
+
+    def admitted(self, request_id: Any, grammar: str, text: str) -> None:
+        self._emit(
+            {
+                "e": "req",
+                "i": self._seq,
+                "id": request_id,
+                "g": grammar,
+                "sha": sha256_text(text),
+            }
+        )
+
+    def completed(
+        self,
+        request_id: Any,
+        grammar: str,
+        output: str,
+        seconds: float,
+        worker_id: Optional[int] = None,
+        retries: int = 0,
+    ) -> None:
+        self._emit(
+            {
+                "e": "done",
+                "i": self._seq,
+                "id": request_id,
+                "g": grammar,
+                "sha": sha256_text(output),
+                "ms": round(seconds * 1000.0, 3),
+                "w": worker_id,
+                "r": retries,
+            },
+            durable=self._fsync_every_done,
+        )
+
+    def failed(
+        self,
+        request_id: Any,
+        grammar: str,
+        error_type: str,
+        message: str,
+        seconds: float = 0.0,
+    ) -> None:
+        self._emit(
+            {
+                "e": "fail",
+                "i": self._seq,
+                "id": request_id,
+                "g": grammar,
+                "t": error_type,
+                "msg": message[:500],
+                "ms": round(seconds * 1000.0, 3),
+            },
+            durable=self._fsync_every_done,
+        )
+
+    def seal(self) -> None:
+        """Seal the stream (graceful drain); idempotent."""
+        if self._sealed or self._f is None:
+            return
+        line = _frame({"e": "seal", "n": self._seq, "crc": self._stream_crc})
+        self._f.write(line)
+        self._f.flush()
+        os.fsync(self._f.fileno())
+        self._f.close()
+        self._f = None
+        self._sealed = True
+
+    def close(self) -> None:
+        """Close *without* sealing (crash-path cleanup in tests)."""
+        if self._f is not None:
+            self._f.close()
+            self._f = None
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def _emit(
+        self, obj: Dict[str, Any], count: bool = True, durable: bool = False
+    ) -> None:
+        if self._f is None:
+            raise JournalCorruptionError(
+                "journal is closed", path=self.path, reason="closed"
+            )
+        line = _frame(obj)
+        self._f.write(line)
+        self._f.flush()
+        if durable:
+            os.fsync(self._f.fileno())
+        self._stream_crc = zlib.crc32(line.encode("utf-8"), self._stream_crc)
+        if count:
+            self._seq += 1
+        if self._metrics is not None:
+            self._metrics.counter("serve.journal.records").inc()
+            self._metrics.counter("serve.journal.bytes").inc(len(line))
+
+
+# ---------------------------------------------------------------------------
+# reading: scan / replay / salvage
+# ---------------------------------------------------------------------------
+
+
+def looks_like_request_journal(path: str) -> bool:
+    """Cheap sniff used by ``repro fsck`` to route files: a request
+    journal is NDJSON whose first line carries the SRVJ1 format tag."""
+    try:
+        with open(path, "rb") as f:
+            head = f.read(4096)
+    except OSError:
+        return False
+    first = head.split(b"\n", 1)[0]
+    return first.startswith(b"{") and (
+        b'"' + JOURNAL_FORMAT.encode() + b'"' in first
+    )
+
+
+@dataclass
+class JournalScanReport:
+    """Outcome of verifying a journal file."""
+
+    path: str
+    ok: bool = True
+    sealed: bool = False
+    torn_tail: bool = False
+    n_valid: int = 0
+    error: Optional[JournalCorruptionError] = None
+
+    def render(self) -> str:
+        state = (
+            "sealed"
+            if self.sealed
+            else "UNSEALED (daemon did not drain cleanly)"
+        )
+        lines = [
+            f"request journal: {self.path}",
+            f"  format: {JOURNAL_FORMAT}, {state}",
+            f"  valid records: {self.n_valid}"
+            + (" + torn tail line (expected after a kill)"
+               if self.torn_tail else ""),
+        ]
+        if self.ok:
+            lines.append("  integrity: OK")
+        else:
+            assert self.error is not None
+            lines.append(
+                f"  integrity: CORRUPT at {self.error.locus()} "
+                f"[{self.error.reason}]"
+            )
+        return "\n".join(lines)
+
+
+def _read_lines(path: str) -> List[str]:
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # a final line without its newline is a torn write;
+    return lines     # the scanners judge it by its (failing) checksum
+
+
+def scan_journal(path: str, metrics=None) -> JournalScanReport:
+    """Verify every line of a journal; see module docstring for what
+    counts as corruption vs an expected crash artifact."""
+    path = journal_path(path)
+    report = JournalScanReport(path=path)
+    try:
+        lines = _read_lines(path)
+    except OSError as exc:
+        report.ok = False
+        report.error = JournalCorruptionError(
+            f"cannot read journal: {exc}", path=path, reason="io"
+        )
+        return report
+    stream_crc = 0
+    n_counted = 0
+    for index, line in enumerate(lines):
+        try:
+            obj = _verify_line(line, index, path)
+        except JournalCorruptionError as exc:
+            if index == len(lines) - 1 and not report.sealed:
+                # Torn final line of an unsealed journal: expected
+                # after SIGKILL; the valid prefix stays authoritative.
+                report.torn_tail = True
+                break
+            report.ok = False
+            report.error = exc
+            break
+        if obj.get("e") == "seal":
+            if obj.get("n") != n_counted or obj.get("crc") != stream_crc:
+                report.ok = False
+                report.error = JournalCorruptionError(
+                    f"journal seal mismatch: seal covers {obj.get('n')} "
+                    f"record(s) crc {obj.get('crc')}, stream has "
+                    f"{n_counted} crc {stream_crc}",
+                    record_index=index,
+                    path=path,
+                    reason="seal",
+                )
+                break
+            report.sealed = True
+            continue
+        stream_crc = zlib.crc32((line + "\n").encode("utf-8"), stream_crc)
+        if obj.get("e") != "hdr":
+            n_counted += 1
+        report.n_valid += 1
+    if report.n_valid == 0 and report.ok:
+        report.ok = False
+        report.error = JournalCorruptionError(
+            "journal has no valid header line",
+            record_index=0,
+            path=path,
+            reason="header",
+        )
+    if metrics is not None:
+        metrics.counter("serve.journal.scans").inc()
+        if not report.ok:
+            metrics.counter("serve.journal.corrupt").inc()
+    return report
+
+
+def salvage_journal(path: str, out_path: str, metrics=None) -> JournalScanReport:
+    """Recover the checksum-valid prefix of ``path`` into a freshly
+    sealed journal at ``out_path`` (always sealed, always clean)."""
+    path = journal_path(path)
+    report = scan_journal(path, metrics=metrics)
+    lines = _read_lines(path)
+    stream_crc = 0
+    n_counted = 0
+    kept: List[str] = []
+    for index, line in enumerate(lines[: report.n_valid]):
+        obj = _verify_line(line, index, path)
+        if obj.get("e") == "seal":
+            continue
+        kept.append(line + "\n")
+        stream_crc = zlib.crc32((line + "\n").encode("utf-8"), stream_crc)
+        if obj.get("e") != "hdr":
+            n_counted += 1
+    tmp = out_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.writelines(kept)
+        f.write(_frame({"e": "seal", "n": n_counted, "crc": stream_crc}))
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, out_path)
+    if metrics is not None:
+        metrics.counter("serve.journal.salvaged").inc()
+    return report
+
+
+@dataclass
+class JournalState:
+    """The reduction of a journal stream: exactly which requests the
+    daemon admitted, completed, and failed — the crash report."""
+
+    path: str
+    sealed: bool = False
+    torn_tail: bool = False
+    #: request id -> output sha256 (one entry per *completed* request).
+    completed: Dict[Any, str] = field(default_factory=dict)
+    #: request id -> (error_type, message).
+    failed: Dict[Any, Tuple[str, str]] = field(default_factory=dict)
+    #: admitted but neither completed nor failed (in flight at the kill).
+    in_flight: List[Any] = field(default_factory=list)
+    #: request ids with more than one done record (must stay empty:
+    #: completed requests are never duplicated).
+    duplicates: List[Any] = field(default_factory=list)
+    n_records: int = 0
+
+    @property
+    def n_admitted(self) -> int:
+        return len(self.completed) + len(self.failed) + len(self.in_flight)
+
+
+def replay_journal(path: str) -> JournalState:
+    """Reduce a (possibly unsealed, possibly torn-tailed) journal to its
+    :class:`JournalState`; raises :class:`JournalCorruptionError` on
+    damage *inside* the stream (not an expected crash artifact)."""
+    path = journal_path(path)
+    report = scan_journal(path)
+    if not report.ok:
+        raise report.error
+    state = JournalState(
+        path=path, sealed=report.sealed, torn_tail=report.torn_tail
+    )
+    admitted: Dict[Any, bool] = {}
+    lines = _read_lines(path)[: report.n_valid]
+    for index, line in enumerate(lines):
+        obj = _verify_line(line, index, path)
+        kind = obj.get("e")
+        if kind in ("hdr", "seal"):
+            continue
+        state.n_records += 1
+        rid = obj.get("id")
+        if kind == "req":
+            admitted[rid] = True
+        elif kind == "done":
+            if rid in state.completed:
+                state.duplicates.append(rid)
+            state.completed[rid] = obj.get("sha", "")
+        elif kind == "fail":
+            state.failed[rid] = (obj.get("t", "?"), obj.get("msg", ""))
+    state.in_flight = [
+        rid
+        for rid in admitted
+        if rid not in state.completed and rid not in state.failed
+    ]
+    return state

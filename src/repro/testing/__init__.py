@@ -7,23 +7,31 @@ I/O errors without touching real failing hardware.
 """
 
 from repro.testing.faults import (
+    DIE_MARKER_ENV,
     FaultInjected,
     FaultMode,
     FaultPlan,
     FaultyFile,
     FaultySpool,
+    HANG_MARKER_ENV,
+    HANG_SECONDS_ENV,
     bit_flip,
+    maybe_hang,
     tear_tail,
     truncate_file,
 )
 
 __all__ = [
+    "DIE_MARKER_ENV",
     "FaultInjected",
     "FaultMode",
     "FaultPlan",
     "FaultyFile",
     "FaultySpool",
+    "HANG_MARKER_ENV",
+    "HANG_SECONDS_ENV",
     "bit_flip",
+    "maybe_hang",
     "tear_tail",
     "truncate_file",
 ]

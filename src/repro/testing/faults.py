@@ -145,6 +145,41 @@ class FaultPlan:
         return False
 
 
+# -- worker-process fault hooks ---------------------------------------------
+
+#: When set, a serve/batch worker hangs on any input containing this
+#: marker string (see :func:`maybe_hang`).
+HANG_MARKER_ENV = "REPRO_FAULT_HANG_MARKER"
+
+#: How long the injected hang sleeps (default: effectively forever).
+HANG_SECONDS_ENV = "REPRO_FAULT_HANG_SECONDS"
+
+#: When set, a worker whose input contains this marker string calls
+#: ``os._exit(3)`` mid-request — a deterministic stand-in for an
+#: OOM-kill that needs no real memory pressure.
+DIE_MARKER_ENV = "REPRO_FAULT_DIE_MARKER"
+
+
+def maybe_hang(text: str) -> None:
+    """Deterministic worker-side fault hook for the supervision tests.
+
+    Called by the worker loop (:func:`repro.serve.workers.worker_main`)
+    on every input; a no-op unless the ``REPRO_FAULT_*`` environment
+    variables are set, so the production path costs two dict lookups.
+    ``HANG`` simulates a request that outlives every deadline (the
+    supervisor must kill the worker); ``DIE`` simulates sudden worker
+    death mid-request (the supervisor must restart and re-dispatch).
+    """
+    import time
+
+    die_marker = os.environ.get(DIE_MARKER_ENV)
+    if die_marker and die_marker in text:
+        os._exit(3)
+    hang_marker = os.environ.get(HANG_MARKER_ENV)
+    if hang_marker and hang_marker in text:
+        time.sleep(float(os.environ.get(HANG_SECONDS_ENV, "3600")))
+
+
 # -- direct on-disk corruption helpers --------------------------------------
 
 

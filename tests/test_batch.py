@@ -130,6 +130,83 @@ class TestBatch:
         assert summarize(report) == summarize(seq)
 
 
+class TestBatchTimeout:
+    def test_hung_input_becomes_failed_item(self, tmp_path, monkeypatch):
+        from repro.testing.faults import HANG_MARKER_ENV, HANG_SECONDS_ENV
+
+        monkeypatch.setenv(HANG_MARKER_ENV, "@@hang@@")
+        monkeypatch.setenv(HANG_SECONDS_ENV, "30")
+        metrics = MetricsRegistry()
+        translator = make_translator(tmp_path)
+        texts = [INPUTS[0], "@@hang@@", INPUTS[1]]
+        report = translator.translate_many(
+            texts, jobs=2, timeout=1.0, metrics=metrics
+        )
+        assert len(report.items) == 3
+        assert not report.interrupted
+        hung = report.items[1]
+        assert not hung.ok
+        assert hung.error_type == "TranslationTimeout"
+        assert "deadline" in hung.error
+        # the other inputs completed on healthy (or restarted) workers
+        assert report.items[0].ok and report.items[2].ok
+        assert metrics.snapshot()["batch.timeouts"] == 1
+
+    def test_timeout_with_one_job_uses_supervised_worker(
+        self, tmp_path, monkeypatch
+    ):
+        """``jobs=1`` with a timeout still runs supervised: an
+        in-process translation could never be preempted."""
+        from repro.testing.faults import HANG_MARKER_ENV, HANG_SECONDS_ENV
+
+        monkeypatch.setenv(HANG_MARKER_ENV, "@@hang@@")
+        monkeypatch.setenv(HANG_SECONDS_ENV, "30")
+        translator = make_translator(tmp_path)
+        report = translator.translate_many(
+            ["@@hang@@", INPUTS[0]], jobs=1, timeout=1.0
+        )
+        assert report.items[0].error_type == "TranslationTimeout"
+        assert report.items[1].ok
+
+    def test_generous_timeout_changes_nothing(self, tmp_path):
+        translator = make_translator(tmp_path)
+        timed = translator.translate_many(INPUTS[:6], jobs=2, timeout=60.0)
+        plain = translator.translate_many(INPUTS[:6], jobs=2)
+        assert summarize(timed) == summarize(plain)
+
+
+class TestBatchInterrupt:
+    def test_keyboard_interrupt_returns_partial_report(
+        self, tmp_path, monkeypatch
+    ):
+        """Ctrl-C mid-batch kills the workers and reports what finished
+        (the old ``multiprocessing.Pool`` path hung in ``join()``)."""
+        import _thread
+        import threading
+
+        from repro.testing.faults import HANG_MARKER_ENV, HANG_SECONDS_ENV
+
+        monkeypatch.setenv(HANG_MARKER_ENV, "@@hang@@")
+        monkeypatch.setenv(HANG_SECONDS_ENV, "60")
+        metrics = MetricsRegistry()
+        translator = make_translator(tmp_path)
+        # Two workers: one finishes the fast inputs, one wedges on the
+        # hang; without a timeout= only Ctrl-C ends the run.
+        texts = [*INPUTS[:4], "@@hang@@"]
+        timer = threading.Timer(2.0, _thread.interrupt_main)
+        timer.start()
+        try:
+            report = translator.translate_many(
+                texts, jobs=2, metrics=metrics
+            )
+        finally:
+            timer.cancel()
+        assert report.interrupted
+        assert len(report.items) < len(texts)  # partial by construction
+        assert all(item.ok for item in report.items)
+        assert metrics.snapshot()["batch.interrupted"] == 1
+
+
 class TestBatchCLI:
     def run_cli(self, argv):
         from repro.cli import main
@@ -186,3 +263,18 @@ class TestBatchCLI:
         out = capsys.readouterr().out
         assert rc == 0
         assert "OUT = [1]" in out
+
+    def test_cli_timeout_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.testing.faults import HANG_MARKER_ENV, HANG_SECONDS_ENV
+
+        monkeypatch.setenv(HANG_MARKER_ENV, "@@hang@@")
+        monkeypatch.setenv(HANG_SECONDS_ENV, "30")
+        ag = source_path("calc")
+        rc = self.run_cli(
+            ["batch", ag, "@@hang@@", "let a = 1 ; print a",
+             "--timeout", "1", "--cache-dir", str(tmp_path / "c")]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "TranslationTimeout" in captured.err
+        assert "1/2 ok" in captured.err
