@@ -376,10 +376,14 @@ def _run_supervised(
     except KeyboardInterrupt:
         interrupted = True
         stop.set()
-        for handle in handles:
-            handle.kill()
+        # Join the drivers BEFORE kill() discards the queues: a driver
+        # may be inside handle.call()'s response_q.get(), and yanking
+        # the queue out from under it would crash the thread instead of
+        # letting the cancelled callback end it within one poll.
         for thread in threads:
             thread.join(timeout=5.0)
+        for handle in handles:
+            handle.kill()
     finally:
         for handle in handles:
             handle.stop(grace=0.5)

@@ -32,7 +32,7 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     GrammarUnavailable,
@@ -250,8 +250,15 @@ class TranslationServer:
             clean = False
             for j in joins:
                 j.cancel()
-        await self._stop_tasks()
-        # Fail whatever is still queued or in flight (deadline overrun).
+        # Fail whatever is still queued or in flight (deadline overrun)
+        # BEFORE cancelling the dispatchers: a cancelled dispatcher's
+        # finally block pops its in_flight entry, so resolving after
+        # _stop_tasks() would miss every mid-execution request — its
+        # client would await a future nobody ever sets and the journal
+        # would seal with a 'req' record carrying no terminal record.
+        # No await separates this loop from _stop_tasks(), so a
+        # dispatcher cannot interleave and complete a request that was
+        # just failed here.
         for service in self.services.values():
             for request in list(service.in_flight.values()):
                 self._fail(
@@ -277,6 +284,7 @@ class TranslationServer:
                     journal_type="DrainTimeout",
                 )
                 service.queue.task_done()
+        await self._stop_tasks()
         for service in self.services.values():
             for handle in service.workers:
                 handle.stop()
@@ -463,6 +471,12 @@ class TranslationServer:
     ) -> None:
         from repro.evalgen.runtime import render_root_attrs
 
+        if request.future.done():
+            # drain() already failed this request (the worker answered
+            # in the same tick the dispatcher was cancelled): the client
+            # holds a DrainTimeout and the journal its terminal record —
+            # exactly-once accounting means this late answer is dropped.
+            return
         _, ok, attrs, _, error_type, error, _ = answer
         if ok:
             output = "\n".join(render_root_attrs(attrs)) + "\n"
@@ -520,6 +534,8 @@ class TranslationServer:
         exc: ServeError,
         journal_type: Optional[str] = None,
     ) -> None:
+        if request.future.done():
+            return  # already resolved elsewhere: keep the journal exactly-once
         self._count("serve.failed")
         if self.journal is not None:
             self.journal.failed(
@@ -542,22 +558,47 @@ class TranslationServer:
         is restarted here before the next request would hit it.
         """
         interval = max(0.2, self.config.heartbeat_timeout / 4)
-        while True:
-            await asyncio.sleep(interval)
-            for service in self.services.values():
-                for handle in service.workers:
-                    if service.busy.get(handle.worker_id):
-                        continue
-                    hung = (
-                        handle.heartbeat_age()
-                        > self.config.heartbeat_timeout
-                    )
-                    if handle.alive and not hung:
-                        continue
-                    if hung and handle.alive:
-                        self._count("serve.heartbeat_kills")
-                        handle.kill()
-                    await self._restart(service, handle)
+        # One restart task per worker, never awaited inline: a flapping
+        # worker's exponential-backoff sleep (up to seconds) must not
+        # stall heartbeat scanning and restarts of every other worker.
+        restarts: Dict[Tuple[str, int], asyncio.Task] = {}
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                for service in self.services.values():
+                    for handle in service.workers:
+                        key = (service.name, handle.worker_id)
+                        pending = restarts.get(key)
+                        if pending is not None:
+                            if not pending.done():
+                                continue  # restart/backoff in progress
+                            restarts.pop(key)
+                            if not pending.cancelled():
+                                # A failed respawn leaves the worker
+                                # dead; the next scan retries it.
+                                pending.exception()
+                        if service.busy.get(handle.worker_id):
+                            continue
+                        hung = (
+                            handle.heartbeat_age()
+                            > self.config.heartbeat_timeout
+                        )
+                        if handle.alive and not hung:
+                            continue
+                        if hung and handle.alive:
+                            self._count("serve.heartbeat_kills")
+                            handle.kill()
+                        restarts[key] = asyncio.create_task(
+                            self._restart(service, handle),
+                            name=f"restart-{key[0]}-{key[1]}",
+                        )
+        finally:
+            for task in restarts.values():
+                task.cancel()
+            if restarts:
+                await asyncio.gather(
+                    *restarts.values(), return_exceptions=True
+                )
 
     # -- introspection -----------------------------------------------------
 

@@ -95,6 +95,10 @@ class HttpFrontend:
                 )
                 keep_alive = (
                     headers.get("connection", "keep-alive") != "close"
+                    # An oversized body (413) is left unread on the
+                    # socket; reusing the connection would parse those
+                    # bytes as the next request head, so close instead.
+                    and body is not None
                 )
                 await self._respond(
                     writer, status, out_headers, payload, keep_alive

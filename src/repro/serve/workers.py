@@ -262,10 +262,26 @@ class WorkerHandle:
         self.submit(job_id, text)
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
+            response_q = self.response_q
+            if response_q is None:
+                # kill()/stop() discarded the queues mid-call (pool
+                # shutdown from another thread): the job is lost, not
+                # our caller's fault — same verdict as a dead worker.
+                raise WorkerCrashed(
+                    f"worker {self.worker_id} was shut down while "
+                    "holding a request",
+                    worker_id=self.worker_id,
+                )
             try:
-                answer = self.response_q.get(timeout=_POLL_SECONDS)
+                answer = response_q.get(timeout=_POLL_SECONDS)
             except queue.Empty:
                 pass
+            except (OSError, ValueError):
+                raise WorkerCrashed(
+                    f"worker {self.worker_id} response queue was "
+                    "discarded while holding a request",
+                    worker_id=self.worker_id,
+                ) from None
             else:
                 if answer[0] == job_id:
                     return answer
@@ -279,7 +295,7 @@ class WorkerHandle:
                 # The worker may have answered and *then* died: drain
                 # once more before declaring the job lost.
                 try:
-                    answer = self.response_q.get(timeout=_POLL_SECONDS)
+                    answer = response_q.get(timeout=_POLL_SECONDS)
                     if answer[0] == job_id:
                         return answer
                 except (queue.Empty, OSError, ValueError):

@@ -636,6 +636,35 @@ class TestTranslationServer:
         assert state.in_flight == []  # nothing lost in the drain
         assert sorted(state.completed) == sorted(completed_ids)
 
+    def test_drain_deadline_overrun_fails_inflight_fast(
+        self, tmp_path, monkeypatch
+    ):
+        """A hung request cut off by the drain deadline must resolve:
+        the awaiting client gets a typed error (not a forever-pending
+        future) and the sealed journal carries its terminal record."""
+        monkeypatch.setenv(HANG_MARKER_ENV, "@@hang@@")
+        monkeypatch.setenv(HANG_SECONDS_ENV, "30")
+        metrics = MetricsRegistry()
+
+        async def body(server):
+            hung = asyncio.ensure_future(server.submit("calc", "@@hang@@"))
+            await asyncio.sleep(0.3)  # the dispatcher holds it in flight
+            assert server.services["calc"].in_flight
+            server.request_shutdown()
+            clean = await server.drain(timeout=0.05)
+            assert clean is False
+            with pytest.raises(ServeError, match="drained"):
+                await asyncio.wait_for(hung, timeout=1.0)
+
+        run_server(tmp_path, body, metrics=metrics, workers=1)
+        snap = metrics.snapshot()
+        assert snap["serve.failed"] == 1
+        assert snap["serve.drain_deadline_overruns"] == 1
+        state = replay_journal(str(tmp_path / "journal"))
+        assert state.sealed
+        assert state.in_flight == []  # the straggler has a terminal record
+        assert [et for et, _ in state.failed.values()] == ["DrainTimeout"]
+
     def test_journal_replay_matches_served_outputs(self, tmp_path):
         from repro.serve.journal import sha256_text
 
@@ -719,6 +748,38 @@ class TestHttpFrontend:
                 await frontend.stop()
 
         run_server(tmp_path, body, metrics=MetricsRegistry())
+
+    def test_oversized_body_gets_413_and_connection_close(self, tmp_path):
+        """The 413 path never reads the oversized body, so the server
+        must close the connection instead of honouring keep-alive —
+        reusing it would parse the unread body bytes as a request head."""
+        from repro.serve.http import MAX_BODY_BYTES, HttpFrontend
+
+        async def body(server):
+            frontend = HttpFrontend(server, "127.0.0.1", 0)
+            host, port = await frontend.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    (
+                        "POST /translate HTTP/1.1\r\nHost: t\r\n"
+                        f"Content-Length: {MAX_BODY_BYTES + 1}\r\n"
+                        "Connection: keep-alive\r\n\r\n"
+                    ).encode()
+                    + b"only the start of a huge body"
+                )
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(), timeout=5.0)
+                writer.close()
+                await writer.wait_closed()
+                head, _, payload = raw.partition(b"\r\n\r\n")
+                assert int(head.split(b" ", 2)[1]) == 413
+                assert b"Connection: close" in head
+                assert json.loads(payload)["error"] == "PayloadTooLarge"
+            finally:
+                await frontend.stop()
+
+        run_server(tmp_path, body)
 
     def test_healthz_degrades_while_draining(self, tmp_path):
         from repro.serve.http import HttpFrontend
