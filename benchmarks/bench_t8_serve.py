@@ -45,14 +45,24 @@ def _percentile(sorted_values, fraction):
 
 
 def _start_daemon(tmp_path):
-    env = dict(os.environ, PYTHONPATH="src")
+    # A knob file behind the REPRO_FAKE_DISK_FREE=@file indirection lets
+    # the degraded-mode phase fill and free a fake disk while the daemon
+    # runs (docs/robustness.md, "Resource governance and recovery").
+    knob = tmp_path / "fake_free.txt"
+    knob.write_text(str(100 << 20))
+    env = dict(
+        os.environ, PYTHONPATH="src",
+        REPRO_FAKE_DISK_FREE="@" + str(knob),
+    )
     daemon = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
          "src/repro/grammars/calc.ag", "--port", "0",
          "--workers", str(WORKERS),
          "--queue-depth", str(N_REQUESTS),
          "--journal", str(tmp_path / "journal"),
-         "--cache-dir", str(tmp_path / "cache")],
+         "--cache-dir", str(tmp_path / "cache"),
+         "--disk-low-mb", "1", "--disk-high-mb", "2",
+         "--governance-interval", "0.05"],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
     )
     port = None
@@ -136,6 +146,46 @@ def test_t8_serve_latency_and_throughput(report, tmp_path):
         concurrent_seconds = time.perf_counter() - t0
         assert not failures, failures
 
+        # Degraded mode: fill the fake disk, wait for the watermark to
+        # trip, and measure what a rejected client pays — the 503 +
+        # Retry-After fast-fail should be far cheaper than a translate.
+        import urllib.error
+
+        knob = tmp_path / "fake_free.txt"
+
+        def health_status():
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=10
+            ) as resp:
+                return json.load(resp)["status"]
+
+        def wait_status(want, timeout=20.0):
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if health_status() == want:
+                    return
+                time.sleep(0.02)
+            raise AssertionError(f"daemon never reached {want!r}")
+
+        knob.write_text(str(200 * 1024))
+        wait_status("degraded")
+        reject_latencies = []
+        for _ in range(20):
+            t0 = time.perf_counter()
+            try:
+                _post(port, texts[0], timeout=10)
+                raise AssertionError("degraded daemon accepted a request")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503 and exc.headers.get("Retry-After")
+            reject_latencies.append(time.perf_counter() - t0)
+        reject_latencies.sort()
+
+        t0 = time.perf_counter()
+        knob.write_text(str(100 << 20))
+        wait_status("ok")
+        recovery_seconds = time.perf_counter() - t0
+        _post(port, texts[0])  # daemon translates again after recovery
+
         with urllib.request.urlopen(
             f"http://127.0.0.1:{port}/stats", timeout=10
         ) as resp:
@@ -159,12 +209,19 @@ def test_t8_serve_latency_and_throughput(report, tmp_path):
         f"{batch_rps:,.0f} req/s\n"
         f"  serve/batch throughput ratio: {serve_rps / batch_rps:.2f} "
         f"(supervision + admission + journal tax)\n"
+        f"  degraded mode (low-disk watermark tripped): 503 fast-fail "
+        f"p50 {statistics.median(reject_latencies) * 1000.0:.2f} ms over "
+        f"{len(reject_latencies)} rejects; "
+        f"recovery after free: {recovery_seconds * 1000.0:.0f} ms\n"
         f"  counters: admitted={stats.get('serve.admitted')}, "
         f"completed={stats.get('serve.completed')}, "
         f"rejected={stats.get('serve.rejected', 0)}, "
+        f"rejected_degraded={stats.get('governance.rejected_degraded', 0)}, "
         f"restarts={stats.get('serve.worker_restarts', 0)}"
     )
     report("t8_serve", text)
-    # warm-up + closed-loop pass + concurrent pass, none lost
-    assert stats["serve.completed"] == 2 * N_REQUESTS + 1
+    # warm-up + closed-loop pass + concurrent pass + post-recovery probe,
+    # none lost; every degraded-mode reject accounted for
+    assert stats["serve.completed"] == 2 * N_REQUESTS + 2
+    assert stats.get("governance.rejected_degraded", 0) == 20
     assert p50 > 0 and serve_rps > 0

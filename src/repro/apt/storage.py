@@ -96,6 +96,7 @@ from repro.apt.codec import (
     serialize_names,
 )
 from repro.errors import EvaluationError, SpoolCorruptionError
+from repro.util import atomic_write as _aw
 from repro.util.iotrack import IOAccountant
 
 _LEN = struct.Struct("<I")
@@ -397,10 +398,16 @@ class AdaptiveSpool(Spool):
         metrics=None,
         memory_budget: int = DEFAULT_SPOOL_MEMORY_BUDGET,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        disk_budget=None,
     ):
         super().__init__(accountant, channel, tracer, metrics)
         self.memory_budget = max(0, memory_budget)
         self.block_size = block_size
+        #: Optional :class:`repro.governance.DiskBudget`: spills and
+        #: post-spill growth are charged against it (and released on
+        #: close), so a run-wide cap bounds total temp-spool bytes.
+        self.disk_budget = disk_budget
+        self._budget_charged = 0
         self._records: List[Any] = []
         #: Per-record charged byte sizes (estimates before the spill,
         #: actual encoded sizes after), mirrored on the read side.
@@ -441,6 +448,12 @@ class AdaptiveSpool(Spool):
             before = self._disk.data_bytes
             self._disk.append(record)
             nbytes = self._disk.data_bytes - before
+            if self.disk_budget is not None:
+                # Past the spill every record is disk-bound: charge its
+                # exact encoded size (raises DiskBudgetExceeded before
+                # the next record is admitted once the cap is hit).
+                self.disk_budget.charge(nbytes)
+                self._budget_charged += nbytes
         self._sizes.append(nbytes)
         self.n_records += 1
         self.data_bytes += nbytes
@@ -461,12 +474,27 @@ class AdaptiveSpool(Spool):
         future traffic is charged by this wrapper — but it shares the
         metrics registry so corruption/codec counters keep flowing.
         """
+        if self.disk_budget is not None:
+            # Charge the whole buffered estimate up front: if the run
+            # is already over budget the spill fails *before* creating
+            # the temp file.
+            self.disk_budget.charge(self._mem_bytes)
+            self._budget_charged += self._mem_bytes
         disk = DiskSpool(
             None, accountant=None, channel=self.channel,
             tracer=None, metrics=self.metrics, block_size=self.block_size,
         )
-        for record in self._records:
-            disk.append(record)
+        try:
+            for record in self._records:
+                disk.append(record)
+        except BaseException:
+            # A fault mid-spill (ENOSPC while flushing a block) must
+            # not lose data or leak the half-written temp spool: the
+            # buffered records are still intact in memory, so close the
+            # disk spool (unlinking its tmp + owned file) and surface
+            # the error with this spool still fully usable.
+            disk.close()
+            raise
         if self.metrics is not None:
             self.metrics.counter("spool.spill.count").inc()
             self.metrics.counter("spool.spill.records").inc(len(self._records))
@@ -529,6 +557,9 @@ class AdaptiveSpool(Spool):
         if self._disk is not None:
             self._disk.close()
             self._disk = None
+        if self.disk_budget is not None and self._budget_charged:
+            self.disk_budget.release(self._budget_charged)
+            self._budget_charged = 0
         self._records = []
         self._sizes = []
 
@@ -539,6 +570,7 @@ def adaptive_spool_factory(
     metrics=None,
     memory_budget: int = DEFAULT_SPOOL_MEMORY_BUDGET,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    disk_budget=None,
 ):
     """Build a ``SpoolFactory`` producing budgeted :class:`AdaptiveSpool`\\ s.
 
@@ -552,6 +584,7 @@ def adaptive_spool_factory(
         return AdaptiveSpool(
             accountant, channel, tracer=tracer, metrics=metrics,
             memory_budget=memory_budget, block_size=block_size,
+            disk_budget=disk_budget,
         )
 
     return factory
@@ -603,15 +636,17 @@ class DiskSpool(Spool):
             self._codec = RecordCodec()
             self._block_buf = bytearray()
             self._tmp_path: Optional[str] = path + ".tmp"
-            self._writer: Optional[io.BufferedWriter] = open(self._tmp_path, "wb")
+            self._writer: Optional[io.BufferedWriter] = _aw.open_file(
+                self._tmp_path, "wb"
+            )
             self._writer.write(_HEADER.pack(MAGIC_V3, FORMAT_V3, 0))
         elif format_version == FORMAT_V2:
             self._tmp_path = path + ".tmp"
-            self._writer = open(self._tmp_path, "wb")
+            self._writer = _aw.open_file(self._tmp_path, "wb")
             self._writer.write(_HEADER.pack(MAGIC, FORMAT_V2, 0))
         else:
             self._tmp_path = None
-            self._writer = open(path, "wb")
+            self._writer = _aw.open_file(path, "wb")
 
     # -- attach to an existing file ---------------------------------------
 
@@ -731,48 +766,64 @@ class DiskSpool(Spool):
         self._block_records = 0
 
     def finalize(self) -> None:
+        # A fault anywhere in here (ENOSPC in the nametable/footer
+        # write, failed fsync, failed rename) must never tear the
+        # sealed ``self.path``: the seal only lands via the final
+        # atomic rename, so on failure we close the writer and leave
+        # ``<path>.tmp`` behind as a classifiable *unsealed-tmp*
+        # artifact (``repro doctor`` sweeps it; in-process callers that
+        # ``close()`` unlink it immediately).
         if self._writer is not None:
-            if self.format_version == FORMAT_V3:
-                self._flush_block()
-                nt_payload = serialize_names(self._codec.names)
-                nt_offset = self._writer.tell()
-                self._nt_bytes = len(nt_payload)
-                self._writer.write(
-                    _NT_HEAD.pack(len(nt_payload), zlib.crc32(nt_payload))
-                )
-                self._writer.write(nt_payload)
-                self._writer.write(
-                    _footer3_bytes(
-                        self.n_records, self.data_bytes, self._n_blocks,
-                        nt_offset, len(nt_payload), self._stream_crc,
+            try:
+                if self.format_version == FORMAT_V3:
+                    self._flush_block()
+                    nt_payload = serialize_names(self._codec.names)
+                    nt_offset = self._writer.tell()
+                    self._nt_bytes = len(nt_payload)
+                    self._writer.write(
+                        _NT_HEAD.pack(len(nt_payload), zlib.crc32(nt_payload))
                     )
-                )
-                self._writer.flush()
-                os.fsync(self._writer.fileno())
-                self._writer.close()
-                self._writer = None
-                os.replace(self._tmp_path, self.path)
-                self._tmp_path = None
-                if self.metrics is not None:
-                    self.metrics.counter("spool.codec.records_written").inc(
-                        self.n_records
+                    self._writer.write(nt_payload)
+                    self._writer.write(
+                        _footer3_bytes(
+                            self.n_records, self.data_bytes, self._n_blocks,
+                            nt_offset, len(nt_payload), self._stream_crc,
+                        )
                     )
-                    self.metrics.counter("spool.codec.nametable_bytes").inc(
-                        len(nt_payload)
+                    _aw.fsync_file(self._writer)
+                    self._writer.close()
+                    self._writer = None
+                    _aw.atomic_replace(self._tmp_path, self.path)
+                    self._tmp_path = None
+                    if self.metrics is not None:
+                        self.metrics.counter("spool.codec.records_written").inc(
+                            self.n_records
+                        )
+                        self.metrics.counter("spool.codec.nametable_bytes").inc(
+                            len(nt_payload)
+                        )
+                elif self.format_version == FORMAT_V2:
+                    self._writer.write(
+                        _footer_bytes(
+                            self.n_records, self.data_bytes, self._stream_crc
+                        )
                     )
-            elif self.format_version == FORMAT_V2:
-                self._writer.write(
-                    _footer_bytes(self.n_records, self.data_bytes, self._stream_crc)
-                )
-                self._writer.flush()
-                os.fsync(self._writer.fileno())
-                self._writer.close()
-                self._writer = None
-                os.replace(self._tmp_path, self.path)
-                self._tmp_path = None
-            else:
-                self._writer.close()
-                self._writer = None
+                    _aw.fsync_file(self._writer)
+                    self._writer.close()
+                    self._writer = None
+                    _aw.atomic_replace(self._tmp_path, self.path)
+                    self._tmp_path = None
+                else:
+                    self._writer.close()
+                    self._writer = None
+            except BaseException:
+                if self._writer is not None:
+                    try:
+                        self._writer.close()
+                    except OSError:
+                        pass
+                    self._writer = None
+                raise
         super().finalize()
 
     # -- format sniffing ---------------------------------------------------

@@ -36,12 +36,12 @@ from __future__ import annotations
 import os
 import pickle
 import struct
-import tempfile
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.errors import CacheCorruptionError
+from repro.util.atomic_write import atomic_write
 
 MAGIC = b"L86BCHE\n"
 FOOTER_MAGIC = b"L86SEAL\n"
@@ -79,6 +79,9 @@ class CacheEntryInfo:
     key: str
     path: str
     file_bytes: int
+    #: Last-used clock (``st_mtime``): stores and load-hits both touch
+    #: it, so governance eviction can drop least-recently-used first.
+    mtime: float = 0.0
 
 
 class BuildCache:
@@ -149,6 +152,13 @@ class BuildCache:
             return None
         self._count("hit", kind, metrics)
         self._instant("hit", kind, key, tracer, nbytes=os.path.getsize(path))
+        try:
+            # Touch the entry so mtime is a last-used clock; governance
+            # eviction (``repro cache gc``) drops least-recently-used
+            # entries first.
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def _read_sealed(self, path: str, want_key: str) -> Dict[str, Any]:
@@ -248,33 +258,18 @@ class BuildCache:
         footer_body = _FOOTER.pack(
             FOOTER_MAGIC, len(blob), zlib.crc32(blob), 0
         )[: _FOOTER.size - 4]
-        # The tmp name must be unique per writer: concurrent processes
-        # (e.g. restarted serve/batch workers racing to rebuild the same
-        # grammar after a cache clear) may store the same key at once,
-        # and a shared ``<path>.tmp`` would let one writer rename the
-        # other's half-written file into place.  Same-key stores are
-        # byte-identical by content addressing, so last-rename-wins is
-        # safe.
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path),
-            prefix=os.path.basename(path) + ".",
-            suffix=".tmp",
-        )
-        try:
-            with os.fdopen(fd, "wb") as f:
-                f.write(_HEADER.pack(MAGIC, ENTRY_FORMAT, 0, key_bytes.ljust(64, b"\x00")))
-                f.write(blob)
-                f.write(footer_body)
-                f.write(_U32.pack(zlib.crc32(footer_body)))
-                f.flush()
-                os.fsync(f.fileno())
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        # The tmp name must be unique per writer (``unique=True``):
+        # concurrent processes (e.g. restarted serve/batch workers
+        # racing to rebuild the same grammar after a cache clear) may
+        # store the same key at once, and a shared ``<path>.tmp`` would
+        # let one writer rename the other's half-written file into
+        # place.  Same-key stores are byte-identical by content
+        # addressing, so last-rename-wins is safe.
+        with atomic_write(path, unique=True) as f:
+            f.write(_HEADER.pack(MAGIC, ENTRY_FORMAT, 0, key_bytes.ljust(64, b"\x00")))
+            f.write(blob)
+            f.write(footer_body)
+            f.write(_U32.pack(zlib.crc32(footer_body)))
         self._count("write", kind, metrics)
         self._instant(
             "write", kind, key, tracer,
@@ -297,12 +292,17 @@ class BuildCache:
                 if not name.endswith(ENTRY_SUFFIX):
                     continue
                 path = os.path.join(kind_dir, name)
+                try:
+                    st = os.stat(path)
+                except FileNotFoundError:
+                    continue  # racing eviction/clear in another process
                 out.append(
                     CacheEntryInfo(
                         kind=kind,
                         key=name[: -len(ENTRY_SUFFIX)],
                         path=path,
-                        file_bytes=os.path.getsize(path),
+                        file_bytes=st.st_size,
+                        mtime=st.st_mtime,
                     )
                 )
         return out

@@ -133,9 +133,15 @@ def cmd_run(args) -> int:
         spec, library=library_for(args.name), backend=args.backend
     )
     text = _read(args.input) if os.path.exists(args.input) else args.input
+    disk_budget = None
+    if args.disk_budget is not None:
+        from repro.governance import DiskBudget
+
+        disk_budget = DiskBudget(args.disk_budget, label=args.name)
     result = translator.translate(
         text, checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         spool_memory_budget=args.spool_memory_budget, record=args.record,
+        disk_budget=disk_budget,
     )
     if args.record:
         print(
@@ -374,20 +380,30 @@ def cmd_profile(args) -> int:
     return 0
 
 
-def cmd_fsck(args) -> int:
-    """Verify (and optionally salvage) an APT spool file.
+def _say(args):
+    """``print``, or a no-op under ``--quiet`` (exit codes still talk)."""
+    if getattr(args, "quiet", False):
+        return lambda *a, **k: None
+    return print
 
-    Exit status: 0 clean, 1 corrupt (report printed, and with
-    ``--salvage`` the longest checksum-valid prefix recovered), 2 usage.
+
+def cmd_fsck(args) -> int:
+    """Verify (and optionally salvage) a durable artifact file.
+
+    Exit status: 0 clean, 1 corrupt (or missing), 2 corrupt but the
+    longest checksum-valid prefix was recovered via ``--salvage``
+    (salvaged with loss).  ``--quiet`` suppresses all output so scripts
+    can branch on the code alone.
     """
     from repro.apt.storage import salvage_spool, scan_spool
     from repro.errors import Diagnostic, Severity, SourceLocation
     from repro.obs import MetricsRegistry
 
+    say = _say(args)
     metrics = MetricsRegistry()
     if not os.path.exists(args.spool):
-        print(f"error: no such spool file: {args.spool}", file=sys.stderr)
-        return 2
+        say(f"error: no such spool file: {args.spool}", file=sys.stderr)
+        return 1
     from repro.obs.provenance import looks_like_provenance_log
     from repro.serve.journal import looks_like_request_journal
 
@@ -399,15 +415,15 @@ def cmd_fsck(args) -> int:
         report = salvage_spool(args.spool, args.salvage, metrics=metrics)
     else:
         report = scan_spool(args.spool, metrics=metrics)
-    print(report.render())
+    say(report.render())
     if args.salvage:
-        print(
+        say(
             f"salvaged {report.n_valid} record(s) "
             f"({report.valid_data_bytes:,} payload bytes) -> {args.salvage}"
         )
     if args.metrics:
-        print()
-        print(metrics.render())
+        say()
+        say(metrics.render())
     if report.ok:
         return 0
     # A location-bearing diagnostic: the damaged region, named the same
@@ -420,8 +436,8 @@ def cmd_fsck(args) -> int:
         f"{report.valid_end_offset} bytes",
         SourceLocation(filename=args.spool),
     )
-    print(str(diag), file=sys.stderr)
-    return 1
+    say(str(diag), file=sys.stderr)
+    return 2 if args.salvage else 1
 
 
 def _fsck_provenance(args, metrics) -> int:
@@ -429,16 +445,17 @@ def _fsck_provenance(args, metrics) -> int:
     from repro.errors import Diagnostic, Severity, SourceLocation
     from repro.obs.provenance import salvage_provenance, scan_provenance
 
+    say = _say(args)
     if args.salvage:
         report = salvage_provenance(args.spool, args.salvage, metrics=metrics)
     else:
         report = scan_provenance(args.spool, metrics=metrics)
-    print(report.render())
+    say(report.render())
     if args.salvage:
-        print(f"salvaged {report.n_valid} record(s) -> {args.salvage}")
+        say(f"salvaged {report.n_valid} record(s) -> {args.salvage}")
     if args.metrics:
-        print()
-        print(metrics.render())
+        say()
+        say(metrics.render())
     if report.ok:
         return 0
     err = report.error
@@ -448,8 +465,8 @@ def _fsck_provenance(args, metrics) -> int:
         f"valid prefix: {report.n_valid} record(s)",
         SourceLocation(filename=args.spool),
     )
-    print(str(diag), file=sys.stderr)
-    return 1
+    say(str(diag), file=sys.stderr)
+    return 2 if args.salvage else 1
 
 
 def _fsck_journal(args, metrics) -> int:
@@ -457,7 +474,8 @@ def _fsck_journal(args, metrics) -> int:
 
     A clean *unsealed* journal (the daemon was killed rather than
     drained) exits 0 — that is an expected crash artifact whose valid
-    prefix is authoritative; record-level damage exits 1.
+    prefix is authoritative; record-level damage exits 1 (2 when
+    ``--salvage`` recovered the prefix).
     """
     from repro.errors import Diagnostic, Severity, SourceLocation
     from repro.serve.journal import (
@@ -466,14 +484,15 @@ def _fsck_journal(args, metrics) -> int:
         scan_journal,
     )
 
+    say = _say(args)
     if args.salvage:
         report = salvage_journal(args.spool, args.salvage, metrics=metrics)
     else:
         report = scan_journal(args.spool, metrics=metrics)
-    print(report.render())
+    say(report.render())
     if report.ok:
         state = replay_journal(args.spool)
-        print(
+        say(
             f"  requests: {len(state.completed)} completed, "
             f"{len(state.failed)} failed, "
             f"{len(state.in_flight)} in flight at shutdown"
@@ -481,10 +500,10 @@ def _fsck_journal(args, metrics) -> int:
                if state.duplicates else "")
         )
     if args.salvage:
-        print(f"salvaged {report.n_valid} record(s) -> {args.salvage}")
+        say(f"salvaged {report.n_valid} record(s) -> {args.salvage}")
     if args.metrics:
-        print()
-        print(metrics.render())
+        say()
+        say(metrics.render())
     if report.ok:
         return 0
     err = report.error
@@ -494,8 +513,57 @@ def _fsck_journal(args, metrics) -> int:
         f"valid prefix: {report.n_valid} record(s)",
         SourceLocation(filename=args.spool),
     )
-    print(str(diag), file=sys.stderr)
-    return 1
+    say(str(diag), file=sys.stderr)
+    return 2 if args.salvage else 1
+
+
+def cmd_doctor(args) -> int:
+    """Sweep directories for crash debris across every durable format.
+
+    Classifies every file (sealed / unsealed / unsealed-tmp / corrupt /
+    orphaned / legacy / foreign); ``--repair`` salvages the valid
+    prefixes in place, deletes what is safe to lose (corrupt cache
+    entries, tmp debris, orphaned pass spools), and truncates damaged
+    checkpoint manifests at the last verified pass.  Exit status:
+    0 clean, 1 problems found (or remaining), 2 repaired with loss.
+    """
+    from repro.doctor import run_doctor
+    from repro.obs import MetricsRegistry
+
+    say = _say(args)
+    metrics = MetricsRegistry()
+    for d in args.dirs:
+        if not os.path.isdir(d):
+            say(f"error: no such directory: {d}", file=sys.stderr)
+            return 1
+    report = run_doctor(args.dirs, repair=args.repair, metrics=metrics)
+    say(report.render())
+    if args.metrics:
+        say()
+        say(metrics.render())
+    if report.problems:
+        return 1
+    if args.repair and report.lossy:
+        return 2
+    return 0
+
+
+def cmd_cache_gc(args) -> int:
+    """Shrink the build cache to a byte cap, least-recently-used first."""
+    from repro.buildcache import BuildCache, default_cache_root
+    from repro.governance import evict_cache
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    root = args.cache_dir or default_cache_root()
+    cache = BuildCache(root)
+    kept, evicted = evict_cache(cache, args.max_bytes, metrics=metrics)
+    print(f"cache gc: {root}")
+    print(
+        f"  kept {kept:,} byte(s); evicted {len(evicted)} entrie(s) "
+        f"({sum(e.file_bytes for e in evicted):,} bytes)"
+    )
+    return 0
 
 
 def cmd_debug(args) -> int:
@@ -652,6 +720,12 @@ def cmd_serve(args) -> int:
         breaker_reset_seconds=args.breaker_reset,
         backend=args.backend,
         fsync_every_done=args.fsync,
+        disk_low_bytes=int(args.disk_low_mb * (1 << 20)),
+        disk_high_bytes=int(args.disk_high_mb * (1 << 20)),
+        governance_interval=args.governance_interval,
+        cache_dir=cache_dir,
+        cache_max_bytes=int(args.cache_max_mb * (1 << 20)),
+        startup_doctor=not args.no_doctor,
     )
     return asyncio.run(_serve_main(specs, config, metrics))
 
@@ -767,6 +841,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["interp", "generated"], default="generated",
         help="evaluator backend (default generated)",
     )
+    p_run.add_argument(
+        "--disk-budget", type=int, default=None, metavar="BYTES",
+        help="cap the bytes this run may write durably (spool spills + "
+        "checkpoint passes); the write that would overspend fails with "
+        "a typed DiskBudgetExceeded before the bytes land",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_debug = sub.add_parser(
@@ -855,7 +935,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="also dump the robustness counters",
     )
+    p_fsck.add_argument(
+        "--quiet", action="store_true",
+        help="no output; exit status alone reports the verdict "
+        "(0 clean, 1 corrupt/missing, 2 salvaged with loss)",
+    )
     p_fsck.set_defaults(func=cmd_fsck)
+
+    p_doctor = sub.add_parser(
+        "doctor",
+        help="sweep directories for crash debris across every durable "
+        "format; classify each artifact and optionally --repair "
+        "(see docs/robustness.md)",
+    )
+    p_doctor.add_argument(
+        "dirs", nargs="+", metavar="DIR",
+        help="directories to sweep recursively (journal dirs, "
+        "checkpoint dirs, record dirs, cache roots)",
+    )
+    p_doctor.add_argument(
+        "--repair", action="store_true",
+        help="salvage valid prefixes in place, delete what is safe to "
+        "lose (corrupt cache entries, *.tmp debris, orphaned pass "
+        "spools), truncate damaged checkpoint manifests at the last "
+        "verified pass",
+    )
+    p_doctor.add_argument(
+        "--metrics", action="store_true",
+        help="also dump the governance.doctor.* counters",
+    )
+    p_doctor.add_argument(
+        "--quiet", action="store_true",
+        help="no output; exit status alone reports the verdict "
+        "(0 clean, 1 problems found/remaining, 2 repaired with loss)",
+    )
+    p_doctor.set_defaults(func=cmd_doctor)
+
+    p_cache = sub.add_parser(
+        "cache", help="build-cache maintenance (see `repro cache gc`)"
+    )
+    csub = p_cache.add_subparsers(dest="cache_cmd", required=True)
+    p_gc = csub.add_parser(
+        "gc",
+        help="shrink the build cache to a byte cap, evicting "
+        "least-recently-used entries (store and load-hit both refresh "
+        "an entry's clock)",
+    )
+    p_gc.add_argument(
+        "--max-bytes", type=int, required=True, metavar="BYTES",
+        help="target size: entries are evicted LRU-first until the "
+        "sealed entries fit",
+    )
+    p_gc.add_argument(
+        "--cache-dir",
+        help="cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-linguist86)",
+    )
+    p_gc.set_defaults(func=cmd_cache_gc)
 
     p_trace = sub.add_parser(
         "trace",
@@ -1031,6 +1167,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="fsync the journal after every completed request "
         "(machine-crash durability; default flushes per record, which "
         "survives process kill)",
+    )
+    p_serve.add_argument(
+        "--disk-low-mb", type=float, default=0.0, metavar="MB",
+        help="degrade every grammar (503 + Retry-After, journal "
+        "suspended with an explicit gap marker) when free disk under "
+        "the journal directory drops below this many MiB "
+        "(0 disables free-space governance)",
+    )
+    p_serve.add_argument(
+        "--disk-high-mb", type=float, default=0.0, metavar="MB",
+        help="recover from low-disk degraded mode only once free disk "
+        "climbs back above this many MiB (hysteresis; default: equal "
+        "to --disk-low-mb)",
+    )
+    p_serve.add_argument(
+        "--cache-max-mb", type=float, default=0.0, metavar="MB",
+        help="on a low-disk trip, shrink the build cache to this many "
+        "MiB (LRU eviction; 0 = never evict)",
+    )
+    p_serve.add_argument(
+        "--governance-interval", type=float, default=0.5, metavar="SECONDS",
+        help="free-space probe period of the governance loop "
+        "(default 0.5)",
+    )
+    p_serve.add_argument(
+        "--no-doctor", action="store_true",
+        help="skip the startup `repro doctor --repair` sweep over the "
+        "journal and cache directories",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -501,6 +501,7 @@ class Translator:
         resume: bool = False,
         spool_memory_budget: Optional[int] = None,
         record: Optional[str] = None,
+        disk_budget=None,
     ) -> EvaluationResult:
         """Scan, parse, and evaluate ``text``.
 
@@ -513,6 +514,12 @@ class Translator:
         ``spool_memory_budget`` caps the bytes each intermediate APT
         spool may keep in memory before spilling to a v3 disk spool
         (None picks the default; 0 forces disk spooling throughout).
+        ``disk_budget`` (a :class:`repro.governance.DiskBudget`) caps
+        the run's total durable bytes — spool spills and checkpoint
+        pass files are charged against it, and the charge that would
+        overspend raises a typed
+        :class:`~repro.errors.DiskBudgetExceeded` (surfaced on the CLI
+        as ``repro run --disk-budget``; see docs/robustness.md).
         ``record`` enables attribute-provenance recording into that
         directory (a sealed NDJSON log plus every pass's sealed spool;
         see docs/debugging.md) — it implies checkpointing into the same
@@ -531,6 +538,7 @@ class Translator:
             resume=resume,
             spool_memory_budget=spool_memory_budget,
             record=record,
+            disk_budget=disk_budget,
         )
 
     def translate_many(
@@ -574,6 +582,7 @@ class Translator:
         resume: bool = False,
         spool_memory_budget: Optional[int] = None,
         record: Optional[str] = None,
+        disk_budget=None,
     ) -> EvaluationResult:
         accountant = accountant if accountant is not None else IOAccountant()
         metrics = metrics if metrics is not None else MetricsRegistry()
@@ -586,6 +595,7 @@ class Translator:
                 if spool_memory_budget is None
                 else spool_memory_budget
             ),
+            disk_budget=disk_budget,
         )
         recorder = None
         executor = self._executor
@@ -650,6 +660,7 @@ class Translator:
             metrics=metrics,
             checkpoint_dir=checkpoint_dir,
             recorder=recorder,
+            disk_budget=disk_budget,
         )
         self.last_driver = driver
         strategy = (

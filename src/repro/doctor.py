@@ -1,0 +1,569 @@
+"""``repro doctor``: the unified crash-recovery sweeper.
+
+Five durable formats can leave artifacts on a host — sealed spools
+(v1/v2/v3), build-cache entries, PROV1 provenance logs, SRVJ1 request
+journals, and checkpoint manifests — and a crash, an ENOSPC, or a
+killed daemon can leave any of them mid-flight.  ``repro fsck`` judges
+*one* file; the doctor walks a whole tree, classifies **every** path
+by sniffing magic (reusing fsck's readers), and with ``--repair``
+salvages what it can and garbage-collects the rest, so a host always
+converges back to "every artifact sealed or gone".
+
+Classification (``ArtifactState``):
+
+========================  ===================================================
+state                     meaning
+========================  ===================================================
+``sealed``                verified clean (CRCs, footer, seal all good)
+``unsealed``              a journal without its seal line — the expected
+                          artifact of a killed daemon; valid prefix intact
+``unsealed-tmp``          ``*.tmp`` staging debris: a writer died before its
+                          atomic rename; never referenced by a sealed name
+``corrupt``               recognized format failing verification (bit rot,
+                          torn write inside the stream)
+``orphaned``              a checkpoint pass spool its manifest does not
+                          list (progress past the last durable manifest
+                          write, or debris of a dead run)
+``legacy``                format v1 spool: readable but carries no
+                          integrity data to verify
+``foreign``               not one of ours; never touched
+========================  ===================================================
+
+Repair policy (``--repair``): salvage keeps data (corrupt spools,
+provenance logs, and journals are rewritten to their checksum-valid
+prefix in place, atomically); deletion is reserved for artifacts whose
+loss is safe by design (corrupt cache entries rebuild on miss, tmp
+debris was never observable, orphaned pass spools are re-derived on
+resume); checkpoint manifests are *truncated* at the first damaged
+pass so ``--resume`` restarts from the last good pass instead of
+refusing.  The serve daemon runs a doctor pass over its journal and
+cache directories at startup, so a crashed daemon always boots clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apt.storage import (
+    FORMAT_V1,
+    FORMAT_V2,
+    FORMAT_V3,
+    MAGIC,
+    MAGIC_V3,
+    salvage_spool,
+    scan_spool,
+)
+from repro.buildcache.store import ENTRY_SUFFIX, MAGIC as CACHE_MAGIC
+from repro.obs.provenance import (
+    looks_like_provenance_log,
+    salvage_provenance,
+    scan_provenance,
+)
+from repro.serve.journal import (
+    looks_like_request_journal,
+    salvage_journal,
+    scan_journal,
+)
+
+__all__ = [
+    "ArtifactFormat",
+    "ArtifactState",
+    "ArtifactReport",
+    "DoctorReport",
+    "run_doctor",
+]
+
+#: Checkpoint manifest file name (mirrors CheckpointManager.MANIFEST
+#: without importing the evalgen driver at doctor-import time).
+MANIFEST_NAME = "checkpoint.json"
+
+
+class ArtifactFormat:
+    SPOOL_V3 = "spool-v3"
+    SPOOL_V2 = "spool-v2"
+    SPOOL_V1 = "spool-v1"
+    CACHE_ENTRY = "cache-entry"
+    PROVENANCE = "provenance-log"
+    JOURNAL = "request-journal"
+    MANIFEST = "checkpoint-manifest"
+    UNKNOWN = "unknown"
+
+
+class ArtifactState:
+    SEALED = "sealed"
+    UNSEALED = "unsealed"
+    UNSEALED_TMP = "unsealed-tmp"
+    CORRUPT = "corrupt"
+    ORPHANED = "orphaned"
+    LEGACY = "legacy"
+    FOREIGN = "foreign"
+
+
+@dataclass
+class ArtifactReport:
+    """One classified path (and, after ``--repair``, what was done)."""
+
+    path: str
+    format: str
+    state: str
+    detail: str = ""
+    #: ``""`` (nothing), ``salvaged``, ``salvaged-with-loss``,
+    #: ``deleted``, ``truncated-manifest``.
+    action: str = ""
+
+    def render(self) -> str:
+        line = f"{self.state:13} {self.format:19} {self.path}"
+        if self.detail:
+            line += f"  ({self.detail})"
+        if self.action:
+            line += f"  -> {self.action}"
+        return line
+
+
+@dataclass
+class DoctorReport:
+    """The sweep's outcome over one or more directories."""
+
+    artifacts: List[ArtifactReport] = field(default_factory=list)
+    repaired: bool = False
+
+    def by_state(self, state: str) -> List[ArtifactReport]:
+        return [a for a in self.artifacts if a.state == state]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing needs (or needed) attention."""
+        return not self.problems
+
+    @property
+    def problems(self) -> List[ArtifactReport]:
+        return [
+            a
+            for a in self.artifacts
+            if a.state
+            in (
+                ArtifactState.UNSEALED_TMP,
+                ArtifactState.CORRUPT,
+                ArtifactState.ORPHANED,
+            )
+            and not a.action
+        ]
+
+    @property
+    def lossy(self) -> bool:
+        """True when a repair discarded data (salvage dropped records,
+        a manifest was truncated, artifacts were deleted)."""
+        return any(
+            a.action in ("salvaged-with-loss", "deleted", "truncated-manifest")
+            for a in self.artifacts
+        )
+
+    def render(self) -> str:
+        if not self.artifacts:
+            return "doctor: nothing recognized"
+        lines = [a.render() for a in self.artifacts]
+        counts: Dict[str, int] = {}
+        for a in self.artifacts:
+            counts[a.state] = counts.get(a.state, 0) + 1
+        summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+        lines.append(f"doctor: {len(self.artifacts)} artifact(s): {summary}")
+        if self.problems:
+            lines.append(
+                f"doctor: {len(self.problems)} problem(s) "
+                + ("remain" if self.repaired else "found (run with --repair)")
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# sniffing
+# ---------------------------------------------------------------------------
+
+
+def _head_bytes(path: str, n: int = 4096) -> bytes:
+    try:
+        with open(path, "rb") as f:
+            return f.read(n)
+    except OSError:
+        return b""
+
+
+def sniff_format(path: str) -> str:
+    """Identify which of the five formats ``path`` holds (by content,
+    not name — a renamed artifact still classifies)."""
+    head = _head_bytes(path)
+    if head.startswith(MAGIC_V3):
+        return ArtifactFormat.SPOOL_V3
+    if head.startswith(MAGIC):
+        return ArtifactFormat.SPOOL_V2
+    if head.startswith(CACHE_MAGIC):
+        return ArtifactFormat.CACHE_ENTRY
+    if looks_like_provenance_log(path):
+        return ArtifactFormat.PROVENANCE
+    if looks_like_request_journal(path):
+        return ArtifactFormat.JOURNAL
+    if os.path.basename(path) == MANIFEST_NAME:
+        return ArtifactFormat.MANIFEST
+    name = path[: -len(".tmp")] if path.endswith(".tmp") else path
+    if name.endswith(".spool") and head:
+        # v1 spools have no magic: a bare length-framed pickle stream.
+        return ArtifactFormat.SPOOL_V1
+    return ArtifactFormat.UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+
+def _load_manifest_doc(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or "completed" not in doc:
+        return None
+    return doc
+
+
+def _classify_spool(path: str, fmt: str) -> ArtifactReport:
+    report = scan_spool(path)
+    if report.version == FORMAT_V1:
+        return ArtifactReport(
+            path, ArtifactFormat.SPOOL_V1, ArtifactState.LEGACY,
+            detail=f"{report.n_valid} record(s), no integrity data",
+        )
+    if report.ok:
+        return ArtifactReport(
+            path, fmt, ArtifactState.SEALED,
+            detail=f"{report.n_valid} record(s)",
+        )
+    return ArtifactReport(
+        path, fmt, ArtifactState.CORRUPT,
+        detail=(
+            f"valid prefix {report.n_valid} record(s); "
+            f"{report.error.reason if report.error else 'damaged'}"
+        ),
+    )
+
+
+def _classify_cache_entry(path: str) -> ArtifactReport:
+    from repro.buildcache.store import BuildCache
+    from repro.errors import CacheCorruptionError
+
+    name = os.path.basename(path)
+    key = name[: -len(ENTRY_SUFFIX)] if name.endswith(ENTRY_SUFFIX) else name
+    cache = BuildCache.__new__(BuildCache)
+    try:
+        cache._read_sealed(path, key)
+    except FileNotFoundError:
+        return ArtifactReport(
+            path, ArtifactFormat.CACHE_ENTRY, ArtifactState.CORRUPT,
+            detail="vanished mid-scan",
+        )
+    except CacheCorruptionError as exc:
+        return ArtifactReport(
+            path, ArtifactFormat.CACHE_ENTRY, ArtifactState.CORRUPT,
+            detail=exc.reason,
+        )
+    return ArtifactReport(
+        path, ArtifactFormat.CACHE_ENTRY, ArtifactState.SEALED
+    )
+
+
+def _classify_provenance(path: str) -> ArtifactReport:
+    report = scan_provenance(path)
+    if report.ok:
+        return ArtifactReport(
+            path, ArtifactFormat.PROVENANCE, ArtifactState.SEALED,
+            detail=f"{report.n_events} event(s)",
+        )
+    return ArtifactReport(
+        path, ArtifactFormat.PROVENANCE, ArtifactState.CORRUPT,
+        detail=f"valid prefix {report.n_valid} record(s)",
+    )
+
+
+def _classify_journal(path: str) -> ArtifactReport:
+    report = scan_journal(path)
+    detail = f"{report.n_valid} record(s)"
+    if report.gaps:
+        detail += (
+            f", {report.gaps} gap(s)/{report.lost_records} dropped "
+            "(disk pressure)"
+        )
+    if report.ok and report.sealed:
+        return ArtifactReport(
+            path, ArtifactFormat.JOURNAL, ArtifactState.SEALED, detail=detail
+        )
+    if report.ok:
+        if report.torn_tail:
+            detail += " + torn tail"
+        return ArtifactReport(
+            path, ArtifactFormat.JOURNAL, ArtifactState.UNSEALED,
+            detail=detail,
+        )
+    return ArtifactReport(
+        path, ArtifactFormat.JOURNAL, ArtifactState.CORRUPT,
+        detail=(
+            f"valid prefix {report.n_valid} record(s); "
+            f"{report.error.reason if report.error else 'damaged'}"
+        ),
+    )
+
+
+def _verify_manifest_entry(
+    directory: str, entry: Dict[str, Any]
+) -> Tuple[bool, str]:
+    spool_name = entry.get("spool", "")
+    spool_path = os.path.join(directory, spool_name)
+    if not spool_name or not os.path.exists(spool_path):
+        return False, f"pass {entry.get('pass')}: spool missing"
+    report = scan_spool(spool_path)
+    if not report.ok:
+        return False, f"pass {entry.get('pass')}: spool damaged"
+    if report.n_valid != entry.get("n_records"):
+        return False, (
+            f"pass {entry.get('pass')}: manifest says "
+            f"{entry.get('n_records')} record(s), spool holds "
+            f"{report.n_valid}"
+        )
+    return True, ""
+
+
+def run_doctor(
+    directories: List[str],
+    repair: bool = False,
+    metrics=None,
+) -> DoctorReport:
+    """Sweep ``directories`` recursively; classify every file; with
+    ``repair=True`` salvage / truncate / GC as the module docstring
+    describes.  Never raises on damaged artifacts — damage is the
+    *input*, the report is the output."""
+    doctor = DoctorReport(repaired=repair)
+    manifests: List[Tuple[str, Dict[str, Any]]] = []
+    referenced: Dict[str, ArtifactReport] = {}
+    for directory in directories:
+        for root, _dirs, files in os.walk(directory):
+            for name in sorted(files):
+                path = os.path.join(root, name)
+                art = _classify_path(path)
+                doctor.artifacts.append(art)
+                if art.format == ArtifactFormat.MANIFEST:
+                    doc = _load_manifest_doc(path)
+                    if doc is not None:
+                        manifests.append((path, doc))
+                referenced[path] = art
+    _mark_checkpoint_orphans(manifests, referenced)
+    if repair:
+        for art in doctor.artifacts:
+            _repair_artifact(art, metrics=metrics)
+        for path, doc in manifests:
+            _repair_manifest(path, doc, referenced, metrics=metrics)
+    if metrics is not None:
+        metrics.counter("governance.doctor_runs").inc()
+        for art in doctor.artifacts:
+            metrics.counter(f"governance.doctor.{art.state}").inc()
+    return doctor
+
+
+def _classify_path(path: str) -> ArtifactReport:
+    if path.endswith(".tmp") or ".tmp" in os.path.basename(path)[-12:]:
+        # Staging debris (including the unique ``<name>.<rand>.tmp``
+        # the cache writer uses): a crash between open and rename.
+        fmt = sniff_format(path)
+        return ArtifactReport(
+            path,
+            fmt if fmt != ArtifactFormat.UNKNOWN else ArtifactFormat.UNKNOWN,
+            ArtifactState.UNSEALED_TMP,
+            detail="staging file never renamed into place",
+        )
+    fmt = sniff_format(path)
+    if fmt in (ArtifactFormat.SPOOL_V3, ArtifactFormat.SPOOL_V2):
+        return _classify_spool(path, fmt)
+    if fmt == ArtifactFormat.SPOOL_V1:
+        return _classify_spool(path, fmt)
+    if fmt == ArtifactFormat.CACHE_ENTRY:
+        return _classify_cache_entry(path)
+    if fmt == ArtifactFormat.PROVENANCE:
+        return _classify_provenance(path)
+    if fmt == ArtifactFormat.JOURNAL:
+        return _classify_journal(path)
+    if fmt == ArtifactFormat.MANIFEST:
+        doc = _load_manifest_doc(path)
+        if doc is None:
+            return ArtifactReport(
+                path, ArtifactFormat.MANIFEST, ArtifactState.CORRUPT,
+                detail="manifest does not parse",
+            )
+        return ArtifactReport(
+            path, ArtifactFormat.MANIFEST, ArtifactState.SEALED,
+            detail=f"{len(doc.get('completed', []))} pass(es) recorded",
+        )
+    return ArtifactReport(path, ArtifactFormat.UNKNOWN, ArtifactState.FOREIGN)
+
+
+def _mark_checkpoint_orphans(
+    manifests: List[Tuple[str, Dict[str, Any]]],
+    referenced: Dict[str, ArtifactReport],
+) -> None:
+    """Pass spools living beside a manifest that does not list them are
+    orphans (progress past the last durable manifest write)."""
+    for manifest_path, doc in manifests:
+        directory = os.path.dirname(manifest_path)
+        listed = {
+            entry.get("spool")
+            for entry in doc.get("completed", [])
+            if isinstance(entry, dict)
+        }
+        for path, art in referenced.items():
+            if os.path.dirname(path) != directory:
+                continue
+            name = os.path.basename(path)
+            if (
+                art.format in (ArtifactFormat.SPOOL_V3,
+                               ArtifactFormat.SPOOL_V2)
+                and art.state == ArtifactState.SEALED
+                and name.startswith("pass")
+                and name.endswith(".spool")
+                and name not in listed
+            ):
+                art.state = ArtifactState.ORPHANED
+                art.detail = "sealed but not listed in checkpoint manifest"
+
+
+def _repair_artifact(art: ArtifactReport, metrics=None) -> None:
+    if art.state == ArtifactState.UNSEALED_TMP:
+        # Provenance tmp logs can hold a salvageable event prefix; keep
+        # the data when the sealed log never made it.
+        if art.format == ArtifactFormat.PROVENANCE:
+            final = art.path[: -len(".tmp")]
+            if not os.path.exists(final):
+                try:
+                    report = salvage_provenance(
+                        art.path, final, metrics=metrics
+                    )
+                    os.unlink(art.path)
+                    art.action = (
+                        "salvaged" if report.ok else "salvaged-with-loss"
+                    )
+                    return
+                except Exception:
+                    pass
+        try:
+            os.unlink(art.path)
+            art.action = "deleted"
+        except FileNotFoundError:
+            # A sibling repair already consumed this path: in-place
+            # salvage of the final artifact stages through the very
+            # same ``.tmp`` name and renames it away.  Gone is gone.
+            art.action = "deleted"
+        except OSError:
+            pass
+        return
+    if art.state == ArtifactState.ORPHANED:
+        try:
+            os.unlink(art.path)
+            art.action = "deleted"
+        except FileNotFoundError:
+            art.action = "deleted"
+        except OSError:
+            pass
+        return
+    if art.state != ArtifactState.CORRUPT:
+        return
+    if art.format in (ArtifactFormat.SPOOL_V3, ArtifactFormat.SPOOL_V2):
+        try:
+            salvage_spool(art.path, art.path, metrics=metrics)
+            art.action = "salvaged-with-loss"
+        except Exception:
+            _unlink_as_repair(art)
+        return
+    if art.format == ArtifactFormat.CACHE_ENTRY:
+        # By design: a damaged cache entry is a rebuildable miss.
+        _unlink_as_repair(art)
+        return
+    if art.format == ArtifactFormat.PROVENANCE:
+        try:
+            salvage_provenance(art.path, art.path, metrics=metrics)
+            art.action = "salvaged-with-loss"
+        except Exception:
+            _unlink_as_repair(art)
+        return
+    if art.format == ArtifactFormat.JOURNAL:
+        try:
+            salvage_journal(art.path, art.path, metrics=metrics)
+            art.action = "salvaged-with-loss"
+        except Exception:
+            _unlink_as_repair(art)
+        return
+    if art.format == ArtifactFormat.MANIFEST:
+        _unlink_as_repair(art)
+        return
+    _unlink_as_repair(art)
+
+
+def _unlink_as_repair(art: ArtifactReport) -> None:
+    try:
+        os.unlink(art.path)
+        art.action = "deleted"
+    except OSError:
+        pass
+
+
+def _repair_manifest(
+    manifest_path: str,
+    doc: Dict[str, Any],
+    referenced: Dict[str, ArtifactReport],
+    metrics=None,
+) -> None:
+    """Truncate the completed-pass list at the first damaged entry and
+    rewrite the manifest atomically, so ``--resume`` restarts from the
+    last verified pass instead of refusing the whole directory."""
+    from repro.util.atomic_write import atomic_write
+
+    directory = os.path.dirname(manifest_path)
+    completed = doc.get("completed", [])
+    kept: List[Dict[str, Any]] = []
+    for entry in completed:
+        ok, _why = _verify_manifest_entry(directory, entry)
+        if not ok:
+            break
+        kept.append(entry)
+    if len(kept) == len(completed):
+        return
+    doc = dict(doc)
+    doc["completed"] = kept
+    with atomic_write(manifest_path, text=True, encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+    art = referenced.get(manifest_path)
+    if art is not None:
+        art.action = "truncated-manifest"
+        art.detail = (
+            f"kept {len(kept)}/{len(completed)} pass(es); resume restarts "
+            "from the last verified pass"
+        )
+    # Spools past the truncation point are now orphans; sweep them.
+    listed = {entry.get("spool") for entry in kept}
+    for path, other in referenced.items():
+        if os.path.dirname(path) != directory:
+            continue
+        name = os.path.basename(path)
+        if (
+            name.startswith("pass")
+            and name.endswith(".spool")
+            and name not in listed
+            and other.state
+            in (ArtifactState.SEALED, ArtifactState.CORRUPT,
+                ArtifactState.ORPHANED)
+            and os.path.exists(path)
+        ):
+            # Even a just-salvaged spool goes: the manifest no longer
+            # vouches for this pass, and resume re-derives it.
+            _unlink_as_repair(other)
+    if metrics is not None:
+        metrics.counter("governance.doctor_manifest_truncations").inc()

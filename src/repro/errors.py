@@ -407,6 +407,31 @@ class JournalCorruptionError(ServeError):
         return f"record {rec}"
 
 
+class GovernanceError(ReproError):
+    """Base of resource-governance failures (``repro.governance``)."""
+
+
+class DiskBudgetExceeded(GovernanceError):
+    """A run's disk budget would be overspent by the attempted charge.
+
+    Raised *before* the bytes hit the disk — the budget is admission
+    control for storage, not a post-hoc audit.  Carries the budget, the
+    bytes already charged, and the charge that pushed it over.
+    """
+
+    def __init__(self, budget: int, charged: int, attempted: int,
+                 label: str = ""):
+        self.budget = budget
+        self.charged = charged
+        self.attempted = attempted
+        self.label = label
+        what = f" for {label}" if label else ""
+        super().__init__(
+            f"disk budget exceeded{what}: {charged} bytes charged "
+            f"+ {attempted} attempted > budget {budget}"
+        )
+
+
 class GenerationError(ReproError):
     """Evaluator code generation failed."""
 

@@ -41,6 +41,7 @@ from repro.evalgen.runtime import (
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.passes.schedule import Direction
+from repro.util.atomic_write import atomic_write
 from repro.util.iotrack import IOAccountant, MemoryGauge
 
 #: A pass executor: (plan, runtime) -> root node after the pass.
@@ -74,10 +75,15 @@ class CheckpointManager:
     MANIFEST = "checkpoint.json"
     VERSION = 1
 
-    def __init__(self, directory: str, tracer=None, metrics=None):
+    def __init__(self, directory: str, tracer=None, metrics=None,
+                 disk_budget=None):
         self.directory = directory
         self.tracer = tracer
         self.metrics = metrics
+        #: Optional :class:`repro.governance.DiskBudget`: every sealed
+        #: pass spool is charged, so checkpoints count against the
+        #: run's disk cap alongside temp spools.
+        self.disk_budget = disk_budget
         os.makedirs(directory, exist_ok=True)
         self._completed: List[Dict[str, Any]] = []
         self._header: Dict[str, Any] = {}
@@ -119,6 +125,10 @@ class CheckpointManager:
 
     def record_pass(self, plan: PassPlan, spool: Spool) -> None:
         """Note that ``plan`` completed with ``spool`` sealed on disk."""
+        if self.disk_budget is not None:
+            path = getattr(spool, "path", None)
+            if path and os.path.exists(path):
+                self.disk_budget.charge(os.path.getsize(path))
         entry = {
             "pass": plan.pass_k,
             "direction": plan.direction.value,
@@ -140,12 +150,10 @@ class CheckpointManager:
     def _write_manifest(self) -> None:
         doc = dict(self._header)
         doc["completed"] = self._completed
-        tmp = self.manifest_path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as f:
+        with atomic_write(
+            self.manifest_path, text=True, encoding="utf-8"
+        ) as f:
             json.dump(doc, f, indent=2)
-            f.flush()
-            os.fsync(f.fileno())
-        os.replace(tmp, self.manifest_path)
 
     # -- resuming ----------------------------------------------------------
 
@@ -261,6 +269,7 @@ class AlternatingPassDriver:
         checkpoint: Optional[CheckpointManager] = None,
         checkpoint_dir: Optional[str] = None,
         recorder=None,
+        disk_budget=None,
     ):
         self.ag = ag
         self.pass_plans = pass_plans
@@ -280,7 +289,8 @@ class AlternatingPassDriver:
         )
         if checkpoint is None and checkpoint_dir is not None:
             checkpoint = CheckpointManager(
-                checkpoint_dir, tracer=tracer, metrics=self.metrics
+                checkpoint_dir, tracer=tracer, metrics=self.metrics,
+                disk_budget=disk_budget,
             )
         #: Optional durable-progress manager (see :class:`CheckpointManager`).
         self.checkpoint = checkpoint

@@ -1,0 +1,208 @@
+"""Resource governance: disk budgets, cache caps, free-space watermarks.
+
+LINGUIST-86's economics (§V) amortize an expensive build into durable
+artifacts — sealed spools, cache entries, provenance logs, journals —
+which makes *disk* the resource a long-lived host actually exhausts.
+This module is the admission-control layer over that storage:
+
+* :class:`DiskBudget` — a per-run byte budget charged by every spool
+  spill and checkpoint pass; the charge that would overspend raises a
+  typed :class:`~repro.errors.DiskBudgetExceeded` *before* the bytes
+  land, so a runaway evaluation degrades into a clean typed failure
+  instead of filling the disk.  Surfaced on the CLI as
+  ``repro run --disk-budget``.
+* :func:`evict_cache` — the build-cache size cap: least-recently-used
+  entries (mtime is touched on every load hit) are unlinked until the
+  cache fits; ``repro cache gc`` is the CLI face.
+* :class:`DiskWatermark` — hysteresis over ``shutil.disk_usage``: the
+  serve daemon flips a grammar to *degraded* (503 + Retry-After,
+  journal suspended with an explicit gap marker) when free space
+  crosses the **low** watermark and auto-recovers once it climbs back
+  above the **high** watermark, so the daemon never flaps at the
+  boundary.  ``REPRO_FAKE_DISK_FREE`` overrides the probe for tests
+  and the chaos-disk CI job.
+
+All three surface ``governance.*`` metrics through the shared
+:class:`~repro.obs.MetricsRegistry` (visible in ``/stats`` and
+``repro profile``); see docs/robustness.md "Resource governance and
+recovery".
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import DiskBudgetExceeded
+
+__all__ = [
+    "DiskBudget",
+    "DiskWatermark",
+    "FAKE_DISK_FREE_ENV",
+    "evict_cache",
+]
+
+#: Test/CI hook: when set, :meth:`DiskWatermark.free_bytes` reports this
+#: many free bytes instead of probing the real filesystem.  A value of
+#: ``@/path/to/file`` reads the byte count from that file on every
+#: probe, letting an external driver change it while a daemon runs.
+FAKE_DISK_FREE_ENV = "REPRO_FAKE_DISK_FREE"
+
+
+class DiskBudget:
+    """A thread-safe byte budget for one run's durable artifacts.
+
+    ``charge(n)`` admits ``n`` more bytes or raises
+    :class:`DiskBudgetExceeded`; ``release(n)`` returns bytes when an
+    artifact is deleted (e.g. a temp spool closed).  ``limit_bytes <= 0``
+    means unlimited (every charge succeeds) so callers can pass the
+    budget through unconditionally.
+    """
+
+    def __init__(self, limit_bytes: int, metrics=None, label: str = ""):
+        self.limit_bytes = int(limit_bytes)
+        self.label = label
+        self._metrics = metrics
+        self._charged = 0
+        self._peak = 0
+        self._lock = threading.Lock()
+
+    @property
+    def charged(self) -> int:
+        return self._charged
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+    def charge(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        with self._lock:
+            if (
+                self.limit_bytes > 0
+                and self._charged + nbytes > self.limit_bytes
+            ):
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "governance.disk_budget_rejections"
+                    ).inc()
+                raise DiskBudgetExceeded(
+                    self.limit_bytes, self._charged, nbytes, self.label
+                )
+            self._charged += nbytes
+            self._peak = max(self._peak, self._charged)
+        if self._metrics is not None:
+            self._metrics.gauge("governance.disk_budget_charged_bytes").set(
+                self._charged
+            )
+
+    def release(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        with self._lock:
+            self._charged = max(0, self._charged - nbytes)
+        if self._metrics is not None:
+            self._metrics.gauge("governance.disk_budget_charged_bytes").set(
+                self._charged
+            )
+
+
+def evict_cache(
+    cache, max_bytes: int, metrics=None
+) -> Tuple[int, List]:
+    """Shrink a :class:`~repro.buildcache.BuildCache` to ``max_bytes``.
+
+    Entries are dropped least-recently-used first (store and load-hit
+    both touch mtime) until the sealed entries fit the cap.  Returns
+    ``(kept_bytes, evicted_entries)``.  A concurrent process unlinking
+    the same entry is tolerated — eviction is idempotent.
+    """
+    entries = sorted(cache.entries(), key=lambda e: (e.mtime, e.path))
+    total = sum(e.file_bytes for e in entries)
+    evicted = []
+    for entry in entries:
+        if total <= max_bytes:
+            break
+        try:
+            os.unlink(entry.path)
+        except OSError:
+            pass
+        total -= entry.file_bytes
+        evicted.append(entry)
+        if metrics is not None:
+            metrics.counter("governance.cache_evictions").inc()
+            metrics.counter("governance.cache_evicted_bytes").inc(
+                entry.file_bytes
+            )
+    if metrics is not None:
+        metrics.gauge("governance.cache_bytes").set(max(0, total))
+    return max(0, total), evicted
+
+
+@dataclass
+class DiskWatermark:
+    """Free-space hysteresis for one directory.
+
+    ``check()`` probes free bytes and maintains :attr:`degraded`:
+    crossing *below* ``low_bytes`` trips degraded mode, and only
+    climbing back *above* ``high_bytes`` recovers it — the gap between
+    the two watermarks is the hysteresis band that stops the daemon
+    from flapping while a nearly-full disk wobbles around one
+    threshold.
+    """
+
+    path: str
+    low_bytes: int
+    high_bytes: int
+    metrics: object = None
+    degraded: bool = False
+    #: Transition counts (for tests and ``/stats``).
+    trips: int = field(default=0)
+    recoveries: int = field(default=0)
+
+    def __post_init__(self):
+        if self.high_bytes < self.low_bytes:
+            raise ValueError(
+                f"high watermark {self.high_bytes} below low watermark "
+                f"{self.low_bytes}"
+            )
+
+    def free_bytes(self) -> int:
+        fake = os.environ.get(FAKE_DISK_FREE_ENV)
+        if fake is not None:
+            if fake.startswith("@"):
+                # Indirection for out-of-process drivers (the chaos-disk
+                # CI job): the named file's current contents are the
+                # fake free byte count, re-read on every probe so the
+                # driver can fill and free the "disk" while the daemon
+                # runs in a subprocess.
+                try:
+                    with open(fake[1:], "r", encoding="ascii") as f:
+                        return int(f.read().strip())
+                except (OSError, ValueError):
+                    return shutil.disk_usage(self.path).free
+            return int(fake)
+        return shutil.disk_usage(self.path).free
+
+    def check(self) -> bool:
+        """Probe and update; returns the (possibly new) degraded state."""
+        free = self.free_bytes()
+        if self.metrics is not None:
+            self.metrics.gauge("governance.disk_free_bytes").set(free)
+        if not self.degraded and free < self.low_bytes:
+            self.degraded = True
+            self.trips += 1
+            if self.metrics is not None:
+                self.metrics.counter("governance.watermark_trips").inc()
+                self.metrics.gauge("governance.degraded").set(1)
+        elif self.degraded and free > self.high_bytes:
+            self.degraded = False
+            self.recoveries += 1
+            if self.metrics is not None:
+                self.metrics.counter("governance.watermark_recoveries").inc()
+                self.metrics.gauge("governance.degraded").set(0)
+        return self.degraded

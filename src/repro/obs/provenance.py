@@ -45,6 +45,8 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.ag.model import LHS_POSITION, LIMB_POSITION
 from repro.errors import ProvenanceCorruptionError, ProvenanceError
+from repro.util import atomic_write as _aw
+from repro.util.atomic_write import atomic_write
 
 __all__ = [
     "PROV_FORMAT",
@@ -198,7 +200,7 @@ class ProvenanceRecorder:
         """Open the log and write the header (driver calls this once)."""
         if self._f is not None:
             raise ProvenanceError("provenance recorder already started")
-        self._f = open(self._tmp_path, "w", encoding="utf-8")
+        self._f = _aw.open_file(self._tmp_path, "w", encoding="utf-8")
         self._emit(
             {
                 "e": "hdr",
@@ -232,12 +234,23 @@ class ProvenanceRecorder:
             separators=_SEPARATORS,
         )
         crc = zlib.crc32(body.encode("utf-8"))
-        self._f.write(f'{body[:-1]},"c":{crc}}}\n')
-        self._f.flush()
-        os.fsync(self._f.fileno())
-        self._f.close()
-        self._f = None
-        os.replace(self._tmp_path, self.path)
+        try:
+            self._f.write(f'{body[:-1]},"c":{crc}}}\n')
+            _aw.fsync_file(self._f)
+            self._f.close()
+            self._f = None
+            _aw.atomic_replace(self._tmp_path, self.path)
+        except BaseException:
+            # A fault while sealing (ENOSPC, failed fsync/rename) must
+            # not leave an open fd or a half-published log: close the
+            # writer and leave the classifiable ``.tmp`` for doctor.
+            if self._f is not None:
+                try:
+                    self._f.close()
+                except OSError:
+                    pass
+                self._f = None
+            raise
         self._sealed = True
 
     def abort(self) -> None:
@@ -648,13 +661,9 @@ def salvage_provenance(path: str, out: str, metrics=None) -> ProvenanceScanRepor
         separators=_SEPARATORS,
     )
     seal_crc = zlib.crc32(seal_body.encode("utf-8"))
-    tmp = out + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as f:
+    with atomic_write(out, text=True, encoding="utf-8") as f:
         f.writelines(kept)
         f.write(f'{seal_body[:-1]},"c":{seal_crc}}}\n')
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp, out)
     if metrics is not None:
         metrics.counter("robust.provenance_records_salvaged").inc(
             max(0, len(kept) - 1)

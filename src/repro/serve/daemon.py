@@ -29,6 +29,7 @@ returns exit code 0.  See ``docs/serving.md``.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -71,6 +72,21 @@ class ServeConfig:
     breaker_reset_seconds: float = 5.0
     backend: str = "generated"
     fsync_every_done: bool = False
+    #: Free-space governance (``repro serve --disk-low-mb/--disk-high-mb``):
+    #: the daemon degrades every grammar when free bytes under the
+    #: journal directory drop below ``disk_low_bytes`` and recovers only
+    #: above ``disk_high_bytes`` (hysteresis).  0 disables the loop.
+    disk_low_bytes: int = 0
+    disk_high_bytes: int = 0
+    governance_interval: float = 0.5
+    #: Build-cache location + size cap: swept by the startup doctor
+    #: pass and shrunk (LRU) when a low-disk trip needs space back.
+    cache_dir: Optional[str] = None
+    cache_max_bytes: int = 0
+    #: Run a ``repro doctor --repair`` sweep over the journal and cache
+    #: directories before serving, so a crashed predecessor's debris is
+    #: classified and cleaned before new artifacts land next to it.
+    startup_doctor: bool = True
 
 
 @dataclass
@@ -165,6 +181,12 @@ class TranslationServer:
         }
         self.journal: Optional[RequestJournal] = None
         self.draining = False
+        #: Low-disk degraded mode (flipped by the governance loop):
+        #: translations get 503 + Retry-After, /healthz and /stats keep
+        #: answering, the journal is suspended until recovery.
+        self.degraded = False
+        self.watermark = None  # DiskWatermark when governance is on
+        self.doctor_report = None  # startup sweep outcome, for /stats
         self._drain_requested: Optional[asyncio.Event] = None
         self._next_id = 0
         self._tasks: List[asyncio.Task] = []
@@ -178,6 +200,18 @@ class TranslationServer:
         if self._started:
             return
         cfg = self.config
+        if cfg.startup_doctor:
+            sweep = [
+                d
+                for d in (cfg.journal_dir, cfg.cache_dir)
+                if d and os.path.isdir(d)
+            ]
+            if sweep:
+                from repro.doctor import run_doctor
+
+                self.doctor_report = run_doctor(
+                    sweep, repair=True, metrics=self.metrics
+                )
         if cfg.journal_dir:
             self.journal = RequestJournal(
                 cfg.journal_dir,
@@ -221,6 +255,20 @@ class TranslationServer:
         self._tasks.append(
             asyncio.create_task(self._supervise_loop(), name="supervisor")
         )
+        if cfg.disk_low_bytes > 0:
+            from repro.governance import DiskWatermark
+
+            self.watermark = DiskWatermark(
+                path=cfg.journal_dir or ".",
+                low_bytes=cfg.disk_low_bytes,
+                high_bytes=max(cfg.disk_high_bytes, cfg.disk_low_bytes),
+                metrics=self.metrics,
+            )
+            self._tasks.append(
+                asyncio.create_task(
+                    self._governance_loop(), name="governance"
+                )
+            )
         self._started = True
 
     def request_shutdown(self) -> None:
@@ -343,6 +391,17 @@ class TranslationServer:
             raise ServerOverloaded(
                 "daemon is draining (shutdown in progress)",
                 retry_after=self.config.drain_timeout,
+            )
+        if self.degraded:
+            # Low-disk degraded mode: refuse new durable work (each
+            # admission wants journal bytes) but keep the socket, the
+            # health probe, and the stats endpoint fully alive.
+            self._count("governance.rejected_degraded")
+            raise GrammarUnavailable(
+                f"grammar {grammar!r} is degraded: free disk is below "
+                "the low watermark (journal suspended; retry shortly)",
+                grammar=grammar,
+                retry_after=max(1.0, self.config.governance_interval * 2),
             )
         service.breaker.admit()  # raises GrammarUnavailable when open
         self._next_id += 1
@@ -600,26 +659,114 @@ class TranslationServer:
                     *restarts.values(), return_exceptions=True
                 )
 
+    # -- governance --------------------------------------------------------
+
+    async def _governance_loop(self) -> None:
+        """Probe free space and flip degraded mode with hysteresis.
+
+        A trip below the low watermark suspends the journal (later
+        completions are counted, not written; the eventual resume writes
+        an explicit gap marker so the stream stays verifiable), starts
+        refusing translations with 503 + Retry-After, and shrinks the
+        build cache to its cap to help the disk recover.  Climbing back
+        above the high watermark resumes journaling and admission.
+        """
+        assert self.watermark is not None
+        interval = max(0.05, self.config.governance_interval)
+        while True:
+            await asyncio.sleep(interval)
+            was = self.degraded
+            now = self.watermark.check()
+            if now and not was:
+                self.degraded = True
+                self._count("governance.serve_degraded")
+                if self.journal is not None:
+                    self.journal.suspend()
+                if self.config.cache_dir and self.config.cache_max_bytes > 0:
+                    from repro.buildcache import BuildCache
+                    from repro.governance import evict_cache
+
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(
+                        self._executor,
+                        lambda: evict_cache(
+                            BuildCache(self.config.cache_dir),
+                            self.config.cache_max_bytes,
+                            metrics=self.metrics,
+                        ),
+                    )
+            elif was and not now:
+                if self.journal is None or self.journal.resume():
+                    self.degraded = False
+                    self._count("governance.serve_recovered")
+                # else: the gap marker itself would not land — stay
+                # degraded and retry on the next probe.
+
     # -- introspection -----------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
-        """The ``/healthz`` body: liveness plus per-grammar state."""
-        return {
-            "status": "draining" if self.draining else "ok",
-            "grammars": {
-                name: {
-                    "breaker": service.breaker.state,
-                    "queued": service.queue.qsize(),
-                    "queue_depth": service.queue.maxsize,
-                    "workers_alive": sum(
-                        1 for h in service.workers if h.alive
-                    ),
-                    "workers": len(service.workers),
-                    "retry_after": service.retry_after(),
-                }
-                for name, service in self.services.items()
-            },
+        """The ``/healthz`` body: liveness plus per-grammar state.
+
+        Each grammar reports ``state`` (``ok`` / ``degraded`` /
+        ``unavailable``) with machine-readable ``reasons``; the
+        top-level ``status`` is ``ok``, ``degraded`` (some grammar
+        impaired), ``unavailable`` (every grammar refusing work — the
+        only non-draining case /healthz maps to 503), or ``draining``.
+        """
+        grammars: Dict[str, Any] = {}
+        for name, service in self.services.items():
+            reasons = []
+            if service.breaker.state == CircuitBreaker.OPEN:
+                reasons.append("breaker-open")
+            if self.degraded:
+                reasons.append("low-disk")
+            if not any(h.alive for h in service.workers):
+                reasons.append("no-workers-alive")
+            if "breaker-open" in reasons or "no-workers-alive" in reasons:
+                state = "unavailable"
+            elif reasons:
+                state = "degraded"
+            else:
+                state = "ok"
+            grammars[name] = {
+                "state": state,
+                "reasons": reasons,
+                "breaker": service.breaker.state,
+                "queued": service.queue.qsize(),
+                "queue_depth": service.queue.maxsize,
+                "workers_alive": sum(1 for h in service.workers if h.alive),
+                "workers": len(service.workers),
+                "retry_after": service.retry_after(),
+            }
+        if self.draining:
+            status = "draining"
+        elif grammars and all(
+            g["state"] == "unavailable" for g in grammars.values()
+        ):
+            status = "unavailable"
+        elif any(g["state"] != "ok" for g in grammars.values()):
+            status = "degraded"
+        else:
+            status = "ok"
+        body: Dict[str, Any] = {
+            "status": status,
+            "degraded": self.degraded,
+            "grammars": grammars,
         }
+        if self.watermark is not None:
+            body["disk"] = {
+                "free_bytes": self.watermark.free_bytes(),
+                "low_bytes": self.watermark.low_bytes,
+                "high_bytes": self.watermark.high_bytes,
+                "trips": self.watermark.trips,
+                "recoveries": self.watermark.recoveries,
+            }
+        if self.journal is not None:
+            body["journal"] = {
+                "suspended": self.journal.suspended,
+                "lost_records": self.journal.lost_records,
+            }
+        return body
 
     def _count(self, name: str) -> None:
         if self.metrics is not None:

@@ -142,7 +142,12 @@ class HttpFrontend:
             return 413, {}, _json_err("PayloadTooLarge", "body too large")
         if path == "/healthz" and method == "GET":
             health = self.server.health()
-            status = 200 if health["status"] == "ok" else 503
+            # Degraded (some grammar impaired, or low-disk admission
+            # pause) still answers 200 — the daemon is alive and will
+            # recover; 503 is reserved for "every grammar refuses work"
+            # and for draining, the states a load balancer should route
+            # around.
+            status = 200 if health["status"] in ("ok", "degraded") else 503
             return status, {}, _json(health)
         if path == "/stats" and method == "GET":
             return 200, {}, _json(self._stats())

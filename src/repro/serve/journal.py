@@ -20,7 +20,19 @@ Record kinds (field ``e``)::
     done  {"i":seq,"id":R,"g":grammar,"sha":output-sha256,
            "ms":...,"w":worker,"r":retries}                 completed
     fail  {"i":seq,"id":R,"g":grammar,"t":type,"msg":...}   failed
+    gap   {"lost":L,"base":seq}                             suspension ended
     seal  {"n":records,"crc":stream-crc}                    clean drain
+
+Disk pressure gets an *explicit* story instead of a corrupt stream:
+when a write fails (ENOSPC) or governance trips the low-disk
+watermark, the journal **suspends** — records are dropped and counted,
+never half-written — and on :meth:`RequestJournal.resume` it writes a
+newline terminator (sealing off whatever fragment the failed write
+left) followed by a ``gap`` record naming how many records were lost
+and the sequence number the stream resumes from.  The stream CRC
+restarts at the gap line, so the scanners treat at most one
+unverifiable line immediately before a valid ``gap`` record as
+*explicit truncation*, not corruption.
 
 ``repro fsck`` sniffs the ``SRVJ1`` tag and routes here:
 :func:`scan_journal` verifies, :func:`salvage_journal` recovers the
@@ -39,6 +51,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import JournalCorruptionError
+from repro.util import atomic_write as _aw
+from repro.util.atomic_write import atomic_write
 
 __all__ = [
     "JOURNAL_FORMAT",
@@ -162,8 +176,10 @@ class RequestJournal:
         self._seq = 0
         self._stream_crc = 0
         self._sealed = False
+        self._suspended = False
+        self._lost = 0
         self._metrics = metrics
-        self._f = open(path, "w", encoding="utf-8")
+        self._f = _aw.open_file(path, "w", encoding="utf-8")
         self._emit(
             {
                 "e": "hdr",
@@ -232,26 +248,85 @@ class RequestJournal:
         )
 
     def seal(self) -> None:
-        """Seal the stream (graceful drain); idempotent."""
+        """Seal the stream (graceful drain); idempotent.
+
+        A suspended journal first tries to resume (write the gap
+        marker); if the disk still refuses, the journal stays unsealed
+        — an honest, classifiable crash artifact — rather than raising
+        out of the drain path.
+        """
         if self._sealed or self._f is None:
             return
+        if self._suspended and not self.resume():
+            self.close()
+            return
         line = _frame({"e": "seal", "n": self._seq, "crc": self._stream_crc})
-        self._f.write(line)
-        self._f.flush()
-        os.fsync(self._f.fileno())
-        self._f.close()
+        try:
+            self._f.write(line)
+            _aw.fsync_file(self._f)
+            self._f.close()
+        except OSError:
+            self.close()
+            return
         self._f = None
         self._sealed = True
 
     def close(self) -> None:
         """Close *without* sealing (crash-path cleanup in tests)."""
         if self._f is not None:
-            self._f.close()
+            try:
+                self._f.close()
+            except OSError:
+                pass
             self._f = None
 
     @property
     def sealed(self) -> bool:
         return self._sealed
+
+    # -- disk-pressure lifecycle -------------------------------------------
+
+    @property
+    def suspended(self) -> bool:
+        return self._suspended
+
+    @property
+    def lost_records(self) -> int:
+        """Records dropped while suspended (reset by :meth:`resume`)."""
+        return self._lost
+
+    def suspend(self) -> None:
+        """Stop writing (low-disk watermark); records are dropped and
+        counted until :meth:`resume` writes the gap marker."""
+        if not self._suspended:
+            self._suspended = True
+            if self._metrics is not None:
+                self._metrics.counter("serve.journal.suspensions").inc()
+
+    def resume(self) -> bool:
+        """End a suspension with an explicit ``gap`` record.
+
+        Writes a newline (terminating whatever fragment the failing
+        write may have left) followed by the gap record; the stream CRC
+        restarts at the gap line, mirroring the scanner.  Returns False
+        — still suspended — if the disk still refuses the write.
+        """
+        if not self._suspended:
+            return True
+        if self._f is None:
+            return False
+        line = _frame({"e": "gap", "lost": self._lost, "base": self._seq})
+        try:
+            self._f.write("\n" + line)
+            _aw.fsync_file(self._f)
+        except OSError:
+            return False
+        self._stream_crc = zlib.crc32(line.encode("utf-8"))
+        self._suspended = False
+        self._lost = 0
+        if self._metrics is not None:
+            self._metrics.counter("serve.journal.gaps").inc()
+        return True
 
     def _emit(
         self, obj: Dict[str, Any], count: bool = True, durable: bool = False
@@ -260,11 +335,27 @@ class RequestJournal:
             raise JournalCorruptionError(
                 "journal is closed", path=self.path, reason="closed"
             )
+        if self._suspended:
+            self._lost += 1
+            if self._metrics is not None:
+                self._metrics.counter("serve.journal.lost_records").inc()
+            return
         line = _frame(obj)
-        self._f.write(line)
-        self._f.flush()
-        if durable:
-            os.fsync(self._f.fileno())
+        try:
+            self._f.write(line)
+            self._f.flush()
+            if durable:
+                _aw.fsync_file(self._f)
+        except OSError:
+            # ENOSPC (or injected chaos) mid-line: the fragment on disk
+            # is sealed off by the next resume()'s newline + gap
+            # record.  Journaling degrades to counting, the daemon
+            # keeps serving.
+            self._lost += 1
+            self.suspend()
+            if self._metrics is not None:
+                self._metrics.counter("serve.journal.lost_records").inc()
+            return
         self._stream_crc = zlib.crc32(line.encode("utf-8"), self._stream_crc)
         if count:
             self._seq += 1
@@ -301,6 +392,10 @@ class JournalScanReport:
     sealed: bool = False
     torn_tail: bool = False
     n_valid: int = 0
+    #: Explicit suspension markers in the stream (disk-full episodes).
+    gaps: int = 0
+    #: Records the writer declared dropped across all gap markers.
+    lost_records: int = 0
     error: Optional[JournalCorruptionError] = None
 
     def render(self) -> str:
@@ -316,6 +411,12 @@ class JournalScanReport:
             + (" + torn tail line (expected after a kill)"
                if self.torn_tail else ""),
         ]
+        if self.gaps:
+            lines.append(
+                f"  gaps: {self.gaps} suspension(s), "
+                f"{self.lost_records} record(s) explicitly dropped "
+                "(disk pressure)"
+            )
         if self.ok:
             lines.append("  integrity: OK")
         else:
@@ -336,11 +437,28 @@ def _read_lines(path: str) -> List[str]:
     return lines     # the scanners judge it by its (failing) checksum
 
 
-def scan_journal(path: str, metrics=None) -> JournalScanReport:
-    """Verify every line of a journal; see module docstring for what
-    counts as corruption vs an expected crash artifact."""
-    path = journal_path(path)
+def _peek_gap(lines: List[str], index: int, path: str) -> bool:
+    """True when ``lines[index]`` is a checksum-valid gap record."""
+    if index >= len(lines):
+        return False
+    try:
+        obj = _verify_line(lines[index], index, path)
+    except JournalCorruptionError:
+        return False
+    return obj.get("e") == "gap"
+
+
+def _scan(path: str) -> Tuple[JournalScanReport, List[Dict[str, Any]]]:
+    """The one verifying walk behind scan/salvage/replay.
+
+    Returns the report plus every accepted record (hdr/req/done/fail/
+    gap/seal) in stream order.  Gap tolerance: at most one
+    unverifiable line is skipped when the *next* line is a valid gap
+    record — that fragment is the write the journal declared lost
+    before suspending, explicitly truncated by the resume newline.
+    """
     report = JournalScanReport(path=path)
+    accepted: List[Dict[str, Any]] = []
     try:
         lines = _read_lines(path)
     except OSError as exc:
@@ -348,13 +466,20 @@ def scan_journal(path: str, metrics=None) -> JournalScanReport:
         report.error = JournalCorruptionError(
             f"cannot read journal: {exc}", path=path, reason="io"
         )
-        return report
+        return report, accepted
     stream_crc = 0
     n_counted = 0
-    for index, line in enumerate(lines):
+    index = 0
+    while index < len(lines):
+        line = lines[index]
         try:
             obj = _verify_line(line, index, path)
         except JournalCorruptionError as exc:
+            if _peek_gap(lines, index + 1, path):
+                # The torn fragment a failed write left behind; the
+                # following gap record owns this damage.
+                index += 1
+                continue
             if index == len(lines) - 1 and not report.sealed:
                 # Torn final line of an unsealed journal: expected
                 # after SIGKILL; the valid prefix stays authoritative.
@@ -363,6 +488,18 @@ def scan_journal(path: str, metrics=None) -> JournalScanReport:
             report.ok = False
             report.error = exc
             break
+        if obj.get("e") == "gap":
+            # Suspension marker: the stream CRC restarts here and the
+            # record count rewinds to what the writer durably counted
+            # (a complete line whose flush failed was declared lost).
+            report.gaps += 1
+            report.lost_records += int(obj.get("lost", 0))
+            stream_crc = zlib.crc32((line + "\n").encode("utf-8"))
+            n_counted = int(obj.get("base", n_counted))
+            report.n_valid += 1
+            accepted.append(obj)
+            index += 1
+            continue
         if obj.get("e") == "seal":
             if obj.get("n") != n_counted or obj.get("crc") != stream_crc:
                 report.ok = False
@@ -376,11 +513,15 @@ def scan_journal(path: str, metrics=None) -> JournalScanReport:
                 )
                 break
             report.sealed = True
+            accepted.append(obj)
+            index += 1
             continue
         stream_crc = zlib.crc32((line + "\n").encode("utf-8"), stream_crc)
         if obj.get("e") != "hdr":
             n_counted += 1
         report.n_valid += 1
+        accepted.append(obj)
+        index += 1
     if report.n_valid == 0 and report.ok:
         report.ok = False
         report.error = JournalCorruptionError(
@@ -389,6 +530,14 @@ def scan_journal(path: str, metrics=None) -> JournalScanReport:
             path=path,
             reason="header",
         )
+    return report, accepted
+
+
+def scan_journal(path: str, metrics=None) -> JournalScanReport:
+    """Verify every line of a journal; see module docstring for what
+    counts as corruption vs an expected crash artifact."""
+    path = journal_path(path)
+    report, _ = _scan(path)
     if metrics is not None:
         metrics.counter("serve.journal.scans").inc()
         if not report.ok:
@@ -398,28 +547,29 @@ def scan_journal(path: str, metrics=None) -> JournalScanReport:
 
 def salvage_journal(path: str, out_path: str, metrics=None) -> JournalScanReport:
     """Recover the checksum-valid prefix of ``path`` into a freshly
-    sealed journal at ``out_path`` (always sealed, always clean)."""
+    sealed journal at ``out_path`` (always sealed, always clean; gap
+    markers are dropped — the records they stood in for were never on
+    disk)."""
     path = journal_path(path)
-    report = scan_journal(path, metrics=metrics)
-    lines = _read_lines(path)
+    report, accepted = _scan(path)
+    if metrics is not None:
+        metrics.counter("serve.journal.scans").inc()
+        if not report.ok:
+            metrics.counter("serve.journal.corrupt").inc()
     stream_crc = 0
     n_counted = 0
     kept: List[str] = []
-    for index, line in enumerate(lines[: report.n_valid]):
-        obj = _verify_line(line, index, path)
-        if obj.get("e") == "seal":
+    for obj in accepted:
+        if obj.get("e") in ("seal", "gap"):
             continue
-        kept.append(line + "\n")
-        stream_crc = zlib.crc32((line + "\n").encode("utf-8"), stream_crc)
+        line = _frame(obj)
+        kept.append(line)
+        stream_crc = zlib.crc32(line.encode("utf-8"), stream_crc)
         if obj.get("e") != "hdr":
             n_counted += 1
-    tmp = out_path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as f:
+    with atomic_write(out_path, text=True, encoding="utf-8") as f:
         f.writelines(kept)
         f.write(_frame({"e": "seal", "n": n_counted, "crc": stream_crc}))
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp, out_path)
     if metrics is not None:
         metrics.counter("serve.journal.salvaged").inc()
     return report
@@ -443,6 +593,9 @@ class JournalState:
     #: completed requests are never duplicated).
     duplicates: List[Any] = field(default_factory=list)
     n_records: int = 0
+    #: Disk-pressure suspensions and the records they dropped.
+    gaps: int = 0
+    lost_records: int = 0
 
     @property
     def n_admitted(self) -> int:
@@ -454,18 +607,20 @@ def replay_journal(path: str) -> JournalState:
     :class:`JournalState`; raises :class:`JournalCorruptionError` on
     damage *inside* the stream (not an expected crash artifact)."""
     path = journal_path(path)
-    report = scan_journal(path)
+    report, accepted = _scan(path)
     if not report.ok:
         raise report.error
     state = JournalState(
-        path=path, sealed=report.sealed, torn_tail=report.torn_tail
+        path=path,
+        sealed=report.sealed,
+        torn_tail=report.torn_tail,
+        gaps=report.gaps,
+        lost_records=report.lost_records,
     )
     admitted: Dict[Any, bool] = {}
-    lines = _read_lines(path)[: report.n_valid]
-    for index, line in enumerate(lines):
-        obj = _verify_line(line, index, path)
+    for obj in accepted:
         kind = obj.get("e")
-        if kind in ("hdr", "seal"):
+        if kind in ("hdr", "seal", "gap"):
             continue
         state.n_records += 1
         rid = obj.get("id")

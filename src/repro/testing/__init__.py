@@ -13,6 +13,8 @@ from repro.testing.faults import (
     FaultPlan,
     FaultyFile,
     FaultySpool,
+    FilesystemFaultPlan,
+    FsFaultMode,
     HANG_MARKER_ENV,
     HANG_SECONDS_ENV,
     bit_flip,
@@ -28,6 +30,8 @@ __all__ = [
     "FaultPlan",
     "FaultyFile",
     "FaultySpool",
+    "FilesystemFaultPlan",
+    "FsFaultMode",
     "HANG_MARKER_ENV",
     "HANG_SECONDS_ENV",
     "bit_flip",

@@ -19,10 +19,21 @@ provides repeatable failure scenarios without touching real disks:
   post-hoc on-disk corruptions, usable against any finalized
   :class:`~repro.apt.storage.DiskSpool` path.
 
-Every injected failure raises :class:`FaultInjected` (an ``OSError``
-with ``errno.EIO``), so tests can tell injected faults apart from real
-bugs, and production code paths see the same exception type a dying
-disk would produce.
+Beyond single-spool faults, :class:`FilesystemFaultPlan` injects
+*filesystem-level* chaos — ENOSPC once a byte budget is spent, EIO on
+the Nth write, EMFILE on open, failing ``fsync`` or ``rename`` — into
+**every** durable writer at once by patching the three hook functions
+in :mod:`repro.util.atomic_write` (the single choke point all sealed
+formats write through).  ``plan.install()`` is a context manager;
+inside it any spool finalize, cache store, provenance seal, journal
+append, or checkpoint manifest write can fail at the seeded point, and
+the robustness suite asserts the aftermath is always classifiable by
+``repro doctor``.
+
+Every injected failure raises :class:`FaultInjected` (an ``OSError``,
+``errno.EIO`` unless the mode dictates ENOSPC/EMFILE), so tests can
+tell injected faults apart from real bugs, and production code paths
+see the same exception type a dying disk would produce.
 """
 
 from __future__ import annotations
@@ -30,9 +41,11 @@ from __future__ import annotations
 import errno
 import os
 import random
+from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional
 
 from repro.apt.storage import Spool
+from repro.util import atomic_write as _aw
 
 
 class FaultMode:
@@ -56,10 +69,12 @@ class FaultMode:
 
 
 class FaultInjected(OSError):
-    """The deliberate failure a :class:`FaultPlan` fires (errno ``EIO``)."""
+    """The deliberate failure a fault plan fires (an ``OSError`` whose
+    errno defaults to ``EIO``; filesystem plans pass ``ENOSPC`` or
+    ``EMFILE`` as the mode dictates)."""
 
-    def __init__(self, message: str):
-        super().__init__(errno.EIO, message)
+    def __init__(self, message: str, err: int = errno.EIO):
+        super().__init__(err, message)
 
 
 class FaultPlan:
@@ -385,3 +400,226 @@ class FaultySpool(Spool):
     @property
     def path(self) -> Optional[str]:
         return getattr(self.inner, "path", None)
+
+
+# -- filesystem-level chaos ---------------------------------------------------
+
+
+class FsFaultMode:
+    """Failure modes of :class:`FilesystemFaultPlan`."""
+
+    #: Writes succeed until a cumulative byte budget is spent, then the
+    #: crossing write lands its partial prefix and raises ``ENOSPC`` —
+    #: the disk-full model: bytes up to the budget *are* on the device.
+    ENOSPC_AT_BYTE = "enospc_at_byte"
+    #: The Nth write call raises ``EIO`` (nothing of it reaches disk).
+    EIO_ON_WRITE = "eio_on_write"
+    #: The Nth ``open`` of a durable writer raises ``EMFILE``.
+    EMFILE_ON_OPEN = "emfile_on_open"
+    #: The Nth ``fsync`` raises ``EIO`` (write-back cache lost).
+    FSYNC_FAIL = "fsync_fail"
+    #: The Nth atomic rename raises ``EIO`` (metadata journal failure);
+    #: the sealed tmp file survives, the final name never appears.
+    RENAME_FAIL = "rename_fail"
+
+    ALL = (
+        ENOSPC_AT_BYTE,
+        EIO_ON_WRITE,
+        EMFILE_ON_OPEN,
+        FSYNC_FAIL,
+        RENAME_FAIL,
+    )
+
+
+class _FaultyWriteFile:
+    """File proxy enforcing a :class:`FilesystemFaultPlan` byte budget /
+    write-call fault; everything else delegates to the real file."""
+
+    def __init__(self, inner, plan: "FilesystemFaultPlan"):
+        self._inner = inner
+        self._plan = plan
+
+    def write(self, data):
+        plan = self._plan
+        if plan.mode == FsFaultMode.ENOSPC_AT_BYTE and plan.at_byte is not None:
+            budget = plan.at_byte - plan.bytes_written
+            if len(data) > budget:
+                kept = data[: max(0, budget)]
+                if kept:
+                    self._inner.write(kept)
+                    self._inner.flush()
+                plan.bytes_written += len(kept)
+                plan.fired = True
+                raise FaultInjected(
+                    f"ENOSPC after {plan.bytes_written} bytes "
+                    f"({len(kept)}/{len(data)} of this write landed)",
+                    errno.ENOSPC,
+                )
+            plan.bytes_written += len(data)
+            return self._inner.write(data)
+        if plan.mode == FsFaultMode.EIO_ON_WRITE:
+            if plan.write_calls == plan.at_call:
+                plan.write_calls += 1
+                plan.fired = True
+                raise FaultInjected(
+                    f"EIO on write call {plan.at_call}", errno.EIO
+                )
+            plan.write_calls += 1
+        n = self._inner.write(data)
+        plan.bytes_written += len(data)
+        return n
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    def __enter__(self) -> "_FaultyWriteFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._inner.close()
+
+
+class FilesystemFaultPlan:
+    """One seeded filesystem-failure scenario wrapping *every* durable
+    writer in the process.
+
+    ``install()`` patches the three hook functions in
+    :mod:`repro.util.atomic_write` — ``open_file``, ``fsync_file``,
+    ``atomic_replace`` — which all sealed on-disk formats (spools,
+    cache entries, provenance logs, request journals, checkpoint
+    manifests) write through, then restores them on exit::
+
+        plan = FilesystemFaultPlan(seed=7, mode=FsFaultMode.ENOSPC_AT_BYTE,
+                                   at_byte=4096)
+        with plan.install():
+            ...  # any durable write past 4 KiB raises ENOSPC
+
+    ``path_substring`` restricts the chaos to paths containing it (e.g.
+    only the journal, only one spool); ``release()`` lifts an ENOSPC
+    budget mid-test — the "operator freed disk space" transition the
+    serve watermark tests drive.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mode: str = FsFaultMode.ENOSPC_AT_BYTE,
+        at_byte: Optional[int] = None,
+        at_call: int = 0,
+        path_substring: Optional[str] = None,
+    ):
+        if mode not in FsFaultMode.ALL:
+            raise ValueError(f"unknown filesystem fault mode {mode!r}")
+        self.seed = seed
+        self.mode = mode
+        self.at_byte = at_byte
+        self.at_call = at_call
+        self.path_substring = path_substring
+        # live counters (reset by install())
+        self.bytes_written = 0
+        self.write_calls = 0
+        self.opens = 0
+        self.fsyncs = 0
+        self.renames = 0
+        #: True once the planned fault actually fired.
+        self.fired = False
+
+    @classmethod
+    def random(cls, seed: int, max_bytes: int = 1 << 14) -> "FilesystemFaultPlan":
+        """Draw mode + parameters deterministically from ``seed``."""
+        rng = random.Random(seed)
+        mode = rng.choice(FsFaultMode.ALL)
+        return cls(
+            seed=seed,
+            mode=mode,
+            at_byte=rng.randrange(max_bytes),
+            at_call=rng.randrange(4),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FilesystemFaultPlan(seed={self.seed}, mode={self.mode!r}, "
+            f"at_byte={self.at_byte}, at_call={self.at_call})"
+        )
+
+    def release(self) -> None:
+        """Lift an ENOSPC budget: the disk has space again."""
+        self.at_byte = None
+
+    def _matches(self, path: Any) -> bool:
+        if self.path_substring is None:
+            return True
+        return isinstance(path, str) and self.path_substring in path
+
+    @contextmanager
+    def install(self):
+        """Patch the ``repro.util.atomic_write`` hooks for the duration."""
+        self.bytes_written = 0
+        self.write_calls = 0
+        self.opens = 0
+        self.fsyncs = 0
+        self.renames = 0
+        self.fired = False
+        orig_open = _aw.open_file
+        orig_fsync = _aw.fsync_file
+        orig_replace = _aw.atomic_replace
+        plan = self
+
+        def open_file(path, mode="wb", **kwargs):
+            if plan._matches(path) and "r" not in mode:
+                if (
+                    plan.mode == FsFaultMode.EMFILE_ON_OPEN
+                    and plan.opens == plan.at_call
+                ):
+                    plan.opens += 1
+                    plan.fired = True
+                    raise FaultInjected(
+                        f"EMFILE opening {path} (fd table exhausted)",
+                        errno.EMFILE,
+                    )
+                plan.opens += 1
+                if plan.mode in (
+                    FsFaultMode.ENOSPC_AT_BYTE,
+                    FsFaultMode.EIO_ON_WRITE,
+                ):
+                    return _FaultyWriteFile(
+                        orig_open(path, mode, **kwargs), plan
+                    )
+            return orig_open(path, mode, **kwargs)
+
+        def fsync_file(fileobj):
+            if plan.mode == FsFaultMode.FSYNC_FAIL and plan._matches(
+                getattr(fileobj, "name", None)
+            ):
+                if plan.fsyncs == plan.at_call:
+                    plan.fsyncs += 1
+                    plan.fired = True
+                    raise FaultInjected(
+                        f"fsync failed (call {plan.at_call})", errno.EIO
+                    )
+                plan.fsyncs += 1
+            orig_fsync(fileobj)
+
+        def atomic_replace(tmp_path, final_path):
+            if plan.mode == FsFaultMode.RENAME_FAIL and plan._matches(
+                final_path
+            ):
+                if plan.renames == plan.at_call:
+                    plan.renames += 1
+                    plan.fired = True
+                    raise FaultInjected(
+                        f"rename {tmp_path!r} -> {final_path!r} failed",
+                        errno.EIO,
+                    )
+                plan.renames += 1
+            orig_replace(tmp_path, final_path)
+
+        _aw.open_file = open_file
+        _aw.fsync_file = fsync_file
+        _aw.atomic_replace = atomic_replace
+        try:
+            yield self
+        finally:
+            _aw.open_file = orig_open
+            _aw.fsync_file = orig_fsync
+            _aw.atomic_replace = orig_replace

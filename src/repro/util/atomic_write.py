@@ -1,0 +1,133 @@
+"""The one tmp + fsync + atomic-rename idiom, shared by every writer.
+
+Five durable formats (sealed spools, build-cache entries, PROV1
+provenance logs, SRVJ1 request journals, checkpoint manifests) all
+follow the same discipline: stream bytes into a ``*.tmp`` sibling,
+flush, ``fsync``, then ``os.replace`` onto the final name.  A reader
+therefore only ever observes a file that is either *absent* or
+*completely sealed* — a crash or injected fault mid-write leaves at
+worst a classifiable ``*.tmp`` (swept by ``repro doctor``), never a
+torn sealed artifact.
+
+This module is that idiom, written once:
+
+* :func:`atomic_write` — context manager yielding a binary (or text)
+  file object on a tmp path; on clean exit it fsyncs and renames into
+  place, on *any* failure it closes and unlinks the tmp file so no
+  debris leaks.
+* :func:`atomic_replace` / :func:`fsync_file` / :func:`open_file` —
+  the low-level hook points.  All durable writers in the tree call
+  these module-level functions instead of ``open``/``os.fsync``/
+  ``os.replace`` directly, which gives the fault-injection harness
+  (:class:`repro.testing.faults.FilesystemFaultPlan`) a single choke
+  point: patching three names here wraps *every* writer in the system
+  with seeded ENOSPC / EIO / EMFILE / failed-fsync / failed-rename
+  chaos, with no per-writer shims.
+
+The hooks are deliberately plain module globals (not an abstract
+interface): production code pays one extra function call, tests swap
+them inside a context manager, and there is exactly one place to look
+when asking "what does a durable write actually do?".
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+__all__ = [
+    "atomic_write",
+    "atomic_replace",
+    "fsync_file",
+    "open_file",
+    "TMP_SUFFIX",
+]
+
+#: Suffix of in-progress staging files.  ``repro doctor`` classifies
+#: any ``*.tmp`` it can sniff as *unsealed-tmp* debris.
+TMP_SUFFIX = ".tmp"
+
+
+# -- hook points ------------------------------------------------------------
+#
+# ``repro.testing.faults.FilesystemFaultPlan.install()`` temporarily
+# rebinds these three names to inject faults into every durable writer
+# at once.  Nothing else in the tree may rebind them.
+
+def open_file(path: str, mode: str = "wb", **kwargs) -> IO:
+    """``open`` as used by durable writers (fault-injection hook)."""
+    return open(path, mode, **kwargs)
+
+
+def fsync_file(fileobj: IO) -> None:
+    """Flush + ``os.fsync`` a writer (fault-injection hook)."""
+    fileobj.flush()
+    os.fsync(fileobj.fileno())
+
+
+def atomic_replace(tmp_path: str, final_path: str) -> None:
+    """``os.replace`` as used by durable writers (fault-injection hook)."""
+    os.replace(tmp_path, final_path)
+
+
+# -- the idiom --------------------------------------------------------------
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+@contextmanager
+def atomic_write(
+    path: str,
+    *,
+    text: bool = False,
+    unique: bool = False,
+    fsync: bool = True,
+    encoding: Optional[str] = None,
+) -> Iterator[IO]:
+    """Write ``path`` atomically via a fsynced tmp sibling.
+
+    Yields an open file positioned at 0 on ``<path>.tmp`` (or a
+    writer-unique ``<path>.<rand>.tmp`` when ``unique=True`` — required
+    when concurrent same-key writers may race, e.g. the build cache).
+    On clean exit the file is flushed, fsynced (unless ``fsync=False``)
+    and atomically renamed onto ``path``.  On any exception — including
+    an injected fault from :func:`open_file`/:func:`fsync_file`/
+    :func:`atomic_replace` — the tmp file is closed and unlinked before
+    the exception propagates, so error paths never leak ``*.tmp``.
+    """
+    mode = "w" if text else "wb"
+    if unique:
+        directory = os.path.dirname(path) or "."
+        fd, tmp = tempfile.mkstemp(
+            dir=directory,
+            prefix=os.path.basename(path) + ".",
+            suffix=TMP_SUFFIX,
+        )
+        os.close(fd)
+    else:
+        tmp = path + TMP_SUFFIX
+    f: Optional[IO] = None
+    try:
+        f = open_file(tmp, mode, encoding=encoding) if text else open_file(tmp, mode)
+        yield f
+        if fsync:
+            fsync_file(f)
+        else:
+            f.flush()
+        f.close()
+        f = None
+        atomic_replace(tmp, path)
+    except BaseException:
+        if f is not None:
+            try:
+                f.close()
+            except OSError:
+                pass
+        _unlink_quietly(tmp)
+        raise

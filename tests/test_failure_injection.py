@@ -563,7 +563,7 @@ class TestFsckCli:
         bit_flip(spool.path, _HEADER.size + 3 * 56 + 20, 1)
         out = str(tmp_path / "rescued.spool")
         rc = main(["fsck", spool.path, "--salvage", out])
-        assert rc == 1
+        assert rc == 2  # salvaged with loss
         assert "salvaged" in capsys.readouterr().out
         rescued = DiskSpool.open(out)
         originals = [("S", None, {"X": i}, False) for i in range(6)]
@@ -574,7 +574,7 @@ class TestFsckCli:
     def test_fsck_missing_file(self, tmp_path, capsys):
         from repro.cli import main
 
-        assert main(["fsck", str(tmp_path / "ghost.spool")]) == 2
+        assert main(["fsck", str(tmp_path / "ghost.spool")]) == 1
 
 
 class TestFsckV3:
@@ -665,7 +665,7 @@ class TestFsckV3:
         assert "CORRUPT" in captured.out
         assert "block" in captured.out
         out = str(tmp_path / "rescued.spool")
-        assert main(["fsck", spool.path, "--salvage", out]) == 1
+        assert main(["fsck", spool.path, "--salvage", out]) == 2
         assert "salvaged" in capsys.readouterr().out
         rescued = DiskSpool.open(out)
         # v3 sources are rescued as v3, name table intact: the records

@@ -217,7 +217,7 @@ def test_fsck_scans_and_salvages_provenance_logs(recordings, tmp_path):
     bit_flip(str(dst), os.path.getsize(dst) // 2, bit=1)
     assert main(["fsck", str(dst)]) == 1
     out = tmp_path / "salvaged.ndjson"
-    assert main(["fsck", str(dst), "--salvage", str(out)]) == 1
+    assert main(["fsck", str(dst), "--salvage", str(out)]) == 2
     # The salvaged prefix is a clean, sealed log again.
     salvaged = ProvenanceLog.open(str(out))
     assert salvaged.header["format"] == "PROV1"

@@ -798,3 +798,112 @@ class TestHttpFrontend:
                 await frontend.stop()
 
         run_server(tmp_path, body)
+
+# ---------------------------------------------------------------------------
+# disk governance
+# ---------------------------------------------------------------------------
+
+
+class TestServeGovernance:
+    def test_low_disk_degrades_then_recovers_with_gap(
+        self, tmp_path, monkeypatch
+    ):
+        """The full watermark story: trip -> 503 + Retry-After with the
+        journal suspended, /healthz still 200 (degraded, not down),
+        recover -> admission resumes and the sealed journal carries an
+        explicit gap marker."""
+        from repro.governance import FAKE_DISK_FREE_ENV
+        from repro.serve.http import HttpFrontend
+
+        monkeypatch.setenv(FAKE_DISK_FREE_ENV, "10000")
+
+        async def body(server):
+            frontend = HttpFrontend(server, "127.0.0.1", 0)
+            host, port = await frontend.start()
+            try:
+                ok = await server.submit("calc", "let a = 2 ; print a")
+                assert ok.ok
+
+                os.environ[FAKE_DISK_FREE_ENV] = "100"  # below low
+                await asyncio.sleep(0.4)
+                assert server.degraded
+                assert server.journal.suspended
+                with pytest.raises(GrammarUnavailable) as excinfo:
+                    await server.submit("calc", "let a = 3 ; print a")
+                assert excinfo.value.retry_after > 0
+                status, head, payload = await TestHttpFrontend.http(
+                    host, port, "POST", "/translate", b"let a = 1 ; print a"
+                )
+                assert status == 503
+                assert b"Retry-After:" in head
+                status, _, payload = await TestHttpFrontend.http(
+                    host, port, "GET", "/healthz"
+                )
+                health = json.loads(payload)
+                assert status == 200  # degraded, not down
+                assert health["status"] == "degraded"
+                assert health["grammars"]["calc"]["state"] == "degraded"
+                assert "low-disk" in health["grammars"]["calc"]["reasons"]
+                assert health["journal"]["suspended"] is True
+                assert health["disk"]["trips"] == 1
+
+                os.environ[FAKE_DISK_FREE_ENV] = "10000"  # above high
+                await asyncio.sleep(0.4)
+                assert not server.degraded
+                assert not server.journal.suspended
+                ok = await server.submit("calc", "let a = 5 ; print a")
+                assert ok.ok
+            finally:
+                await frontend.stop()
+
+        metrics = MetricsRegistry()
+        run_server(
+            tmp_path, body, metrics=metrics,
+            disk_low_bytes=500, disk_high_bytes=800,
+            governance_interval=0.05,
+        )
+        snap = metrics.snapshot()
+        assert snap["governance.serve_degraded"] == 1
+        assert snap["governance.serve_recovered"] == 1
+        report = scan_journal(journal_path(str(tmp_path / "journal")))
+        assert report.ok and report.sealed
+        assert report.gaps == 1  # the suspension is an explicit marker
+
+    def test_healthz_503_only_when_all_grammars_unavailable(self, tmp_path):
+        from repro.serve.http import HttpFrontend
+
+        async def body(server):
+            frontend = HttpFrontend(server, "127.0.0.1", 0)
+            host, port = await frontend.start()
+            try:
+                breaker = server.services["calc"].breaker
+                for _ in range(breaker.failure_threshold):
+                    breaker.record_failure()
+                assert breaker.state == "open"
+                status, _, payload = await TestHttpFrontend.http(
+                    host, port, "GET", "/healthz"
+                )
+                health = json.loads(payload)
+                assert status == 503  # the ONLY grammar is unavailable
+                assert health["status"] == "unavailable"
+                calc = health["grammars"]["calc"]
+                assert calc["state"] == "unavailable"
+                assert "breaker-open" in calc["reasons"]
+            finally:
+                await frontend.stop()
+
+        run_server(tmp_path, body)
+
+    def test_startup_doctor_sweeps_debris(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        journal_dir.mkdir()
+        leak = journal_dir / "requests.ndjson.tmp"
+        leak.write_bytes(b"half a frame")
+
+        async def body(server):
+            assert server.doctor_report is not None
+            assert not leak.exists()
+            result = await server.submit("calc", "let a = 2 ; print a")
+            assert result.ok
+
+        run_server(tmp_path, body)
