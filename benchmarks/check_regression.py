@@ -26,7 +26,15 @@ amortizes), then compares throughput against the committed baseline in
 * **serve gate** — fail when the serve daemon's sustained requests/s
   (in-process, supervised workers — see ``docs/serving.md`` and
   ``bench_t8_serve.py``) drops more than ``THRESHOLD`` below the
-  baseline.
+  baseline;
+* **batch-scaling gate** — fail when parallel batch efficiency
+  (speedup/jobs at ``-j 4`` over the shared-memory artifact plane —
+  see ``bench_t9_batch_scaling.py`` and docs/performance.md) drops
+  below ``SCALING_FLOOR`` (skipped on hosts with fewer than 4 CPUs,
+  which cannot express parallel speedup), when the warm per-worker
+  plane attach grows more than ``ATTACH_HEADROOM`` above the baseline,
+  or when a plane-attached worker does *any* build-cache work (the
+  zero-rehydration invariant, enforced on every host).
 
 Usage::
 
@@ -61,6 +69,14 @@ WARM_FRACTION = 0.5
 #: Maximum tolerated throughput drop with provenance recording DISABLED
 #: (the feature's pay-for-use promise — see bench_t7_provenance.py).
 PROVENANCE_THRESHOLD = 0.03
+
+#: Minimum parallel batch efficiency (speedup / jobs) at -j 4, enforced
+#: only on hosts with >= 4 CPUs.
+SCALING_FLOOR = 0.75
+
+#: Tolerated growth of the warm per-worker plane attach over baseline
+#: (a millisecond-scale operation, so the headroom is generous).
+ATTACH_HEADROOM = 1.0
 
 
 def measure_calc_throughput(rounds: int = 5, n_statements: int = 200) -> dict:
@@ -271,6 +287,84 @@ def measure_serve(n_requests: int = 60, workers: int = 2) -> dict:
     }
 
 
+def measure_batch_scaling(
+    n_inputs: int = 24, n_statements: int = 40, attach_rounds: int = 7
+) -> dict:
+    """Parallel batch fan-out over the shared-memory artifact plane
+    (see bench_t9_batch_scaling.py for the full experiment): -j 1 vs
+    -j 4 wall time, warm per-worker attach cost, and the
+    zero-rehydration invariant of a plane-attached worker."""
+    import dataclasses
+
+    from repro.batch import (
+        WorkerSpec,
+        build_batch_translator,
+        build_worker_translator,
+    )
+    from repro.buildcache.shm import attach_translator, export_translator_plane
+    from repro.obs import MetricsRegistry
+    from repro.workloads import generate_calc_program
+
+    texts = [
+        generate_calc_program(n_statements, seed=950 + i)
+        for i in range(n_inputs)
+    ]
+    with tempfile.TemporaryDirectory() as root:
+        spec = WorkerSpec(
+            source=open("src/repro/grammars/calc.ag").read(),
+            filename="src/repro/grammars/calc.ag",
+            grammar_name="calc",
+            direction="r2l",
+            cache_dir=os.path.join(root, "cache"),
+        )
+        translator = build_batch_translator(spec)
+        translator.translate_many(texts[:2], jobs=1)  # warm
+        start = time.perf_counter()
+        seq = translator.translate_many(texts, jobs=1)
+        seq_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        par = translator.translate_many(texts, jobs=4)
+        par_seconds = time.perf_counter() - start
+        assert seq.ok and par.ok, "batch scaling reference run failed"
+
+        plane = export_translator_plane(translator)
+        try:
+            plane_spec = dataclasses.replace(spec, shm_plane=plane.name)
+            attach_translator(plane_spec)  # warm both hydration paths
+            build_worker_translator(spec)
+            attach_best = rehydrate_best = float("inf")
+            for _ in range(attach_rounds):
+                t0 = time.perf_counter()
+                attach_translator(plane_spec)
+                attach_best = min(attach_best, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                build_worker_translator(spec)
+                rehydrate_best = min(
+                    rehydrate_best, time.perf_counter() - t0
+                )
+            metrics = MetricsRegistry()
+            build_worker_translator(plane_spec, metrics=metrics)
+            snapshot = metrics.snapshot()
+            cache_counters = sorted(
+                k for k in snapshot if k.startswith("cache.")
+            )
+            attach_count = snapshot.get("batch.shm.attach", 0)
+        finally:
+            plane.unlink()
+    speedup = seq_seconds / par_seconds
+    return {
+        "n_inputs": n_inputs,
+        "seq_seconds": seq_seconds,
+        "par_seconds": par_seconds,
+        "speedup": speedup,
+        "efficiency": speedup / 4,
+        "attach_ms": attach_best * 1000.0,
+        "rehydrate_ms": rehydrate_best * 1000.0,
+        "attach_count": attach_count,
+        "cache_counters": cache_counters,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -285,6 +379,7 @@ def main(argv=None) -> int:
     codec = measure_spool_codec()
     provenance = measure_provenance_overhead(rounds=args.rounds)
     serve = measure_serve()
+    scaling = measure_batch_scaling()
 
     lpm = throughput["lines_per_minute"]
     print(
@@ -313,6 +408,14 @@ def main(argv=None) -> int:
         f"({serve['workers']} workers; batch over the same inputs: "
         f"{serve['batch_rps']:,.0f} req/s)"
     )
+    print(
+        f"batch scaling: -j 1 {scaling['seq_seconds']:.2f} s, "
+        f"-j 4 {scaling['par_seconds']:.2f} s "
+        f"({scaling['speedup']:.2f}x, efficiency "
+        f"{scaling['efficiency']:.2f}); warm worker attach "
+        f"{scaling['attach_ms']:.2f} ms (cache rehydration "
+        f"{scaling['rehydrate_ms']:.2f} ms)"
+    )
 
     if args.update_baseline:
         baseline = {
@@ -332,6 +435,8 @@ def main(argv=None) -> int:
             "provenance_threshold": PROVENANCE_THRESHOLD,
             "serve_rps": serve["serve_rps"],
             "serve_p99_ms": serve["p99_ms"],
+            "batch_scaling_floor": SCALING_FLOOR,
+            "batch_attach_ms": scaling["attach_ms"],
         }
         os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
         with open(BASELINE_PATH, "w", encoding="utf-8") as f:
@@ -460,6 +565,63 @@ def main(argv=None) -> int:
                 f"{rps_floor:,.0f} req/s sustained "
                 f"(baseline {base_rps:,.0f} - {100 * THRESHOLD:.0f}%; "
                 f"p99 {serve['p99_ms']:.1f} ms)"
+            )
+
+    # Batch-scaling gates (bench_t9_batch_scaling.py): the
+    # zero-rehydration invariant always holds; the efficiency floor
+    # needs real cores; the attach bound needs a committed baseline.
+    if scaling["attach_count"] != 1 or scaling["cache_counters"]:
+        print(
+            f"FAIL zero-rehydration: plane-attached worker counted "
+            f"batch.shm.attach={scaling['attach_count']} and cache "
+            f"traffic {scaling['cache_counters']} (must be 1 and none)",
+            file=sys.stderr,
+        )
+        ok = False
+    else:
+        print(
+            "PASS zero-rehydration: plane attach did no build-cache work"
+        )
+    scaling_floor = baseline.get("batch_scaling_floor", SCALING_FLOOR)
+    n_cpus = os.cpu_count() or 1
+    if n_cpus < 4:
+        print(
+            f"SKIP batch scaling efficiency: {n_cpus} CPU(s) cannot "
+            f"express -j 4 speedup (measured {scaling['efficiency']:.2f}, "
+            f"floor {scaling_floor})"
+        )
+    elif scaling["efficiency"] < scaling_floor:
+        print(
+            f"FAIL batch scaling: -j 4 efficiency "
+            f"{scaling['efficiency']:.2f} (speedup "
+            f"{scaling['speedup']:.2f}x) below floor {scaling_floor}",
+            file=sys.stderr,
+        )
+        ok = False
+    else:
+        print(
+            f"PASS batch scaling: -j 4 efficiency "
+            f"{scaling['efficiency']:.2f} >= floor {scaling_floor} "
+            f"(speedup {scaling['speedup']:.2f}x)"
+        )
+    base_attach = baseline.get("batch_attach_ms")
+    if base_attach is not None:
+        attach_ceiling = base_attach * (1.0 + ATTACH_HEADROOM)
+        if scaling["attach_ms"] > attach_ceiling:
+            print(
+                f"FAIL worker startup: warm plane attach "
+                f"{scaling['attach_ms']:.2f} ms exceeds ceiling "
+                f"{attach_ceiling:.2f} ms (baseline {base_attach:.2f} + "
+                f"{100 * ATTACH_HEADROOM:.0f}%)",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(
+                f"PASS worker startup: warm plane attach "
+                f"{scaling['attach_ms']:.2f} ms <= ceiling "
+                f"{attach_ceiling:.2f} ms (baseline {base_attach:.2f} ms; "
+                f"cache rehydration {scaling['rehydrate_ms']:.2f} ms)"
             )
     return 0 if ok else 1
 

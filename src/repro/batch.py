@@ -1,10 +1,10 @@
-"""Parallel batch translation over the persistent build cache.
+"""Parallel batch translation over a zero-copy shared artifact plane.
 
 The paper's economics (§V) — expensive once-per-grammar build, cheap
 streaming per-input translation — invite exactly one scaling move for
-serving many inputs: **warm the artifact cache once, then fan the
-independent inputs out across worker processes that rehydrate from the
-cache instead of rebuilding**.  This module is that batch driver:
+serving many inputs: **build the artifacts once, then fan the
+independent inputs out across worker processes that attach to them
+instead of rebuilding**.  This module is that batch driver:
 
 * :func:`build_batch_translator` constructs a
   :class:`~repro.core.Translator` for a shipped grammar *through* a
@@ -12,27 +12,45 @@ cache instead of rebuilding**.  This module is that batch driver:
   (:class:`WorkerSpec`) workers need to reconstruct it;
 * :func:`run_batch` (surfaced as
   :meth:`repro.core.Translator.translate_many` and the ``repro batch``
-  CLI) fans inputs across **supervised** worker processes
+  CLI) seals the built artifacts into a **shared-memory artifact
+  plane** (:mod:`repro.buildcache.shm`) and fans inputs across
+  **supervised** worker processes
   (:class:`repro.serve.workers.WorkerHandle` — the same lifecycle the
-  serve daemon uses) with **per-input isolation** — one failed input
-  is reported in its :class:`BatchItem` while every other input
-  completes;
+  serve daemon uses) started through a **forkserver**; each worker
+  attaches to the plane zero-copy (:func:`build_worker_translator`)
+  instead of paying a per-worker cache rehydration, and falls back to
+  the build cache when the plane is unavailable — slower, never wrong;
+* execution is **pipelined** at two levels: the driver keeps up to
+  ``pipeline_depth`` inputs in flight per worker, and inside each
+  worker a scan-ahead thread lexes input N+1 while input N is being
+  evaluated and its response flushed — with **per-input isolation**
+  preserved: one failed input is reported in its :class:`BatchItem`
+  while every other input completes (an input lost to a worker crash
+  while merely *queued* behind the culprit is re-dispatched once);
 * ``timeout=`` (CLI ``--timeout``) bounds every input: a hung input is
   recorded as a failed :class:`BatchItem` with a typed
   :class:`~repro.errors.TranslationTimeout` and its worker is killed
-  and restarted, so one pathological input never stalls the pool;
-* ``KeyboardInterrupt`` terminates the workers and returns a *partial*
-  :class:`BatchReport` (``interrupted=True``) instead of hanging in
-  the pool join;
-* telemetry lands in the ``batch.*`` counters/gauges and ``batch.*``
-  trace instants (see ``docs/performance.md``).
+  and restarted, so one pathological input never stalls the pool
+  (deadlines collapse the pipeline to depth 1 so a queued input's
+  clock never runs while its predecessor executes);
+* ``KeyboardInterrupt`` terminates the workers, unlinks the plane, and
+  returns a *partial* :class:`BatchReport` (``interrupted=True``)
+  instead of hanging in the pool join;
+* telemetry lands in the ``batch.*`` counters/gauges (including
+  ``batch.shm.*`` and ``batch.pipeline.*``) and ``batch.*`` trace
+  instants (see ``docs/performance.md``).
 
 Sequential (``jobs <= 1``) and parallel executions produce identical
-results; the differential suite pins that down.
+results; the differential suite pins that down — including a dedicated
+shm-attached axis.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import multiprocessing
+import os
+import sys
 import threading
 import time
 from collections import deque
@@ -41,20 +59,36 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     EvaluationError,
+    PlaneError,
     ReproError,
     TranslationTimeout,
     WorkerCrashed,
 )
 from repro.evalgen.runtime import EvaluationResult
 
+#: How many inputs the driver keeps in flight per worker by default
+#: (the worker's scan-ahead stage overlaps them; see module docstring).
+DEFAULT_PIPELINE_DEPTH = 2
+
+#: An input lost to a worker crash while *queued* (not necessarily the
+#: input that killed the worker) is re-dispatched up to this many times
+#: in total before it is reported as failed.  A deterministic crasher
+#: therefore fails after the cap while its innocent queue-mates
+#: complete on the retry.
+_MAX_ATTEMPTS = 2
+
+
 @dataclass(frozen=True)
 class WorkerSpec:
-    """Everything a worker process needs to rebuild the translator.
+    """Everything a worker process needs to reconstruct the translator.
 
     Deliberately tiny and picklable: the *source text* and knobs, never
-    live objects — workers rehydrate the expensive artifacts from the
-    on-disk build cache at ``cache_dir`` (a cold worker would rebuild
-    and re-seal them, so correctness never depends on cache state).
+    live objects.  ``shm_plane`` (stamped by the driver) names the
+    shared-memory artifact plane the worker attaches to zero-copy;
+    without it — or when the plane is gone — workers rehydrate the
+    expensive artifacts from the on-disk build cache at ``cache_dir``
+    (a cold worker would rebuild and re-seal them, so correctness never
+    depends on cache *or* plane state).
     """
 
     source: str
@@ -63,6 +97,9 @@ class WorkerSpec:
     direction: str  # "r2l" | "l2r" | "auto"
     cache_dir: str
     backend: str = "generated"
+    #: Shared-memory segment name of the exported artifact plane, or
+    #: None to hydrate from the build cache.
+    shm_plane: Optional[str] = None
 
 
 @dataclass
@@ -160,6 +197,27 @@ def build_batch_translator(
     return translator
 
 
+def build_worker_translator(spec: WorkerSpec, metrics=None, tracer=None):
+    """Hydrate a worker's translator: plane attach first, cache second.
+
+    The zero-copy path (:func:`repro.buildcache.shm.attach_translator`)
+    reads every artifact out of the shared segment named by
+    ``spec.shm_plane`` — no disk, no unpickle of cache entries, no
+    NFA/LALR/plan reconstruction.  Any :class:`~repro.errors.PlaneError`
+    (segment gone, corrupt frame) degrades to the classic build-cache
+    rehydration so a worker always comes up.
+    """
+    if spec.shm_plane:
+        from repro.buildcache.shm import attach_translator
+
+        try:
+            return attach_translator(spec, metrics=metrics, tracer=tracer)
+        except PlaneError:
+            if metrics is not None:
+                metrics.counter("batch.shm.attach_fallback").inc()
+    return build_batch_translator(spec, metrics=metrics, tracer=tracer)
+
+
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
@@ -194,6 +252,8 @@ def run_batch(
     metrics=None,
     tracer=None,
     timeout: Optional[float] = None,
+    use_shm: bool = True,
+    pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
 ) -> BatchReport:
     """Translate ``texts`` through ``translator``; see
     :meth:`repro.core.Translator.translate_many`.
@@ -203,6 +263,12 @@ def run_batch(
     requires the supervised-worker path: with ``jobs <= 1`` and a
     timeout the batch still runs through one supervised subprocess
     (same results, enforceable deadline) rather than in-process.
+
+    ``use_shm=False`` skips the shared-memory artifact plane (workers
+    rehydrate from the build cache as before); ``pipeline_depth`` caps
+    the inputs in flight per worker (ignored — collapsed to 1 — under a
+    timeout, so a queued input's deadline clock never runs while its
+    predecessor executes).
     """
     texts = list(texts)
     started = time.perf_counter()
@@ -212,9 +278,45 @@ def run_batch(
         )
     interrupted = False
     if jobs > 1 or timeout is not None:
-        items, interrupted = _run_supervised(
-            translator, texts, max(1, jobs), timeout, metrics
-        )
+        spec = getattr(translator, "spawn_spec", None)
+        if spec is None:
+            raise EvaluationError(
+                "supervised batch execution (jobs > 1, or timeout=) needs a "
+                "worker spec: build the translator via "
+                "repro.batch.build_batch_translator (or the `repro batch` "
+                "CLI) so workers know how to reconstruct it"
+            )
+        plane = None
+        if use_shm:
+            try:
+                from repro.buildcache.shm import (
+                    export_translator_plane,
+                    install_signal_cleanup,
+                )
+
+                install_signal_cleanup()
+                plane = export_translator_plane(
+                    translator, metrics=metrics, tracer=tracer
+                )
+                spec = dataclasses.replace(spec, shm_plane=plane.name)
+            except (PlaneError, ReproError):
+                if metrics is not None:
+                    metrics.counter("batch.shm.export_failed").inc()
+                plane = None
+        try:
+            items, interrupted = _run_supervised(
+                spec,
+                texts,
+                max(1, jobs),
+                timeout,
+                metrics,
+                max(1, pipeline_depth),
+            )
+        finally:
+            # Guaranteed unlink on every exit path (normal, Ctrl-C,
+            # raise); SIGTERM/atexit are covered by the shm registry.
+            if plane is not None:
+                plane.unlink()
     else:
         items = _run_sequential(translator, texts)
     report = BatchReport(
@@ -283,80 +385,199 @@ def _run_sequential(translator, texts: Sequence[str]) -> List[BatchItem]:
     return items
 
 
+def _batch_mp_context() -> Optional[str]:
+    """The multiprocessing start method for batch workers.
+
+    POSIX hosts use a **forkserver**: workers fork from a small, clean
+    server process instead of the (threaded) driver, so a fork can
+    never snapshot a driver thread mid-lock, and repeated restarts
+    don't re-run module imports.  The worker's ``REPRO_*`` environment
+    is replayed from a per-incarnation snapshot (see
+    :func:`repro.serve.workers.worker_main`), so the frozen forkserver
+    environment is not observable.
+
+    Forkserver workers re-import the host's ``__main__`` module; when
+    that module cannot be re-imported — a ``python - <<EOF`` script, a
+    REPL, an embedded interpreter whose ``__main__`` has no real file —
+    batch falls back to plain ``fork``, which never touches
+    ``__main__``.
+    """
+    if os.name != "posix":
+        return None  # WorkerHandle picks the platform default (spawn)
+    main_module = sys.modules.get("__main__")
+    main_spec = getattr(main_module, "__spec__", None)
+    if main_spec is None or getattr(main_spec, "name", None) is None:
+        main_file = getattr(main_module, "__file__", None)
+        if main_file is None or not os.path.exists(main_file):
+            return "fork"
+    try:
+        multiprocessing.get_context("forkserver").set_forkserver_preload(
+            ["repro.serve.workers"]
+        )
+    except (ValueError, RuntimeError):  # pragma: no cover
+        pass
+    return "forkserver"
+
+
 def _run_supervised(
-    translator,
+    spec: WorkerSpec,
     texts: Sequence[str],
     jobs: int,
     timeout: Optional[float],
     metrics=None,
+    pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
 ) -> Tuple[List[BatchItem], bool]:
     """Fan inputs across supervised worker subprocesses.
 
     One driver thread per worker pulls inputs off a shared deque and
-    runs them through its :class:`~repro.serve.workers.WorkerHandle`.
-    A timed-out or crashed worker is killed and restarted (the input is
-    recorded as a failed item — per-input isolation); Ctrl-C kills the
-    workers and returns whatever finished (``interrupted=True``).
+    keeps up to ``pipeline_depth`` of them in flight on its
+    :class:`~repro.serve.workers.WorkerHandle` (depth 1 under a
+    timeout).  A timed-out input is recorded as failed and its worker
+    killed and restarted; a crashed worker takes its in-flight inputs
+    down — each is re-dispatched once (so inputs merely queued behind
+    the culprit complete) before being recorded as failed.  Ctrl-C
+    kills the workers and returns whatever finished
+    (``interrupted=True``).
     """
     from repro.serve.workers import WorkerHandle
 
-    spec = getattr(translator, "spawn_spec", None)
-    if spec is None:
-        raise EvaluationError(
-            "supervised batch execution (jobs > 1, or timeout=) needs a "
-            "worker spec: build the translator via "
-            "repro.batch.build_batch_translator (or the `repro batch` "
-            "CLI) so workers know how to rehydrate it from the build "
-            "cache"
-        )
-    # The artifacts the workers rehydrate are sealed on disk (unless the
-    # cache was cleared since construction — then workers rebuild once
-    # per process; slower, never wrong).
+    depth = 1 if timeout is not None else max(1, pipeline_depth)
+    mp_context = _batch_mp_context()
     handles = [
-        WorkerHandle(spec, worker_id=i, metrics=metrics).start()
+        WorkerHandle(
+            spec, worker_id=i, metrics=metrics, mp_context=mp_context
+        ).start()
         for i in range(jobs)
     ]
-    pending = deque(enumerate(texts))
+    if metrics is not None:
+        metrics.gauge("batch.pipeline.depth").set(depth)
+    #: (index, text, attempt) triples; attempts count dispatches.
+    pending = deque((i, t, 1) for i, t in enumerate(texts))
     done: Dict[int, BatchItem] = {}
     lock = threading.Lock()
     stop = threading.Event()
 
+    def record(item: BatchItem) -> None:
+        with lock:
+            done[item.index] = item
+
     def drive(handle: WorkerHandle) -> None:
+        #: index -> (text, attempt, t0_perf, deadline_monotonic|None)
+        outstanding: Dict[int, Tuple[str, int, float, Optional[float]]] = {}
+
+        def settle_crash(message: str) -> None:
+            # The incarnation died with these inputs in flight.  Any of
+            # them may be the culprit, so each gets one re-dispatch
+            # (innocent queue-mates complete on the retry; a
+            # deterministic crasher exhausts its attempts and fails).
+            for index in sorted(outstanding):
+                text, attempt, t0, _dl = outstanding[index]
+                if attempt < _MAX_ATTEMPTS and not stop.is_set():
+                    with lock:
+                        pending.append((index, text, attempt + 1))
+                    if metrics is not None:
+                        metrics.counter("batch.pipeline.requeued").inc()
+                else:
+                    record(
+                        BatchItem(
+                            index=index,
+                            ok=False,
+                            error_type="WorkerCrashed",
+                            error=message,
+                            seconds=time.perf_counter() - t0,
+                        )
+                    )
+            outstanding.clear()
+
         while not stop.is_set():
-            with lock:
-                if not pending:
-                    return
-                index, text = pending.popleft()
-            t0 = time.perf_counter()
+            # Top up the in-flight window from the shared queue.
+            submit_failed = False
+            while len(outstanding) < depth:
+                with lock:
+                    if not pending:
+                        break
+                    # Retries run in a window of one: a crashed worker
+                    # implicates *every* in-flight input, so pipelining
+                    # anything behind (or in front of) a re-dispatched
+                    # job would let a second crash exhaust an innocent
+                    # queue-mate's attempts.  Isolated, the next crash
+                    # blames exactly the culprit.
+                    if pending[0][2] > 1 and outstanding:
+                        break
+                    job = pending.popleft()
+                index, text, attempt = job
+                try:
+                    handle.submit(index, text)
+                except WorkerCrashed:
+                    with lock:
+                        pending.appendleft(job)
+                    submit_failed = True
+                    break
+                outstanding[index] = (
+                    text,
+                    attempt,
+                    time.perf_counter(),
+                    None if timeout is None else time.monotonic() + timeout,
+                )
+                if metrics is not None and len(outstanding) > 1:
+                    metrics.counter("batch.pipeline.overlapped").inc()
+                if attempt > 1:
+                    break  # nothing pipelines behind a retry
+            if not outstanding:
+                if submit_failed:
+                    if stop.is_set():
+                        return
+                    handle.restart()
+                    continue
+                with lock:
+                    if not pending:
+                        return
+                continue
+            deadline = None
+            if timeout is not None:
+                deadline = min(
+                    dl for *_rest, dl in outstanding.values()
+                    if dl is not None
+                )
             try:
-                answer = handle.call(
-                    index, text, timeout=timeout, cancelled=stop.is_set
+                answer = handle.next_answer(
+                    deadline=deadline, timeout=timeout,
+                    cancelled=stop.is_set,
                 )
             except TranslationTimeout as exc:
-                item = BatchItem(
-                    index=index,
-                    ok=False,
-                    error_type="TranslationTimeout",
-                    error=str(exc),
-                    seconds=time.perf_counter() - t0,
+                # Only reachable under a timeout, where depth is 1: the
+                # single outstanding input is the hung one.
+                hung = min(
+                    outstanding, key=lambda i: outstanding[i][3] or 0.0
+                )
+                text, attempt, t0, _dl = outstanding.pop(hung)
+                record(
+                    BatchItem(
+                        index=hung,
+                        ok=False,
+                        error_type="TranslationTimeout",
+                        error=str(exc),
+                        seconds=time.perf_counter() - t0,
+                    )
                 )
                 if not stop.is_set():
                     handle.restart()  # the old incarnation is wedged
+                settle_crash(
+                    f"worker {handle.worker_id} was killed after a "
+                    "timeout while this input was queued behind the "
+                    "hung one"
+                )
+                continue
             except WorkerCrashed as exc:
                 if stop.is_set():
-                    return  # shutdown, not a verdict on this input
-                item = BatchItem(
-                    index=index,
-                    ok=False,
-                    error_type="WorkerCrashed",
-                    error=str(exc),
-                    seconds=time.perf_counter() - t0,
-                )
+                    return  # shutdown, not a verdict on these inputs
+                settle_crash(str(exc))
                 handle.restart()
-            else:
-                item = _item_from_tuple(answer)
-            with lock:
-                done[index] = item
+                continue
+            entry = outstanding.pop(answer[0], None)
+            if entry is None:
+                continue  # stale answer from a pre-restart job: drop it
+            record(_item_from_tuple(answer))
 
     threads = [
         threading.Thread(
@@ -377,9 +598,10 @@ def _run_supervised(
         interrupted = True
         stop.set()
         # Join the drivers BEFORE kill() discards the queues: a driver
-        # may be inside handle.call()'s response_q.get(), and yanking
-        # the queue out from under it would crash the thread instead of
-        # letting the cancelled callback end it within one poll.
+        # may be inside handle.next_answer()'s response_q.get(), and
+        # yanking the queue out from under it would crash the thread
+        # instead of letting the cancelled callback end it within one
+        # poll.
         for thread in threads:
             thread.join(timeout=5.0)
         for handle in handles:

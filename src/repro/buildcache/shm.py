@@ -1,0 +1,714 @@
+"""Shared-memory artifact plane: zero-copy fan-out of built translators.
+
+LINGUIST-86's economics (§V) pay the overlay pipeline once per grammar
+and stream translations forever — but a multiprocessing pool that
+rehydrates the build cache *per worker* pays the unpickle + exec-compile
+cost N times over.  The pass artifacts are immutable functions of the
+grammar alone (the macro-tree-transducer reading of attributed
+translations makes this precise), which makes them ideal read-only
+residents of one POSIX shared-memory segment:
+
+* the parent (batch driver or serve daemon) builds or cache-loads the
+  translator once and :func:`export_translator_plane` serializes the
+  big artifacts — analyzed model, pass plans, pass assignment, LALR
+  tables, generated pass source, scanner DFA — into a single
+  ``multiprocessing.shared_memory`` segment;
+* each worker :func:`attach_translator`-s to the segment by name and
+  hydrates a :class:`~repro.core.Linguist`-shaped husk
+  (:class:`PlaneBuild`) with **zero disk reads and zero build-cache
+  traffic**; only the cheap ``exec``-compile of the generated pass text
+  runs per process;
+* the segment layout reuses the sealed-entry discipline of the on-disk
+  build cache (:mod:`repro.buildcache.store`): a magic + CRC'd header,
+  length-prefixed CRC-framed payload frames, and an ``L86SEAL`` footer
+  carrying a whole-stream CRC.  Every byte of the segment is covered by
+  some checksum, so a damaged plane raises a typed
+  :class:`~repro.errors.PlaneCorruptionError` — never a wrong artifact
+  — and the worker falls back to the build cache;
+* every created segment is registered for **guaranteed unlink**: an
+  ``atexit`` hook (plus an optional chained SIGTERM handler, see
+  :func:`install_signal_cleanup`) sweeps the registry so no segment
+  outlives the exporter, whatever the exit path.
+
+Segment layout (version 1)::
+
+    +--------------------------------------------------------------+
+    | header   "L86SHMP\\n" u16 version u16 flags u32 n_frames      |
+    |          u64 total_bytes u32 header_crc32                     |
+    +--------------------------------------------------------------+
+    | frame*   u8 codec u16 name_len u64 payload_len                |
+    |          name payload u32 frame_crc32                         |
+    +--------------------------------------------------------------+
+    | footer   "L86SEAL\\n" u64 frame_bytes u32 stream_crc32        |
+    |          u32 footer_crc32                                     |
+    +--------------------------------------------------------------+
+
+All integers little-endian.  ``total_bytes`` is the sealed length (the
+OS may round the segment up to a page); ``stream_crc32`` covers the
+whole frame region, ``frame_crc32`` the single frame including its
+length prefix and name.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import json
+import os
+import pickle
+import signal
+import struct
+import threading
+import zlib
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import PlaneCorruptionError, PlaneError
+
+MAGIC = b"L86SHMP\n"
+FOOTER_MAGIC = b"L86SEAL\n"
+PLANE_FORMAT = 1
+
+#: Segment-name prefix: ``/dev/shm`` sweeps in tests and the unlink
+#: registry both key off it.
+PLANE_PREFIX = "l86plane"
+
+#: Frame payload codecs.
+CODEC_RAW = 1  # bytes, verbatim
+CODEC_TEXT = 2  # str, UTF-8
+CODEC_PICKLE = 3  # arbitrary picklable object
+CODEC_JSON = 4  # JSON-serializable object (canonical, sorted keys)
+
+_CODECS = (CODEC_RAW, CODEC_TEXT, CODEC_PICKLE, CODEC_JSON)
+
+_HEADER_BODY = struct.Struct("<8sHHIQ")  # magic, version, flags, n, total
+_FRAME_HEAD = struct.Struct("<BHQ")  # codec, name_len, payload_len
+_FOOTER_BODY = struct.Struct("<8sQI")  # magic, frame_bytes, stream_crc
+_CRC = struct.Struct("<I")
+
+HEADER_SIZE = _HEADER_BODY.size + _CRC.size  # 28
+FOOTER_SIZE = _FOOTER_BODY.size + _CRC.size  # 24
+
+
+def _shared_memory():
+    """Import hook: one place to fail with a typed error on platforms
+    without POSIX shared memory (and one seam for tests)."""
+    try:
+        from multiprocessing import shared_memory
+    except ImportError as exc:  # pragma: no cover - platform-specific
+        raise PlaneError(
+            f"shared memory is unavailable on this platform: {exc}"
+        ) from exc
+    return shared_memory
+
+
+# ---------------------------------------------------------------------------
+# payload codecs
+# ---------------------------------------------------------------------------
+
+
+def _encode_payload(codec: int, obj: Any) -> bytes:
+    if codec == CODEC_RAW:
+        if not isinstance(obj, (bytes, bytearray, memoryview)):
+            raise PlaneError(
+                f"RAW plane frame needs bytes, got {type(obj).__name__}"
+            )
+        return bytes(obj)
+    if codec == CODEC_TEXT:
+        if not isinstance(obj, str):
+            raise PlaneError(
+                f"TEXT plane frame needs str, got {type(obj).__name__}"
+            )
+        return obj.encode("utf-8")
+    if codec == CODEC_PICKLE:
+        try:
+            return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise PlaneError(f"plane frame is not picklable: {exc}") from exc
+    if codec == CODEC_JSON:
+        try:
+            return json.dumps(obj, sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise PlaneError(
+                f"plane frame is not JSON-serializable: {exc}"
+            ) from exc
+    raise PlaneError(f"unknown plane frame codec {codec}")
+
+
+def _decode_payload(codec: int, data: bytes, name: str, segment: str) -> Any:
+    try:
+        if codec == CODEC_RAW:
+            return data
+        if codec == CODEC_TEXT:
+            return data.decode("utf-8")
+        if codec == CODEC_PICKLE:
+            return pickle.loads(data)
+        if codec == CODEC_JSON:
+            return json.loads(data.decode("utf-8"))
+    except PlaneError:
+        raise
+    except Exception as exc:
+        raise PlaneCorruptionError(
+            f"plane frame {name!r} in segment {segment} failed to decode: "
+            f"{exc}",
+            segment=segment,
+            reason="payload",
+        ) from exc
+    raise PlaneCorruptionError(
+        f"plane frame {name!r} in segment {segment} has unknown codec "
+        f"{codec}",
+        segment=segment,
+        reason="framing",
+    )
+
+
+# ---------------------------------------------------------------------------
+# unlink registry: guaranteed cleanup on exit / SIGTERM
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, "ArtifactPlane"] = {}
+_registry_lock = threading.Lock()
+_atexit_installed = False
+_signal_installed = False
+_name_counter = itertools.count()
+
+
+def _unlink_registered() -> None:
+    with _registry_lock:
+        planes = list(_REGISTRY.values())
+    for plane in planes:
+        plane.unlink()
+
+
+def _register(plane: "ArtifactPlane") -> None:
+    global _atexit_installed
+    with _registry_lock:
+        _REGISTRY[plane.name] = plane
+        if not _atexit_installed:
+            atexit.register(_unlink_registered)
+            _atexit_installed = True
+
+
+def install_signal_cleanup() -> bool:
+    """Chain plane unlinking in front of the default SIGTERM action.
+
+    Only installs from the main thread and only when SIGTERM is still
+    at its default disposition — a host that manages its own signals
+    (e.g. the serve daemon's asyncio handlers, which unlink planes in
+    ``drain()``) is left alone.  Returns True when the handler is (or
+    already was) installed.
+    """
+    global _signal_installed
+    if _signal_installed:
+        return True
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    try:
+        current = signal.getsignal(signal.SIGTERM)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        return False
+    if current is not signal.SIG_DFL:
+        return False
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - exercised via CLI
+        _unlink_registered()
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    _signal_installed = True
+    return True
+
+
+def plane_segments() -> list:
+    """Names of live plane segments on this host (``/dev/shm`` sweep);
+    empty where the segment directory is not exposed as a filesystem."""
+    try:
+        return sorted(
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(PLANE_PREFIX)
+        )
+    except OSError:
+        return []
+
+
+def _segment_name() -> str:
+    return f"{PLANE_PREFIX}_{os.getpid()}_{next(_name_counter)}"
+
+
+# ---------------------------------------------------------------------------
+# creation
+# ---------------------------------------------------------------------------
+
+
+class ArtifactPlane:
+    """Creator-side handle on one sealed segment.
+
+    The creator owns the segment's lifetime: :meth:`unlink` (idempotent;
+    also runs from the atexit registry and ``with`` exit) removes the
+    name from the system so attached readers keep working until they
+    close but no new attach can occur.
+    """
+
+    def __init__(self, shm, used_bytes: int, n_frames: int):
+        self._shm = shm
+        self.name = shm.name.lstrip("/")
+        #: Sealed length; ``shm.size`` may be page-rounded above it.
+        self.used_bytes = used_bytes
+        self.n_frames = n_frames
+        self._unlinked = False
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+
+    def unlink(self) -> None:
+        if self._unlinked:
+            return
+        self._unlinked = True
+        with _registry_lock:
+            _REGISTRY.pop(self.name, None)
+        self.close()
+        try:
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ArtifactPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+
+def create_plane(
+    frames: Mapping[str, Tuple[int, Any]],
+    name: Optional[str] = None,
+    metrics=None,
+) -> ArtifactPlane:
+    """Serialize ``frames`` (``{name: (codec, object)}``) into a fresh
+    sealed shared-memory segment and register it for unlink-on-exit."""
+    shared_memory = _shared_memory()
+    blobs = []
+    for frame_name, (codec, obj) in frames.items():
+        if codec not in _CODECS:
+            raise PlaneError(
+                f"unknown plane frame codec {codec} for {frame_name!r}"
+            )
+        name_bytes = frame_name.encode("utf-8")
+        if len(name_bytes) > 0xFFFF:
+            raise PlaneError(f"plane frame name too long: {frame_name!r}")
+        payload = _encode_payload(codec, obj)
+        body = (
+            _FRAME_HEAD.pack(codec, len(name_bytes), len(payload))
+            + name_bytes
+            + payload
+        )
+        blobs.append(body + _CRC.pack(zlib.crc32(body)))
+    frame_region = b"".join(blobs)
+    total = HEADER_SIZE + len(frame_region) + FOOTER_SIZE
+    header_body = _HEADER_BODY.pack(MAGIC, PLANE_FORMAT, 0, len(blobs), total)
+    footer_body = _FOOTER_BODY.pack(
+        FOOTER_MAGIC, len(frame_region), zlib.crc32(frame_region)
+    )
+    image = (
+        header_body
+        + _CRC.pack(zlib.crc32(header_body))
+        + frame_region
+        + footer_body
+        + _CRC.pack(zlib.crc32(footer_body))
+    )
+    shm = None
+    last_error: Optional[BaseException] = None
+    for attempt in range(16):
+        candidate = name if name is not None else _segment_name()
+        try:
+            shm = shared_memory.SharedMemory(
+                name=candidate, create=True, size=total
+            )
+            break
+        except FileExistsError as exc:
+            last_error = exc
+            if name is not None:
+                raise PlaneError(
+                    f"shared-memory segment {name!r} already exists",
+                    segment=name,
+                ) from exc
+        except OSError as exc:
+            raise PlaneError(
+                f"could not create a {total}-byte shared-memory segment: "
+                f"{exc}",
+                segment=candidate,
+            ) from exc
+    if shm is None:  # pragma: no cover - 16 name collisions
+        raise PlaneError(
+            "could not find a free shared-memory segment name"
+        ) from last_error
+    shm.buf[:total] = image
+    plane = ArtifactPlane(shm, used_bytes=total, n_frames=len(blobs))
+    _register(plane)
+    if metrics is not None:
+        metrics.counter("batch.shm.export").inc()
+        metrics.counter("batch.shm.export_bytes").inc(total)
+        metrics.gauge("batch.shm.frames").set(len(blobs))
+    return plane
+
+
+# ---------------------------------------------------------------------------
+# attachment
+# ---------------------------------------------------------------------------
+
+
+class AttachedPlane:
+    """Reader-side handle: eagerly validated index, lazily decoded frames.
+
+    Attachment verifies the header, footer, whole-stream CRC, and every
+    frame's own CRC *before* returning, so :meth:`get` can never hand
+    back bytes that differ from what the exporter sealed.
+    """
+
+    def __init__(self, shm, index: Dict[str, Tuple[int, int, int]]):
+        self._shm = shm
+        self.name = shm.name.lstrip("/")
+        self._index = index
+
+    def names(self) -> list:
+        return sorted(self._index)
+
+    def __contains__(self, frame_name: str) -> bool:
+        return frame_name in self._index
+
+    def get(self, frame_name: str) -> Any:
+        entry = self._index.get(frame_name)
+        if entry is None:
+            raise PlaneError(
+                f"plane segment {self.name} has no frame {frame_name!r} "
+                f"(frames: {', '.join(self.names()) or 'none'})",
+                segment=self.name,
+            )
+        codec, offset, length = entry
+        data = bytes(self._shm.buf[offset : offset + length])
+        return _decode_payload(codec, data, frame_name, self.name)
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+
+    def __enter__(self) -> "AttachedPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _validate_image(buf, segment: str) -> Dict[str, Tuple[int, int, int]]:
+    """Verify every checksum in the segment; return the frame index
+    ``{name: (codec, payload_offset, payload_length)}``."""
+
+    def corrupt(reason: str, detail: str) -> PlaneCorruptionError:
+        return PlaneCorruptionError(
+            f"plane segment {segment} is corrupt ({reason}): {detail}",
+            segment=segment,
+            reason=reason,
+        )
+
+    if len(buf) < HEADER_SIZE + FOOTER_SIZE:
+        raise corrupt("truncated", f"segment holds only {len(buf)} bytes")
+    header_body = bytes(buf[: _HEADER_BODY.size])
+    (header_crc,) = _CRC.unpack_from(buf, _HEADER_BODY.size)
+    if zlib.crc32(header_body) != header_crc:
+        raise corrupt("header", "header checksum mismatch")
+    magic, version, _flags, n_frames, total = _HEADER_BODY.unpack(header_body)
+    if magic != MAGIC:
+        raise corrupt("header", f"bad magic {magic!r}")
+    if version != PLANE_FORMAT:
+        raise corrupt(
+            "version", f"format {version}, expected {PLANE_FORMAT}"
+        )
+    if total < HEADER_SIZE + FOOTER_SIZE or total > len(buf):
+        raise corrupt(
+            "truncated",
+            f"sealed length {total} outside the {len(buf)}-byte segment",
+        )
+    footer_at = total - FOOTER_SIZE
+    footer_body = bytes(buf[footer_at : footer_at + _FOOTER_BODY.size])
+    (footer_crc,) = _CRC.unpack_from(buf, footer_at + _FOOTER_BODY.size)
+    if zlib.crc32(footer_body) != footer_crc:
+        raise corrupt("footer", "footer checksum mismatch")
+    fmagic, frame_bytes, stream_crc = _FOOTER_BODY.unpack(footer_body)
+    if fmagic != FOOTER_MAGIC:
+        raise corrupt("footer", f"bad footer magic {fmagic!r}")
+    frame_region = bytes(buf[HEADER_SIZE:footer_at])
+    if frame_bytes != len(frame_region):
+        raise corrupt(
+            "framing",
+            f"footer claims {frame_bytes} frame bytes, "
+            f"layout holds {len(frame_region)}",
+        )
+    if zlib.crc32(frame_region) != stream_crc:
+        raise corrupt("checksum", "frame-stream checksum mismatch")
+
+    index: Dict[str, Tuple[int, int, int]] = {}
+    offset = HEADER_SIZE
+    for i in range(n_frames):
+        if offset + _FRAME_HEAD.size > footer_at:
+            raise corrupt("framing", f"frame {i} header overruns the seal")
+        codec, name_len, payload_len = _FRAME_HEAD.unpack_from(buf, offset)
+        name_at = offset + _FRAME_HEAD.size
+        payload_at = name_at + name_len
+        crc_at = payload_at + payload_len
+        if crc_at + _CRC.size > footer_at:
+            raise corrupt("framing", f"frame {i} payload overruns the seal")
+        body = bytes(buf[offset:crc_at])
+        (frame_crc,) = _CRC.unpack_from(buf, crc_at)
+        if zlib.crc32(body) != frame_crc:
+            raise corrupt("checksum", f"frame {i} checksum mismatch")
+        try:
+            frame_name = bytes(buf[name_at:payload_at]).decode("utf-8")
+        except UnicodeDecodeError:
+            raise corrupt("framing", f"frame {i} name is not UTF-8") from None
+        if frame_name in index:
+            raise corrupt("framing", f"duplicate frame name {frame_name!r}")
+        index[frame_name] = (codec, payload_at, payload_len)
+        offset = crc_at + _CRC.size
+    if offset != footer_at:
+        raise corrupt(
+            "framing",
+            f"{footer_at - offset} unclaimed bytes between the last frame "
+            "and the seal",
+        )
+    return index
+
+
+_tracker_lock = threading.Lock()
+
+
+class _suppressed_tracker_registration:
+    """Keep the resource tracker out of segment *attachment*.
+
+    CPython's tracker registers a POSIX segment again on every attach
+    (bpo-38119) and unlinks it when the attaching process exits — under
+    ``fork`` all workers share the parent's tracker process, so one
+    worker's exit would yank the plane out from under the exporter and
+    every sibling.  Python 3.13's ``track=False`` is the sanctioned fix;
+    until then, registration is suppressed for the duration of the
+    attach.  The *creator's* registration is untouched and remains the
+    crash safety net.
+    """
+
+    def __enter__(self):
+        from multiprocessing import resource_tracker
+
+        self._tracker = resource_tracker
+        _tracker_lock.acquire()
+        self._original = resource_tracker.register
+
+        def _register(rt_name, rtype):
+            if rtype == "shared_memory":
+                return None
+            return self._original(rt_name, rtype)
+
+        resource_tracker.register = _register
+        return self
+
+    def __exit__(self, *exc):
+        self._tracker.register = self._original
+        _tracker_lock.release()
+
+
+def attach_plane(name: str) -> AttachedPlane:
+    """Attach (read-only use) to an existing plane segment by name.
+
+    Raises :class:`~repro.errors.PlaneError` when no such segment
+    exists (already unlinked / exporter gone) and
+    :class:`~repro.errors.PlaneCorruptionError` when any integrity
+    check fails.
+    """
+    shared_memory = _shared_memory()
+    try:
+        with _suppressed_tracker_registration():
+            shm = shared_memory.SharedMemory(name=name, create=False)
+    except FileNotFoundError as exc:
+        raise PlaneError(
+            f"no shared-memory artifact plane named {name!r} "
+            "(unlinked, or the exporting process is gone)",
+            segment=name,
+        ) from exc
+    except OSError as exc:
+        raise PlaneError(
+            f"could not attach to shared-memory segment {name!r}: {exc}",
+            segment=name,
+        ) from exc
+    try:
+        index = _validate_image(shm.buf, name)
+    except Exception:
+        shm.close()
+        raise
+    return AttachedPlane(shm, index)
+
+
+# ---------------------------------------------------------------------------
+# translator export / attach
+# ---------------------------------------------------------------------------
+
+#: Frame names of the translator plane schema (version 1).
+META_FRAME = "meta"
+
+
+def export_translator_plane(
+    translator, metrics=None, tracer=None, name: Optional[str] = None
+) -> ArtifactPlane:
+    """Seal a built translator's read-only artifacts into one segment.
+
+    The parent calls this once after :func:`repro.batch.build_batch_translator`;
+    workers hydrate with :func:`attach_translator`.  The exported frames
+    are exactly the objects the build cache would have made each worker
+    unpickle from disk — model, plans, assignment, LALR tables, scanner
+    DFA, and the generated pass source text.
+    """
+    linguist = translator.linguist
+    artifacts = list(linguist.generated.artifacts)
+    frames: Dict[str, Tuple[int, Any]] = {
+        META_FRAME: (
+            CODEC_JSON,
+            {
+                "format": PLANE_FORMAT,
+                "grammar": linguist.ag.name,
+                "backend": translator.backend,
+                "n_passes": len(linguist.plans),
+            },
+        ),
+        "ag": (CODEC_PICKLE, linguist.ag),
+        "plans": (CODEC_PICKLE, linguist.plans),
+        "assignment": (CODEC_PICKLE, linguist.assignment),
+        "tables": (CODEC_PICKLE, linguist.parse_tables()),
+        "code.meta": (
+            CODEC_JSON,
+            [
+                [a.pass_k, a.husk_bytes, a.sem_bytes, a.n_subsumed]
+                for a in artifacts
+            ],
+        ),
+    }
+    for artifact in artifacts:
+        frames[f"code.{artifact.pass_k}"] = (CODEC_TEXT, artifact.text)
+    scanner = getattr(translator, "scanner", None)
+    if scanner is not None and scanner.dfa is not None:
+        frames["dfa"] = (CODEC_PICKLE, scanner.dfa)
+    plane = create_plane(frames, name=name, metrics=metrics)
+    if tracer is not None:
+        tracer.instant(
+            "batch.shm.export",
+            cat="batch",
+            segment=plane.name,
+            bytes=plane.used_bytes,
+            frames=plane.n_frames,
+        )
+    return plane
+
+
+class PlaneBuild:
+    """A :class:`~repro.core.Linguist`-shaped husk hydrated from a plane.
+
+    Carries exactly the attributes :class:`~repro.core.Translator`
+    reads — ``ag``, ``plans``, ``assignment``, ``generated``,
+    ``parse_tables()``, plus the telemetry/cache slots — and the
+    ``scanner_dfa`` fast path that lets
+    :meth:`~repro.core.Translator._make_scanner` skip NFA construction
+    without touching a build cache.
+    """
+
+    #: Not a cache rehydration: no disk was read.
+    from_cache = False
+    #: Marks hydration from a shared-memory plane.
+    from_plane = True
+
+    def __init__(
+        self,
+        ag,
+        plans,
+        assignment,
+        generated,
+        tables,
+        scanner_dfa=None,
+        metrics=None,
+        tracer=None,
+    ):
+        self.ag = ag
+        self.plans = plans
+        self.assignment = assignment
+        self.generated = generated
+        self.scanner_dfa = scanner_dfa
+        self.cache = None
+        self.metrics = metrics
+        self.tracer = tracer
+        self._tables = tables
+
+    def parse_tables(self):
+        return self._tables
+
+
+def attach_translator(spec, metrics=None, tracer=None):
+    """Hydrate a runnable translator from the plane a
+    :class:`~repro.batch.WorkerSpec` names in ``shm_plane``.
+
+    No build cache is opened and no disk is read: every artifact comes
+    out of the shared segment, and the generated pass text is
+    ``exec``-compiled directly from the shared bytes.  Raises
+    :class:`~repro.errors.PlaneError` /
+    :class:`~repro.errors.PlaneCorruptionError` — callers fall back to
+    :func:`repro.batch.build_batch_translator`.
+    """
+    from repro.apt.build import default_intrinsics
+    from repro.core.linguist import Translator
+    from repro.evalgen.codegen_py import GeneratedEvaluator
+    from repro.grammars import scanner_and_library
+
+    segment = getattr(spec, "shm_plane", None)
+    if not segment:
+        raise PlaneError(
+            f"worker spec for grammar {spec.grammar_name!r} names no "
+            "shared-memory plane"
+        )
+    with attach_plane(segment) as plane:
+        ag = plane.get("ag")
+        plans = plane.get("plans")
+        assignment = plane.get("assignment")
+        tables = plane.get("tables")
+        code_meta = plane.get("code.meta")
+        pass_texts = [
+            (
+                pass_k,
+                plane.get(f"code.{pass_k}"),
+                husk_bytes,
+                sem_bytes,
+                n_subsumed,
+            )
+            for pass_k, husk_bytes, sem_bytes, n_subsumed in code_meta
+        ]
+        scanner_dfa = plane.get("dfa") if "dfa" in plane else None
+    generated = GeneratedEvaluator.from_pass_texts(ag, plans, pass_texts)
+    build = PlaneBuild(
+        ag,
+        plans,
+        assignment,
+        generated,
+        tables,
+        scanner_dfa=scanner_dfa,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    scanner_spec, library = scanner_and_library(spec.grammar_name)
+    translator = Translator(
+        build, scanner_spec, library, spec.backend, default_intrinsics
+    )
+    translator.spawn_spec = spec
+    if metrics is not None:
+        metrics.counter("batch.shm.attach").inc()
+    if tracer is not None:
+        tracer.instant("batch.shm.attach", cat="batch", segment=segment)
+    return translator

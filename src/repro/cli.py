@@ -601,10 +601,12 @@ def cmd_batch(args) -> int:
     """Translate many inputs through the persistent build cache.
 
     The grammar is built (or cache-rehydrated) exactly once; with
-    ``-j N`` the inputs fan out across ``N`` worker processes that
-    rehydrate the translator from the same cache.  Exit status: 0 when
-    every input translated, 1 when any input failed (other inputs still
-    complete — per-input isolation).
+    ``-j N`` the built artifacts are sealed into a shared-memory plane
+    and the inputs fan out across ``N`` worker processes that attach to
+    it zero-copy (``--no-shm`` falls back to per-worker cache
+    rehydration).  Exit status: 0 when every input translated, 1 when
+    any input failed (other inputs still complete — per-input
+    isolation).
     """
     from repro.batch import WorkerSpec, build_batch_translator
     from repro.buildcache import default_cache_root
@@ -633,7 +635,8 @@ def cmd_batch(args) -> int:
         _read(item) if os.path.exists(item) else item for item in args.inputs
     ]
     report = translator.translate_many(
-        texts, jobs=args.jobs, metrics=metrics, timeout=args.timeout
+        texts, jobs=args.jobs, metrics=metrics, timeout=args.timeout,
+        use_shm=not args.no_shm, pipeline_depth=args.pipeline_depth,
     )
 
     if args.output_dir:
@@ -726,6 +729,7 @@ def cmd_serve(args) -> int:
         cache_dir=cache_dir,
         cache_max_bytes=int(args.cache_max_mb * (1 << 20)),
         startup_doctor=not args.no_doctor,
+        use_shm=not args.no_shm,
     )
     return asyncio.run(_serve_main(specs, config, metrics))
 
@@ -1084,6 +1088,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies supervised subprocess execution even with -j 1)",
     )
     p_batch.add_argument(
+        "--no-shm", action="store_true",
+        help="skip the shared-memory artifact plane: workers rehydrate "
+        "the translator from the build cache per process instead of "
+        "attaching zero-copy (see docs/performance.md)",
+    )
+    p_batch.add_argument(
+        "--pipeline-depth", type=int, default=None, metavar="N",
+        help="inputs kept in flight per worker so scan of input N+1 "
+        "overlaps evaluation of input N (default 2; --timeout forces 1 "
+        "so a queued input's deadline clock never runs early)",
+    )
+    p_batch.add_argument(
         "--metrics", action="store_true",
         help="also dump the cache.*/batch.* metrics snapshot",
     )
@@ -1161,6 +1177,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--backend", choices=["interp", "generated"], default="generated",
         help="evaluator backend (default generated)",
+    )
+    p_serve.add_argument(
+        "--no-shm", action="store_true",
+        help="skip the shared-memory artifact plane: workers (and "
+        "supervised restarts) rehydrate from the build cache instead "
+        "of attaching zero-copy",
     )
     p_serve.add_argument(
         "--fsync", action="store_true",

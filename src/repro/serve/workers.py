@@ -14,13 +14,23 @@ supervisor needs to manage it:
   raising typed :class:`~repro.errors.TranslationTimeout` /
   :class:`~repro.errors.WorkerCrashed` instead of blocking forever;
 * **kill + restart** — :meth:`restart` tears the incarnation down
-  (SIGKILL if needed) and spawns a clean one.
+  (SIGKILL if needed) and spawns a clean one;
+* **environment snapshot** — :meth:`start` captures the supervisor's
+  ``REPRO_*`` variables and replays them inside the worker, so fault
+  markers and knobs set *after* a shared forkserver came up still
+  reach every fresh incarnation.
 
-The worker side (:func:`worker_main`) rehydrates its translator from
-the build cache via a :class:`~repro.batch.WorkerSpec` — exactly the
-``repro batch`` recipe, so a serve worker and a batch worker produce
-byte-identical results by construction.  Result tuples use the batch
-wire shape ``(job_id, ok, root_attrs, n_passes, error_type, error,
+The worker side (:func:`worker_main`) hydrates its translator from the
+shared-memory artifact plane named by its
+:class:`~repro.batch.WorkerSpec` (zero-copy attach; see
+:mod:`repro.buildcache.shm`), falling back to the build cache — exactly
+the ``repro batch`` recipe, so a serve worker and a batch worker
+produce byte-identical results by construction.  Inside the worker the
+stages are **pipelined**: a scan-ahead thread lexes input N+1 while the
+main thread parses/evaluates input N and flushes its response, with
+per-input failure isolation preserved (a stage failure is reported on
+that input's response tuple only).  Result tuples use the batch wire
+shape ``(job_id, ok, root_attrs, n_passes, error_type, error,
 seconds)``; :func:`repro.batch._item_from_tuple` and the serve daemon
 both consume it.
 """
@@ -45,22 +55,55 @@ DEFAULT_HEARTBEAT_INTERVAL = 0.5
 #: How long :meth:`WorkerHandle.call` sleeps between response polls.
 _POLL_SECONDS = 0.02
 
+#: How many inputs the worker's scan-ahead stage may lex beyond the one
+#: currently being evaluated (bounds token-buffer memory).
+SCAN_AHEAD = 2
+
+#: Sentinel for :meth:`WorkerHandle._await_answer`: match any job.
+_ANY = object()
+
 
 def _heartbeat_loop(beat, interval: float, stop: threading.Event) -> None:
     while not stop.wait(interval):
         beat.value = time.monotonic()
 
 
-def worker_main(spec, request_q, response_q, beat, heartbeat_interval) -> None:
-    """Subprocess entry point: rehydrate, then serve jobs until the
+def _apply_env_snapshot(env) -> None:
+    """Replay the supervisor's ``REPRO_*`` environment inside the worker.
+
+    Fork children inherit the parent's environment for free, but
+    forkserver children inherit the *forkserver's* — frozen at the
+    moment the server started — so knobs set later (fault markers,
+    cache overrides) would silently not reach them.  The snapshot is
+    authoritative: stale ``REPRO_*`` keys not in it are removed.
+    """
+    for key in [k for k in os.environ if k.startswith("REPRO_")]:
+        if key not in env:
+            del os.environ[key]
+    os.environ.update(env)
+
+
+def worker_main(
+    spec, request_q, response_q, beat, heartbeat_interval, env=None
+) -> None:
+    """Subprocess entry point: hydrate, then serve jobs until the
     ``None`` sentinel (graceful stop) or the process is killed.
 
+    Hydration prefers the zero-copy shared-memory plane and falls back
+    to the build cache (:func:`repro.batch.build_worker_translator`).
     Any failure — including a failure to *build* the translator — is
     reported through the response queue with per-job isolation; the
     loop itself only exits on the sentinel.
+
+    Execution is pipelined: the scan stage runs on its own thread,
+    lexing up to :data:`SCAN_AHEAD` inputs past the one the main
+    thread is parsing/evaluating, so the first pass of input N+1 is
+    ready the moment input N's response is flushed.
     """
     from repro.testing.faults import maybe_hang
 
+    if env is not None:
+        _apply_env_snapshot(env)
     stop = threading.Event()
     if beat is not None:
         beat.value = time.monotonic()
@@ -72,32 +115,65 @@ def worker_main(spec, request_q, response_q, beat, heartbeat_interval) -> None:
     translator = None
     build_error: Optional[BaseException] = None
     try:
-        from repro.batch import build_batch_translator
+        from repro.batch import build_worker_translator
 
-        translator = build_batch_translator(spec)
+        translator = build_worker_translator(spec)
     except BaseException as exc:  # reported per-job below
         build_error = exc
+
+    #: (job_id, text, tokens, stage_error, started) — or None to stop.
+    scanned: "queue.Queue" = queue.Queue(maxsize=SCAN_AHEAD)
+
+    def scan_loop() -> None:
+        while True:
+            job = request_q.get()
+            if job is None:
+                scanned.put(None)
+                return
+            job_id, text = job
+            started = time.perf_counter()
+            tokens = None
+            error: Optional[BaseException] = None
+            try:
+                maybe_hang(text)
+                if translator is None:
+                    raise build_error  # type: ignore[misc]
+                if translator.scanner is not None:
+                    tokens = list(translator.scanner.tokens(text))
+            except BaseException as exc:  # per-job isolation
+                error = exc
+            scanned.put((job_id, text, tokens, error, started))
+
+    threading.Thread(
+        target=scan_loop, daemon=True, name="repro-worker-scan"
+    ).start()
+
     while True:
-        job = request_q.get()
-        if job is None:
+        item = scanned.get()
+        if item is None:
             stop.set()
             return
-        job_id, text = job
-        started = time.perf_counter()
-        try:
-            maybe_hang(text)
-            if translator is None:
-                raise build_error  # type: ignore[misc]
-            result = translator.translate(text)
-        except BaseException as exc:  # per-job isolation
+        job_id, text, tokens, error, started = item
+        result = None
+        if error is None:
+            try:
+                if tokens is not None:
+                    result = translator.translate_tokens(iter(tokens))
+                else:
+                    # Scanner-less translator: translate() raises the
+                    # canonical EvaluationError for this input.
+                    result = translator.translate(text)
+            except BaseException as exc:  # per-job isolation
+                error = exc
+        if error is not None:
             response_q.put(
                 (
                     job_id,
                     False,
                     None,
                     0,
-                    type(exc).__name__,
-                    str(exc),
+                    type(error).__name__,
+                    str(error),
                     time.perf_counter() - started,
                 )
             )
@@ -118,9 +194,11 @@ def worker_main(spec, request_q, response_q, beat, heartbeat_interval) -> None:
 class WorkerHandle:
     """One supervised worker subprocess (see module docstring).
 
-    Not thread-safe for concurrent :meth:`call` — each handle serves
-    one in-flight request at a time (the daemon binds one dispatcher
-    task per handle; batch binds one thread per handle).
+    Not thread-safe for concurrent use — each handle is driven by one
+    supervisor (the daemon binds one dispatcher task per handle; batch
+    binds one driver thread per handle).  One driver may keep several
+    jobs in flight on its handle via :meth:`submit` +
+    :meth:`next_answer` (the pipelined batch path).
     """
 
     def __init__(
@@ -148,12 +226,18 @@ class WorkerHandle:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "WorkerHandle":
-        """Spawn a fresh incarnation (fresh queues, fresh heartbeat)."""
+        """Spawn a fresh incarnation (fresh queues, fresh heartbeat,
+        fresh ``REPRO_*`` environment snapshot)."""
         if self.process is not None and self.process.is_alive():
             return self
         self.request_q = self._ctx.Queue()
         self.response_q = self._ctx.Queue()
         self._beat = self._ctx.Value("d", time.monotonic(), lock=False)
+        env = {
+            key: value
+            for key, value in os.environ.items()
+            if key.startswith("REPRO_")
+        }
         self.process = self._ctx.Process(
             target=worker_main,
             args=(
@@ -162,6 +246,7 @@ class WorkerHandle:
                 self.response_q,
                 self._beat,
                 self.heartbeat_interval,
+                env,
             ),
             daemon=True,
             name=f"repro-serve-worker-{self.worker_id}",
@@ -261,10 +346,35 @@ class WorkerHandle:
         """
         self.submit(job_id, text)
         deadline = None if timeout is None else time.monotonic() + timeout
+        return self._await_answer(job_id, deadline, timeout, cancelled)
+
+    def next_answer(
+        self,
+        deadline: Optional[float] = None,
+        timeout: Optional[float] = None,
+        cancelled=None,
+    ) -> ResultTuple:
+        """Wait for *any* outstanding answer (the pipelined-batch path,
+        where several :meth:`submit`-ed jobs ride one incarnation).
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant
+        (``timeout`` only labels the raised
+        :class:`~repro.errors.TranslationTimeout`); crash/cancel
+        semantics match :meth:`call`.
+        """
+        return self._await_answer(_ANY, deadline, timeout, cancelled)
+
+    def _await_answer(
+        self,
+        job_id: Any,
+        deadline: Optional[float],
+        timeout: Optional[float],
+        cancelled,
+    ) -> ResultTuple:
         while True:
             response_q = self.response_q
             if response_q is None:
-                # kill()/stop() discarded the queues mid-call (pool
+                # kill()/stop() discarded the queues mid-wait (pool
                 # shutdown from another thread): the job is lost, not
                 # our caller's fault — same verdict as a dead worker.
                 raise WorkerCrashed(
@@ -283,7 +393,7 @@ class WorkerHandle:
                     worker_id=self.worker_id,
                 ) from None
             else:
-                if answer[0] == job_id:
+                if job_id is _ANY or answer[0] == job_id:
                     return answer
                 continue  # stale answer from a pre-restart job: drop it
             if cancelled is not None and cancelled():
@@ -296,7 +406,7 @@ class WorkerHandle:
                 # once more before declaring the job lost.
                 try:
                     answer = response_q.get(timeout=_POLL_SECONDS)
-                    if answer[0] == job_id:
+                    if job_id is _ANY or answer[0] == job_id:
                         return answer
                 except (queue.Empty, OSError, ValueError):
                     pass
@@ -307,8 +417,11 @@ class WorkerHandle:
                     worker_id=self.worker_id,
                 )
             if deadline is not None and time.monotonic() >= deadline:
+                label = "its deadline" if timeout is None else (
+                    f"its {timeout:.3g}s deadline"
+                )
                 raise TranslationTimeout(
-                    f"translation exceeded its {timeout:.3g}s deadline "
+                    f"translation exceeded {label} "
                     f"on worker {self.worker_id}",
                     seconds=timeout,
                 )

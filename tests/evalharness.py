@@ -143,7 +143,7 @@ def canonical_attrs(root_attrs) -> dict:
 
 
 class BackendSuite:
-    """One shipped grammar, translatable through all four evaluator paths:
+    """One shipped grammar, translatable through every evaluator path:
 
     * ``interp``    — the interpretive pass evaluator,
     * ``generated`` — the exec-compiled generated pass modules,
@@ -153,7 +153,13 @@ class BackendSuite:
       warm :class:`repro.buildcache.BuildCache`, so its pass modules
       come from cached source text and its scanner from a cached DFA),
     * ``unfused``   — the interpretive evaluator with pass fusion
-      disabled, running the original (pre-fusion) pass partition.
+      disabled, running the original (pre-fusion) pass partition,
+    * ``shm``       — a *plane-attached* translator
+      (:func:`repro.buildcache.shm.attach_translator`): every artifact
+      hydrated from a shared-memory segment exactly as a batch/serve
+      worker would, with zero cache traffic,
+    * ``shm_unfused`` — the plane-attached path over the fusion-off
+      build, so the zero-copy axis is pinned fused *and* unfused.
 
     Build once per grammar (construction is the expensive per-grammar
     step); :meth:`run` is cheap per input.
@@ -199,6 +205,41 @@ class BackendSuite:
             spec, library=library, backend="generated"
         )
 
+        # The shm-attached axes: export each build's artifacts into a
+        # shared-memory plane and hydrate a translator from the segment
+        # — the exact zero-copy path batch/serve workers take.  The
+        # planes live as long as the suite (module-level caching) and
+        # are swept by the shm atexit registry.
+        from repro.batch import WorkerSpec
+        from repro.buildcache.shm import (
+            attach_translator,
+            export_translator_plane,
+        )
+
+        def plane_spec(plane) -> WorkerSpec:
+            return WorkerSpec(
+                source=source,
+                filename=f"<{grammar_name}>",
+                grammar_name=grammar_name,
+                direction="r2l",
+                cache_dir=cache_dir,
+                backend="generated",
+                shm_plane=plane.name,
+            )
+
+        self._plane = export_translator_plane(self.generated)
+        self.shm = attach_translator(plane_spec(self._plane))
+        assert getattr(self.shm.linguist, "from_plane", False), (
+            "shm axis did not hydrate from the artifact plane"
+        )
+        unfused_generated = plain.make_translator(
+            spec, library=library, backend="generated"
+        )
+        self._plane_unfused = export_translator_plane(unfused_generated)
+        self.shm_unfused = attach_translator(
+            plane_spec(self._plane_unfused)
+        )
+
     def oracle_attrs(self, text: str) -> dict:
         tokens = list(self.interp.scanner.tokens(text))
         spool = MemorySpool(channel="initial")
@@ -217,6 +258,10 @@ class BackendSuite:
         generated = canonical_attrs(self.generated.translate(text).root_attrs)
         cached = canonical_attrs(self.cached.translate(text).root_attrs)
         unfused = canonical_attrs(self.unfused.translate(text).root_attrs)
+        shm = canonical_attrs(self.shm.translate(text).root_attrs)
+        shm_unfused = canonical_attrs(
+            self.shm_unfused.translate(text).root_attrs
+        )
         oracle_full = canonical_attrs(self.oracle_attrs(text))
         oracle = {k: v for k, v in oracle_full.items() if k in interp}
         return {
@@ -224,13 +269,16 @@ class BackendSuite:
             "generated": generated,
             "cached": cached,
             "unfused": unfused,
+            "shm": shm,
+            "shm_unfused": shm_unfused,
             "oracle": oracle,
         }
 
 
 def run_all_backends(grammar_name: str, text: str, cache_dir: str) -> dict:
-    """Translate ``text`` with ``grammar_name`` through all four
-    evaluator paths (interp / generated / oracle / cache-rehydrated);
-    return ``{path: canonical root attrs}`` for differential comparison.
+    """Translate ``text`` with ``grammar_name`` through every
+    evaluator path (interp / generated / oracle / cache-rehydrated /
+    shm-attached, fused and unfused); return
+    ``{path: canonical root attrs}`` for differential comparison.
     """
     return BackendSuite(grammar_name, cache_dir).run(text)

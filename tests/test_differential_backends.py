@@ -1,6 +1,6 @@
 """Differential fuzz harness: every evaluator path must agree, byte for byte.
 
-Five ways to compute a translation exist in this codebase:
+Seven ways to compute a translation exist in this codebase:
 
 * the **interpretive** pass evaluator (walks the plans at runtime),
 * the **generated** pass modules (exec-compiled Python),
@@ -10,9 +10,14 @@ Five ways to compute a translation exist in this codebase:
   cached source text, scanner from a cached DFA — the warm path of
   ``repro.buildcache``),
 * the **unfused** interpretive evaluator (pass fusion disabled — the
-  original alternating-pass partition, one pass per fixpoint level).
+  original alternating-pass partition, one pass per fixpoint level),
+* the **shm-attached** translator (every artifact hydrated zero-copy
+  from a shared-memory plane, :mod:`repro.buildcache.shm` — the path
+  batch/serve worker processes take),
+* the **shm-attached unfused** translator (the zero-copy path over the
+  fusion-off build).
 
-They are five implementations of one semantics, so on every input the
+They are seven implementations of one semantics, so on every input the
 root attributes must be *byte-identical* (canonicalized through
 :func:`tests.evalharness.canonical_attrs`).  The workloads are seeded
 generators from :mod:`repro.workloads.generators` — deterministic, so a
@@ -98,6 +103,13 @@ def test_all_backends_agree(grammar, workload_id, text, suite_cache_root):
     assert results["unfused"] == interp, (
         f"{workload_id}: unfused evaluation disagrees with the fused one"
     )
+    assert results["shm"] == interp, (
+        f"{workload_id}: shm-attached backend disagrees with interpretive"
+    )
+    assert results["shm_unfused"] == interp, (
+        f"{workload_id}: shm-attached unfused backend disagrees with "
+        "interpretive"
+    )
     assert results["oracle"] == interp, (
         f"{workload_id}: oracle disagrees with the pass evaluators"
     )
@@ -109,12 +121,14 @@ def test_run_all_backends_helper(tmp_path):
         "calc", generate_calc_program(6, seed=99), str(tmp_path / "cache")
     )
     assert set(results) == {"interp", "generated", "cached", "unfused",
-                            "oracle"}
+                            "shm", "shm_unfused", "oracle"}
     assert (
         results["interp"]
         == results["generated"]
         == results["cached"]
         == results["unfused"]
+        == results["shm"]
+        == results["shm_unfused"]
         == results["oracle"]
     )
 
@@ -166,3 +180,13 @@ def test_cached_suite_really_rehydrated(suite_cache_root):
     """The 'cached' path is not a silent cold rebuild."""
     suite = suite_for("calc", suite_cache_root)
     assert suite.cached.linguist.from_cache
+
+
+def test_shm_suite_really_plane_attached(suite_cache_root):
+    """The 'shm' axes are genuine zero-copy hydrations, not rebuilds:
+    the husk behind each translator is a PlaneBuild with no cache."""
+    suite = suite_for("calc", suite_cache_root)
+    for translator in (suite.shm, suite.shm_unfused):
+        assert getattr(translator.linguist, "from_plane", False)
+        assert not translator.linguist.from_cache
+        assert translator.linguist.cache is None
