@@ -1,0 +1,153 @@
+"""EXP-T10 — incremental re-translation: the dirty-spine dividend.
+
+The paper's §V economics price a translation by the semantic-function
+work its passes perform.  Incremental re-translation
+(:mod:`repro.passes.incremental`, ``translate(..., memo_dir=)``, see
+docs/performance.md) attacks exactly that term: after a warming run,
+a re-translation of an *edited* input splices the sealed output
+records of every clean subtree and re-evaluates only the dirty spine
+— the path from the edited token to the root.
+
+This benchmark quantifies the dividend on the calc workload with a
+single-token edit (a literal in the last statement is bumped; the tree
+shape is unchanged, so exactly the spine is dirty):
+
+* **wall clock** — from-scratch vs memo-spliced translation of the
+  edited program, best-of-N (each incremental round re-warms a fresh
+  memo from the *base* program, so every measurement is a true
+  first-edit re-translation, not a second splice of the edit);
+* **semantic-function invocations** — every external call funnels
+  through :meth:`FunctionLibrary.call`; the spliced run must invoke
+  fewer than ``INVOCATION_CEILING`` (20%) of the from-scratch count;
+* **hit rate** — the fraction of output records spliced rather than
+  re-evaluated on the edited run (the pure re-run splices 100%);
+* **byte identity** — the spliced result equals the from-scratch one.
+
+The regression gate (``check_regression.py``) tracks
+``incremental_speedup`` and ``incremental_hit_rate`` against the
+committed baseline; the memo-disabled no-tax promise rides the
+existing 3% disabled-mode gate (the memo threads through the same
+``translate`` path the provenance gate times with both features off).
+"""
+
+import re
+import time
+
+from repro.workloads import generate_calc_program
+
+N_STATEMENTS = 200
+SEED = 17
+ROUNDS = 5
+#: Minimum tolerated wall-clock speedup of the spliced edit re-run.
+SPEEDUP_FLOOR = 3.0
+#: Maximum fraction of from-scratch semantic-function invocations the
+#: spliced re-run may perform.
+INVOCATION_CEILING = 0.20
+
+
+def edit_last_statement(text: str) -> str:
+    """Bump the first literal of the last statement — a single-token
+    edit that leaves the tree shape intact."""
+    lines = text.split(" ;\n")
+    edited, n = re.subn(
+        r"\d+", lambda m: str(int(m.group()) + 1), lines[-1], count=1
+    )
+    assert n == 1, f"no literal in the last statement: {lines[-1]!r}"
+    return " ;\n".join(lines[:-1] + [edited])
+
+
+def test_t10_incremental(report, tmp_path):
+    from repro.core import Linguist
+    from repro.grammars import load_source, scanner_and_library
+    from repro.obs import MetricsRegistry
+    from tests.evalharness import canonical_attrs
+
+    spec, library = scanner_and_library("calc")
+    calls = {"n": 0}
+    inner_call = library.call
+
+    def counting_call(name, *args):
+        calls["n"] += 1
+        return inner_call(name, *args)
+
+    library.call = counting_call
+
+    translator = Linguist(load_source("calc")).make_translator(
+        spec, library=library
+    )
+    program = generate_calc_program(N_STATEMENTS, seed=SEED)
+    edited = edit_last_statement(program)
+    n_lines = len(edited.splitlines())
+    translator.translate(program)  # warm the hot path
+
+    # From-scratch reference on the edited text: wall clock and the
+    # semantic-function invocation count.
+    cold_best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        cold_result = translator.translate(edited)
+        cold_best = min(cold_best, time.perf_counter() - start)
+    calls["n"] = 0
+    cold_result = translator.translate(edited)
+    cold_calls = calls["n"]
+    assert cold_calls > 0, "calc stopped exercising the function library"
+
+    # Incremental: warm a fresh memo from the BASE program each round,
+    # then time the edited re-translation (first edit, not re-splice).
+    inc_best = float("inf")
+    for r in range(ROUNDS):
+        memo = str(tmp_path / f"memo{r}")
+        translator.translate(program, memo_dir=memo)
+        start = time.perf_counter()
+        inc_result = translator.translate(edited, memo_dir=memo)
+        inc_best = min(inc_best, time.perf_counter() - start)
+        assert canonical_attrs(inc_result.root_attrs) == canonical_attrs(
+            cold_result.root_attrs
+        ), "memo-spliced edit re-run is not byte-identical"
+
+    # Instrumented edit re-run: invocation count, splice counters, and
+    # the total output record count (a pure re-run splices everything,
+    # so its spliced_records counter IS the stream length).
+    memo = str(tmp_path / "memo-count")
+    translator.translate(program, memo_dir=memo)
+    full = MetricsRegistry()
+    translator.translate(program, memo_dir=memo, metrics=full)
+    total_records = full.counter("incremental.spliced_records").value
+    assert total_records > 0, "pure re-run failed to splice"
+    translator.translate(program, memo_dir=memo)  # re-warm for the edit
+    calls["n"] = 0
+    metrics = MetricsRegistry()
+    translator.translate(edited, memo_dir=memo, metrics=metrics)
+    inc_calls = calls["n"]
+    hits = metrics.counter("incremental.hits").value
+    spliced = metrics.counter("incremental.spliced_records").value
+    assert hits >= 1, "single-token edit produced no subtree hit"
+
+    speedup = cold_best / inc_best
+    ratio = inc_calls / cold_calls
+    hit_rate = spliced / total_records
+
+    lines = [
+        f"EXP-T10: incremental re-translation, calc x {N_STATEMENTS} "
+        f"statements ({n_lines} lines), single-token edit in the last "
+        f"statement (best of {ROUNDS})",
+        f"  from scratch:  {cold_best * 1000:.2f} ms, "
+        f"{cold_calls} semantic-function invocation(s)",
+        f"  memo-spliced:  {inc_best * 1000:.2f} ms, "
+        f"{inc_calls} invocation(s)  "
+        f"[{hits} subtree hit(s), {spliced}/{total_records} records "
+        f"spliced, hit rate {hit_rate:.1%}]",
+        f"  speedup: {speedup:.2f}x (floor {SPEEDUP_FLOOR}x)",
+        f"  invocation ratio: {ratio:.1%} "
+        f"(ceiling {INVOCATION_CEILING:.0%})",
+        "  byte identity: PASS (spliced == from-scratch on every round)",
+    ]
+    report("t10_incremental", "\n".join(lines))
+
+    assert ratio < INVOCATION_CEILING, (
+        f"edit re-run performed {ratio:.1%} of the from-scratch "
+        f"semantic-function invocations (ceiling {INVOCATION_CEILING:.0%})"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"edit re-run speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x"
+    )

@@ -27,6 +27,15 @@ amortizes), then compares throughput against the committed baseline in
   (in-process, supervised workers — see ``docs/serving.md`` and
   ``bench_t8_serve.py``) drops more than ``THRESHOLD`` below the
   baseline;
+* **incremental gate** — fail when the memo-spliced single-token-edit
+  re-translation speedup (see ``bench_t10_incremental.py`` and
+  docs/performance.md) drops more than ``THRESHOLD`` below the
+  baseline, or when the spliced-record hit rate falls below
+  ``INCREMENTAL_HIT_FLOOR`` (the hit rate is deterministic for a
+  given grammar + edit, so a drop means the memo keying broke, not
+  noise); the memo-disabled no-tax promise rides the existing 3%
+  provenance disabled-mode gate, which times the same ``translate``
+  path with both opt-in features off;
 * **batch-scaling gate** — fail when parallel batch efficiency
   (speedup/jobs at ``-j 4`` over the shared-memory artifact plane —
   see ``bench_t9_batch_scaling.py`` and docs/performance.md) drops
@@ -77,6 +86,10 @@ SCALING_FLOOR = 0.75
 #: Tolerated growth of the warm per-worker plane attach over baseline
 #: (a millisecond-scale operation, so the headroom is generous).
 ATTACH_HEADROOM = 1.0
+
+#: Minimum fraction of output records a single-token-edit re-run must
+#: splice from the memo (deterministic, so the floor is tight).
+INCREMENTAL_HIT_FLOOR = 0.90
 
 
 def measure_calc_throughput(rounds: int = 5, n_statements: int = 200) -> dict:
@@ -365,6 +378,62 @@ def measure_batch_scaling(
     }
 
 
+def measure_incremental(rounds: int = 3, n_statements: int = 200) -> dict:
+    """Memo-spliced single-token-edit re-translation speedup and hit
+    rate (the bench_t10_incremental.py experiment, condensed): each
+    round warms a fresh memo from the base program, then times the
+    edited re-translation against the from-scratch reference."""
+    import re
+
+    from repro.core import Linguist
+    from repro.grammars import load_source, scanner_and_library
+    from repro.obs import MetricsRegistry
+    from repro.workloads import generate_calc_program
+
+    spec, library = scanner_and_library("calc")
+    translator = Linguist(load_source("calc")).make_translator(
+        spec, library=library
+    )
+    program = generate_calc_program(n_statements, seed=17)
+    lines = program.split(" ;\n")
+    edited_last, n = re.subn(
+        r"\d+", lambda m: str(int(m.group()) + 1), lines[-1], count=1
+    )
+    assert n == 1, "no literal to edit in the last calc statement"
+    edited = " ;\n".join(lines[:-1] + [edited_last])
+    translator.translate(program)  # warm
+    cold_best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        translator.translate(edited)
+        cold_best = min(cold_best, time.perf_counter() - start)
+    inc_best = float("inf")
+    with tempfile.TemporaryDirectory() as root:
+        for r in range(rounds):
+            memo = os.path.join(root, f"memo{r}")
+            translator.translate(program, memo_dir=memo)
+            start = time.perf_counter()
+            translator.translate(edited, memo_dir=memo)
+            inc_best = min(inc_best, time.perf_counter() - start)
+        # Hit rate: spliced records on the edit over the full stream
+        # length (a pure re-run splices every record).
+        memo = os.path.join(root, "memo-count")
+        translator.translate(program, memo_dir=memo)
+        full = MetricsRegistry()
+        translator.translate(program, memo_dir=memo, metrics=full)
+        total = full.counter("incremental.spliced_records").value
+        translator.translate(program, memo_dir=memo)  # re-warm
+        metrics = MetricsRegistry()
+        translator.translate(edited, memo_dir=memo, metrics=metrics)
+        spliced = metrics.counter("incremental.spliced_records").value
+    return {
+        "cold_seconds": cold_best,
+        "spliced_seconds": inc_best,
+        "speedup": cold_best / inc_best if inc_best > 0 else float("inf"),
+        "hit_rate": spliced / total if total else 0.0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -380,6 +449,7 @@ def main(argv=None) -> int:
     provenance = measure_provenance_overhead(rounds=args.rounds)
     serve = measure_serve()
     scaling = measure_batch_scaling()
+    incremental = measure_incremental()
 
     lpm = throughput["lines_per_minute"]
     print(
@@ -416,6 +486,12 @@ def main(argv=None) -> int:
         f"{scaling['attach_ms']:.2f} ms (cache rehydration "
         f"{scaling['rehydrate_ms']:.2f} ms)"
     )
+    print(
+        f"incremental: from-scratch {incremental['cold_seconds'] * 1000:.1f}"
+        f" ms, memo-spliced edit {incremental['spliced_seconds'] * 1000:.1f}"
+        f" ms ({incremental['speedup']:.2f}x speedup, hit rate "
+        f"{incremental['hit_rate']:.1%})"
+    )
 
     if args.update_baseline:
         baseline = {
@@ -437,6 +513,8 @@ def main(argv=None) -> int:
             "serve_p99_ms": serve["p99_ms"],
             "batch_scaling_floor": SCALING_FLOOR,
             "batch_attach_ms": scaling["attach_ms"],
+            "incremental_speedup": incremental["speedup"],
+            "incremental_hit_rate": incremental["hit_rate"],
         }
         os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
         with open(BASELINE_PATH, "w", encoding="utf-8") as f:
@@ -604,6 +682,40 @@ def main(argv=None) -> int:
             f"{scaling['efficiency']:.2f} >= floor {scaling_floor} "
             f"(speedup {scaling['speedup']:.2f}x)"
         )
+    base_inc = baseline.get("incremental_speedup")
+    if base_inc is not None:
+        inc_floor = base_inc * (1.0 - THRESHOLD)
+        if incremental["speedup"] < inc_floor:
+            drop = 100.0 * (1.0 - incremental["speedup"] / base_inc)
+            print(
+                f"FAIL incremental regression: memo-spliced edit re-run "
+                f"speedup {incremental['speedup']:.2f}x is {drop:.0f}% "
+                f"below baseline {base_inc:.2f}x "
+                f"(tolerated: {100 * THRESHOLD:.0f}%)",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(
+                f"PASS incremental: {incremental['speedup']:.2f}x >= floor "
+                f"{inc_floor:.2f}x (baseline {base_inc:.2f}x - "
+                f"{100 * THRESHOLD:.0f}%)"
+            )
+        if incremental["hit_rate"] < INCREMENTAL_HIT_FLOOR:
+            print(
+                f"FAIL incremental hit rate: {incremental['hit_rate']:.1%} "
+                f"of output records spliced on a single-token edit "
+                f"(floor {INCREMENTAL_HIT_FLOOR:.0%} — the memo keying "
+                f"broke, this figure is deterministic)",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(
+                f"PASS incremental hit rate: {incremental['hit_rate']:.1%} "
+                f">= floor {INCREMENTAL_HIT_FLOOR:.0%}"
+            )
+
     base_attach = baseline.get("batch_attach_ms")
     if base_attach is not None:
         attach_ceiling = base_attach * (1.0 + ATTACH_HEADROOM)

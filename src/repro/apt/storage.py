@@ -238,6 +238,12 @@ class Spool:
                 "spool.write", cat="io", channel=self.channel, nbytes=len(blob)
             )
 
+    def append_blobs(self, blobs: List[bytes]) -> None:
+        """Append many already-encoded records (subclasses may batch
+        the framing and accounting)."""
+        for blob in blobs:
+            self.append_blob(blob)
+
     def finalize(self) -> None:
         """End the writing phase; the spool becomes readable."""
         self._finalized = True
@@ -611,12 +617,20 @@ class DiskSpool(Spool):
         metrics=None,
         format_version: int = FORMAT_V3,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        seed_names=None,
+        durable: bool = True,
     ):
         super().__init__(accountant, channel, tracer, metrics)
         if format_version not in (FORMAT_V1, FORMAT_V2, FORMAT_V3):
             raise ValueError(f"unknown spool format version {format_version}")
         self.format_version = format_version
         self.block_size = max(1, block_size)
+        #: ``durable=False`` skips the fsync at :meth:`finalize` (flush +
+        #: atomic rename only).  Correct only for *cache* artifacts — the
+        #: incremental memo — where a file torn by power loss fails its
+        #: stream-CRC check on the next attach and degrades to a cold
+        #: miss instead of corrupting a translation.
+        self._durable = durable
         if path is None:
             fd, path = tempfile.mkstemp(prefix="apt_", suffix=".spool")
             os.close(fd)
@@ -633,7 +647,13 @@ class DiskSpool(Spool):
         self._n_blocks = 0
         self._nt_bytes = 0
         if format_version == FORMAT_V3:
-            self._codec = RecordCodec()
+            # ``seed_names`` pre-populates the codec's name table with a
+            # copy of another (sealed) spool's table, so blobs encoded
+            # against the source decode identically here — the raw
+            # cross-generation splice of the incremental memo.
+            self._codec = RecordCodec(
+                seed_names.copy() if seed_names is not None else None
+            )
             self._block_buf = bytearray()
             self._tmp_path: Optional[str] = path + ".tmp"
             self._writer: Optional[io.BufferedWriter] = _aw.open_file(
@@ -673,6 +693,7 @@ class DiskSpool(Spool):
         spool._tmp_path = None
         spool._stream_crc = 0
         spool._finalized = True
+        spool._durable = True
         spool._codec = None
         spool._block_buf = None
         spool._block_records = 0
@@ -742,6 +763,52 @@ class DiskSpool(Spool):
             self._writer.write(blob)
             self._writer.write(_LEN.pack(len(blob)))
 
+    def append_blobs(self, blobs: List[bytes]) -> None:
+        """Bulk raw append: one accounting charge and one trace event
+        for the whole batch, with the v3 framing loop kept local.  The
+        incremental memo splices thousands of sealed blobs per hit
+        through here; per-record overhead is the price of a splice."""
+        if self._finalized:
+            raise EvaluationError(f"spool {self.channel!r} already finalized")
+        if self.format_version != FORMAT_V3 or self._writer is None:
+            for blob in blobs:
+                self.append_blob(blob)
+            return
+        pack = _LEN.pack
+        block_size = self.block_size
+        # The stream CRC chains per appended blob, which is by definition
+        # the CRC of the blobs' concatenation — one C-level pass beats
+        # thousands of tiny zlib calls on the splice path.
+        joined = b"".join(blobs)
+        nbytes = len(joined)
+        self._stream_crc = zlib.crc32(joined, self._stream_crc)
+        buf = self._block_buf
+        recs = self._block_records
+        for blob in blobs:
+            buf += pack(len(blob))
+            buf += blob
+            recs += 1
+            if len(buf) >= block_size:
+                self._block_records = recs
+                self._flush_block()
+                buf = self._block_buf
+                recs = 0
+        self._block_records = recs
+        self.n_records += len(blobs)
+        self.data_bytes += nbytes
+        if self.accountant is not None:
+            charge = getattr(self.accountant, "charge_write_many", None)
+            if charge is not None:
+                charge(len(blobs), nbytes, self.channel)
+            else:
+                for blob in blobs:
+                    self.accountant.charge_write(len(blob), self.channel)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "spool.write", cat="io", channel=self.channel,
+                nbytes=nbytes, n_records=len(blobs),
+            )
+
     def _flush_block(self) -> None:
         """Seal the current in-memory block: one CRC32 and one mirrored
         frame for however many records accumulated."""
@@ -790,7 +857,10 @@ class DiskSpool(Spool):
                             nt_offset, len(nt_payload), self._stream_crc,
                         )
                     )
-                    _aw.fsync_file(self._writer)
+                    if self._durable:
+                        _aw.fsync_file(self._writer)
+                    else:
+                        self._writer.flush()
                     self._writer.close()
                     self._writer = None
                     _aw.atomic_replace(self._tmp_path, self.path)
@@ -808,7 +878,10 @@ class DiskSpool(Spool):
                             self.n_records, self.data_bytes, self._stream_crc
                         )
                     )
-                    _aw.fsync_file(self._writer)
+                    if self._durable:
+                        _aw.fsync_file(self._writer)
+                    else:
+                        self._writer.flush()
                     self._writer.close()
                     self._writer = None
                     _aw.atomic_replace(self._tmp_path, self.path)
@@ -1578,11 +1651,9 @@ class RandomAccessReader:
         block, rec = self.locate(index)
         return RecordAddress(pass_k, block, rec)
 
-    def record(self, index: int) -> Any:
-        """Decode record ``index``, reading (and fully verifying) only
-        its containing block."""
+    def _load_block(self, block: int) -> List[bytes]:
+        """Read + verify ``block``'s blobs (one-block cache)."""
         spool = self.spool
-        block, rec = self.locate(index)
         if self._cache_block != block:
             if spool.format_version == FORMAT_V3:
                 pos = self._starts[block]
@@ -1600,9 +1671,50 @@ class RandomAccessReader:
                 ]
             self._cache_block = block
             self._cache_blobs = blobs
+        return self._cache_blobs
+
+    def record(self, index: int) -> Any:
+        """Decode record ``index``, reading (and fully verifying) only
+        its containing block."""
+        spool = self.spool
+        block, rec = self.locate(index)
+        blobs = self._load_block(block)
         if spool.metrics is not None:
             spool.metrics.counter("spool.codec.random_reads").inc()
-        return spool._decode(self._cache_blobs[rec])
+        return spool._decode(blobs[rec])
+
+    def raw_record(self, index: int) -> bytes:
+        """The still-encoded blob of record ``index`` — same block read
+        and verification as :meth:`record`, no decode.  The blob is
+        valid verbatim only in a spool whose codec was seeded from this
+        spool's name table (:class:`DiskSpool` ``seed_names``)."""
+        block, rec = self.locate(index)
+        blobs = self._load_block(block)
+        if self.spool.metrics is not None:
+            self.spool.metrics.counter("spool.codec.random_reads").inc()
+        return blobs[rec]
+
+    def raw_range(self, start: int, end: int) -> Tuple[List[bytes], int]:
+        """All still-encoded blobs of records ``[start, end)`` plus the
+        number of distinct blocks touched — the bulk splice read.  Each
+        block is loaded (and verified) once, then sliced."""
+        if start >= end:
+            return [], 0
+        out: List[bytes] = []
+        n_blocks = 0
+        index = start
+        while index < end:
+            block, rec = self.locate(index)
+            blobs = self._load_block(block)
+            take = min(end - index, len(blobs) - rec)
+            out.extend(blobs[rec : rec + take])
+            index += take
+            n_blocks += 1
+        if self.spool.metrics is not None:
+            self.spool.metrics.counter("spool.codec.random_reads").inc(
+                len(out)
+            )
+        return out, n_blocks
 
     def _read_v2_record(self, index: int) -> bytes:
         spool = self.spool

@@ -100,6 +100,11 @@ class WorkerSpec:
     #: Shared-memory segment name of the exported artifact plane, or
     #: None to hydrate from the build cache.
     shm_plane: Optional[str] = None
+    #: Incremental-memo root for this grammar, or None to translate
+    #: cold.  Worker processes write to a per-pid subdirectory (one
+    #: MEMO1 writer per directory); the sequential path uses the
+    #: directory itself.
+    memo_dir: Optional[str] = None
 
 
 @dataclass
@@ -318,7 +323,11 @@ def run_batch(
             if plane is not None:
                 plane.unlink()
     else:
-        items = _run_sequential(translator, texts)
+        seq_spec = getattr(translator, "spawn_spec", None)
+        items = _run_sequential(
+            translator, texts,
+            memo_dir=getattr(seq_spec, "memo_dir", None),
+        )
     report = BatchReport(
         items=items,
         jobs=max(1, jobs),
@@ -357,12 +366,14 @@ def run_batch(
     return report
 
 
-def _run_sequential(translator, texts: Sequence[str]) -> List[BatchItem]:
+def _run_sequential(
+    translator, texts: Sequence[str], memo_dir: Optional[str] = None
+) -> List[BatchItem]:
     items: List[BatchItem] = []
     for index, text in enumerate(texts):
         t0 = time.perf_counter()
         try:
-            result = translator.translate(text)
+            result = translator.translate(text, memo_dir=memo_dir)
         except Exception as exc:
             items.append(
                 BatchItem(

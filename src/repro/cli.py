@@ -138,11 +138,23 @@ def cmd_run(args) -> int:
         from repro.governance import DiskBudget
 
         disk_budget = DiskBudget(args.disk_budget, label=args.name)
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry() if args.memo_dir else None
     result = translator.translate(
         text, checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         spool_memory_budget=args.spool_memory_budget, record=args.record,
-        disk_budget=disk_budget,
+        disk_budget=disk_budget, memo_dir=args.memo_dir, metrics=metrics,
     )
+    if args.memo_dir:
+        hits = metrics.counter("incremental.hits").value
+        misses = metrics.counter("incremental.misses").value
+        spliced = metrics.counter("incremental.spliced_records").value
+        print(
+            f"# incremental memo at {args.memo_dir}: {hits} subtree "
+            f"hit(s) splicing {spliced} record(s), {misses} miss(es)",
+            file=sys.stderr,
+        )
     if args.record:
         print(
             f"# provenance recorded to {args.record} "
@@ -381,10 +393,39 @@ def cmd_profile(args) -> int:
 
 
 def _say(args):
-    """``print``, or a no-op under ``--quiet`` (exit codes still talk)."""
-    if getattr(args, "quiet", False):
+    """``print``, or a no-op under ``--quiet`` (exit codes still talk).
+
+    ``fsck --json`` also silences the human renderer: the JSON document
+    is the whole report, so nothing else may touch stdout.
+    """
+    if getattr(args, "quiet", False) or getattr(args, "json", False):
         return lambda *a, **k: None
     return print
+
+
+def _fsck_emit(args, report, fmt: str, code: int, **extra) -> int:
+    """Common tail of every fsck path: emit the ``--json`` document
+    (artifact path, format, verdict, loss count) and return the exit
+    code unchanged — scripts keep branching on 0/1/2 either way."""
+    if getattr(args, "json", False):
+        import json
+
+        doc = {
+            "path": args.spool,
+            "format": fmt,
+            "verdict": ("clean" if code == 0 else
+                        "salvaged-with-loss" if code == 2 else "corrupt"),
+            "exit": code,
+            "n_valid": getattr(report, "n_valid", None),
+        }
+        err = getattr(report, "error", None)
+        if err is not None:
+            doc["error"] = {"reason": err.reason, "locus": err.locus()}
+        if getattr(args, "salvage", None):
+            doc["salvaged_to"] = args.salvage
+        doc.update(extra)
+        print(json.dumps(doc, sort_keys=True))
+    return code
 
 
 def cmd_fsck(args) -> int:
@@ -403,14 +444,29 @@ def cmd_fsck(args) -> int:
     metrics = MetricsRegistry()
     if not os.path.exists(args.spool):
         say(f"error: no such spool file: {args.spool}", file=sys.stderr)
+        if getattr(args, "json", False):
+            import json
+
+            print(json.dumps({
+                "path": args.spool, "format": None,
+                "verdict": "missing", "exit": 1,
+            }, sort_keys=True))
         return 1
     from repro.obs.provenance import looks_like_provenance_log
+    from repro.passes.incremental import looks_like_memo_manifest
     from repro.serve.journal import looks_like_request_journal
 
+    memo_target = args.spool
+    if os.path.isdir(args.spool):
+        from repro.passes.incremental import MEMO_LOG
+
+        memo_target = os.path.join(args.spool, MEMO_LOG)
     if looks_like_provenance_log(args.spool):
         return _fsck_provenance(args, metrics)
     if looks_like_request_journal(args.spool):
         return _fsck_journal(args, metrics)
+    if looks_like_memo_manifest(memo_target):
+        return _fsck_memo(args, metrics)
     if args.salvage:
         report = salvage_spool(args.spool, args.salvage, metrics=metrics)
     else:
@@ -424,8 +480,10 @@ def cmd_fsck(args) -> int:
     if args.metrics:
         say()
         say(metrics.render())
+    loss = (report.sealed_records - report.n_valid
+            if report.sealed_records is not None else None)
     if report.ok:
-        return 0
+        return _fsck_emit(args, report, f"spool-v{report.version}", 0, loss=0)
     # A location-bearing diagnostic: the damaged region, named the same
     # way grammar errors name their source coordinates.
     err = report.error
@@ -437,7 +495,8 @@ def cmd_fsck(args) -> int:
         SourceLocation(filename=args.spool),
     )
     say(str(diag), file=sys.stderr)
-    return 2 if args.salvage else 1
+    return _fsck_emit(args, report, f"spool-v{report.version}",
+                      2 if args.salvage else 1, loss=loss)
 
 
 def _fsck_provenance(args, metrics) -> int:
@@ -457,7 +516,8 @@ def _fsck_provenance(args, metrics) -> int:
         say()
         say(metrics.render())
     if report.ok:
-        return 0
+        return _fsck_emit(args, report, "PROV1", 0,
+                          loss=0, n_events=report.n_events)
     err = report.error
     diag = Diagnostic(
         Severity.ERROR,
@@ -466,7 +526,8 @@ def _fsck_provenance(args, metrics) -> int:
         SourceLocation(filename=args.spool),
     )
     say(str(diag), file=sys.stderr)
-    return 2 if args.salvage else 1
+    return _fsck_emit(args, report, "PROV1", 2 if args.salvage else 1,
+                      loss=None, n_events=report.n_events)
 
 
 def _fsck_journal(args, metrics) -> int:
@@ -505,7 +566,8 @@ def _fsck_journal(args, metrics) -> int:
         say()
         say(metrics.render())
     if report.ok:
-        return 0
+        return _fsck_emit(args, report, "SRVJ1", 0,
+                          loss=report.lost_records, sealed=report.sealed)
     err = report.error
     diag = Diagnostic(
         Severity.ERROR,
@@ -514,7 +576,50 @@ def _fsck_journal(args, metrics) -> int:
         SourceLocation(filename=args.spool),
     )
     say(str(diag), file=sys.stderr)
-    return 2 if args.salvage else 1
+    return _fsck_emit(args, report, "SRVJ1", 2 if args.salvage else 1,
+                      loss=report.lost_records, sealed=report.sealed)
+
+
+def _fsck_memo(args, metrics) -> int:
+    """The fsck path for MEMO1 incremental-memo manifests (sniffed by
+    header).  Memo damage is never fatal to a translation — the loader
+    treats any corruption as a silent cold miss — so fsck's job here is
+    naming the damaged entry and, with ``--salvage``, resealing the
+    verified prefix so the surviving entries stay warm.
+    """
+    from repro.errors import Diagnostic, Severity, SourceLocation
+    from repro.passes.incremental import salvage_memo, scan_memo
+
+    say = _say(args)
+    if args.salvage:
+        report = salvage_memo(args.spool, args.salvage, metrics=metrics)
+    else:
+        report = scan_memo(args.spool, metrics=metrics)
+    say(report.render())
+    if args.salvage:
+        say(
+            f"salvaged {report.n_valid} memo "
+            f"entr{'y' if report.n_valid == 1 else 'ies'} -> {args.salvage}"
+        )
+    if args.metrics:
+        say()
+        say(metrics.render())
+    loss = (report.n_entries - report.n_valid
+            if report.n_entries is not None else None)
+    if report.ok:
+        return _fsck_emit(args, report, "MEMO1", 0,
+                          loss=0, n_entries=report.n_entries)
+    err = report.error
+    diag = Diagnostic(
+        Severity.ERROR,
+        f"memo manifest corrupt at {err.locus()} [{err.reason}]; "
+        f"valid prefix: {report.n_valid} entry line(s); "
+        "translation falls back to a cold miss, never a wrong answer",
+        SourceLocation(filename=args.spool),
+    )
+    say(str(diag), file=sys.stderr)
+    return _fsck_emit(args, report, "MEMO1", 2 if args.salvage else 1,
+                      loss=loss, n_entries=report.n_entries)
 
 
 def cmd_doctor(args) -> int:
@@ -629,6 +734,7 @@ def cmd_batch(args) -> int:
         direction=args.direction,
         cache_dir=args.cache_dir or default_cache_root(),
         backend=args.backend,
+        memo_dir=args.memo_dir,
     )
     translator = build_batch_translator(worker_spec, metrics=metrics)
     texts = [
@@ -708,6 +814,9 @@ def cmd_serve(args) -> int:
             direction=args.direction,
             cache_dir=cache_dir,
             backend=args.backend,
+            memo_dir=(
+                os.path.join(args.memo_dir, name) if args.memo_dir else None
+            ),
         )
     config = ServeConfig(
         host=args.host,
@@ -851,6 +960,13 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint passes); the write that would overspend fails with "
         "a typed DiskBudgetExceeded before the bytes land",
     )
+    p_run.add_argument(
+        "--memo-dir", metavar="DIR",
+        help="incremental re-translation: persist per-pass subtree memo "
+        "entries (sealed MEMO1 manifest + splice-source spools) into DIR; "
+        "a later run of edited input re-evaluates only the dirty spine "
+        "and splices sealed output for clean subtrees, byte-identically",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_debug = sub.add_parser(
@@ -926,8 +1042,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fsck.add_argument(
         "spool",
-        help="path to a .spool file (v1, v2, or v3) or a provenance "
-        ".ndjson log (format is sniffed)",
+        help="path to a .spool file (v1, v2, or v3), a provenance "
+        ".ndjson log, a request journal, or an incremental memo "
+        "manifest / memo directory (format is sniffed)",
     )
     p_fsck.add_argument(
         "--salvage", metavar="OUT",
@@ -943,6 +1060,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="no output; exit status alone reports the verdict "
         "(0 clean, 1 corrupt/missing, 2 salvaged with loss)",
+    )
+    p_fsck.add_argument(
+        "--json", action="store_true",
+        help="emit a single machine-readable JSON report (artifact path, "
+        "format, verdict, loss count) instead of the human rendering; "
+        "exit codes are unchanged",
     )
     p_fsck.set_defaults(func=cmd_fsck)
 
@@ -1100,6 +1223,12 @@ def build_parser() -> argparse.ArgumentParser:
         "so a queued input's deadline clock never runs early)",
     )
     p_batch.add_argument(
+        "--memo-dir", metavar="DIR",
+        help="incremental re-translation memo root: inputs sharing "
+        "subtrees with earlier ones splice their sealed output instead "
+        "of re-evaluating (workers keep per-slot subdirectories)",
+    )
+    p_batch.add_argument(
         "--metrics", action="store_true",
         help="also dump the cache.*/batch.* metrics snapshot",
     )
@@ -1183,6 +1312,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the shared-memory artifact plane: workers (and "
         "supervised restarts) rehydrate from the build cache instead "
         "of attaching zero-copy",
+    )
+    p_serve.add_argument(
+        "--memo-dir", metavar="DIR",
+        help="warm-memo serving: root a per-grammar incremental memo "
+        "at DIR/<grammar>/w<slot>; repeated or edited requests splice "
+        "clean subtrees from the sealed memo instead of re-evaluating",
     )
     p_serve.add_argument(
         "--fsync", action="store_true",

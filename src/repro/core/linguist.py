@@ -462,6 +462,12 @@ class Translator:
         #: Lazily-built recording variant of the generated evaluator
         #: (provenance hooks compiled in); the normal executor stays hot.
         self._recording_eval: Optional[GeneratedEvaluator] = None
+        #: Lazily-built memo variants (incremental hooks compiled in)
+        #: and open MemoStores keyed by absolute memo directory.
+        self._memo_eval: Optional[GeneratedEvaluator] = None
+        self._memo_recording_eval: Optional[GeneratedEvaluator] = None
+        self._memo_identity: Optional[str] = None
+        self._memo_stores: Dict[str, Any] = {}
         #: How to rebuild this translator in another process (set by the
         #: batch driver / CLI for shipped grammars; required for
         #: ``translate_many(jobs > 1)``).  A repro.batch.WorkerSpec.
@@ -508,6 +514,7 @@ class Translator:
         spool_memory_budget: Optional[int] = None,
         record: Optional[str] = None,
         disk_budget=None,
+        memo_dir: Optional[str] = None,
     ) -> EvaluationResult:
         """Scan, parse, and evaluate ``text``.
 
@@ -530,6 +537,15 @@ class Translator:
         directory (a sealed NDJSON log plus every pass's sealed spool;
         see docs/debugging.md) — it implies checkpointing into the same
         directory, so the two directories must agree when both given.
+        ``memo_dir`` enables incremental re-translation: every pass's
+        subtree results memoized there by earlier translations through
+        this grammar are spliced instead of re-evaluated wherever the
+        subtree and its inherited context are unchanged — when the new
+        input even tokenizes to the same kind sequence, the parse
+        itself is reused and only the dirty spine from each edited
+        token is re-hashed — and the memo is refreshed for the next
+        call (see docs/performance.md).  Output is byte-identical to a
+        cold run; a damaged memo only costs speed.
         """
         if self.scanner is None:
             raise EvaluationError(
@@ -545,6 +561,7 @@ class Translator:
             spool_memory_budget=spool_memory_budget,
             record=record,
             disk_budget=disk_budget,
+            memo_dir=memo_dir,
         )
 
     def translate_many(
@@ -598,6 +615,7 @@ class Translator:
         spool_memory_budget: Optional[int] = None,
         record: Optional[str] = None,
         disk_budget=None,
+        memo_dir: Optional[str] = None,
     ) -> EvaluationResult:
         accountant = accountant if accountant is not None else IOAccountant()
         metrics = metrics if metrics is not None else MetricsRegistry()
@@ -662,7 +680,52 @@ class Translator:
                     )
                 return inner_factory(name)
 
-        initial = self._build_initial(tokens, factory, tracer, metrics)
+        memo = None
+        if memo_dir is not None:
+            memo = self._memo_store(memo_dir, metrics=metrics, tracer=tracer)
+            if self.backend == "generated":
+                # Memo variants: same plans, incremental VISIT hooks
+                # compiled in.  The plain executor (and its cached
+                # text) is untouched, so memo_dir=None stays tax-free.
+                if recorder is not None:
+                    if self._memo_recording_eval is None:
+                        self._memo_recording_eval = GeneratedEvaluator(
+                            self.ag, self.linguist.plans,
+                            recording=True, memo=True,
+                        )
+                    executor = self._memo_recording_eval.executor
+                else:
+                    if self._memo_eval is None:
+                        self._memo_eval = GeneratedEvaluator(
+                            self.ag, self.linguist.plans, memo=True
+                        )
+                    executor = self._memo_eval.executor
+
+        strategy = (
+            "bottom-up"
+            if self.linguist.assignment.first_direction is Direction.R2L
+            else "prefix"
+        )
+        initial = None
+        token_list = None
+        if memo is not None and recorder is None and checkpoint_dir is None:
+            # Front-end reuse needs the materialized token stream: when
+            # the kind sequence matches the memoized run, the LR parse
+            # is identical and the cached initial records are patched
+            # (leaf intrinsics recomputed, dirty spine rehashed)
+            # instead of re-parsing.  Checkpointed/recorded runs build
+            # their durable initial spool the normal way.
+            token_list = tokens if isinstance(tokens, list) else list(tokens)
+            tokens = token_list
+            initial = memo.reuse_frontend(
+                token_list, strategy == "prefix", self.intrinsic_fn
+            )
+        if initial is None:
+            initial = self._build_initial(tokens, factory, tracer, metrics)
+            if token_list is not None:
+                memo.cache_frontend(
+                    token_list, initial, strategy == "prefix"
+                )
         driver = AlternatingPassDriver(
             self.ag,
             self.linguist.plans,
@@ -676,14 +739,40 @@ class Translator:
             checkpoint_dir=checkpoint_dir,
             recorder=recorder,
             disk_budget=disk_budget,
+            memo=memo,
         )
         self.last_driver = driver
-        strategy = (
-            "bottom-up"
-            if self.linguist.assignment.first_direction is Direction.R2L
-            else "prefix"
-        )
         return driver.run(initial, strategy=strategy, resume=resume)
+
+    def _memo_store(self, memo_dir: str, metrics=None, tracer=None):
+        """Open (or reuse) the :class:`repro.passes.incremental.MemoStore`
+        for ``memo_dir``.  Stores are cached per directory so repeated
+        translations through one translator splice from the in-memory
+        entry table without re-reading the manifest; the identity hash
+        is computed once per translator."""
+        from repro.passes.incremental import MemoStore, memo_identity
+
+        key = os.path.abspath(memo_dir)
+        store = self._memo_stores.get(key)
+        if store is not None:
+            store.metrics = metrics
+            store.tracer = tracer
+            return store
+        if self._memo_identity is None:
+            self._memo_identity = memo_identity(
+                self.ag, self.linguist.plans, self.library
+            )
+        store = MemoStore(
+            key,
+            self.ag,
+            self.linguist.plans,
+            library=self.library,
+            identity=self._memo_identity,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        self._memo_stores[key] = store
+        return store
 
     def _build_initial(
         self,

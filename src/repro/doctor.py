@@ -1,9 +1,10 @@
 """``repro doctor``: the unified crash-recovery sweeper.
 
-Five durable formats can leave artifacts on a host — sealed spools
+Six durable formats can leave artifacts on a host — sealed spools
 (v1/v2/v3), build-cache entries, PROV1 provenance logs, SRVJ1 request
-journals, and checkpoint manifests — and a crash, an ENOSPC, or a
-killed daemon can leave any of them mid-flight.  ``repro fsck`` judges
+journals, checkpoint manifests, and MEMO1 incremental-memo manifests
+(with their generation-numbered splice spools) — and a crash, an
+ENOSPC, or a killed daemon can leave any of them mid-flight.  ``repro fsck`` judges
 *one* file; the doctor walks a whole tree, classifies **every** path
 by sniffing magic (reusing fsck's readers), and with ``--repair``
 salvages what it can and garbage-collects the rest, so a host always
@@ -44,6 +45,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -61,6 +63,11 @@ from repro.obs.provenance import (
     looks_like_provenance_log,
     salvage_provenance,
     scan_provenance,
+)
+from repro.passes.incremental import (
+    looks_like_memo_manifest,
+    salvage_memo,
+    scan_memo,
 )
 from repro.serve.journal import (
     looks_like_request_journal,
@@ -89,7 +96,15 @@ class ArtifactFormat:
     PROVENANCE = "provenance-log"
     JOURNAL = "request-journal"
     MANIFEST = "checkpoint-manifest"
+    MEMO = "memo-manifest"
     UNKNOWN = "unknown"
+
+
+#: Generation-numbered splice-source spools living beside a MEMO1
+#: manifest (``pass2.g7.spool``).  Checkpoint logic must never treat
+#: them as checkpoint pass spools: their lifecycle belongs to the memo
+#: manifest, not to ``checkpoint.json``.
+_MEMO_SPOOL_RE = re.compile(r"^pass\d+\.g\d+\.spool$")
 
 
 class ArtifactState:
@@ -205,6 +220,8 @@ def sniff_format(path: str) -> str:
         return ArtifactFormat.PROVENANCE
     if looks_like_request_journal(path):
         return ArtifactFormat.JOURNAL
+    if looks_like_memo_manifest(path):
+        return ArtifactFormat.MEMO
     if os.path.basename(path) == MANIFEST_NAME:
         return ArtifactFormat.MANIFEST
     name = path[: -len(".tmp")] if path.endswith(".tmp") else path
@@ -316,6 +333,27 @@ def _classify_journal(path: str) -> ArtifactReport:
     )
 
 
+def _classify_memo(path: str) -> ArtifactReport:
+    report = scan_memo(path)
+    if report.ok:
+        return ArtifactReport(
+            path, ArtifactFormat.MEMO, ArtifactState.SEALED,
+            detail=(
+                f"{report.n_valid} memo "
+                f"entr{'y' if report.n_valid == 1 else 'ies'}"
+            ),
+        )
+    return ArtifactReport(
+        path, ArtifactFormat.MEMO, ArtifactState.CORRUPT,
+        detail=(
+            f"valid prefix {report.n_valid} entr"
+            f"{'y' if report.n_valid == 1 else 'ies'}; "
+            f"{report.error.reason if report.error else 'damaged'} "
+            "(loads as a cold miss)"
+        ),
+    )
+
+
 def _verify_manifest_entry(
     directory: str, entry: Dict[str, Any]
 ) -> Tuple[bool, str]:
@@ -346,6 +384,7 @@ def run_doctor(
     *input*, the report is the output."""
     doctor = DoctorReport(repaired=repair)
     manifests: List[Tuple[str, Dict[str, Any]]] = []
+    memo_manifests: List[str] = []
     referenced: Dict[str, ArtifactReport] = {}
     for directory in directories:
         for root, _dirs, files in os.walk(directory):
@@ -357,8 +396,14 @@ def run_doctor(
                     doc = _load_manifest_doc(path)
                     if doc is not None:
                         manifests.append((path, doc))
+                if (
+                    art.format == ArtifactFormat.MEMO
+                    and art.state == ArtifactState.SEALED
+                ):
+                    memo_manifests.append(path)
                 referenced[path] = art
     _mark_checkpoint_orphans(manifests, referenced)
+    _mark_memo_orphans(memo_manifests, referenced)
     if repair:
         for art in doctor.artifacts:
             _repair_artifact(art, metrics=metrics)
@@ -393,6 +438,8 @@ def _classify_path(path: str) -> ArtifactReport:
         return _classify_provenance(path)
     if fmt == ArtifactFormat.JOURNAL:
         return _classify_journal(path)
+    if fmt == ArtifactFormat.MEMO:
+        return _classify_memo(path)
     if fmt == ArtifactFormat.MANIFEST:
         doc = _load_manifest_doc(path)
         if doc is None:
@@ -430,10 +477,38 @@ def _mark_checkpoint_orphans(
                 and art.state == ArtifactState.SEALED
                 and name.startswith("pass")
                 and name.endswith(".spool")
+                and not _MEMO_SPOOL_RE.match(name)
                 and name not in listed
             ):
                 art.state = ArtifactState.ORPHANED
                 art.detail = "sealed but not listed in checkpoint manifest"
+
+
+def _mark_memo_orphans(
+    memo_manifests: List[str],
+    referenced: Dict[str, ArtifactReport],
+) -> None:
+    """Generation-numbered splice spools beside a *clean* memo manifest
+    that does not reference them are stale debris — the writer crashed
+    between sealing a new manifest and unlinking the old generation.
+    (Beside a corrupt manifest we keep every spool: salvage first.)"""
+    for manifest_path in memo_manifests:
+        directory = os.path.dirname(manifest_path)
+        listed = set(scan_memo(manifest_path).spools)
+        for path, art in referenced.items():
+            if os.path.dirname(path) != directory:
+                continue
+            name = os.path.basename(path)
+            if (
+                _MEMO_SPOOL_RE.match(name)
+                and art.state == ArtifactState.SEALED
+                and name not in listed
+            ):
+                art.state = ArtifactState.ORPHANED
+                art.detail = (
+                    "stale memo generation not referenced by the sealed "
+                    "memo manifest"
+                )
 
 
 def _repair_artifact(art: ArtifactReport, metrics=None) -> None:
@@ -501,6 +576,16 @@ def _repair_artifact(art: ArtifactReport, metrics=None) -> None:
         except Exception:
             _unlink_as_repair(art)
         return
+    if art.format == ArtifactFormat.MEMO:
+        # Either way the translation stays correct: a salvaged memo
+        # keeps its verified prefix warm, a deleted one is a full cold
+        # miss — never a wrong answer.
+        try:
+            salvage_memo(art.path, art.path, metrics=metrics)
+            art.action = "salvaged-with-loss"
+        except Exception:
+            _unlink_as_repair(art)
+        return
     if art.format == ArtifactFormat.MANIFEST:
         _unlink_as_repair(art)
         return
@@ -556,6 +641,7 @@ def _repair_manifest(
         if (
             name.startswith("pass")
             and name.endswith(".spool")
+            and not _MEMO_SPOOL_RE.match(name)
             and name not in listed
             and other.state
             in (ArtifactState.SEALED, ArtifactState.CORRUPT,

@@ -337,6 +337,43 @@ class ProvenanceCorruptionError(ProvenanceError):
         return f"record {rec}"
 
 
+class MemoCorruptionError(ReproError):
+    """A sealed incremental-translation memo failed an integrity check.
+
+    MEMO1 manifests are line-framed NDJSON where every record carries
+    its own CRC32 and the seal line covers the whole stream.  Damage is
+    reported against the exact entry, but a corrupt memo is *never*
+    fatal to a translation: the loader degrades it to a silent cold
+    miss (``incremental.invalidations``) and ``repro fsck``/``doctor``
+    surface this error instead.  ``record_index`` is the 0-based line
+    index of the damaged record (``None`` when the file as a whole is
+    unusable), and ``reason`` is a short machine-readable tag
+    (``"framing"``, ``"checksum"``, ``"header"``, ``"seal"``,
+    ``"truncated"``, ``"identity"``, ``"stale"``, ``"spool"``,
+    ``"range"``, ``"missing"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        record_index: Optional[int] = None,
+        path: Optional[str] = None,
+        reason: str = "corrupt",
+        diagnostics: Optional[List[Diagnostic]] = None,
+    ):
+        super().__init__(message, diagnostics=diagnostics)
+        self.record_index = record_index
+        self.path = path
+        self.reason = reason
+
+    def locus(self) -> str:
+        """Human-readable ``record N`` locator (matches the spool
+        corruption convention so fsck output renders uniformly)."""
+        rec = "?" if self.record_index is None else str(self.record_index)
+        return f"record {rec}"
+
+
 class ServeError(ReproError):
     """Base class for translation-service (``repro serve``) failures."""
 

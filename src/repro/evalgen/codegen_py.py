@@ -90,11 +90,25 @@ class PythonCodeGenerator:
     provenance logs.  Recording output is a *separate* variant: normal
     (``recording=False``) output is byte-identical to what this
     generator always produced — it is golden-pinned and cached.
+
+    With ``memo=True`` the generator emits incremental-memo hooks at
+    every child ``VISIT`` (enter/leave calls into the runtime's
+    :class:`~repro.passes.incremental.MemoSession`), mirroring the
+    interpreter's hook placement so the two backends hit, splice, and
+    record identically.  Like recording, memo output is a separate
+    lazily-built variant: it is never cached, and the hot non-memo
+    executor stays byte-identical to the pinned golden text.
     """
 
-    def __init__(self, ag: AttributeGrammar, recording: bool = False):
+    def __init__(
+        self,
+        ag: AttributeGrammar,
+        recording: bool = False,
+        memo: bool = False,
+    ):
         self.ag = ag
         self.recording = recording
+        self.memo = memo
 
     # -- expressions ----------------------------------------------------------
 
@@ -173,6 +187,8 @@ class PythonCodeGenerator:
         em.emit("rt = self.rt", HUSK, 2)
         if self.recording:
             em.emit("rec = rt.rec", PROV, 2)
+        if self.memo:
+            em.emit("m = rt.memo", PROV, 2)
         body = 2
         for action in plan.actions:
             kind = action.kind
@@ -202,15 +218,34 @@ class PythonCodeGenerator:
                 em.emit(f"rt.put_node({var}, {names!r})", HUSK, body)
             elif kind is ActionKind.VISIT:
                 sym = self._symbol_at(prod, action.position)
+                var = _var(action.position)
+                if self.memo:
+                    # Memo hook: candidate check + splice-or-visit.  The
+                    # hit path consumes the subtree from the sealed memo
+                    # spool; the miss path visits and records.
+                    em.emit(
+                        f"_mt = None if m is None else m.enter_gen({var}, self)",
+                        PROV,
+                        body,
+                    )
+                    em.emit("if _mt is not _MEMO_HIT:", PROV, body)
+                    inner = body + 1
+                else:
+                    inner = body
                 if self.recording:
-                    em.emit(f"rec.enter_child({action.position})", PROV, body)
+                    em.emit(f"rec.enter_child({action.position})", PROV, inner)
                 em.emit(
-                    f"self.visit_{sanitize(sym)}({_var(action.position)})",
+                    f"self.visit_{sanitize(sym)}({var})",
                     HUSK,
-                    body,
+                    inner,
                 )
                 if self.recording:
-                    em.emit("rec.exit_child()", PROV, body)
+                    em.emit("rec.exit_child()", PROV, inner)
+                if self.memo:
+                    em.emit("if _mt is not None:", PROV, inner)
+                    em.emit(
+                        f"m.leave_gen(_mt, {var}, self)", PROV, inner + 1
+                    )
             elif kind is ActionKind.COMPUTE:
                 binding = action.binding
                 code = self.compile_expr(binding.expr, action.refmap)
@@ -299,6 +334,11 @@ class PythonCodeGenerator:
             f"({plan.direction.value}) for grammar {self.ag.name!r}.",
             NOTE,
         )
+        if self.memo:
+            em.emit(
+                "from repro.passes.incremental import MEMO_HIT as _MEMO_HIT",
+                PROV,
+            )
         em.emit(f"class Pass{plan.pass_k}Evaluator:", HUSK)
         em.emit(f"PASS = {plan.pass_k}", HUSK, 1)
         em.emit("def __init__(self, rt):", HUSK, 1)
@@ -366,10 +406,11 @@ class GeneratedEvaluator:
         ag: AttributeGrammar,
         pass_plans: List[PassPlan],
         recording: bool = False,
+        memo: bool = False,
     ):
         self.ag = ag
         self.pass_plans = pass_plans
-        gen = PythonCodeGenerator(ag, recording=recording)
+        gen = PythonCodeGenerator(ag, recording=recording, memo=memo)
         self.artifacts = gen.generate_all(pass_plans)
         self._compile_artifacts()
 

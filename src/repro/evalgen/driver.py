@@ -270,6 +270,7 @@ class AlternatingPassDriver:
         checkpoint_dir: Optional[str] = None,
         recorder=None,
         disk_budget=None,
+        memo=None,
     ):
         self.ag = ag
         self.pass_plans = pass_plans
@@ -296,6 +297,16 @@ class AlternatingPassDriver:
         self.checkpoint = checkpoint
         #: Optional provenance recorder (repro.obs.ProvenanceRecorder).
         self.recorder = recorder
+        #: Optional incremental-translation memo
+        #: (:class:`repro.passes.incremental.MemoStore`).  Every pass of
+        #: a fresh run consults/refreshes it; resumed runs evaluate
+        #: cold (a documented invalidation rule).
+        self.memo = memo
+        #: Per-pass memo sessions of the last run (empty when memo was
+        #: off or inapplicable); each exposes hit/miss/splice tallies.
+        self.memo_sessions: List[Any] = []
+        #: The first pass's session, kept for convenience.
+        self.memo_session = None
         #: Seconds spent in each pass, filled by :meth:`run`.
         self.pass_times: List[float] = []
         #: Per-pass time/I/O/memory rows, filled by :meth:`run`.
@@ -419,14 +430,33 @@ class AlternatingPassDriver:
                 n_passes=len(self.pass_plans),
             )
         root: Optional[APTNode] = None
+        memo = self.memo
+        self.memo_sessions = []
+        self.memo_session = None
+        memo_commits: List[Any] = []
         for plan in self.pass_plans[start_index:]:
             if plan.pass_k == 1 and strategy == "prefix":
                 reader = spool_in.read_forward()
             else:
                 reader = spool_in.read_backward()
+            # The memo applies to every pass of a fresh run: each pass
+            # reads a subtree-contiguous spool (the parser's postfix or
+            # prefix emission for pass 1, the previous pass's postfix
+            # output after that), which is exactly what the subtree
+            # index is computed over.  Resumed runs always evaluate
+            # cold (a documented invalidation rule).
+            memo_pass = memo is not None and resumed_spool is None
             if self.checkpoint is not None:
                 spool_out: Spool = self.checkpoint.make_spool(
                     plan, acc, f"pass{plan.pass_k}.out",
+                    tracer=tracer, metrics=self.metrics,
+                )
+            elif memo_pass:
+                # Each pass seals into the memo's next generation file
+                # so it can serve as the next run's splice source (never
+                # the file currently being spliced *from*).
+                spool_out = memo.make_output_spool(
+                    plan.pass_k, acc, f"pass{plan.pass_k}.out",
                     tracer=tracer, metrics=self.metrics,
                 )
             else:
@@ -445,6 +475,21 @@ class AlternatingPassDriver:
                 metrics=self.metrics,
                 recorder=rec,
             )
+            memo_session = None
+            if memo_pass:
+                # A checkpointed (or recorded) run writes its passes
+                # into the checkpoint directory, so the memo is
+                # consulted but not refreshed (read-only).
+                memo_session = memo.begin_session(
+                    plan, runtime, spool_in,
+                    read_only=self.checkpoint is not None,
+                    forward=(plan.pass_k == 1 and strategy == "prefix"),
+                )
+                if memo_session is not None:
+                    self.memo_sessions.append(memo_session)
+                    if self.memo_session is None:
+                        self.memo_session = memo_session
+                runtime.memo = memo_session
             io_before = (
                 acc.records_read,
                 acc.records_written,
@@ -498,9 +543,15 @@ class AlternatingPassDriver:
                 raise
             if self.checkpoint is not None:
                 self.checkpoint.record_pass(plan, spool_out)
+            elif memo_pass and memo_session is not None:
+                memo_commits.append((memo_session, spool_out))
             if spool_in is not initial:
                 spool_in.close()
             spool_in = spool_out
+        if memo_commits:
+            # Seal the whole run's generation at once: the manifest
+            # must reference every pass's fresh spool or none.
+            memo.commit_run(memo_commits)
         if rec is not None:
             rec.seal()
         self.final_spool = spool_in

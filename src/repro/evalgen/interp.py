@@ -19,6 +19,7 @@ from repro.evalgen.exprinterp import eval_expr
 from repro.evalgen.plan import ActionKind, EvaluationPlan, PassPlan, PlanAction
 from repro.evalgen.runtime import EvaluatorRuntime
 from repro.obs.provenance import input_keys
+from repro.passes.incremental import MEMO_HIT
 
 
 class InterpretiveEvaluator:
@@ -121,12 +122,22 @@ class InterpretiveEvaluator:
                     rec.put(action.position, target.symbol, runtime.out_index())
                 runtime.put_node(target, fields=names)
             elif kind is ActionKind.VISIT:
+                child = nodes[action.position]
+                memo = runtime.memo
+                if memo is not None:
+                    token = memo.enter_interp(child, globals_)
+                    if token is MEMO_HIT:
+                        continue  # subtree spliced from the memo
+                else:
+                    token = None
                 if rec is None:
-                    self._visit(nodes[action.position], plan, runtime, globals_)
+                    self._visit(child, plan, runtime, globals_)
                 else:
                     rec.enter_child(action.position)
-                    self._visit(nodes[action.position], plan, runtime, globals_)
+                    self._visit(child, plan, runtime, globals_)
                     rec.exit_child()
+                if token is not None:
+                    memo.leave_interp(token, child, globals_)
             elif kind is ActionKind.COMPUTE:
                 binding = action.binding
 

@@ -96,6 +96,9 @@ class EvaluatorRuntime:
         self.tracer = tracer
         #: Provenance recorder (repro.obs.ProvenanceRecorder) or None.
         self.rec = recorder
+        #: Incremental-memo session (repro.passes.incremental) or None —
+        #: attached by the driver for pass 1 of a memoized run only.
+        self.memo = None
         # Event counters, resolved once against the metrics registry so
         # the hot path pays one attribute check when telemetry is off.
         if metrics is not None:
@@ -127,6 +130,8 @@ class EvaluatorRuntime:
                 "about the phrase structure"
             )
         node = APTNode(symbol, production, dict(attrs), is_limb)
+        if self.memo is not None:
+            self.memo.note_get(node)
         if self.gauge is not None:
             # Residency is charged at the record size read from disk; the
             # matching release uses the same figure (values computed into
@@ -160,6 +165,41 @@ class EvaluatorRuntime:
             self.gauge.release(node.__dict__.get("_resident_bytes", 0))
         if self.trace is not None:
             self.trace.append(TraceEvent("put", node.symbol))
+
+    def skip_records(self, n: int) -> None:
+        """Consume ``n`` input records without building nodes — the
+        memo-hit path's input advance past a spliced subtree."""
+        reader = self._reader
+        for _ in range(n):
+            try:
+                next(reader)
+            except StopIteration:
+                raise EvaluationError(
+                    "APT input exhausted while skipping a memoized subtree "
+                    "(memo span disagrees with the spool)"
+                ) from None
+
+    def splice_record(self, record: Any) -> None:
+        """Append an already-evaluated record verbatim to the output
+        spool (memo-hit splice; bypasses node construction)."""
+        self._output.append(record)
+
+    def splice_blob(self, blob: bytes) -> None:
+        """Append an already-*encoded* record verbatim (the raw memo
+        splice: the output spool's codec was seeded from the splice
+        source's name table, so the bytes need no decode/re-encode)."""
+        self._output.append_blob(blob)
+
+    def splice_blobs(self, blobs) -> None:
+        """Bulk form of :meth:`splice_blob` — one whole memoized
+        subtree's records in a single batched append."""
+        self._output.append_blobs(blobs)
+
+    @property
+    def output_spool(self) -> Spool:
+        """The pass's output spool (the memo session inspects it to
+        decide whether the raw splice path applies)."""
+        return self._output
 
     def out_index(self) -> int:
         """Record index the *next* :meth:`put_node` call will occupy in

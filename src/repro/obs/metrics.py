@@ -320,6 +320,18 @@ class IOAccountant(IOStats):
         if channel:
             self._channel(channel).charge_write(nbytes)
 
+    def charge_write_many(
+        self, n: int, nbytes: int, channel: str = ""
+    ) -> None:
+        """Charge ``n`` written records totalling ``nbytes`` in one call
+        (the bulk splice path; totals match ``n`` charge_write calls)."""
+        self.records_written += n
+        self.bytes_written += nbytes
+        if channel:
+            stats = self._channel(channel)
+            stats.records_written += n
+            stats.bytes_written += nbytes
+
     def _channel(self, name: str) -> IOStats:
         stats = self.by_channel.get(name)
         if stats is None:

@@ -326,6 +326,30 @@ class ProvenanceRecorder:
         if self._c_puts is not None:
             self._c_puts.inc()
 
+    def reuse(
+        self, symbol: str, n_records: int, out_start: int, out_len: int
+    ) -> None:
+        """A memoized subtree was *spliced* instead of visited (see
+        :mod:`repro.passes.incremental`): ``n_records`` input records
+        under the ``symbol`` node were skipped and ``out_len`` sealed
+        output records were copied to ``out_start``.  No define/put
+        events exist for the spliced region — this instant is the
+        provenance of the whole reuse."""
+        self._emit(
+            {
+                "e": "reuse",
+                "i": self._seq,
+                "p": self._pass_k,
+                "n": list(self._path_stack),
+                "s": symbol,
+                "r": n_records,
+                "o": out_start,
+                "l": out_len,
+            }
+        )
+        if self._c_instants is not None:
+            self._c_instants.inc()
+
     # -- framing -----------------------------------------------------------
 
     def _emit(self, obj: Dict[str, Any], count: bool = True) -> None:
@@ -1006,6 +1030,13 @@ class DebugSession:
             return [
                 f"{mark}#{ev['i']} put {render_path(tuple(ev['n']))} "
                 f"({ev['s']}) -> pass{ev['p']}.spool record {ev['o']}"
+            ]
+        if kind == "reuse":
+            return [
+                f"{mark}#{ev['i']} reuse {ev['s']} subtree under "
+                f"{render_path(tuple(ev['n']))}: {ev['r']} input records "
+                f"spliced as pass{ev['p']}.spool records "
+                f"[{ev['o']}, {ev['o'] + ev['l']})"
             ]
         tag = self.log.production_tag(ev["pr"])
         lines = [

@@ -820,10 +820,14 @@ def specs_for_grammars(
     cache_dir: str,
     direction: str = "r2l",
     backend: str = "generated",
+    memo_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Build the ``{grammar_name: WorkerSpec}`` map the server needs
     from ``.ag`` file paths (grammar name = file stem, as the batch CLI
-    resolves scanners)."""
+    resolves scanners).  ``memo_dir`` roots a per-grammar incremental
+    memo (``memo_dir/<grammar>``); each worker slot then keeps its own
+    subdirectory under that, so repeated requests against a grammar are
+    served warm (clean subtrees spliced from the sealed memo)."""
     import os
 
     from repro.batch import WorkerSpec
@@ -840,5 +844,6 @@ def specs_for_grammars(
             direction=direction,
             cache_dir=cache_dir,
             backend=backend,
+            memo_dir=os.path.join(memo_dir, name) if memo_dir else None,
         )
     return specs

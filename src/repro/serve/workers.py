@@ -120,6 +120,9 @@ def worker_main(
         translator = build_worker_translator(spec)
     except BaseException as exc:  # reported per-job below
         build_error = exc
+    # Incremental memo: WorkerHandle already slotted the grammar's memo
+    # root per worker id, so this process is the directory's only writer.
+    memo_dir = getattr(spec, "memo_dir", None)
 
     #: (job_id, text, tokens, stage_error, started) — or None to stop.
     scanned: "queue.Queue" = queue.Queue(maxsize=SCAN_AHEAD)
@@ -158,11 +161,13 @@ def worker_main(
         if error is None:
             try:
                 if tokens is not None:
-                    result = translator.translate_tokens(iter(tokens))
+                    result = translator.translate_tokens(
+                        iter(tokens), memo_dir=memo_dir
+                    )
                 else:
                     # Scanner-less translator: translate() raises the
                     # canonical EvaluationError for this input.
-                    result = translator.translate(text)
+                    result = translator.translate(text, memo_dir=memo_dir)
             except BaseException as exc:  # per-job isolation
                 error = exc
         if error is not None:
@@ -209,6 +214,16 @@ class WorkerHandle:
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         mp_context: Optional[str] = None,
     ):
+        if getattr(spec, "memo_dir", None):
+            # One MEMO1 writer per directory: each worker slot keeps
+            # its own subdirectory under the grammar's memo root, and a
+            # supervised *restart* of the slot re-warms from whatever
+            # generation its predecessor sealed there.
+            import dataclasses
+
+            spec = dataclasses.replace(
+                spec, memo_dir=os.path.join(spec.memo_dir, f"w{worker_id}")
+            )
         self.spec = spec
         self.worker_id = worker_id
         self.metrics = metrics

@@ -33,6 +33,19 @@ class NameTable:
             self._index[text] = idx
         return idx
 
+    def copy(self) -> "NameTable":
+        """An independent clone with identical index assignments.
+
+        Seeding a new spool's codec with a copy of a sealed spool's
+        table keeps every id of the source valid in the target, which
+        is what lets the incremental memo splice *encoded* records
+        verbatim between generations (:mod:`repro.passes.incremental`).
+        """
+        clone = NameTable.__new__(NameTable)
+        clone._names = list(self._names)
+        clone._index = dict(self._index)
+        return clone
+
     def lookup(self, text: str) -> int:
         """Return the index for ``text`` or :data:`NO_NAME` if absent."""
         return self._index.get(text, self.NO_NAME)

@@ -1,6 +1,6 @@
 """Differential fuzz harness: every evaluator path must agree, byte for byte.
 
-Seven ways to compute a translation exist in this codebase:
+Eight ways to compute a translation exist in this codebase:
 
 * the **interpretive** pass evaluator (walks the plans at runtime),
 * the **generated** pass modules (exec-compiled Python),
@@ -15,9 +15,13 @@ Seven ways to compute a translation exist in this codebase:
   from a shared-memory plane, :mod:`repro.buildcache.shm` — the path
   batch/serve worker processes take),
 * the **shm-attached unfused** translator (the zero-copy path over the
-  fusion-off build).
+  fusion-off build),
+* the **incremental** translator (``memo_dir=``): after a warming run,
+  a re-translation splices sealed spool records for every clean
+  subtree and re-evaluates only the dirty spine
+  (:mod:`repro.passes.incremental`).
 
-They are seven implementations of one semantics, so on every input the
+They are eight implementations of one semantics, so on every input the
 root attributes must be *byte-identical* (canonicalized through
 :func:`tests.evalharness.canonical_attrs`).  The workloads are seeded
 generators from :mod:`repro.workloads.generators` — deterministic, so a
@@ -110,6 +114,10 @@ def test_all_backends_agree(grammar, workload_id, text, suite_cache_root):
         f"{workload_id}: shm-attached unfused backend disagrees with "
         "interpretive"
     )
+    assert results["incremental"] == interp, (
+        f"{workload_id}: memo-spliced re-translation disagrees with "
+        "from-scratch evaluation"
+    )
     assert results["oracle"] == interp, (
         f"{workload_id}: oracle disagrees with the pass evaluators"
     )
@@ -121,7 +129,7 @@ def test_run_all_backends_helper(tmp_path):
         "calc", generate_calc_program(6, seed=99), str(tmp_path / "cache")
     )
     assert set(results) == {"interp", "generated", "cached", "unfused",
-                            "shm", "shm_unfused", "oracle"}
+                            "shm", "shm_unfused", "incremental", "oracle"}
     assert (
         results["interp"]
         == results["generated"]
@@ -129,6 +137,7 @@ def test_run_all_backends_helper(tmp_path):
         == results["unfused"]
         == results["shm"]
         == results["shm_unfused"]
+        == results["incremental"]
         == results["oracle"]
     )
 

@@ -406,6 +406,55 @@ def test_partial_resume_records_remaining_passes(tmp_path):
         assert all(value is not None for _s, _p, _a, value, _k in leaves)
 
 
+def test_debug_queries_on_resumed_fused_run(tmp_path, capsys):
+    """``repro debug why|history`` must answer on a recording produced
+    by ``--resume`` over a *fused* plan.  Calc fuses to a single pass,
+    so a resume either replays nothing (all complete) or everything
+    (rewound to zero) — both ends need graceful answers."""
+    from repro.cli import main
+
+    directory = str(tmp_path / "rec")
+    linguist = Linguist(load_source("calc"))
+    assert linguist.n_passes == 1, "calc no longer fuses to one pass"
+    translator = linguist.make_translator(
+        calc_scanner_spec(), library=library_for("calc")
+    )
+    first = translator.translate(CALC_PROGRAM, record=directory)
+
+    # Resume with everything checkpointed: the re-sealed log is empty;
+    # why/history degrade to intrinsic/unrecorded, never error.
+    resumed = translator.translate(CALC_PROGRAM, record=directory, resume=True)
+    assert dict(resumed.root_attrs) == dict(first.root_attrs)
+    assert ProvenanceLog.open(directory).header["resumed_from"] == 1
+    assert main(["debug", "why", directory, "root.OUT"]) == 0
+    assert "intrinsic" in capsys.readouterr().out
+    assert main(["debug", "history", directory, "root.OUT"]) == 0
+    assert "history root.OUT" in capsys.readouterr().out
+
+    # Rewind the checkpoint to "nothing completed" — the state a crash
+    # mid-pass leaves behind — and resume: the single fused pass re-runs
+    # and re-records, so why/history answer in full.
+    manifest_path = os.path.join(directory, "checkpoint.json")
+    with open(manifest_path) as f:
+        manifest = json.load(f)
+    manifest["completed"] = []
+    with open(manifest_path, "w") as f:
+        json.dump(manifest, f)
+    os.remove(os.path.join(directory, "pass1.spool"))
+    os.remove(os.path.join(directory, LOG_NAME))
+    resumed = translator.translate(CALC_PROGRAM, record=directory, resume=True)
+    assert dict(resumed.root_attrs) == dict(first.root_attrs)
+    log = ProvenanceLog.open(directory)
+    assert log.header["resumed_from"] == 0
+    assert {e["p"] for e in log.events if "p" in e} == {1}
+    assert main(["debug", "why", directory, "root.OUT"]) == 0
+    out = capsys.readouterr().out
+    assert "why root.OUT" in out
+    assert "compute in pass 1" in out  # the root's instant was re-recorded
+    assert main(["debug", "history", directory, "root.OUT"]) == 0
+    assert "history root.OUT" in capsys.readouterr().out
+
+
 def test_cli_debug_queries(recordings, capsys):
     from repro.cli import main
 
